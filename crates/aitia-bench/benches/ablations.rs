@@ -1,0 +1,85 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! partial-order reduction in LIFS, backward testing order in Causality
+//! Analysis, and critical-section-as-unit flipping.
+
+use aitia::causality::{
+    CausalityAnalysis,
+    CausalityConfig, //
+};
+use aitia::lifs::{
+    Lifs,
+    LifsConfig, //
+};
+use criterion::{
+    criterion_group,
+    criterion_main,
+    Criterion, //
+};
+
+const SCALE: f64 = 0.1;
+
+fn bench_lifs_por(c: &mut Criterion) {
+    let bug = corpus::cves()
+        .into_iter()
+        .find(|b| b.id == "CVE-2019-11486")
+        .expect("11486");
+    let mut group = c.benchmark_group("ablation_lifs_por");
+    group.sample_size(10);
+    for (name, por) in [("with_por", true), ("without_por", false)] {
+        let cfg = LifsConfig {
+            por,
+            ..bug.lifs_config()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = Lifs::new(bug.program_scaled(SCALE), cfg.clone()).search();
+                assert!(out.failing.is_some());
+                out.stats.schedules_executed
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_causality_direction(c: &mut Criterion) {
+    let bug = corpus::cves()
+        .into_iter()
+        .find(|b| b.id == "CVE-2017-15649")
+        .expect("15649");
+    let run = Lifs::new(bug.program_scaled(SCALE), bug.lifs_config())
+        .search()
+        .failing
+        .expect("reproduces");
+    let mut group = c.benchmark_group("ablation_causality");
+    group.sample_size(10);
+    for (name, backward) in [("backward", true), ("forward", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                CausalityAnalysis::new(CausalityConfig {
+                    backward,
+                    ..CausalityConfig::default()
+                })
+                .analyze(&run)
+                .stats
+                .schedules_executed
+            });
+        });
+    }
+    for (name, cs) in [("cs_as_unit", true), ("cs_individual", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                CausalityAnalysis::new(CausalityConfig {
+                    cs_as_unit: cs,
+                    ..CausalityConfig::default()
+                })
+                .analyze(&run)
+                .stats
+                .schedules_executed
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lifs_por, bench_causality_direction);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! §5.3 baseline benchmarks: the comparator techniques next to AITIA on
+//! the same bug.
+
+use aitia::causality::{
+    CausalityAnalysis,
+    CausalityConfig, //
+};
+use aitia::lifs::Lifs;
+use baselines::sampler::{
+    sample_runs,
+    split,
+    SamplerConfig, //
+};
+use criterion::{
+    criterion_group,
+    criterion_main,
+    Criterion, //
+};
+
+fn bench_baselines(c: &mut Criterion) {
+    let bug = corpus::syzkaller()
+        .into_iter()
+        .find(|b| b.id == "#3")
+        .expect("bug #3");
+    let prog = bug.program_scaled(0.1);
+    let run = Lifs::new(prog.clone(), bug.lifs_config())
+        .search()
+        .failing
+        .expect("reproduces");
+    let samples = sample_runs(&prog, 200, 7, &SamplerConfig::default());
+    let (failing, passing) = split(samples);
+
+    let mut group = c.benchmark_group("baseline_comparison");
+    group.sample_size(10);
+    group.bench_function("aitia_causality", |b| {
+        b.iter(|| {
+            CausalityAnalysis::new(CausalityConfig::default())
+                .analyze(&run)
+                .chain
+                .race_count()
+        });
+    });
+    group.bench_function("kairux_inflection", |b| {
+        b.iter(|| baselines::inflection_point(&run.trace, &passing));
+    });
+    group.bench_function("coop_localization", |b| {
+        b.iter(|| baselines::localize(&failing, &passing).len());
+    });
+    group.bench_function("muvi_correlation", |b| {
+        b.iter(|| baselines::correlations(&passing, baselines::WINDOW).len());
+    });
+    group.bench_function("replay_classification", |b| {
+        b.iter(|| baselines::classify_all(&run).len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Figure benchmarks: the LIFS walkthrough (Fig 5), the Figure 4
+//! background-thread patterns, the Figure 6 analysis, and the Figure 7
+//! nested-race geometry.
+
+use aitia::causality::{
+    CausalityAnalysis,
+    CausalityConfig, //
+};
+use aitia::lifs::{
+    Lifs,
+    LifsConfig, //
+};
+use corpus::figures;
+use criterion::{
+    criterion_group,
+    criterion_main,
+    Criterion, //
+};
+use std::sync::Arc;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    let cases: Vec<(&str, ksim::Program)> = vec![
+        ("fig1", figures::fig1()),
+        ("fig4a", figures::fig4a()),
+        ("fig4b", figures::fig4b()),
+        ("fig4c", figures::fig4c()),
+        ("fig5", figures::fig5()),
+        ("fig7_ambiguous", figures::fig7_ambiguous()),
+        ("fig7_clear", figures::fig7_clear()),
+    ];
+    for (name, prog) in cases {
+        let prog = Arc::new(prog);
+        group.bench_function(format!("reproduce/{name}"), |b| {
+            b.iter(|| {
+                let out = Lifs::new(Arc::clone(&prog), LifsConfig::default()).search();
+                assert!(out.failing.is_some());
+                out.stats.schedules_executed
+            });
+        });
+        let run = Lifs::new(Arc::clone(&prog), LifsConfig::default())
+            .search()
+            .failing
+            .expect("reproduces");
+        group.bench_function(format!("diagnose/{name}"), |b| {
+            b.iter(|| {
+                CausalityAnalysis::new(CausalityConfig::default())
+                    .analyze(&run)
+                    .tested
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let bug = corpus::cves()
+        .into_iter()
+        .find(|b| b.id == "CVE-2017-15649")
+        .expect("15649");
+    let prog = bug.program(corpus::noise::NoiseSpec::silent());
+    c.bench_function("figures/fig6_cve_15649_full", |b| {
+        b.iter(|| {
+            let run = Lifs::new(Arc::clone(&prog), bug.lifs_config())
+                .search()
+                .failing
+                .expect("reproduces");
+            let res = CausalityAnalysis::new(CausalityConfig::default()).analyze(&run);
+            assert_eq!(res.chain.race_count(), 4);
+        });
+    });
+}
+
+criterion_group!(benches, bench_figures, bench_fig6);
+criterion_main!(benches);

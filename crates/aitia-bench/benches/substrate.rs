@@ -1,0 +1,62 @@
+//! Substrate microbenchmarks: engine step throughput, snapshot/restore,
+//! schedule enforcement, and race detection — the building blocks every
+//! experiment leans on.
+
+use criterion::{
+    criterion_group,
+    criterion_main,
+    Criterion,
+    Throughput, //
+};
+use ksim::builder::ProgramBuilder;
+use ksim::Engine;
+use std::sync::Arc;
+
+fn counter_program(iters: u64) -> Arc<ksim::Program> {
+    let mut p = ProgramBuilder::new("counter");
+    let x = p.global("x", 0);
+    {
+        let mut a = p.syscall_thread("A", "loop");
+        a.mov("r1", 0u64);
+        let top = a.new_label();
+        let done = a.new_label();
+        a.place(top);
+        a.jmp_if(ksim::builder::cond_reg("r1", ksim::CmpOp::Ge, iters), done);
+        a.fetch_add_global(x, 1u64);
+        a.op("r1", ksim::instr::BinOp::Add, "r1", 1u64);
+        a.jmp(top);
+        a.place(done);
+        a.ret();
+    }
+    Arc::new(p.build().unwrap())
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let prog = counter_program(1_000);
+    let mut group = c.benchmark_group("substrate");
+    group.throughput(Throughput::Elements(4_000));
+    group.bench_function("engine_steps_4k", |b| {
+        let mut e = Engine::new(Arc::clone(&prog));
+        b.iter(|| {
+            e.reboot();
+            e.run_to_completion(ksim::ThreadId(0))
+        });
+    });
+    group.finish();
+
+    let mut e = Engine::new(Arc::clone(&prog));
+    e.run_to_completion(ksim::ThreadId(0));
+    c.bench_function("substrate/snapshot_restore", |b| {
+        let snap = e.snapshot();
+        b.iter(|| {
+            e.restore(&snap);
+            e.trace().len()
+        });
+    });
+    c.bench_function("substrate/races_in_trace_4k_steps", |b| {
+        b.iter(|| aitia::races_in_trace(e.trace()).len());
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Table 2 — wall-clock benchmarks of LIFS + Causality Analysis over the
+//! ten CVE bugs (the simulated-time columns come from the `report` binary;
+//! this measures the Rust harness itself).
+
+use aitia::causality::{
+    CausalityAnalysis,
+    CausalityConfig, //
+};
+use aitia::lifs::Lifs;
+use criterion::{
+    criterion_group,
+    criterion_main,
+    Criterion, //
+};
+
+/// Noise scale for benches: large enough to exercise the search, small
+/// enough for Criterion's sampling.
+const SCALE: f64 = 0.15;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_cves");
+    group.sample_size(10);
+    for bug in corpus::cves() {
+        group.bench_function(format!("lifs/{}", bug.id), |b| {
+            b.iter(|| {
+                let out = Lifs::new(bug.program_scaled(SCALE), bug.lifs_config()).search();
+                assert!(out.failing.is_some());
+                out.stats.schedules_executed
+            });
+        });
+        let run = Lifs::new(bug.program_scaled(SCALE), bug.lifs_config())
+            .search()
+            .failing
+            .expect("reproduces");
+        group.bench_function(format!("causality/{}", bug.id), |b| {
+            b.iter(|| {
+                let res = CausalityAnalysis::new(CausalityConfig::default()).analyze(&run);
+                assert!(res.chain.race_count() >= 1);
+                res.stats.schedules_executed
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

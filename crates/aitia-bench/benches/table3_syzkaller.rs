@@ -1,0 +1,52 @@
+//! Table 3 — wall-clock benchmarks over the twelve Syzkaller bugs, plus the
+//! §5.2 conciseness pipeline (race detection on the failing trace).
+
+use aitia::causality::{
+    CausalityAnalysis,
+    CausalityConfig, //
+};
+use aitia::lifs::Lifs;
+use criterion::{
+    criterion_group,
+    criterion_main,
+    Criterion, //
+};
+
+const SCALE: f64 = 0.15;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_syzkaller");
+    group.sample_size(10);
+    for bug in corpus::syzkaller() {
+        group.bench_function(format!("diagnose/{}", bug.id), |b| {
+            b.iter(|| {
+                let out = Lifs::new(bug.program_scaled(SCALE), bug.lifs_config()).search();
+                let run = out.failing.expect("reproduces");
+                let res = CausalityAnalysis::new(CausalityConfig::default()).analyze(&run);
+                assert_eq!(res.chain.race_count(), bug.expected_chain_races);
+                res.tested.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_conciseness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conciseness");
+    group.sample_size(10);
+    let bug = corpus::syzkaller()
+        .into_iter()
+        .find(|b| b.id == "#1")
+        .expect("bug #1");
+    let run = Lifs::new(bug.program_scaled(0.5), bug.lifs_config())
+        .search()
+        .failing
+        .expect("reproduces");
+    group.bench_function("races_in_failing_trace", |b| {
+        b.iter(|| aitia::races_in_trace(&run.trace).len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3, bench_conciseness);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Diagnose one corpus bug end to end and print the developer-facing report.
+//!
+//! ```text
+//! cargo run --release -p aitia-bench --bin diagnose -- CVE-2017-15649
+//! cargo run --release -p aitia-bench --bin diagnose -- "#4" --scale 0.2
+//! cargo run --release -p aitia-bench --bin diagnose -- --list
+//! ```
+
+use aitia::{
+    causality::{
+        CausalityAnalysis,
+        CausalityConfig, //
+    },
+    lifs::Lifs,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut id = None;
+    let mut scale = 0.2f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args[i].parse().expect("--scale takes a number");
+            }
+            "--list" => {
+                for bug in corpus::all_bugs() {
+                    println!("{:<18} {:<14} {}", bug.id, bug.subsystem, bug.bug_type);
+                }
+                return;
+            }
+            other => id = Some(other.to_string()),
+        }
+        i += 1;
+    }
+    let Some(id) = id else {
+        eprintln!("usage: diagnose <bug-id> [--scale f] | --list");
+        std::process::exit(2);
+    };
+    let Some(bug) = corpus::all_bugs().into_iter().find(|b| b.id == id) else {
+        eprintln!("unknown bug {id:?}; try --list");
+        std::process::exit(2);
+    };
+    println!("{}\n", bug.doc);
+    // The modeled Syzkaller input.
+    let history = bug.history();
+    println!("{}", khist::ftrace::render(&history));
+    let n_slices = khist::slices(&history).len();
+    println!("slicing: {n_slices} candidate slices\n");
+    // Reproduce + diagnose.
+    let prog = bug.program_scaled(scale);
+    let out = Lifs::new(prog.clone(), bug.lifs_config()).search();
+    let Some(run) = out.failing else {
+        eprintln!("did not reproduce at scale {scale}");
+        std::process::exit(1);
+    };
+    println!(
+        "LIFS: {} schedules, interleaving count {}, pruned {} (non-conflicting) + {} (equivalent)",
+        out.stats.schedules_executed,
+        out.stats.interleaving_count,
+        out.stats.pruned_nonconflicting,
+        out.stats.pruned_equivalent
+    );
+    let res = CausalityAnalysis::new(CausalityConfig::default()).analyze(&run);
+    println!("{}", aitia::report::render(&prog, &run, &res));
+}

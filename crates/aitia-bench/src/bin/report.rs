@@ -1,0 +1,262 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p aitia-bench --bin report -- all
+//! cargo run --release -p aitia-bench --bin report -- table2 [--scale 1.0]
+//! ```
+//!
+//! Subcommands: `table1`, `table2`, `table3`, `conciseness`, `comparison`,
+//! `ablations`, `fig5`, `fig6`, `fig7`, `fig9`, `all`.
+//!
+//! `--scale` multiplies every bug's calibrated benign-race noise (1.0 =
+//! full calibration, matching the magnitudes of the paper's tables; smaller
+//! values run faster).
+
+use aitia::{
+    causality::{
+        CausalityAnalysis,
+        CausalityConfig, //
+    },
+    lifs::{
+        Lifs,
+        LifsConfig, //
+    },
+    simtime::CostModel,
+};
+use aitia_bench::experiments::{
+    self, //
+};
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = "all".to_string();
+    let mut scale = 1.0f64;
+    let mut samples = 400usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args[i].parse().expect("--scale takes a number");
+            }
+            "--samples" => {
+                i += 1;
+                samples = args[i].parse().expect("--samples takes a number");
+            }
+            other => cmd = other.to_string(),
+        }
+        i += 1;
+    }
+    let model = CostModel::default();
+    match cmd.as_str() {
+        "table2" => table2(scale, &model),
+        "table3" => table3(scale, &model),
+        "conciseness" => {
+            let rows = experiments::table3(scale);
+            print_conciseness(&rows);
+        }
+        "comparison" | "table1" => comparison(scale, samples),
+        // Ablations disable the pruning that makes full-scale noise
+        // tractable; they run on reduced noise by construction.
+        "ablations" => ablations(scale.min(0.05)),
+        "fig5" => fig5(),
+        "fig6" => fig6(),
+        "fig7" => fig7(),
+        "fig9" => fig9(),
+        "extensions" => extensions(),
+        "all" => {
+            table2(scale, &model);
+            let rows = experiments::table3(scale);
+            println!("{}", experiments::render_table3(&rows, &model));
+            let avg: f64 =
+                rows.iter().map(|r| r.chain_races() as f64).sum::<f64>() / rows.len() as f64;
+            println!("average chain length: {avg:.1} (paper: 3.0)\n");
+            print_conciseness(&rows);
+            comparison(scale.min(0.1), samples);
+            ablations(scale.min(0.05));
+            fig5();
+            fig6();
+            fig7();
+            fig9();
+            extensions();
+        }
+        other => {
+            eprintln!("unknown subcommand {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn table2(scale: f64, model: &CostModel) {
+    let rows = experiments::table2(scale);
+    println!("{}", experiments::render_table2(&rows, model));
+    let amb: Vec<&str> = rows
+        .iter()
+        .filter(|r| !r.result.ambiguous().is_empty())
+        .map(|r| r.id)
+        .collect();
+    println!("ambiguity cases: {amb:?} (paper: [\"CVE-2016-10200\"])\n");
+}
+
+fn table3(scale: f64, model: &CostModel) {
+    let rows = experiments::table3(scale);
+    println!("{}", experiments::render_table3(&rows, model));
+    let avg: f64 = rows.iter().map(|r| r.chain_races() as f64).sum::<f64>() / rows.len() as f64;
+    println!("average chain length: {avg:.1} (paper: 3.0)\n");
+}
+
+fn print_conciseness(rows: &[aitia_bench::experiments::BugOutcome]) {
+    let s = experiments::conciseness_summary(rows);
+    println!("§5.2 conciseness (measured | paper)");
+    println!(
+        "  memory-accessing instructions: avg {:.1} range {}..{} | avg 9592.8 range 189..20090",
+        s.avg_mem, s.mem_range.0, s.mem_range.1
+    );
+    println!(
+        "  individual data races:         avg {:.1} range {}..{}   | avg 108.4 range 5..322",
+        s.avg_races, s.race_range.0, s.race_range.1
+    );
+    println!(
+        "  races in causality chain:      avg {:.1}              | avg 3.0",
+        s.avg_chain
+    );
+    println!(
+        "  benign races inside chains:    {}                  | 0\n",
+        s.benign_in_chains
+    );
+}
+
+fn comparison(scale: f64, samples: usize) {
+    let rows = experiments::comparison(scale, samples);
+    println!("{}", experiments::render_comparison(&rows));
+}
+
+fn ablations(scale: f64) {
+    let rows = experiments::ablations(scale);
+    println!("{}", experiments::render_ablations(&rows));
+}
+
+fn fig5() {
+    let prog = Arc::new(corpus::figures::fig5());
+    let out = Lifs::new(Arc::clone(&prog), LifsConfig::default()).search();
+    println!("Figure 5 — LIFS search tree walkthrough");
+    print!("{}", out.tree.render(&prog));
+    println!(
+        "failure reproduced at interleaving count {} after {} schedules\n",
+        out.stats.interleaving_count, out.stats.schedules_executed
+    );
+}
+
+fn fig6() {
+    let bug = corpus::cves()
+        .into_iter()
+        .find(|b| b.id == "CVE-2017-15649")
+        .expect("15649 in corpus");
+    let prog = bug.program(corpus::noise::NoiseSpec::silent());
+    let run = Lifs::new(Arc::clone(&prog), bug.lifs_config())
+        .search()
+        .failing
+        .expect("reproduces");
+    let res = CausalityAnalysis::new(CausalityConfig::default()).analyze(&run);
+    println!("Figure 6 — Causality Analysis of CVE-2017-15649");
+    println!(
+        "failure-causing sequence ({} steps), races tested backward:",
+        run.trace.len()
+    );
+    for t in &res.tested {
+        let (f, s) = t.race.key();
+        println!(
+            "  flip {} ⇒ {:<6} → {:?}",
+            prog.instr_name(f),
+            prog.instr_name(s),
+            t.verdict
+        );
+    }
+    println!(
+        "chain: {}\n       (paper: (A2⇒B11 ∧ B2⇒A6) → A6⇒B12 → B17⇒A12 → BUG_ON())\n",
+        res.chain
+    );
+}
+
+fn fig7() {
+    for (name, prog) in [
+        ("ambiguous", corpus::figures::fig7_ambiguous()),
+        ("decidable", corpus::figures::fig7_clear()),
+    ] {
+        let prog = Arc::new(prog);
+        let run = Lifs::new(Arc::clone(&prog), LifsConfig::default())
+            .search()
+            .failing
+            .expect("reproduces");
+        let res = CausalityAnalysis::new(CausalityConfig::default()).analyze(&run);
+        println!(
+            "Figure 7 ({name}): chain {} | ambiguous races: {}",
+            res.chain,
+            res.ambiguous().len()
+        );
+    }
+    println!();
+}
+
+fn extensions() {
+    println!("Extensions beyond the paper (§4.6 future work and substrate depth)");
+    // Hardware-IRQ injection.
+    let prog = Arc::new(corpus::figures::irq_scenario());
+    let out = Lifs::new(Arc::clone(&prog), LifsConfig::default()).search();
+    let run = out.failing.expect("irq scenario reproduces");
+    let res = CausalityAnalysis::new(CausalityConfig::default()).analyze(&run);
+    println!("  IRQ injection: {} → chain {}", run.failure.kind, res.chain);
+    // RCU grace periods.
+    let safe = Lifs::new(
+        Arc::new(corpus::figures::rcu_scenario(true)),
+        LifsConfig::default(),
+    )
+    .search();
+    let unsafe_ = Lifs::new(
+        Arc::new(corpus::figures::rcu_scenario(false)),
+        LifsConfig::default(),
+    )
+    .search();
+    println!(
+        "  RCU grace period: protected reader {} | unprotected reader {}",
+        if safe.failing.is_none() {
+            "safe (no failure exists)".to_string()
+        } else {
+            "FAILED?".to_string()
+        },
+        unsafe_
+            .failing
+            .map(|r| r.failure.kind.to_string())
+            .unwrap_or_else(|| "no failure".into())
+    );
+    // ABBA deadlock as a hung task.
+    let run = Lifs::new(
+        Arc::new(corpus::figures::abba_deadlock_scenario()),
+        LifsConfig::default(),
+    )
+    .search()
+    .failing
+    .expect("deadlock reproduces");
+    let res = CausalityAnalysis::new(CausalityConfig::default()).analyze(&run);
+    println!(
+        "  ABBA deadlock: {} → chain {}
+",
+        run.failure.kind, res.chain
+    );
+}
+
+fn fig9() {
+    let bug = corpus::syzkaller()
+        .into_iter()
+        .find(|b| b.id == "#4")
+        .expect("#4 in corpus");
+    let prog = bug.program(corpus::noise::NoiseSpec::silent());
+    let run = Lifs::new(Arc::clone(&prog), bug.lifs_config())
+        .search()
+        .failing
+        .expect("reproduces");
+    let res = CausalityAnalysis::new(CausalityConfig::default()).analyze(&run);
+    println!("Figure 9 — the irqfd case study (bug #4)");
+    println!("{}", aitia::report::render(&prog, &run, &res));
+}

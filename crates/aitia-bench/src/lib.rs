@@ -1,0 +1,10 @@
+//! `aitia-bench` — the experiment harness for the AITIA reproduction.
+//!
+//! [`experiments`] regenerates every table and figure of the paper's
+//! evaluation section; the `report` binary renders them beside the paper's
+//! reported numbers, and the Criterion benches under `benches/` time the
+//! same entry points.
+
+#![warn(missing_docs)]
+
+pub mod experiments;

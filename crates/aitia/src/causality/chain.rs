@@ -1,0 +1,440 @@
+//! Causality chains — the root cause as the paper defines it.
+//!
+//! A causality chain is "a chained sequence of data races" (§1): each link
+//! is an enforced interleaving order `X ⇒ Y`, links are connected by
+//! causality (flipping an earlier link makes a later one disappear through a
+//! race-steered control flow), and mutually-causal links are conjoined
+//! (Figure 3's `(A2 ⇒ B11) ∧ (B2 ⇒ A6)`). The chain terminates at the
+//! failure. Breaking any link — patching the code so that one interleaving
+//! order cannot occur — prevents the failure.
+
+use crate::race::ObservedRace;
+use ksim::{
+    addr::region_of,
+    Addr,
+    InstrAddr,
+    Program, //
+};
+use serde::{
+    Deserialize,
+    Serialize, //
+};
+
+/// A race link rendered for reporting.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RaceDesc {
+    /// First instruction of the enforced order.
+    pub first: InstrAddr,
+    /// Second instruction of the enforced order.
+    pub second: InstrAddr,
+    /// Display name of the first instruction (e.g. `"A6"`).
+    pub first_name: String,
+    /// Display name of the second instruction (e.g. `"B12"`).
+    pub second_name: String,
+    /// The racing variable, resolved to a source-level name when possible.
+    pub variable: String,
+    /// Kernel source coordinates of both instructions (`func:line`).
+    pub locations: (String, String),
+}
+
+impl RaceDesc {
+    /// Builds the description for a race against its program.
+    #[must_use]
+    pub fn describe(race: &ObservedRace, program: &Program) -> RaceDesc {
+        let first = race.first.at;
+        let second = race.second.at();
+        let loc = |at: InstrAddr| match program.meta_at(at) {
+            Some(m) if !m.func.is_empty() => format!("{}:{}", m.func, m.line),
+            _ => format!("{at}"),
+        };
+        RaceDesc {
+            first,
+            second,
+            first_name: program.instr_name(first),
+            second_name: program.instr_name(second),
+            variable: variable_name(race.first.addr, program),
+            locations: (loc(first), loc(second)),
+        }
+    }
+
+    /// The `"X ⇒ Y"` rendering.
+    #[must_use]
+    pub fn order(&self) -> String {
+        format!("{} ⇒ {}", self.first_name, self.second_name)
+    }
+}
+
+/// Resolves an address to a source-level variable name.
+#[must_use]
+pub fn variable_name(addr: Addr, program: &Program) -> String {
+    match region_of(addr) {
+        ksim::addr::Region::Globals => {
+            let idx = (addr.0 - ksim::addr::GLOBALS_BASE) / ksim::addr::GLOBAL_SLOT;
+            program
+                .globals
+                .get(idx as usize)
+                .map_or_else(|| format!("{addr}"), |g| g.name.clone())
+        }
+        ksim::addr::Region::Heap => "heap object".to_string(),
+        _ => format!("{addr}"),
+    }
+}
+
+/// One node of a chain: a single race or a conjunction of mutually-causal
+/// races.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChainNode {
+    /// One race link.
+    Single(RaceDesc),
+    /// Races that must *jointly* hold for the next link (the multi-variable
+    /// atomicity violation of CVE-2017-15649).
+    Conj(Vec<RaceDesc>),
+}
+
+impl ChainNode {
+    /// The races in this node.
+    #[must_use]
+    pub fn races(&self) -> &[RaceDesc] {
+        match self {
+            ChainNode::Single(r) => std::slice::from_ref(r),
+            ChainNode::Conj(rs) => rs,
+        }
+    }
+}
+
+/// The complete causality chain.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CausalityChain {
+    /// Chain nodes, cause-first, failure-adjacent last.
+    pub nodes: Vec<ChainNode>,
+    /// The failure the chain terminates at.
+    pub failure: String,
+}
+
+impl CausalityChain {
+    /// Total number of race links in the chain (the "# of races in chain"
+    /// column of Table 3).
+    #[must_use]
+    pub fn race_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.races().len()).sum()
+    }
+
+    /// Whether a race (by ordered instruction pair) appears in the chain.
+    #[must_use]
+    pub fn contains(&self, first: InstrAddr, second: InstrAddr) -> bool {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.races().iter())
+            .any(|r| r.first == first && r.second == second)
+    }
+}
+
+impl core::fmt::Display for CausalityChain {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " → ")?;
+            }
+            match node {
+                ChainNode::Single(r) => write!(f, "{}", r.order())?,
+                ChainNode::Conj(rs) => {
+                    write!(f, "(")?;
+                    for (j, r) in rs.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, " ∧ ")?;
+                        }
+                        write!(f, "{}", r.order())?;
+                    }
+                    write!(f, ")")?;
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            write!(f, "(empty)")?;
+        }
+        write!(f, " → {}", self.failure)
+    }
+}
+
+/// Builds the chain from the root-cause races and the causality edges
+/// discovered by flipping (edge `i → j`: flipping race `i` made race `j`
+/// disappear).
+///
+/// Mutually-causal races (strongly connected components) become [`ChainNode::Conj`]
+/// nodes; the condensed graph is transitively reduced and linearized in
+/// topological order (ties broken by the races' position in the failing
+/// sequence, earlier first).
+#[must_use]
+pub fn build_chain(
+    root_causes: &[ObservedRace],
+    edges: &[(usize, usize)],
+    program: &Program,
+    failure: &str,
+) -> CausalityChain {
+    let n = root_causes.len();
+    if n == 0 {
+        return CausalityChain {
+            nodes: vec![],
+            failure: failure.to_string(),
+        };
+    }
+    let mut adj = vec![vec![false; n]; n];
+    for &(i, j) in edges {
+        if i < n && j < n && i != j {
+            adj[i][j] = true;
+        }
+    }
+    // Strongly connected components (mutual causality ⇒ conjunction). With
+    // small n, a reachability-based SCC is clear and sufficient.
+    let mut reach = adj.clone();
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if reach[i][k] && reach[k][j] {
+                    reach[i][j] = true;
+                }
+            }
+        }
+    }
+    let mut comp = vec![usize::MAX; n];
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    for i in 0..n {
+        if comp[i] != usize::MAX {
+            continue;
+        }
+        let id = comps.len();
+        let mut members = vec![i];
+        comp[i] = id;
+        for j in (i + 1)..n {
+            if comp[j] == usize::MAX && reach[i][j] && reach[j][i] {
+                comp[j] = id;
+                members.push(j);
+            }
+        }
+        comps.push(members);
+    }
+    // Condensed edges + transitive reduction.
+    let m = comps.len();
+    let mut cadj = vec![vec![false; m]; m];
+    for i in 0..n {
+        for j in 0..n {
+            if adj[i][j] && comp[i] != comp[j] {
+                cadj[comp[i]][comp[j]] = true;
+            }
+        }
+    }
+    let mut creach = cadj.clone();
+    for k in 0..m {
+        for i in 0..m {
+            for j in 0..m {
+                if creach[i][k] && creach[k][j] {
+                    creach[i][j] = true;
+                }
+            }
+        }
+    }
+    let mut reduced = cadj.clone();
+    for i in 0..m {
+        for j in 0..m {
+            if !reduced[i][j] {
+                continue;
+            }
+            // Drop the edge when a longer path exists.
+            for (k, row) in creach.iter().enumerate() {
+                if k != i && k != j && creach[i][k] && row[j] {
+                    reduced[i][j] = false;
+                    break;
+                }
+            }
+        }
+    }
+    // Topological order of components; ties by earliest member position in
+    // the failing sequence (races are indexed in backward order, so a larger
+    // index = earlier in the sequence).
+    let indeg = |ord: &[usize], placed: &[bool]| -> Vec<usize> {
+        (0..m)
+            .filter(|&c| !placed[c])
+            .filter(|&c| (0..m).all(|p| !reduced[p][c] || placed[p] || ord.contains(&p)))
+            .collect()
+    };
+    let mut placed = vec![false; m];
+    let mut sorted_comps = Vec::new();
+    while sorted_comps.len() < m {
+        let mut ready = indeg(&sorted_comps, &placed);
+        if ready.is_empty() {
+            // Cycle leftovers (should not happen after condensation).
+            ready = (0..m).filter(|&c| !placed[c]).collect();
+        }
+        // Earlier-in-sequence first: larger backward index first.
+        ready.sort_by_key(|&c| {
+            comps[c]
+                .iter()
+                .map(|&i| std::cmp::Reverse(root_causes[i].first.seq))
+                .min()
+        });
+        let c = ready[0];
+        placed[c] = true;
+        sorted_comps.push(c);
+    }
+    let nodes = sorted_comps
+        .into_iter()
+        .map(|c| {
+            let mut descs: Vec<RaceDesc> = comps[c]
+                .iter()
+                .map(|&i| RaceDesc::describe(&root_causes[i], program))
+                .collect();
+            descs.sort_by_key(RaceDesc::order);
+            if descs.len() == 1 {
+                ChainNode::Single(descs.pop().expect("one desc"))
+            } else {
+                ChainNode::Conj(descs)
+            }
+        })
+        .collect();
+    CausalityChain {
+        nodes,
+        failure: failure.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::race::{
+        AccessEvt,
+        RaceEnd, //
+    };
+    use ksim::builder::ProgramBuilder;
+    use ksim::{
+        ThreadId,
+        ThreadProgId, //
+    };
+
+    fn mini_program() -> Program {
+        let mut p = ProgramBuilder::new("mini");
+        let g = p.global("po->running", 1);
+        {
+            let mut a = p.syscall_thread("A", "s");
+            a.n("A2").load_global("r0", g);
+            a.n("A6").store_global(g, 0u64);
+            a.n("A12").store_global(g, 1u64);
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "s");
+            b.n("B11").store_global(g, 0u64);
+            b.n("B12").load_global("r0", g);
+            b.n("B17").load_global("r1", g);
+            b.ret();
+        }
+        p.build().unwrap()
+    }
+
+    fn race(
+        first_idx: usize,
+        first_seq: usize,
+        second_prog: u16,
+        second_idx: usize,
+    ) -> ObservedRace {
+        ObservedRace {
+            first: AccessEvt {
+                seq: first_seq,
+                tid: ThreadId(0),
+                at: InstrAddr {
+                    prog: ThreadProgId(0),
+                    index: first_idx,
+                },
+                addr: ksim::Addr(0x1000_0000),
+                is_write: true,
+                locks: vec![],
+            },
+            second: RaceEnd::Executed(AccessEvt {
+                seq: first_seq + 1,
+                tid: ThreadId(1),
+                at: InstrAddr {
+                    prog: ThreadProgId(second_prog),
+                    index: second_idx,
+                },
+                addr: ksim::Addr(0x1000_0000),
+                is_write: true,
+                locks: vec![],
+            }),
+        }
+    }
+
+    #[test]
+    fn fig3_shape_mutual_edges_conjoin() {
+        let prog = mini_program();
+        // Indices: 0 = A2⇒B11-like, 1 = A6-ish⇒B12-like (use available
+        // instrs), 2 = B17-ish⇒A12-like; plus 3 mutually causal with 0.
+        let r0 = race(0, 0, 1, 0); // A2 ⇒ B11
+        let r1 = race(1, 2, 1, 1); // A6 ⇒ B12
+        let r2 = race(2, 4, 1, 2); // A12 ⇒ B17 (stand-in)
+        let r3 = race(1, 1, 1, 0); // mutually causal with r0
+        let roots = vec![r0, r1, r2, r3];
+        let edges = vec![
+            (0, 3),
+            (3, 0), // mutual ⇒ conjunction
+            (0, 1),
+            (3, 1),
+            (0, 2),
+            (3, 2),
+            (1, 2), // path
+        ];
+        let chain = build_chain(&roots, &edges, &prog, "BUG_ON()");
+        assert_eq!(chain.nodes.len(), 3);
+        assert!(matches!(chain.nodes[0], ChainNode::Conj(ref v) if v.len() == 2));
+        assert!(matches!(chain.nodes[1], ChainNode::Single(_)));
+        assert!(matches!(chain.nodes[2], ChainNode::Single(_)));
+        assert_eq!(chain.race_count(), 4);
+        let s = chain.to_string();
+        assert!(s.contains('∧'), "{s}");
+        assert!(s.ends_with("BUG_ON()"), "{s}");
+    }
+
+    #[test]
+    fn independent_races_form_flat_chain() {
+        let prog = mini_program();
+        let roots = vec![race(0, 0, 1, 0), race(1, 2, 1, 1)];
+        let chain = build_chain(&roots, &[], &prog, "UAF");
+        assert_eq!(chain.nodes.len(), 2);
+        assert_eq!(chain.race_count(), 2);
+    }
+
+    #[test]
+    fn empty_roots_render_empty() {
+        let prog = mini_program();
+        let chain = build_chain(&[], &[], &prog, "panic");
+        assert_eq!(chain.race_count(), 0);
+        assert!(chain.to_string().contains("(empty)"));
+    }
+
+    #[test]
+    fn variable_names_resolve_globals() {
+        let prog = mini_program();
+        assert_eq!(
+            variable_name(ksim::Addr(ksim::addr::GLOBALS_BASE), &prog),
+            "po->running"
+        );
+        assert_eq!(
+            variable_name(ksim::Addr(ksim::addr::HEAP_BASE + 64), &prog),
+            "heap object"
+        );
+    }
+
+    #[test]
+    fn transitive_edges_are_reduced() {
+        let prog = mini_program();
+        let roots = vec![race(0, 0, 1, 0), race(1, 2, 1, 1), race(2, 4, 1, 2)];
+        // 0→1, 1→2, 0→2 (transitive).
+        let chain = build_chain(&roots, &[(0, 1), (1, 2), (0, 2)], &prog, "X");
+        assert_eq!(chain.nodes.len(), 3);
+        // Linear order preserved: the chain is a path 0 → 1 → 2.
+        let names: Vec<String> = chain
+            .nodes
+            .iter()
+            .map(|n| n.races()[0].first_name.clone())
+            .collect();
+        assert_eq!(names, vec!["A2", "A6", "A12"]);
+    }
+}

@@ -1,0 +1,333 @@
+//! Flip planning: turning "reverse this one data race" into a schedule.
+//!
+//! Causality Analysis tests a data race by executing the kernel with the
+//! race's interleaving order *flipped* while the remaining orders stay as in
+//! the failure-causing sequence (§3.4). The planner constructs the flipped
+//! total order from the failing trace and compresses it into scheduling
+//! points:
+//!
+//! * **both ends executed** — the first end's thread is delayed at the first
+//!   access until the second end has executed (the delayed window carries
+//!   the thread's intervening steps with it);
+//! * **second end pending** (Figure 6 step 1, `B17 ⇒ A12`) — the first
+//!   end's thread is delayed while the pending thread's projected
+//!   continuation (from its solo trace) runs up to and past the pending
+//!   instruction;
+//! * **critical sections as units** (§3.4 liveness) — when an end lies
+//!   inside a lock-protected region, the whole region moves, not the single
+//!   instruction;
+//! * **nested races** (Figure 7) — a race nested inside the flipped window
+//!   is unavoidably flipped along; the planner reports exactly which, so the
+//!   analysis can issue an ambiguity verdict when needed.
+
+use crate::{
+    lifs::FailingRun,
+    race::{
+        critical_section_span,
+        ObservedRace,
+        RaceEnd, //
+    },
+    schedule::{
+        schedule_from_order,
+        Schedule,
+        ThreadSel, //
+    },
+};
+use ksim::InstrAddr;
+
+/// A planned flip: the schedule plus what else the flip necessarily moves.
+#[derive(Clone, Debug)]
+pub struct FlipPlan {
+    /// The race under test.
+    pub race: ObservedRace,
+    /// Races from `others` whose order the window move also reverses
+    /// (nested races, Figure 7).
+    pub also_flipped: Vec<ObservedRace>,
+    /// The schedule realizing the flip.
+    pub schedule: Schedule,
+    /// Whether a critical section forced the window to grow.
+    pub cs_expanded: bool,
+}
+
+/// Plans the flip of `race` against the failing run, preserving the orders
+/// of `others` where geometrically possible.
+///
+/// `cs_as_unit` enables the §3.4 liveness rule (critical sections move as
+/// units); disabling it is the ablation.
+#[must_use]
+pub fn plan_flip(
+    run: &FailingRun,
+    race: &ObservedRace,
+    others: &[ObservedRace],
+    cs_as_unit: bool,
+) -> FlipPlan {
+    let trace = &run.trace;
+    let first_tid = race.first.tid;
+    let mut cs_expanded = false;
+
+    // The window of the first thread's steps to delay starts at the first
+    // access — or at the enclosing critical section's start.
+    let mut window_start = race.first.seq;
+    if cs_as_unit {
+        if let Some((cs_start, _)) = critical_section_span(trace, race.first.seq) {
+            if cs_start < window_start {
+                window_start = cs_start;
+                cs_expanded = true;
+            }
+        }
+    }
+
+    // Where the delayed window re-enters: after the second access (and past
+    // its critical section, when applicable).
+    let (resume_after, pending_tail) = match &race.second {
+        RaceEnd::Executed(acc) => {
+            let mut after = acc.seq;
+            if cs_as_unit {
+                if let Some((_, cs_end)) = critical_section_span(trace, acc.seq) {
+                    if cs_end > after {
+                        after = cs_end;
+                        cs_expanded = true;
+                    }
+                }
+            }
+            (after, Vec::new())
+        }
+        RaceEnd::Pending { tid, at } => {
+            // Project the pending thread's continuation from its solo trace.
+            let sel = run.sel(*tid);
+            let tail = project_tail(run, sel, *at);
+            (trace.len().saturating_sub(1), tail)
+        }
+    };
+
+    // Build the flipped total order.
+    let mut order: Vec<(ThreadSel, InstrAddr)> = Vec::new();
+    let mut delayed: Vec<(ThreadSel, InstrAddr)> = Vec::new();
+    for rec in trace {
+        let sel = run.sel(rec.tid);
+        let in_window = rec.seq >= window_start && rec.seq <= resume_after && rec.tid == first_tid;
+        if in_window {
+            delayed.push((sel, rec.at));
+        } else if rec.seq < window_start || rec.seq <= resume_after {
+            order.push((sel, rec.at));
+        } else {
+            // Past the window: emitted after the delayed block below.
+        }
+    }
+    // Pending-second flips: run the projected tail before the delayed block.
+    order.extend(pending_tail.iter().copied());
+    order.append(&mut delayed);
+    for rec in trace {
+        if rec.seq > resume_after {
+            order.push((run.sel(rec.tid), rec.at));
+        }
+    }
+
+    // Which other races does the window move also flip? A race q is dragged
+    // along when its ends straddle the window in the opposite sense: q's
+    // first end belongs to the delayed window while q's second end executes
+    // inside the window's span on another thread.
+    let mut also_flipped = Vec::new();
+    for q in others {
+        if q.key() == race.key() {
+            continue;
+        }
+        let (Some(q_first_seq), Some(q_second_seq)) = (Some(q.first.seq), q.second.seq()) else {
+            continue;
+        };
+        let q_first_in_window =
+            q.first.tid == first_tid && q_first_seq >= window_start && q_first_seq <= resume_after;
+        let q_second_outside = q.second.tid() != first_tid
+            && q_second_seq >= window_start
+            && q_second_seq <= resume_after;
+        if q_first_in_window && q_second_outside {
+            also_flipped.push(q.clone());
+        }
+    }
+
+    let schedule = schedule_from_order(&order, &run.pending_next());
+    FlipPlan {
+        race: race.clone(),
+        also_flipped,
+        schedule,
+        cs_expanded,
+    }
+}
+
+/// Projects the continuation of `sel` from its solo trace, through (and
+/// including) the pending instruction `until`, closing over critical
+/// sections so the projection never parks inside one.
+fn project_tail(run: &FailingRun, sel: ThreadSel, until: InstrAddr) -> Vec<(ThreadSel, InstrAddr)> {
+    let Some(solo) = run.solo.get(&sel) else {
+        // No solo knowledge: schedule just the pending instruction and rely
+        // on enforcement fallbacks.
+        return vec![(sel, until)];
+    };
+    // Steps the thread already executed in the failing run.
+    let executed = run.trace.iter().filter(|r| run.sel(r.tid) == sel).count();
+    let start = if executed <= solo.len()
+        && run
+            .trace
+            .iter()
+            .filter(|r| run.sel(r.tid) == sel)
+            .zip(solo.iter())
+            .all(|(a, b)| a.at == b.at)
+    {
+        executed
+    } else {
+        // Control flow diverged from the solo run: restart the projection at
+        // the thread's parked instruction, if it appears in the solo trace.
+        match run.pending_next().get(&sel) {
+            Some(next) => solo
+                .iter()
+                .position(|r| r.at == *next)
+                .unwrap_or(solo.len()),
+            None => solo.len(),
+        }
+    };
+    let mut tail = Vec::new();
+    let mut hit = false;
+    for rec in &solo[start.min(solo.len())..] {
+        tail.push((sel, rec.at));
+        if rec.at == until {
+            hit = true;
+            break;
+        }
+    }
+    if !hit {
+        // The solo trace never reaches the instruction (conservative):
+        // schedule it directly.
+        tail.push((sel, until));
+    }
+    tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifs::{
+        Lifs,
+        LifsConfig, //
+    };
+    use ksim::builder::ProgramBuilder;
+    use std::sync::Arc;
+
+    fn fig1_failing_run() -> FailingRun {
+        let mut p = ProgramBuilder::new("fig1");
+        let obj = p.static_obj("obj", 8);
+        let ptr_valid = p.global("ptr_valid", 0);
+        let ptr = p.global_ptr("ptr", obj);
+        {
+            let mut a = p.syscall_thread("A", "writer");
+            a.n("A1").store_global(ptr_valid, 1u64);
+            a.n("A2").load_global("r0", ptr);
+            a.load_ind("r1", "r0", 0);
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "clearer");
+            let out = b.new_label();
+            b.n("B1").load_global("r0", ptr_valid);
+            b.jmp_if(ksim::builder::cond_reg("r0", ksim::CmpOp::Eq, 0), out);
+            b.n("B2").store_global(ptr, 0u64);
+            b.place(out);
+            b.ret();
+        }
+        let prog = Arc::new(p.build().unwrap());
+        Lifs::new(prog, LifsConfig::default())
+            .search()
+            .failing
+            .expect("fig1 reproduces")
+    }
+
+    #[test]
+    fn flip_plan_schedule_averts_fig1_failure() {
+        let run = fig1_failing_run();
+        // The last race in backward order is the ptr race (B2 ⇒ A2-load or
+        // similar); flipping each causal race must avert the failure.
+        let races = run.races.clone();
+        let mut any_averted = false;
+        for r in &races {
+            let plan = plan_flip(&run, r, &races, true);
+            let mut e = ksim::Engine::new(Arc::clone(&run.program));
+            let res = crate::enforce::run(
+                &mut e,
+                &plan.schedule,
+                &crate::enforce::EnforceConfig::default(),
+            );
+            if res.failure.is_none() {
+                any_averted = true;
+            }
+        }
+        assert!(any_averted, "flipping some race must avert the failure");
+    }
+
+    #[test]
+    fn flip_preserves_prefix_order() {
+        let run = fig1_failing_run();
+        let r = run.races.last().expect("has races").clone();
+        let plan = plan_flip(&run, &r, &run.races, true);
+        // The plan's schedule must start with the same thread as the
+        // original failing schedule ran first (the prefix is preserved).
+        let first_step_sel = run.sel(run.trace[0].tid);
+        if r.first.seq > 0 {
+            assert_eq!(plan.schedule.start, Some(first_step_sel));
+        }
+    }
+
+    #[test]
+    fn nested_race_is_reported_as_also_flipped() {
+        use crate::race::{
+            AccessEvt,
+            RaceEnd, //
+        };
+        use ksim::{
+            Addr,
+            ThreadProgId, //
+        };
+        let run = fig1_failing_run();
+        // Synthesize a surrounding/nested pair on the failing trace's two
+        // threads: outer (t0 early → t1 late), inner (t0 late → t1 early).
+        let t0 = run.trace.first().unwrap().tid;
+        let t1 = run
+            .trace
+            .iter()
+            .map(|r| r.tid)
+            .find(|&t| t != t0)
+            .expect("two threads");
+        let seq_of = |tid: ksim::ThreadId, k: usize| {
+            run.trace
+                .iter()
+                .filter(|r| r.tid == tid)
+                .nth(k)
+                .unwrap()
+                .seq
+        };
+        let mk = |tid: ksim::ThreadId, seq: usize, idx: usize| AccessEvt {
+            seq,
+            tid,
+            at: InstrAddr {
+                prog: run.sel(tid).prog,
+                index: idx,
+            },
+            addr: Addr(0x1000_0000),
+            is_write: true,
+            locks: vec![],
+        };
+        let _ = ThreadProgId(0);
+        let outer = ObservedRace {
+            first: mk(t0, seq_of(t0, 0), 0),
+            second: RaceEnd::Executed(mk(t1, seq_of(t1, 1), 11)),
+        };
+        let inner = ObservedRace {
+            first: mk(t0, seq_of(t0, 0).max(1), 1),
+            second: RaceEnd::Executed(mk(t1, seq_of(t1, 0), 10)),
+        };
+        // Only meaningful when the geometry holds; build the plan and check
+        // the inner race is dragged along if its ends straddle the window.
+        let plan = plan_flip(&run, &outer, std::slice::from_ref(&inner), true);
+        if crate::race::surrounds(&outer, &inner) {
+            assert_eq!(plan.also_flipped.len(), 1);
+        }
+    }
+}

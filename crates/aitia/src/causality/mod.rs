@@ -1,0 +1,532 @@
+//! Causality Analysis (§3.4): pinpointing the root cause.
+//!
+//! Given the failure-causing instruction sequence from LIFS, Causality
+//! Analysis pops each data race — **backward**, last race first — and
+//! executes the kernel with exactly that race's interleaving order flipped
+//! while all other orders are preserved:
+//!
+//! * the failure does **not** manifest → the race *contributes* to the
+//!   failure → root cause set;
+//! * the failure still manifests → the race is **benign** → excluded.
+//!
+//! This realizes the formal definition of a root cause — "if removed
+//! (flipped in our test), it would prevent a failure from occurring" — and
+//! is what rules every statistics counter and flag-bit race out of the
+//! report without any pattern knowledge.
+//!
+//! A second backward pass discovers causality *between* root-cause races:
+//! flipping R1 and observing that R2 never occurs (its instructions
+//! disappeared behind a race-steered control flow) yields the edge R1 → R2.
+//! Mutually-causal races conjoin; the condensed order is the causality
+//! chain.
+//!
+//! Nested/surrounding races (Figure 7) are handled exactly as the paper
+//! prescribes: a surrounding race cannot be flipped while preserving a race
+//! nested inside it, so the nested race flips along; if the nested race is
+//! itself causal, the surrounding race's verdict is **ambiguous**.
+
+pub mod chain;
+pub mod flip;
+
+use crate::{
+    enforce::{
+        self,
+        EnforceConfig, //
+    },
+    lifs::FailingRun,
+    race::ObservedRace,
+    simtime::SimCost,
+};
+use chain::{
+    build_chain,
+    CausalityChain, //
+};
+use flip::{
+    plan_flip,
+    FlipPlan, //
+};
+use ksim::{
+    Engine,
+    InstrAddr, //
+};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The verdict on one tested data race.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Flipping the race averted the failure: it contributes.
+    Causal,
+    /// The failure still manifested: the race is benign.
+    Benign,
+    /// The race surrounds a causal nested race (Figure 7): flipping it
+    /// necessarily flipped the nested race too, so its own contribution
+    /// cannot be determined.
+    Ambiguous,
+}
+
+/// One tested race with its verdict and the evidence run's key facts.
+#[derive(Clone, Debug)]
+pub struct TestedRace {
+    /// The race.
+    pub race: ObservedRace,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Races that the flip necessarily reversed along with this one.
+    pub flipped_with: Vec<(InstrAddr, InstrAddr)>,
+    /// Races (by ordered key) that did not occur in the flip run —
+    /// race-steered control-flow evidence.
+    pub vanished: Vec<(InstrAddr, InstrAddr)>,
+    /// Whether the flip's window had to grow to a whole critical section.
+    pub cs_expanded: bool,
+}
+
+/// Statistics of one analysis (the Causality Analysis columns of Tables 2
+/// and 3).
+#[derive(Clone, Debug, Default)]
+pub struct CaStats {
+    /// Schedules executed across both passes.
+    pub schedules_executed: usize,
+    /// Simulated cost.
+    pub sim: SimCost,
+}
+
+/// Configuration of the analysis.
+#[derive(Clone, Debug)]
+pub struct CausalityConfig {
+    /// Enforcement limits per run.
+    pub enforce: EnforceConfig,
+    /// Test races backward from the failure (§3.4). Disabling tests forward
+    /// — the ablation showing why backward is the right direction.
+    pub backward: bool,
+    /// Flip critical sections as units (§3.4 liveness). Disabling is the
+    /// ablation.
+    pub cs_as_unit: bool,
+}
+
+impl Default for CausalityConfig {
+    fn default() -> Self {
+        CausalityConfig {
+            enforce: EnforceConfig::default(),
+            backward: true,
+            cs_as_unit: true,
+        }
+    }
+}
+
+/// The complete analysis result.
+#[derive(Clone, Debug)]
+pub struct CausalityResult {
+    /// The causality chain — the root cause.
+    pub chain: CausalityChain,
+    /// Every tested race with its verdict.
+    pub tested: Vec<TestedRace>,
+    /// The root-cause races (chain members), in tested order.
+    pub root_causes: Vec<ObservedRace>,
+    /// Causality edges between root causes (indices into `root_causes`).
+    pub edges: Vec<(usize, usize)>,
+    /// Statistics.
+    pub stats: CaStats,
+}
+
+impl CausalityResult {
+    /// Races judged benign (excluded from the chain).
+    #[must_use]
+    pub fn benign(&self) -> Vec<&ObservedRace> {
+        self.tested
+            .iter()
+            .filter(|t| t.verdict == Verdict::Benign)
+            .map(|t| &t.race)
+            .collect()
+    }
+
+    /// Races judged ambiguous.
+    #[must_use]
+    pub fn ambiguous(&self) -> Vec<&ObservedRace> {
+        self.tested
+            .iter()
+            .filter(|t| t.verdict == Verdict::Ambiguous)
+            .map(|t| &t.race)
+            .collect()
+    }
+}
+
+/// The Causality Analysis driver.
+pub struct CausalityAnalysis {
+    config: CausalityConfig,
+}
+
+struct FlipOutcome {
+    plan: FlipPlan,
+    averted: bool,
+    occurred: HashSet<(InstrAddr, InstrAddr)>,
+}
+
+impl CausalityAnalysis {
+    /// Creates an analysis with the given configuration.
+    #[must_use]
+    pub fn new(config: CausalityConfig) -> Self {
+        CausalityAnalysis { config }
+    }
+
+    /// Runs the full analysis on a failing run.
+    #[must_use]
+    pub fn analyze(&self, run: &FailingRun) -> CausalityResult {
+        let mut stats = CaStats::default();
+        let mut engine = Engine::new(Arc::clone(&run.program));
+
+        // Test order: backward (last race first) per the paper; forward is
+        // the ablation. `run.races` is sorted ascending by backward key.
+        let mut order: Vec<usize> = (0..run.races.len()).collect();
+        if self.config.backward {
+            order.reverse();
+        }
+
+        // Phase A: flip each race once.
+        let mut outcomes: Vec<Option<FlipOutcome>> = (0..run.races.len()).map(|_| None).collect();
+        for &i in &order {
+            let race = &run.races[i];
+            let plan = plan_flip(run, race, &run.races, self.config.cs_as_unit);
+            let outcome = self.execute(&mut engine, run, &plan, &mut stats);
+            outcomes[i] = Some(outcome);
+        }
+
+        // Phase B: verdicts, resolving nested-race dependencies first.
+        let mut verdicts: Vec<Option<Verdict>> = vec![None; run.races.len()];
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for i in 0..run.races.len() {
+                if verdicts[i].is_some() {
+                    continue;
+                }
+                let outcome = outcomes[i].as_ref().expect("phase A ran");
+                if !outcome.averted {
+                    verdicts[i] = Some(Verdict::Benign);
+                    progress = true;
+                    continue;
+                }
+                // Averted. Ambiguous iff a nested race that was flipped
+                // along is itself causal.
+                let nested_keys: Vec<(InstrAddr, InstrAddr)> = outcome
+                    .plan
+                    .also_flipped
+                    .iter()
+                    .map(ObservedRace::key)
+                    .collect();
+                let nested_indices: Vec<usize> = run
+                    .races
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, q)| nested_keys.contains(&q.key()))
+                    .map(|(j, _)| j)
+                    .collect();
+                if nested_indices.iter().any(|&j| verdicts[j].is_none()) {
+                    continue; // Wait for the nested verdicts.
+                }
+                let nested_causal = nested_indices
+                    .iter()
+                    .any(|&j| verdicts[j] == Some(Verdict::Causal));
+                verdicts[i] = Some(if nested_causal {
+                    Verdict::Ambiguous
+                } else {
+                    Verdict::Causal
+                });
+                progress = true;
+            }
+        }
+        // Any remaining cycles (mutually nested, degenerate): ambiguous.
+        for v in &mut verdicts {
+            if v.is_none() {
+                *v = Some(Verdict::Ambiguous);
+            }
+        }
+
+        let tested: Vec<TestedRace> = order
+            .iter()
+            .map(|&i| {
+                let outcome = outcomes[i].as_ref().expect("phase A ran");
+                let vanished = run
+                    .races
+                    .iter()
+                    .map(ObservedRace::key)
+                    .filter(|k| *k != run.races[i].key() && !outcome.occurred.contains(k))
+                    .collect();
+                TestedRace {
+                    race: run.races[i].clone(),
+                    verdict: verdicts[i].expect("phase B ran"),
+                    flipped_with: outcome
+                        .plan
+                        .also_flipped
+                        .iter()
+                        .map(ObservedRace::key)
+                        .collect(),
+                    vanished,
+                    cs_expanded: outcome.plan.cs_expanded,
+                }
+            })
+            .collect();
+
+        // Phase C: causality edges between root causes — re-run each root
+        // cause's flip (the paper's second pass) and record which other root
+        // causes never occurred.
+        let root_idx: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&i| verdicts[i] == Some(Verdict::Causal))
+            .collect();
+        let root_causes: Vec<ObservedRace> =
+            root_idx.iter().map(|&i| run.races[i].clone()).collect();
+        let mut edges = Vec::new();
+        for (ri, &i) in root_idx.iter().enumerate() {
+            let plan = plan_flip(run, &run.races[i], &run.races, self.config.cs_as_unit);
+            let outcome = self.execute(&mut engine, run, &plan, &mut stats);
+            let flipped_along: Vec<(InstrAddr, InstrAddr)> =
+                plan.also_flipped.iter().map(ObservedRace::key).collect();
+            for (rj, &j) in root_idx.iter().enumerate() {
+                if ri == rj {
+                    continue;
+                }
+                let key = run.races[j].key();
+                if !outcome.occurred.contains(&key) && !flipped_along.contains(&key) {
+                    edges.push((ri, rj));
+                }
+            }
+        }
+
+        let failure_desc = describe_failure(run);
+        let chain = build_chain(&root_causes, &edges, &run.program, &failure_desc);
+        CausalityResult {
+            chain,
+            tested,
+            root_causes,
+            edges,
+            stats,
+        }
+    }
+
+    fn execute(
+        &self,
+        engine: &mut Engine,
+        run: &FailingRun,
+        plan: &FlipPlan,
+        stats: &mut CaStats,
+    ) -> FlipOutcome {
+        engine.reboot();
+        let res = enforce::run(engine, &plan.schedule, &self.config.enforce);
+        stats.schedules_executed += 1;
+        stats.sim.add_run(res.steps, res.failure.is_some());
+        // "Averted" means the original failure did not manifest. A different
+        // failure (other kind or site) still counts as averting the original
+        // one; livelock/budget exhaustion conservatively counts as *not*
+        // averted.
+        let averted = match &res.failure {
+            None => !res.budget_exhausted,
+            Some(f) => !(f.kind == run.failure.kind && f.at == run.failure.at),
+        };
+        // Which known races occurred in this run (both instructions executed
+        // with at least one memory access)?
+        let executed: HashSet<InstrAddr> = res
+            .trace
+            .iter()
+            .filter(|r| !r.accesses.is_empty())
+            .map(|r| r.at)
+            .collect();
+        let occurred = run
+            .races
+            .iter()
+            .map(ObservedRace::key)
+            .filter(|(a, b)| executed.contains(a) && executed.contains(b))
+            .collect();
+        FlipOutcome {
+            plan: plan.clone(),
+            averted,
+            occurred,
+        }
+    }
+}
+
+/// Renders the failure for the chain terminal (e.g. `BUG_ON()` or
+/// `KASAN: use-after-free`).
+#[must_use]
+pub fn describe_failure(run: &FailingRun) -> String {
+    let f = &run.failure;
+    if f.kind == ksim::FailureKind::AssertionViolation && !f.message.is_empty() {
+        format!("BUG_ON({})", f.message)
+    } else {
+        f.kind.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifs::{
+        Lifs,
+        LifsConfig, //
+    };
+    use ksim::builder::ProgramBuilder;
+    use ksim::Program;
+
+    /// The paper's Figure 1 program.
+    fn fig1_program() -> Arc<Program> {
+        let mut p = ProgramBuilder::new("fig1");
+        let obj = p.static_obj("obj", 8);
+        let ptr_valid = p.global("ptr_valid", 0);
+        let ptr = p.global_ptr("ptr", obj);
+        {
+            let mut a = p.syscall_thread("A", "writer");
+            a.func("writer_path");
+            a.n("A1").store_global(ptr_valid, 1u64);
+            a.n("A2").load_global("r0", ptr);
+            a.load_ind("r1", "r0", 0);
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "clearer");
+            b.func("clearer_path");
+            let out = b.new_label();
+            b.n("B1").load_global("r0", ptr_valid);
+            b.jmp_if(ksim::builder::cond_reg("r0", ksim::CmpOp::Eq, 0), out);
+            b.n("B2").store_global(ptr, 0u64);
+            b.place(out);
+            b.ret();
+        }
+        Arc::new(p.build().unwrap())
+    }
+
+    fn analyze_fig1() -> (FailingRun, CausalityResult) {
+        let run = Lifs::new(fig1_program(), LifsConfig::default())
+            .search()
+            .failing
+            .expect("fig1 reproduces");
+        let result = CausalityAnalysis::new(CausalityConfig::default()).analyze(&run);
+        (run, result)
+    }
+
+    #[test]
+    fn fig1_chain_has_two_causal_races() {
+        let (_, result) = analyze_fig1();
+        assert_eq!(
+            result.chain.race_count(),
+            2,
+            "chain: {} tested: {:?}",
+            result.chain,
+            result
+                .tested
+                .iter()
+                .map(|t| (t.race.key(), t.verdict))
+                .collect::<Vec<_>>()
+        );
+        assert!(result.ambiguous().is_empty());
+    }
+
+    #[test]
+    fn fig1_chain_is_ordered_a1b1_then_b2a2() {
+        let (run, result) = analyze_fig1();
+        let s = result.chain.to_string();
+        // First link: the ptr_valid race (named A1/B1); second: the ptr race.
+        assert!(s.contains("A1 ⇒ B1"), "{s}");
+        assert_eq!(result.chain.nodes.len(), 2, "{s}");
+        assert!(
+            s.contains("NULL pointer dereference"),
+            "terminal failure missing: {s}"
+        );
+        // The race-steered edge: flipping A1 ⇒ B1 makes the ptr race vanish.
+        assert!(
+            !result.edges.is_empty(),
+            "expected a causality edge, races: {:?}",
+            run.races.iter().map(ObservedRace::key).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn benign_noise_races_are_excluded() {
+        // Fig1 plus a statistics counter both threads bump — a benign race.
+        let mut p = ProgramBuilder::new("fig1-noise");
+        let obj = p.static_obj("obj", 8);
+        let ptr_valid = p.global("ptr_valid", 0);
+        let ptr = p.global_ptr("ptr", obj);
+        let stats_ctr = p.global("stats", 0);
+        {
+            let mut a = p.syscall_thread("A", "writer");
+            a.fetch_add_global(stats_ctr, 1u64);
+            a.n("A1").store_global(ptr_valid, 1u64);
+            a.n("A2").load_global("r0", ptr);
+            a.load_ind("r1", "r0", 0);
+            a.fetch_add_global(stats_ctr, 1u64);
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "clearer");
+            let out = b.new_label();
+            b.fetch_add_global(stats_ctr, 1u64);
+            b.n("B1").load_global("r0", ptr_valid);
+            b.jmp_if(ksim::builder::cond_reg("r0", ksim::CmpOp::Eq, 0), out);
+            b.n("B2").store_global(ptr, 0u64);
+            b.place(out);
+            b.ret();
+        }
+        let prog = Arc::new(p.build().unwrap());
+        let run = Lifs::new(prog, LifsConfig::default())
+            .search()
+            .failing
+            .expect("reproduces");
+        let result = CausalityAnalysis::new(CausalityConfig::default()).analyze(&run);
+        // The counter races were observed...
+        assert!(
+            run.races.len() > 2,
+            "noise races should be in the test set: {:?}",
+            run.races.iter().map(ObservedRace::key).collect::<Vec<_>>()
+        );
+        // ...but never enter the chain.
+        assert_eq!(result.chain.race_count(), 2, "chain: {}", result.chain);
+        assert!(!result.benign().is_empty());
+    }
+
+    #[test]
+    fn forward_ablation_still_terminates() {
+        let run = Lifs::new(fig1_program(), LifsConfig::default())
+            .search()
+            .failing
+            .expect("reproduces");
+        let cfg = CausalityConfig {
+            backward: false,
+            ..CausalityConfig::default()
+        };
+        let result = CausalityAnalysis::new(cfg).analyze(&run);
+        assert!(result.stats.schedules_executed > 0);
+    }
+
+    #[test]
+    fn stats_count_both_passes() {
+        let (run, result) = analyze_fig1();
+        // Phase A: one run per race; phase C: one run per root cause.
+        let expected = run.races.len() + result.root_causes.len();
+        assert_eq!(result.stats.schedules_executed, expected);
+    }
+
+    #[test]
+    fn describe_failure_formats_bug_on() {
+        let mut p = ProgramBuilder::new("bug");
+        let g = p.global("x", 1);
+        {
+            let mut a = p.syscall_thread("A", "b");
+            a.load_global("r0", g);
+            a.bug_on_msg(
+                ksim::builder::cond_reg("r0", ksim::CmpOp::Eq, 1),
+                "list_contains",
+            );
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "w");
+            b.store_global(g, 1u64);
+            b.ret();
+        }
+        let prog = Arc::new(p.build().unwrap());
+        let out = Lifs::new(prog, LifsConfig::default()).search();
+        let run = out.failing.expect("serial run fails");
+        assert_eq!(describe_failure(&run), "BUG_ON(list_contains)");
+    }
+}

@@ -1,0 +1,728 @@
+//! Schedule enforcement — the AITIA-hypervisor equivalent (§4.4).
+//!
+//! The enforcer drives a [`ksim::Engine`] so that the interleaving orders of
+//! a [`Schedule`] hold: it runs exactly one thread at a time, suspends it
+//! when it reaches a scheduling point (the breakpoint trap), and resumes the
+//! point's target. Suspension is purely external — a suspended thread keeps
+//! its kernel state consistent, mirroring the paper's trampoline.
+//!
+//! Two failure modes of enforcement carry diagnostic meaning and are
+//! reported rather than hidden:
+//!
+//! * **disappeared points** — the anchor instruction was never reached
+//!   because a race-steered control flow took another path; Causality
+//!   Analysis reads these as "the data race did not occur";
+//! * **forced resumes** — the running thread blocked on a lock held by a
+//!   suspended thread; the enforcer resumes the holder until it releases
+//!   (the §3.4 liveness rule that motivates flipping whole critical
+//!   sections).
+
+use crate::schedule::{
+    Anchor,
+    SchedPoint,
+    Schedule,
+    ThreadSel, //
+};
+use ksim::{
+    Engine,
+    Failure,
+    InstrAddr,
+    LockId,
+    StepOutcome,
+    StepRecord,
+    ThreadId,
+    ThreadStatus, //
+};
+use std::collections::HashMap;
+
+/// Enforcement limits.
+#[derive(Clone, Copy, Debug)]
+pub struct EnforceConfig {
+    /// Maximum engine steps before the run is abandoned (livelock guard).
+    pub step_budget: usize,
+}
+
+impl Default for EnforceConfig {
+    fn default() -> Self {
+        EnforceConfig {
+            step_budget: 200_000,
+        }
+    }
+}
+
+/// A forced resume of a suspended lock holder (liveness, §3.4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForcedResume {
+    /// The thread that blocked.
+    pub blocked: ThreadSel,
+    /// The suspended holder that was resumed.
+    pub holder: ThreadSel,
+    /// The contended lock.
+    pub lock: LockId,
+    /// Trace position at which the contention occurred.
+    pub seq: usize,
+}
+
+/// Final state of one thread after a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadFinal {
+    /// Stable selector of the thread.
+    pub sel: ThreadSel,
+    /// Scheduling status at run end.
+    pub status: ThreadStatus,
+    /// Next instruction the thread was parked at (`None` when exited).
+    pub next: Option<InstrAddr>,
+}
+
+/// The observable outcome of one enforced run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The executed trace (total order).
+    pub trace: Vec<StepRecord>,
+    /// The manifested failure, if any.
+    pub failure: Option<Failure>,
+    /// `triggered[i]` — whether scheduling point `i` fired.
+    pub triggered: Vec<bool>,
+    /// Forced lock-holder resumes.
+    pub forced: Vec<ForcedResume>,
+    /// Steps executed.
+    pub steps: usize,
+    /// Whether the step budget ran out (livelock).
+    pub budget_exhausted: bool,
+    /// Final thread states.
+    pub threads: Vec<ThreadFinal>,
+}
+
+impl RunResult {
+    /// Indices of scheduling points that never fired (race-steered
+    /// control-flow evidence).
+    #[must_use]
+    pub fn disappeared(&self) -> Vec<usize> {
+        self.triggered
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| !t)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether the run completed without any failure.
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        self.failure.is_none() && !self.budget_exhausted
+    }
+}
+
+/// Runs `engine` under `schedule`.
+///
+/// The engine should be freshly booted (or restored); the run consumes it —
+/// inspect the returned [`RunResult`] and the engine afterwards.
+#[must_use]
+pub fn run(engine: &mut Engine, schedule: &Schedule, cfg: &EnforceConfig) -> RunResult {
+    let mut triggered = vec![false; schedule.points.len()];
+    let mut forced = Vec::new();
+    let mut steps = 0usize;
+    let mut budget_exhausted = false;
+    let mut point_idx = 0usize;
+    let mut exec_counts: HashMap<(ThreadId, InstrAddr), u32> = HashMap::new();
+
+    let mut current: Option<ThreadId> = schedule
+        .start
+        .and_then(|s| s.resolve(engine))
+        .or_else(|| engine.runnable().first().copied());
+    // Cursor into the schedule's intended segment sequence (when present).
+    let mut seg_cursor: usize = 0;
+    // Consecutive forced-resume hops without an executed step: a chain
+    // longer than the thread count is a lock cycle (ABBA deadlock).
+    let mut forced_chain: usize = 0;
+
+    loop {
+        if engine.halted() {
+            break;
+        }
+        if steps >= cfg.step_budget {
+            budget_exhausted = true;
+            break;
+        }
+
+        // Skip points whose thread can never reach its anchor any more.
+        while point_idx < schedule.points.len() {
+            let p = &schedule.points[point_idx];
+            let gone = match p.thread.resolve(engine) {
+                Some(tid) => engine
+                    .thread(tid)
+                    .map(ksim::Thread::is_done)
+                    .unwrap_or(true),
+                // Never spawned and nothing left to spawn it: only treat as
+                // gone when no thread is runnable-or-blocked that could still
+                // spawn it. Conservatively, only skip when the engine halted
+                // for that thread — i.e. keep waiting unless all runnables
+                // are gone, which the outer loop handles.
+                None => false,
+            };
+            if gone {
+                // Disappeared: preserve downstream intent by handing control
+                // to the point's target.
+                point_idx += 1;
+                if let Some(t) = schedule.points[point_idx - 1].switch_to.resolve(engine) {
+                    if engine.thread(t).is_some_and(ksim::Thread::is_runnable) {
+                        current = Some(t);
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+
+        // Validate current; re-pick when it finished.
+        let cur = match current {
+            Some(t) if engine.thread(t).is_some_and(ksim::Thread::is_runnable) => t,
+            Some(t)
+                if engine
+                    .thread(t)
+                    .is_some_and(|th| matches!(th.status, ThreadStatus::Blocked { .. })) =>
+            {
+                // Blocked on a lock whose holder is suspended: forced resume.
+                let ThreadStatus::Blocked { on } = engine.thread(t).unwrap().status else {
+                    unreachable!()
+                };
+                match engine.lock_holder(on) {
+                    Some(h) if h != t => {
+                        forced_chain += 1;
+                        if forced_chain > engine.threads().len() {
+                            // A cycle of lock holders: deadlock.
+                            break;
+                        }
+                        forced.push(ForcedResume {
+                            blocked: ThreadSel::of(engine, t),
+                            holder: ThreadSel::of(engine, h),
+                            lock: on,
+                            seq: engine.trace().len(),
+                        });
+                        current = Some(h);
+                        continue;
+                    }
+                    _ => {
+                        // No holder (stale block) — retry the thread.
+                        t
+                    }
+                }
+            }
+            _ => match pick_next(engine, schedule, &mut seg_cursor, None) {
+                Some(t) => {
+                    current = Some(t);
+                    t
+                }
+                None => break,
+            },
+        };
+
+        // Before-anchored scheduling point?
+        if point_idx < schedule.points.len() {
+            let p = &schedule.points[point_idx];
+            if p.when == Anchor::Before && matches_point(engine, &exec_counts, cur, p) {
+                triggered[point_idx] = true;
+                point_idx += 1;
+                current = switch_target(engine, schedule, p, cur, &mut seg_cursor);
+                continue;
+            }
+        }
+
+        match engine.step(cur) {
+            Ok(StepOutcome::Executed(rec))
+            | Ok(StepOutcome::Exited(rec))
+            | Ok(StepOutcome::Failed(rec)) => {
+                steps += 1;
+                *exec_counts.entry((cur, rec.at)).or_insert(0) += 1;
+                // After-anchored scheduling point?
+                if point_idx < schedule.points.len() {
+                    let p = &schedule.points[point_idx];
+                    if p.when == Anchor::After
+                        && ThreadSel::of(engine, cur) == p.thread
+                        && rec.at == p.at
+                        && exec_counts.get(&(cur, p.at)).copied().unwrap_or(0) == p.nth + 1
+                    {
+                        triggered[point_idx] = true;
+                        point_idx += 1;
+                        current = switch_target(engine, schedule, p, cur, &mut seg_cursor);
+                    }
+                }
+            }
+            Ok(StepOutcome::Blocked { on }) => {
+                // Lock contention: resume the holder until it releases.
+                match engine.lock_holder(on) {
+                    Some(h) if h != cur => {
+                        forced.push(ForcedResume {
+                            blocked: ThreadSel::of(engine, cur),
+                            holder: ThreadSel::of(engine, h),
+                            lock: on,
+                            seq: engine.trace().len(),
+                        });
+                        current = Some(h);
+                    }
+                    _ => {
+                        // Cannot make progress at all.
+                        break;
+                    }
+                }
+            }
+            Err(_) => {
+                current = pick_next(engine, schedule, &mut seg_cursor, None);
+                if current.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    // The kernel watchdog: no runnable thread, blocked threads remain —
+    // an ABBA-style deadlock manifests as a hung-task report.
+    let deadlock_cycle = forced_chain > engine.threads().len();
+    let watchdog = if engine.failure().is_none() && (engine.deadlocked() || deadlock_cycle) {
+        engine
+            .threads()
+            .iter()
+            .find(|t| matches!(t.status, ThreadStatus::Blocked { .. }))
+            .map(|t| ksim::Failure {
+                kind: ksim::FailureKind::HungTask,
+                at: engine.next_instr(t.id).unwrap_or(InstrAddr {
+                    prog: t.prog,
+                    index: t.pc,
+                }),
+                tid: t.id,
+                addr: None,
+                message: "blocked task never scheduled (watchdog)".into(),
+            })
+    } else {
+        None
+    };
+    let threads = engine
+        .threads()
+        .iter()
+        .map(|t| ThreadFinal {
+            sel: ThreadSel {
+                prog: t.prog,
+                occurrence: t.occurrence,
+            },
+            status: t.status,
+            next: engine.next_instr(t.id),
+        })
+        .collect();
+
+    RunResult {
+        trace: engine.trace().to_vec(),
+        failure: engine.failure().cloned().or(watchdog),
+        triggered,
+        forced,
+        steps,
+        budget_exhausted,
+        threads,
+    }
+}
+
+fn matches_point(
+    engine: &Engine,
+    exec_counts: &HashMap<(ThreadId, InstrAddr), u32>,
+    cur: ThreadId,
+    p: &SchedPoint,
+) -> bool {
+    ThreadSel::of(engine, cur) == p.thread
+        && engine.next_instr(cur) == Some(p.at)
+        && exec_counts.get(&(cur, p.at)).copied().unwrap_or(0) == p.nth
+}
+
+fn switch_target(
+    engine: &mut Engine,
+    schedule: &Schedule,
+    p: &SchedPoint,
+    cur: ThreadId,
+    seg_cursor: &mut usize,
+) -> Option<ThreadId> {
+    advance_cursor_to(schedule, seg_cursor, p.switch_to);
+    match resolve_or_inject(engine, p.switch_to) {
+        Some(t) if engine.thread(t).is_some_and(ksim::Thread::is_runnable) => Some(t),
+        _ => pick_next(engine, schedule, seg_cursor, Some(cur)),
+    }
+}
+
+/// Resolves a selector, *injecting* the hardware-IRQ handler it names when
+/// it has not fired yet — the hypervisor raising the interrupt at this
+/// scheduling point (the paper's §4.6 case).
+fn resolve_or_inject(engine: &mut Engine, sel: ThreadSel) -> Option<ThreadId> {
+    if let Some(t) = sel.resolve(engine) {
+        return Some(t);
+    }
+    if engine.program().irq_handlers.contains(&sel.prog) {
+        return engine.inject_irq(sel.prog).ok();
+    }
+    None
+}
+
+/// Moves the segment cursor to the next segment of `sel` at or after its
+/// current position (a triggered point realizes that segment boundary).
+fn advance_cursor_to(schedule: &Schedule, seg_cursor: &mut usize, sel: ThreadSel) {
+    if let Some(pos) = schedule.segments[(*seg_cursor).min(schedule.segments.len())..]
+        .iter()
+        .position(|&s| s == sel)
+    {
+        *seg_cursor += pos;
+    }
+}
+
+/// Picks the next thread at an unanchored boundary.
+///
+/// Preference order: the next *runnable* segment of the schedule's intended
+/// order (skipping finished threads), then runnable background threads the
+/// schedule never mentions (freshly spawned work runs when its spawner
+/// yields, the paper's serial search orders), then the flat fallback list,
+/// then any runnable thread.
+fn pick_next(
+    engine: &mut Engine,
+    schedule: &Schedule,
+    seg_cursor: &mut usize,
+    exclude: Option<ThreadId>,
+) -> Option<ThreadId> {
+    let start = (*seg_cursor).min(schedule.segments.len());
+    for off in 0..schedule.segments.len().saturating_sub(start) {
+        let sel = schedule.segments[start + off];
+        if let Some(t) = resolve_or_inject(engine, sel) {
+            if Some(t) != exclude && engine.thread(t).is_some_and(ksim::Thread::is_runnable) {
+                *seg_cursor = start + off;
+                return Some(t);
+            }
+        }
+    }
+    pick_fallback_excluding(engine, schedule, exclude)
+}
+
+/// The flat-list fallback (schedules without a segment sequence).
+fn pick_fallback_excluding(
+    engine: &Engine,
+    schedule: &Schedule,
+    exclude: Option<ThreadId>,
+) -> Option<ThreadId> {
+    let runnable = engine.runnable();
+    let listed = |sel: &ThreadSel| schedule.fallback.contains(sel);
+    // Unlisted background threads first, in spawn (id) order.
+    for &t in &runnable {
+        if Some(t) == exclude {
+            continue;
+        }
+        let sel = ThreadSel::of(engine, t);
+        let kind_bg = engine.thread(t).is_some_and(|th| th.kind.is_background());
+        if kind_bg && !listed(&sel) {
+            return Some(t);
+        }
+    }
+    for sel in &schedule.fallback {
+        if let Some(t) = sel.resolve(engine) {
+            if Some(t) == exclude {
+                continue;
+            }
+            if engine.thread(t).is_some_and(ksim::Thread::is_runnable) {
+                return Some(t);
+            }
+        }
+    }
+    runnable.into_iter().find(|&t| Some(t) != exclude)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::builder::ProgramBuilder;
+    use ksim::ThreadProgId;
+    use std::sync::Arc;
+
+    /// Fig 1-shaped program: whether B crashes depends on the interleaving.
+    fn fig1_program() -> Arc<ksim::Program> {
+        let mut p = ProgramBuilder::new("fig1");
+        let obj = p.static_obj("obj", 8);
+        let ptr_valid = p.global("ptr_valid", 0);
+        let ptr = p.global_ptr("ptr", obj);
+        {
+            let mut a = p.syscall_thread("A", "writer");
+            a.n("A1").store_global(ptr_valid, 1u64);
+            a.n("A2a").load_global("r0", ptr);
+            a.n("A2b").load_ind("r1", "r0", 0); // *ptr
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "clearer");
+            let out = b.new_label();
+            b.n("B1a").load_global("r0", ptr_valid);
+            b.n("B1b")
+                .jmp_if(ksim::builder::cond_reg("r0", ksim::CmpOp::Eq, 0), out);
+            b.n("B2").store_global(ptr, 0u64);
+            b.place(out);
+            b.ret();
+        }
+        Arc::new(p.build().unwrap())
+    }
+
+    fn sel(p: u16) -> ThreadSel {
+        ThreadSel::first(ThreadProgId(p))
+    }
+
+    #[test]
+    fn serial_schedules_do_not_fail() {
+        for order in [vec![sel(0), sel(1)], vec![sel(1), sel(0)]] {
+            let mut e = ksim::Engine::new(fig1_program());
+            let r = run(&mut e, &Schedule::serial(order), &EnforceConfig::default());
+            assert!(r.succeeded(), "serial order must not fail: {:?}", r.failure);
+        }
+    }
+
+    #[test]
+    fn enforced_interleaving_reproduces_null_deref() {
+        // A1 ⇒ B1 ⇒ B2 ⇒ A2: suspend A before its ptr load (index 1),
+        // let B run to completion, then resume A → NULL deref.
+        let mut e = ksim::Engine::new(fig1_program());
+        let schedule = Schedule {
+            start: Some(sel(0)),
+            points: vec![SchedPoint {
+                thread: sel(0),
+                at: InstrAddr {
+                    prog: ThreadProgId(0),
+                    index: 1,
+                },
+                nth: 0,
+                when: Anchor::Before,
+                switch_to: sel(1),
+            }],
+            fallback: vec![sel(1), sel(0)],
+            segments: Vec::new(),
+        };
+        let r = run(&mut e, &schedule, &EnforceConfig::default());
+        assert!(r.triggered[0]);
+        let f = r.failure.expect("must fail");
+        assert_eq!(f.kind, ksim::FailureKind::NullDeref);
+    }
+
+    #[test]
+    fn disappeared_point_is_reported() {
+        // Gate B at its (never-reached) store: run B first so ptr_valid is
+        // still 0 and B returns early — the anchor B2 (index 2) disappears.
+        let mut e = ksim::Engine::new(fig1_program());
+        let schedule = Schedule {
+            start: Some(sel(1)),
+            points: vec![SchedPoint {
+                thread: sel(1),
+                at: InstrAddr {
+                    prog: ThreadProgId(1),
+                    index: 2,
+                },
+                nth: 0,
+                when: Anchor::Before,
+                switch_to: sel(0),
+            }],
+            fallback: vec![sel(1), sel(0)],
+            segments: Vec::new(),
+        };
+        let r = run(&mut e, &schedule, &EnforceConfig::default());
+        assert!(r.succeeded());
+        assert_eq!(r.disappeared(), vec![0]);
+    }
+
+    #[test]
+    fn after_anchor_switches_post_execution() {
+        // Switch away from A right after A1 executes; B then sees
+        // ptr_valid == 1 and stores NULL; A resumes and crashes.
+        let mut e = ksim::Engine::new(fig1_program());
+        let schedule = Schedule {
+            start: Some(sel(0)),
+            points: vec![SchedPoint {
+                thread: sel(0),
+                at: InstrAddr {
+                    prog: ThreadProgId(0),
+                    index: 0,
+                },
+                nth: 0,
+                when: Anchor::After,
+                switch_to: sel(1),
+            }],
+            fallback: vec![sel(1), sel(0)],
+            segments: Vec::new(),
+        };
+        let r = run(&mut e, &schedule, &EnforceConfig::default());
+        assert!(r.triggered[0]);
+        assert_eq!(r.failure.expect("fails").kind, ksim::FailureKind::NullDeref);
+    }
+
+    #[test]
+    fn forced_resume_on_suspended_lock_holder() {
+        let mut p = ProgramBuilder::new("liveness");
+        let x = p.global("x", 0);
+        let l = p.lock("l");
+        {
+            let mut a = p.syscall_thread("A", "cs");
+            a.lock(l); // 0
+            a.store_global(x, 1u64); // 1
+            a.unlock(l); // 2
+            a.ret(); // 3
+        }
+        {
+            let mut b = p.syscall_thread("B", "cs");
+            b.lock(l);
+            b.store_global(x, 2u64);
+            b.unlock(l);
+            b.ret();
+        }
+        let prog = Arc::new(p.build().unwrap());
+        let mut e = ksim::Engine::new(prog);
+        // Suspend A inside its critical section (before the unlock at 2),
+        // switch to B — B blocks on the lock; the enforcer must resume A.
+        let schedule = Schedule {
+            start: Some(sel(0)),
+            points: vec![SchedPoint {
+                thread: sel(0),
+                at: InstrAddr {
+                    prog: ThreadProgId(0),
+                    index: 2,
+                },
+                nth: 0,
+                when: Anchor::Before,
+                switch_to: sel(1),
+            }],
+            fallback: vec![sel(0), sel(1)],
+            segments: Vec::new(),
+        };
+        let r = run(&mut e, &schedule, &EnforceConfig::default());
+        assert!(r.succeeded(), "{:?}", r.failure);
+        assert_eq!(r.forced.len(), 1);
+        assert_eq!(r.forced[0].blocked, sel(1));
+        assert_eq!(r.forced[0].holder, sel(0));
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let mut p = ProgramBuilder::new("spin");
+        {
+            let mut a = p.syscall_thread("A", "spin");
+            let top = a.new_label();
+            a.place(top);
+            a.jmp(top);
+            a.ret();
+        }
+        let prog = Arc::new(p.build().unwrap());
+        let mut e = ksim::Engine::new(prog);
+        let r = run(
+            &mut e,
+            &Schedule::serial(vec![sel(0)]),
+            &EnforceConfig { step_budget: 100 },
+        );
+        assert!(r.budget_exhausted);
+        assert!(!r.succeeded());
+    }
+
+    #[test]
+    fn final_thread_states_reported() {
+        let mut e = ksim::Engine::new(fig1_program());
+        let r = run(
+            &mut e,
+            &Schedule::serial(vec![sel(0), sel(1)]),
+            &EnforceConfig::default(),
+        );
+        assert_eq!(r.threads.len(), 2);
+        assert!(r
+            .threads
+            .iter()
+            .all(|t| t.status == ThreadStatus::Exited && t.next.is_none()));
+    }
+}
+
+#[cfg(test)]
+mod segment_tests {
+    use super::*;
+    use crate::schedule::schedule_from_order;
+    use ksim::builder::ProgramBuilder;
+    use ksim::ThreadProgId;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    /// Three threads where the middle one exits at a boundary: the segment
+    /// cursor must hand control to the *next intended* thread, which a flat
+    /// preference list cannot always express.
+    #[test]
+    fn segment_cursor_follows_intended_order() {
+        let mut p = ProgramBuilder::new("segs");
+        let x = p.global("x", 0);
+        for name in ["A", "B", "C"] {
+            let mut t = p.syscall_thread(name, "s");
+            t.fetch_add_global(x, 1u64);
+            t.fetch_add_global(x, 1u64);
+            t.ret();
+        }
+        let prog = Arc::new(p.build().unwrap());
+        let sel = |i: u16| ThreadSel::first(ThreadProgId(i));
+        let at = |p: u16, i: usize| InstrAddr {
+            prog: ThreadProgId(p),
+            index: i,
+        };
+        // Intended order: B fully, then A fully, then C fully — B and A
+        // exit at their boundaries, so no anchors exist and only the
+        // segment sequence carries the intent.
+        let order = vec![
+            (sel(1), at(1, 0)),
+            (sel(1), at(1, 1)),
+            (sel(1), at(1, 2)),
+            (sel(0), at(0, 0)),
+            (sel(0), at(0, 1)),
+            (sel(0), at(0, 2)),
+            (sel(2), at(2, 0)),
+            (sel(2), at(2, 1)),
+            (sel(2), at(2, 2)),
+        ];
+        let schedule = schedule_from_order(&order, &HashMap::new());
+        assert_eq!(schedule.segments, vec![sel(1), sel(0), sel(2)]);
+        let mut e = ksim::Engine::new(Arc::clone(&prog));
+        let r = run(&mut e, &schedule, &EnforceConfig::default());
+        assert!(r.succeeded());
+        let tids: Vec<u32> = r.trace.iter().map(|rec| rec.tid.0).collect();
+        assert_eq!(tids, vec![1, 1, 1, 0, 0, 0, 2, 2, 2], "{tids:?}");
+    }
+
+    /// A schedule point whose target names an unfired IRQ handler injects
+    /// it (the §4.6 extension at the enforcement layer).
+    #[test]
+    fn schedule_point_injects_irq_handler() {
+        let mut p = ProgramBuilder::new("irq-enf");
+        let x = p.global("x", 0);
+        let irq = {
+            let mut h = p.irq_thread("irq");
+            h.store_global(x, 9u64);
+            h.ret();
+            h.id()
+        };
+        {
+            let mut a = p.syscall_thread("A", "s");
+            a.fetch_add_global(x, 1u64);
+            a.fetch_add_global(x, 1u64);
+            a.ret();
+        }
+        let prog = Arc::new(p.build().unwrap());
+        // The syscall program id follows the handler's.
+        let a_prog = prog.initial[0];
+        let schedule = Schedule {
+            start: Some(ThreadSel::first(a_prog)),
+            points: vec![SchedPoint {
+                thread: ThreadSel::first(a_prog),
+                at: InstrAddr {
+                    prog: a_prog,
+                    index: 1,
+                },
+                nth: 0,
+                when: crate::schedule::Anchor::Before,
+                switch_to: ThreadSel::first(irq),
+            }],
+            fallback: vec![ThreadSel::first(a_prog)],
+            segments: Vec::new(),
+        };
+        let mut e = ksim::Engine::new(Arc::clone(&prog));
+        let r = run(&mut e, &schedule, &EnforceConfig::default());
+        assert!(r.succeeded(), "{:?}", r.failure);
+        assert!(r.triggered[0], "injection point fired");
+        // IRQ stored 9 between A's two increments: final value 9 + 1 = 10.
+        assert_eq!(e.peek(x.addr()), 10);
+    }
+}

@@ -1,0 +1,1228 @@
+//! Least Interleaving First Search (§3.3).
+//!
+//! LIFS reproduces a reported concurrency failure by exploring thread
+//! interleavings in increasing order of *interleaving count* — the number of
+//! preemptions performed at memory-accessing instructions — based on the
+//! observation that most concurrency failures need only one or two
+//! preemptions to manifest.
+//!
+//! The search proceeds exactly as the paper's Figure 5 walkthrough:
+//!
+//! 1. **Interleaving count 0** — every serial order of the slice's threads
+//!    runs to completion. These runs seed the knowledge base: each thread's
+//!    memory-accessing instructions (front to back) and address footprint.
+//! 2. **Count c ≥ 1** — candidate plans preempt a thread right *after* one
+//!    of its memory-accessing instructions (so the installed watchpoint can
+//!    observe conflicting accesses by the threads that run next) and switch
+//!    to another thread. Candidates are enumerated front to back.
+//! 3. **Pruning** (dynamic partial-order reduction flavour, toggleable for
+//!    ablation): a preemption whose instruction touches only addresses no
+//!    other thread ever touches cannot change the conflict order — skipped;
+//!    a preemption after a thread's *last* memory access is equivalent to a
+//!    serial order — skipped; an executed run whose conflict-order signature
+//!    was already seen contributes nothing new and is recorded as
+//!    equivalent.
+//! 4. New memory-accessing instructions revealed by race-steered control
+//!    flows (previously unexecuted code) join the candidate set on the fly.
+//!
+//! The search stops at the first failing run and emits the failure-causing
+//! instruction sequence together with every data race observed in it —
+//! including races whose second access is *pending* (the failure killed the
+//! thread first), which Causality Analysis must still test (Figure 6's
+//! `B17 ⇒ A12`).
+
+pub mod tree;
+
+use crate::{
+    enforce::{
+        self,
+        EnforceConfig,
+        RunResult,
+        ThreadFinal, //
+    },
+    race::{
+        races_in_trace,
+        ObservedRace,
+        RaceEnd, //
+    },
+    schedule::{
+        Anchor,
+        SchedPoint,
+        Schedule,
+        ThreadSel, //
+    },
+    simtime::SimCost,
+};
+use ksim::{
+    Addr,
+    Engine,
+    Failure,
+    InstrAddr,
+    Program,
+    StepRecord,
+    ThreadId, //
+};
+use std::{
+    collections::{
+        BTreeMap,
+        BTreeSet,
+        HashMap,
+        HashSet, //
+    },
+    hash::{
+        Hash,
+        Hasher, //
+    },
+    sync::Arc,
+};
+use tree::{
+    NodeOutcome,
+    PreemptionDesc,
+    SearchNode,
+    SearchTree, //
+};
+
+/// The failure signature LIFS reproduces, extracted from the crash report
+/// (§4.2: "AITIA identifies the symptom of the failure ... and the location
+/// of the failure"). Runs that fail *differently* are not reproductions of
+/// the reported bug and the search continues past them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailureTarget {
+    /// The failure class from the report.
+    pub kind: ksim::FailureKind,
+    /// The faulting kernel function, when the report resolves it.
+    pub func: Option<String>,
+}
+
+impl FailureTarget {
+    /// A target matching any failure of `kind`.
+    #[must_use]
+    pub fn kind(kind: ksim::FailureKind) -> Self {
+        FailureTarget { kind, func: None }
+    }
+
+    /// A target matching `kind` inside the named kernel function.
+    #[must_use]
+    pub fn in_func(kind: ksim::FailureKind, func: &str) -> Self {
+        FailureTarget {
+            kind,
+            func: Some(func.to_string()),
+        }
+    }
+
+    /// Whether `failure` matches this signature.
+    #[must_use]
+    pub fn matches(&self, failure: &Failure, program: &Program) -> bool {
+        if failure.kind != self.kind {
+            return false;
+        }
+        match &self.func {
+            None => true,
+            Some(f) => program
+                .meta_at(failure.at)
+                .is_some_and(|m| m.func == f.as_str()),
+        }
+    }
+}
+
+/// LIFS configuration.
+#[derive(Clone, Debug)]
+pub struct LifsConfig {
+    /// Maximum interleaving count explored before giving up.
+    pub max_interleavings: u32,
+    /// Enforcement limits per run.
+    pub enforce: EnforceConfig,
+    /// Partial-order-reduction pruning (disable for the ablation bench).
+    pub por: bool,
+    /// Hard cap on executed schedules.
+    pub max_schedules: usize,
+    /// The reported failure to reproduce. `None` accepts any failure.
+    pub target: Option<FailureTarget>,
+}
+
+impl Default for LifsConfig {
+    fn default() -> Self {
+        LifsConfig {
+            max_interleavings: 4,
+            enforce: EnforceConfig::default(),
+            por: true,
+            max_schedules: 200_000,
+            target: None,
+        }
+    }
+}
+
+/// Search statistics (the LIFS columns of Tables 2 and 3).
+#[derive(Clone, Debug, Default)]
+pub struct LifsStats {
+    /// Schedules actually executed.
+    pub schedules_executed: usize,
+    /// Candidates skipped because the preemption point conflicts with
+    /// nothing.
+    pub pruned_nonconflicting: usize,
+    /// Candidates skipped or discounted as equivalent interleavings.
+    pub pruned_equivalent: usize,
+    /// The interleaving count at which the failure reproduced.
+    pub interleaving_count: u32,
+    /// Simulated cost (schedule setups, steps, reboots).
+    pub sim: SimCost,
+}
+
+/// The failure-causing instruction sequence and everything Causality
+/// Analysis needs alongside it.
+#[derive(Clone, Debug)]
+pub struct FailingRun {
+    /// The program the run executed.
+    pub program: Arc<Program>,
+    /// The schedule that reproduced the failure.
+    pub schedule: Schedule,
+    /// The executed trace — the totally ordered failure-causing sequence.
+    pub trace: Vec<StepRecord>,
+    /// The manifested failure.
+    pub failure: Failure,
+    /// Data races in the failing sequence (backward-sorted), including
+    /// pending-second races.
+    pub races: Vec<ObservedRace>,
+    /// Per-thread solo traces from serial runs (control-flow projections
+    /// for pending-tail scheduling).
+    pub solo: HashMap<ThreadSel, Vec<StepRecord>>,
+    /// Final thread states of the failing run.
+    pub finals: Vec<ThreadFinal>,
+    /// Runtime-thread → selector map for the failing run.
+    pub sel_of_tid: HashMap<ThreadId, ThreadSel>,
+}
+
+impl FailingRun {
+    /// The selector of a runtime thread in the failing run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the thread did not participate in the failing run.
+    #[must_use]
+    pub fn sel(&self, tid: ThreadId) -> ThreadSel {
+        self.sel_of_tid[&tid]
+    }
+
+    /// The parked next-instruction map for suspended threads.
+    #[must_use]
+    pub fn pending_next(&self) -> HashMap<ThreadSel, InstrAddr> {
+        self.finals
+            .iter()
+            .filter_map(|f| f.next.map(|n| (f.sel, n)))
+            .collect()
+    }
+}
+
+/// Output of a LIFS search.
+#[derive(Clone, Debug)]
+pub struct LifsOutput {
+    /// The failing run, when the failure reproduced.
+    pub failing: Option<FailingRun>,
+    /// Search statistics.
+    pub stats: LifsStats,
+    /// The recorded search tree (Figure 5).
+    pub tree: SearchTree,
+}
+
+/// Canonical identity of a candidate plan (for deduplication).
+type PlanKey = Vec<(u16, u32, usize, u32, u16, u32)>;
+
+/// One preemption of a candidate plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Preemption {
+    victim: ThreadSel,
+    at: InstrAddr,
+    nth: u32,
+    target: ThreadSel,
+}
+
+/// Accumulated dynamic knowledge about the slice's threads.
+#[derive(Default)]
+struct Knowledge {
+    /// All thread selectors ever observed (initial + spawned), in first-seen
+    /// order.
+    sels: Vec<ThreadSel>,
+    /// Memory-access occurrence list per thread, front to back.
+    mem_points: BTreeMap<ThreadSel, Vec<(InstrAddr, u32)>>,
+    /// Addresses accessed at each occurrence.
+    point_addrs: HashMap<(ThreadSel, InstrAddr, u32), BTreeSet<Addr>>,
+    /// Address footprint per thread.
+    footprints: BTreeMap<ThreadSel, BTreeSet<Addr>>,
+    /// Racing instruction pairs (unordered, normalized) seen in any run.
+    known_pairs: HashSet<(InstrAddr, InstrAddr)>,
+    /// Conflict-order signatures of executed runs.
+    signatures: HashSet<u64>,
+    /// Latest complete solo-ish trace per thread.
+    solo: HashMap<ThreadSel, Vec<StepRecord>>,
+    /// Knowledge version (bumped per absorbed run) for cache invalidation.
+    version: u64,
+}
+
+impl Knowledge {
+    fn note_sel(&mut self, sel: ThreadSel) {
+        if !self.sels.contains(&sel) {
+            self.sels.push(sel);
+        }
+    }
+
+    /// Folds an executed run into the knowledge base. Returns whether the
+    /// run's conflict signature was new.
+    fn absorb(&mut self, run: &RunResult, sel_of: &HashMap<ThreadId, ThreadSel>) -> bool {
+        // Per-thread access sequences.
+        let mut per_thread: BTreeMap<ThreadSel, Vec<(InstrAddr, BTreeSet<Addr>)>> = BTreeMap::new();
+        for rec in &run.trace {
+            let sel = sel_of[&rec.tid];
+            self.note_sel(sel);
+            if rec.accesses.is_empty() {
+                continue;
+            }
+            let addrs: BTreeSet<Addr> = rec.accesses.iter().map(|a| a.addr).collect();
+            per_thread.entry(sel).or_default().push((rec.at, addrs));
+        }
+        for (sel, seq) in per_thread {
+            let mut counts: HashMap<InstrAddr, u32> = HashMap::new();
+            let mut points = Vec::with_capacity(seq.len());
+            for (at, addrs) in seq {
+                let nth = *counts.entry(at).and_modify(|c| *c += 1).or_insert(0);
+                points.push((at, nth));
+                self.point_addrs
+                    .entry((sel, at, nth))
+                    .or_default()
+                    .extend(addrs.iter().copied());
+                self.footprints.entry(sel).or_default().extend(addrs);
+            }
+            // Keep the longest observed point list per thread (race-steered
+            // flows can reveal longer paths).
+            let entry = self.mem_points.entry(sel).or_default();
+            if points.len() > entry.len() {
+                *entry = points;
+            } else {
+                // Merge newly seen points at the tail.
+                let known: HashSet<(InstrAddr, u32)> = entry.iter().copied().collect();
+                for p in points {
+                    if !known.contains(&p) {
+                        entry.push(p);
+                    }
+                }
+            }
+        }
+        // Racing pairs — including critical-section order pairs, which
+        // Causality Analysis tests as units (§3.4).
+        for r in races_in_trace(&run.trace) {
+            let (a, b) = r.unordered_key();
+            self.known_pairs.insert((a, b));
+        }
+        for r in crate::race::cs_order_races(&run.trace) {
+            let (a, b) = r.unordered_key();
+            self.known_pairs.insert((a, b));
+        }
+        // Signature: order of conflicting accesses.
+        self.version += 1;
+        let sig = conflict_signature(&run.trace, sel_of);
+        self.signatures.insert(sig)
+    }
+
+    /// Whether the occurrence's addresses conflict with any *other* thread's
+    /// footprint.
+    fn conflicts_somewhere(&self, sel: ThreadSel, at: InstrAddr, nth: u32) -> bool {
+        let Some(addrs) = self.point_addrs.get(&(sel, at, nth)) else {
+            return true; // Unknown: conservatively keep.
+        };
+        self.footprints
+            .iter()
+            .filter(|(s, _)| **s != sel)
+            .any(|(_, fp)| addrs.iter().any(|a| fp.contains(a)))
+    }
+}
+
+/// Records pruned preemption points, deduplicated per point, so the search
+/// tree and statistics count each skipped candidate once.
+#[derive(Default)]
+struct PruneLog {
+    seen: HashSet<(ThreadSel, InstrAddr, u32)>,
+    entries: Vec<(ThreadSel, InstrAddr, u32, NodeOutcome)>,
+}
+
+impl PruneLog {
+    fn note(&mut self, victim: ThreadSel, at: InstrAddr, nth: u32, reason: NodeOutcome) {
+        if self.seen.insert((victim, at, nth)) {
+            self.entries.push((victim, at, nth, reason));
+        }
+    }
+
+    fn flush(&mut self, stats: &mut LifsStats, tree: &mut SearchTree, order: &mut usize) {
+        for (victim, at, nth, reason) in self.entries.drain(..) {
+            match reason {
+                NodeOutcome::PrunedNonConflicting => stats.pruned_nonconflicting += 1,
+                _ => stats.pruned_equivalent += 1,
+            }
+            *order += 1;
+            tree.nodes.push(SearchNode {
+                order: *order,
+                interleavings: 1,
+                plan: vec![PreemptionDesc {
+                    victim,
+                    at,
+                    nth,
+                    target: victim,
+                }],
+                serial_order: vec![],
+                outcome: reason,
+                steps: 0,
+            });
+        }
+    }
+}
+
+/// Hashes the order of conflicting access pairs of a trace (the
+/// Mazurkiewicz-trace equivalence class over conflicting operations).
+fn conflict_signature(trace: &[StepRecord], sel_of: &HashMap<ThreadId, ThreadSel>) -> u64 {
+    let evts = crate::race::accesses(trace);
+    let mut by_addr: HashMap<Addr, Vec<usize>> = HashMap::new();
+    for (i, e) in evts.iter().enumerate() {
+        by_addr.entry(e.addr).or_default().push(i);
+    }
+    let mut pairs: Vec<(InstrAddr, InstrAddr, Addr)> = Vec::new();
+    for (addr, idxs) in &by_addr {
+        // Thread-private or read-only locations contribute no conflicts.
+        let first_tid = evts[idxs[0]].tid;
+        if idxs.iter().all(|&i| evts[i].tid == first_tid) || idxs.iter().all(|&i| !evts[i].is_write)
+        {
+            continue;
+        }
+        for (pos, &i) in idxs.iter().enumerate() {
+            for &j in &idxs[pos + 1..] {
+                let (a, b) = (&evts[i], &evts[j]);
+                if a.tid == b.tid || !(a.is_write || b.is_write) {
+                    continue;
+                }
+                let (first, second) = if a.seq <= b.seq { (a, b) } else { (b, a) };
+                pairs.push((first.at, second.at, *addr));
+            }
+        }
+    }
+    pairs.sort();
+    pairs.dedup();
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for p in &pairs {
+        (p.0, p.1, p.2 .0).hash(&mut h);
+    }
+    // Include which thread programs participated (distinguishes serial
+    // orders that execute different race-steered paths).
+    let mut sels: Vec<ThreadSel> = sel_of.values().copied().collect();
+    sels.sort();
+    for s in sels {
+        (s.prog.0, s.occurrence).hash(&mut h);
+    }
+    trace.len().hash(&mut h);
+    h.finish()
+}
+
+/// The LIFS searcher for one program (slice).
+pub struct Lifs {
+    program: Arc<Program>,
+    config: LifsConfig,
+}
+
+impl Lifs {
+    /// Creates a searcher.
+    #[must_use]
+    pub fn new(program: Arc<Program>, config: LifsConfig) -> Self {
+        Lifs { program, config }
+    }
+
+    /// Runs the search.
+    #[must_use]
+    pub fn search(&self) -> LifsOutput {
+        let mut stats = LifsStats::default();
+        let mut tree = SearchTree::default();
+        let mut knowledge = Knowledge::default();
+        let mut order = 0usize;
+
+        let initial_sels = initial_sels(&self.program);
+        for &s in &initial_sels {
+            knowledge.note_sel(s);
+        }
+        // Hardware-IRQ handlers join the interleaving universe up front:
+        // switching to one at a preemption point makes the enforcer inject
+        // it (the paper's §4.6 future-work case).
+        for &irq in &self.program.irq_handlers {
+            knowledge.note_sel(ThreadSel::first(irq));
+        }
+        let mut engine = Engine::new(Arc::clone(&self.program));
+
+        // Interleaving count 0: serial permutations.
+        for perm in permutations(&initial_sels) {
+            order += 1;
+            let schedule = Schedule::serial(perm.clone());
+            let (run, sel_of) = self.execute(&mut engine, &schedule, &mut stats);
+            let fresh = knowledge.absorb(&run, &sel_of);
+            if !fresh {
+                stats.pruned_equivalent += 1;
+            }
+            let failed = self.is_target_failure(&run);
+            tree.nodes.push(SearchNode {
+                order,
+                interleavings: 0,
+                plan: vec![],
+                serial_order: perm.clone(),
+                outcome: if failed {
+                    NodeOutcome::Failure
+                } else {
+                    NodeOutcome::NoFailure
+                },
+                steps: run.steps,
+            });
+            // Remember solo traces (per-thread projections) from successful
+            // serial runs.
+            if run.failure.is_none() {
+                store_solo(&mut knowledge, &run, &sel_of);
+            }
+            if failed {
+                stats.interleaving_count = 0;
+                return LifsOutput {
+                    failing: Some(self.finish(schedule, run, sel_of, &knowledge)),
+                    stats,
+                    tree,
+                };
+            }
+        }
+
+        // Probe runs for hardware-IRQ handlers: a serial execution with the
+        // handler injected at the end seeds the handler's memory footprint
+        // (the user agent knows the handler's code from the disassembly
+        // map, but conflict knowledge is dynamic).
+        for &irq in &self.program.irq_handlers {
+            order += 1;
+            engine.reboot();
+            for sel in &initial_sels {
+                if let Some(t) = sel.resolve(&engine) {
+                    engine.run_to_completion(t);
+                }
+            }
+            let mut steps = engine.trace().len();
+            if let Ok(t) = engine.inject_irq(irq) {
+                engine.run_to_completion(t);
+                steps = engine.trace().len();
+            }
+            stats.schedules_executed += 1;
+            stats.sim.add_run(steps, engine.failure().is_some());
+            let sel_of: HashMap<ThreadId, ThreadSel> = engine
+                .threads()
+                .iter()
+                .map(|t| {
+                    (
+                        t.id,
+                        ThreadSel {
+                            prog: t.prog,
+                            occurrence: t.occurrence,
+                        },
+                    )
+                })
+                .collect();
+            let run = RunResult {
+                trace: engine.trace().to_vec(),
+                failure: engine.failure().cloned(),
+                triggered: vec![],
+                forced: vec![],
+                steps,
+                budget_exhausted: false,
+                threads: engine
+                    .threads()
+                    .iter()
+                    .map(|t| crate::enforce::ThreadFinal {
+                        sel: ThreadSel {
+                            prog: t.prog,
+                            occurrence: t.occurrence,
+                        },
+                        status: t.status,
+                        next: engine.next_instr(t.id),
+                    })
+                    .collect(),
+            };
+            knowledge.absorb(&run, &sel_of);
+            if run.failure.is_none() {
+                store_solo(&mut knowledge, &run, &sel_of);
+            }
+            tree.nodes.push(SearchNode {
+                order,
+                interleavings: 0,
+                plan: vec![],
+                serial_order: vec![ThreadSel::first(irq)],
+                outcome: if self.is_target_failure(&run) {
+                    NodeOutcome::Failure
+                } else {
+                    NodeOutcome::NoFailure
+                },
+                steps: run.steps,
+            });
+            if self.is_target_failure(&run) {
+                stats.interleaving_count = 0;
+                // The c ≥ 1 phase never started: no prune log to flush.
+                let schedule = Schedule::serial(initial_sels.clone());
+                return LifsOutput {
+                    failing: Some(self.finish(schedule, run, sel_of, &knowledge)),
+                    stats,
+                    tree,
+                };
+            }
+        }
+
+        // Interleaving counts 1..=max.
+        let mut prune_log = PruneLog::default();
+        for c in 1..=self.config.max_interleavings {
+            // Plans of length c are generated lazily (depth-first over
+            // prefixes) because knowledge grows during execution.
+            let mut stack: Vec<Vec<Preemption>> = vec![vec![]];
+            let mut plans_done: HashSet<PlanKey> = HashSet::new();
+            while let Some(prefix) = stack.pop() {
+                if stats.schedules_executed >= self.config.max_schedules {
+                    break;
+                }
+                if prefix.len() == c as usize {
+                    let key: PlanKey = prefix
+                        .iter()
+                        .map(|p| {
+                            (
+                                p.victim.prog.0,
+                                p.victim.occurrence,
+                                p.at.index,
+                                p.nth,
+                                p.target.prog.0,
+                                p.target.occurrence,
+                            )
+                        })
+                        .collect();
+                    if !plans_done.insert(key) {
+                        continue;
+                    }
+                    order += 1;
+                    let schedule = plan_schedule(&prefix, &initial_sels);
+                    let (run, sel_of) = self.execute(&mut engine, &schedule, &mut stats);
+                    let fresh = knowledge.absorb(&run, &sel_of);
+                    if !fresh {
+                        stats.pruned_equivalent += 1;
+                    }
+                    let failed = self.is_target_failure(&run);
+                    tree.nodes.push(SearchNode {
+                        order,
+                        interleavings: c,
+                        plan: describe(&prefix),
+                        serial_order: vec![],
+                        outcome: if failed {
+                            NodeOutcome::Failure
+                        } else if fresh {
+                            NodeOutcome::NoFailure
+                        } else {
+                            NodeOutcome::PrunedEquivalent
+                        },
+                        steps: run.steps,
+                    });
+                    if failed {
+                        stats.interleaving_count = c;
+                        prune_log.flush(&mut stats, &mut tree, &mut order);
+                        return LifsOutput {
+                            failing: Some(self.finish(schedule, run, sel_of, &knowledge)),
+                            stats,
+                            tree,
+                        };
+                    }
+                    continue;
+                }
+                // Extend the prefix: enumerate next preemptions in reverse
+                // so the stack pops them front-to-back.
+                let exts = self.extensions(&knowledge, &prefix, &mut prune_log);
+                for ext in exts.into_iter().rev() {
+                    let mut next = prefix.clone();
+                    next.push(ext);
+                    stack.push(next);
+                }
+            }
+        }
+
+        prune_log.flush(&mut stats, &mut tree, &mut order);
+        LifsOutput {
+            failing: None,
+            stats,
+            tree,
+        }
+    }
+
+    /// Whether a run's failure matches the reported failure signature.
+    fn is_target_failure(&self, run: &RunResult) -> bool {
+        match (&run.failure, &self.config.target) {
+            (None, _) => false,
+            (Some(_), None) => true,
+            (Some(f), Some(t)) => t.matches(f, &self.program),
+        }
+    }
+
+    /// Candidate next preemptions given a plan prefix.
+    ///
+    /// Pruning happens here, at generation time: a point whose accesses
+    /// conflict with no other thread cannot change any conflict order
+    /// (grey nodes of Figure 5), and a preemption after a thread's final
+    /// memory access is equivalent to a serial order ("skip (eqv.)" nodes).
+    /// Each pruned point is counted once per knowledge version.
+    fn extensions(
+        &self,
+        k: &Knowledge,
+        prefix: &[Preemption],
+        pruned: &mut PruneLog,
+    ) -> Vec<Preemption> {
+        let mut out = Vec::new();
+        let sels = k.sels.clone();
+        for &victim in &sels {
+            let Some(points) = k.mem_points.get(&victim) else {
+                continue;
+            };
+            // Same-victim preemptions must move forward.
+            let min_pos = prefix
+                .iter()
+                .filter(|p| p.victim == victim)
+                .filter_map(|p| points.iter().position(|&(a, n)| a == p.at && n == p.nth))
+                .map(|i| i + 1)
+                .max()
+                .unwrap_or(0);
+            let last = points.last().copied();
+            for &(at, nth) in points.iter().skip(min_pos) {
+                if self.config.por {
+                    if !k.conflicts_somewhere(victim, at, nth) {
+                        pruned.note(victim, at, nth, NodeOutcome::PrunedNonConflicting);
+                        continue;
+                    }
+                    if last == Some((at, nth)) {
+                        pruned.note(victim, at, nth, NodeOutcome::PrunedEquivalent);
+                        continue;
+                    }
+                }
+                for &target in &sels {
+                    if target == victim {
+                        continue;
+                    }
+                    out.push(Preemption {
+                        victim,
+                        at,
+                        nth,
+                        target,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn execute(
+        &self,
+        engine: &mut Engine,
+        schedule: &Schedule,
+        stats: &mut LifsStats,
+    ) -> (RunResult, HashMap<ThreadId, ThreadSel>) {
+        engine.reboot();
+        let run = enforce::run(engine, schedule, &self.config.enforce);
+        stats.schedules_executed += 1;
+        stats.sim.add_run(run.steps, run.failure.is_some());
+        let sel_of = engine
+            .threads()
+            .iter()
+            .map(|t| {
+                (
+                    t.id,
+                    ThreadSel {
+                        prog: t.prog,
+                        occurrence: t.occurrence,
+                    },
+                )
+            })
+            .collect();
+        (run, sel_of)
+    }
+
+    /// Assembles the [`FailingRun`], including pending-second races.
+    fn finish(
+        &self,
+        schedule: Schedule,
+        run: RunResult,
+        sel_of: HashMap<ThreadId, ThreadSel>,
+        knowledge: &Knowledge,
+    ) -> FailingRun {
+        let mut races = races_in_trace(&run.trace);
+        // Critical-section order pairs join the test set; their flips are
+        // planned over whole critical sections (§3.4 liveness).
+        for r in crate::race::cs_order_races(&run.trace) {
+            if !races.iter().any(|q| q.key() == r.key()) {
+                races.push(r);
+            }
+        }
+        let executed: HashSet<(ThreadSel, InstrAddr)> =
+            run.trace.iter().map(|r| (sel_of[&r.tid], r.at)).collect();
+        // Pending races: known racing pairs whose executed end is the
+        // failing thread's *last memory access* while the other end is
+        // still ahead of a suspended thread — Figure 6's `B17 ⇒ A12`,
+        // where the read feeding the `BUG_ON` races with the `list_add`
+        // the suspended thread A never reached. This is the one shape
+        // whose counterfactual order is crisply determined: the failure
+        // interrupted exactly that ordering, so flipping it (delaying the
+        // failing thread until the pending instruction executes) is
+        // meaningful. Pending ends deeper in any thread's unexecuted
+        // future are not part of the failure-causing sequence.
+        let failure_adjacent: Vec<InstrAddr> = run
+            .failure
+            .as_ref()
+            .map(|f| {
+                let mut adj = Vec::new();
+                // The failing access itself, when it touches memory...
+                if run
+                    .trace
+                    .iter()
+                    .any(|r| r.at == f.at && !r.accesses.is_empty())
+                {
+                    adj.push(f.at);
+                }
+                // ...and the failing thread's last memory access before it.
+                if let Some(prev) = run
+                    .trace
+                    .iter()
+                    .rev()
+                    .find(|r| r.tid == f.tid && r.at != f.at && !r.accesses.is_empty())
+                {
+                    adj.push(prev.at);
+                }
+                adj
+            })
+            .unwrap_or_default();
+        for &(i, j) in &knowledge.known_pairs {
+            for (done, pending) in [(i, j), (j, i)] {
+                if !failure_adjacent.contains(&done) {
+                    continue;
+                }
+                let done_evt = run.trace.iter().rev().find_map(|r| {
+                    if r.at == done && r.accesses.iter().any(|_| true) {
+                        Some(r.clone())
+                    } else {
+                        None
+                    }
+                });
+                let Some(done_rec) = done_evt else { continue };
+                // The pending end's thread.
+                let Some(pend_final) = run.threads.iter().find(|f| f.sel.prog == pending.prog)
+                else {
+                    continue;
+                };
+                if executed.contains(&(pend_final.sel, pending)) {
+                    continue; // Both executed: covered by races_in_trace.
+                }
+                // The instruction must still be ahead of the thread.
+                let ahead = match pend_final.next {
+                    Some(next) => next.prog == pending.prog && pending.index >= next.index,
+                    None => false,
+                };
+                if !ahead {
+                    continue;
+                }
+                let first_access = done_rec.accesses.first().copied();
+                let Some(acc) = first_access else { continue };
+                let pend_tid = run
+                    .trace
+                    .iter()
+                    .map(|r| r.tid)
+                    .find(|t| sel_of[t] == pend_final.sel)
+                    .unwrap_or(done_rec.tid);
+                let race = ObservedRace {
+                    first: crate::race::AccessEvt {
+                        seq: done_rec.seq,
+                        tid: done_rec.tid,
+                        at: done_rec.at,
+                        addr: acc.addr,
+                        is_write: acc.kind.is_write(),
+                        locks: done_rec.locks_held.clone(),
+                    },
+                    second: RaceEnd::Pending {
+                        tid: pend_tid,
+                        at: pending,
+                    },
+                };
+                if !races.iter().any(|r| r.key() == race.key()) {
+                    races.push(race);
+                }
+            }
+        }
+        races.sort_by_key(ObservedRace::backward_key);
+        FailingRun {
+            program: Arc::clone(&self.program),
+            schedule,
+            trace: run.trace.clone(),
+            failure: run.failure.clone().expect("failing run has a failure"),
+            races,
+            solo: knowledge.solo.clone(),
+            finals: run.threads.clone(),
+            sel_of_tid: sel_of,
+        }
+    }
+}
+
+/// Initial thread selectors of a program, honouring duplicate programs.
+#[must_use]
+pub fn initial_sels(program: &Program) -> Vec<ThreadSel> {
+    let mut counts: HashMap<ksim::ThreadProgId, u32> = HashMap::new();
+    program
+        .initial
+        .iter()
+        .map(|&p| {
+            let occ = *counts.entry(p).and_modify(|c| *c += 1).or_insert(0);
+            ThreadSel {
+                prog: p,
+                occurrence: occ,
+            }
+        })
+        .collect()
+}
+
+fn permutations(sels: &[ThreadSel]) -> Vec<Vec<ThreadSel>> {
+    if sels.len() <= 1 {
+        return vec![sels.to_vec()];
+    }
+    let mut out = Vec::new();
+    for (i, &first) in sels.iter().enumerate() {
+        let mut rest: Vec<ThreadSel> = sels.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            let mut perm = vec![first];
+            perm.append(&mut tail);
+            out.push(perm);
+        }
+    }
+    out
+}
+
+fn describe(plan: &[Preemption]) -> Vec<PreemptionDesc> {
+    plan.iter()
+        .map(|p| PreemptionDesc {
+            victim: p.victim,
+            at: p.at,
+            nth: p.nth,
+            target: p.target,
+        })
+        .collect()
+}
+
+fn plan_schedule(plan: &[Preemption], initial: &[ThreadSel]) -> Schedule {
+    let points = plan
+        .iter()
+        .map(|p| SchedPoint {
+            thread: p.victim,
+            at: p.at,
+            nth: p.nth,
+            when: Anchor::After,
+            switch_to: p.target,
+        })
+        .collect();
+    // Fallback: the final preemption's target first, then the serial order.
+    let mut fallback = Vec::new();
+    if let Some(last) = plan.last() {
+        fallback.push(last.target);
+    }
+    for &s in initial {
+        if !fallback.contains(&s) {
+            fallback.push(s);
+        }
+    }
+    Schedule {
+        start: plan
+            .first()
+            .map(|p| p.victim)
+            .or_else(|| initial.first().copied()),
+        points,
+        fallback,
+        segments: Vec::new(),
+    }
+}
+
+/// Stores per-thread projections of a serial run as solo traces.
+fn store_solo(k: &mut Knowledge, run: &RunResult, sel_of: &HashMap<ThreadId, ThreadSel>) {
+    let mut per: HashMap<ThreadSel, Vec<StepRecord>> = HashMap::new();
+    for rec in &run.trace {
+        per.entry(sel_of[&rec.tid]).or_default().push(rec.clone());
+    }
+    for (sel, steps) in per {
+        let entry = k.solo.entry(sel).or_default();
+        if steps.len() > entry.len() {
+            *entry = steps;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::builder::ProgramBuilder;
+    use ksim::FailureKind;
+
+    /// The paper's Figure 1: `ptr_valid`/`ptr` multi-variable race, NULL
+    /// deref only under `A1 ⇒ B1 ⇒ B2 ⇒ A2`.
+    fn fig1_program() -> Arc<Program> {
+        let mut p = ProgramBuilder::new("fig1");
+        let obj = p.static_obj("obj", 8);
+        let ptr_valid = p.global("ptr_valid", 0);
+        let ptr = p.global_ptr("ptr", obj);
+        {
+            let mut a = p.syscall_thread("A", "writer");
+            a.n("A1").store_global(ptr_valid, 1u64);
+            a.n("A2").load_global("r0", ptr);
+            a.load_ind("r1", "r0", 0);
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "clearer");
+            let out = b.new_label();
+            b.n("B1").load_global("r0", ptr_valid);
+            b.jmp_if(ksim::builder::cond_reg("r0", ksim::CmpOp::Eq, 0), out);
+            b.n("B2").store_global(ptr, 0u64);
+            b.place(out);
+            b.ret();
+        }
+        Arc::new(p.build().unwrap())
+    }
+
+    #[test]
+    fn lifs_reproduces_fig1_with_one_interleaving() {
+        let out = Lifs::new(fig1_program(), LifsConfig::default()).search();
+        let failing = out.failing.expect("must reproduce");
+        assert_eq!(failing.failure.kind, FailureKind::NullDeref);
+        assert_eq!(out.stats.interleaving_count, 1);
+        assert!(out.stats.schedules_executed >= 3); // 2 serial + ≥1 preempted
+        assert!(!failing.races.is_empty());
+    }
+
+    #[test]
+    fn serial_runs_come_first_and_do_not_fail() {
+        let out = Lifs::new(fig1_program(), LifsConfig::default()).search();
+        let serial: Vec<_> = out
+            .tree
+            .nodes
+            .iter()
+            .filter(|n| n.interleavings == 0)
+            .collect();
+        assert_eq!(serial.len(), 2);
+        assert!(serial.iter().all(|n| n.outcome == NodeOutcome::NoFailure));
+    }
+
+    #[test]
+    fn failing_sequence_replays_deterministically() {
+        let out = Lifs::new(fig1_program(), LifsConfig::default()).search();
+        let failing = out.failing.expect("must reproduce");
+        // Re-enforce the failing schedule: same failure, same trace length.
+        let mut e = Engine::new(fig1_program());
+        let r = enforce::run(&mut e, &failing.schedule, &EnforceConfig::default());
+        let f = r.failure.expect("replay fails too");
+        assert_eq!(f.kind, failing.failure.kind);
+        assert_eq!(f.at, failing.failure.at);
+        assert_eq!(r.trace.len(), failing.trace.len());
+    }
+
+    #[test]
+    fn por_prunes_candidates() {
+        let mut cfg = LifsConfig::default();
+        cfg.por = true;
+        let with_por = Lifs::new(fig1_program(), cfg.clone()).search();
+        cfg.por = false;
+        let without = Lifs::new(fig1_program(), cfg).search();
+        assert!(with_por.failing.is_some());
+        assert!(without.failing.is_some());
+        assert!(
+            with_por.stats.schedules_executed <= without.stats.schedules_executed,
+            "POR must not increase executed schedules"
+        );
+    }
+
+    /// A failure requiring a kernel background thread (Figure 4-(c) shape):
+    /// the syscall frees an object that the kworker it queued still uses —
+    /// only when the kworker's store is delayed past the free.
+    fn kworker_program() -> Arc<Program> {
+        let mut p = ProgramBuilder::new("kworker-uaf");
+        let slot = p.global("slot", 0);
+        let w = {
+            let mut w = p.kworker_thread("kworker");
+            w.n("K1").load_global("r1", slot);
+            w.n("K2").store_ind("r1", 0, 7u64); // write through slot
+            w.ret();
+            w.id()
+        };
+        {
+            let mut a = p.syscall_thread("A", "ioctl");
+            a.n("A1").alloc("r0", 8);
+            a.n("A2").store_global_from(slot, "r0");
+            a.n("A3").queue_work(w, None);
+            a.n("A4").free("r0");
+            a.ret();
+        }
+        Arc::new(p.build().unwrap())
+    }
+
+    #[test]
+    fn lifs_handles_background_threads() {
+        // Serial order A then kworker: K2 writes a freed object → actually
+        // fails serially? A frees before K runs, so serial *does* fail —
+        // LIFS reproduces at interleaving count 0.
+        let out = Lifs::new(kworker_program(), LifsConfig::default()).search();
+        let failing = out.failing.expect("must reproduce");
+        assert_eq!(failing.failure.kind, FailureKind::UseAfterFree);
+    }
+
+    /// Background-thread failure that needs one preemption: the kworker
+    /// crashes only when it runs inside the syscall's NULL window
+    /// (`A2` nulls `ptr`, `A3` restores it).
+    fn kworker_window_program() -> Arc<Program> {
+        let mut p = ProgramBuilder::new("kworker-window");
+        let obj = p.static_obj("obj", 8);
+        let ptr = p.global_ptr("ptr", obj);
+        let w = {
+            let mut w = p.kworker_thread("kworker");
+            w.n("K1").load_global("r1", ptr);
+            w.n("K2").load_ind("r2", "r1", 0);
+            w.ret();
+            w.id()
+        };
+        {
+            let mut a = p.syscall_thread("A", "ioctl");
+            a.n("A1").load_global("r3", ptr); // remember the valid pointer
+            a.n("A2").queue_work(w, None);
+            a.n("A3").store_global(ptr, 0u64); // NULL window opens
+            a.n("A4").store_global_from(ptr, "r3"); // window closes
+            a.ret();
+        }
+        Arc::new(p.build().unwrap())
+    }
+
+    #[test]
+    fn lifs_finds_window_race_with_kworker() {
+        let out = Lifs::new(kworker_window_program(), LifsConfig::default()).search();
+        let failing = out.failing.expect("must reproduce");
+        assert!(out.stats.interleaving_count >= 1);
+        assert_eq!(failing.failure.kind, FailureKind::NullDeref);
+    }
+
+    #[test]
+    fn pending_races_are_reported() {
+        // In fig1's failing run, A2's load of ptr races with B2's store;
+        // additionally instructions past the failure must be representable.
+        let out = Lifs::new(fig1_program(), LifsConfig::default()).search();
+        let failing = out.failing.expect("must reproduce");
+        // All races sorted backward.
+        let keys: Vec<usize> = failing
+            .races
+            .iter()
+            .map(ObservedRace::backward_key)
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn search_gives_up_within_bounds_when_no_failure_exists() {
+        let mut p = ProgramBuilder::new("benign");
+        let x = p.global("x", 0);
+        {
+            let mut a = p.syscall_thread("A", "w");
+            a.fetch_add_global(x, 1u64);
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "w");
+            b.fetch_add_global(x, 1u64);
+            b.ret();
+        }
+        let prog = Arc::new(p.build().unwrap());
+        let out = Lifs::new(prog, LifsConfig::default()).search();
+        assert!(out.failing.is_none());
+        assert!(out.stats.schedules_executed > 0);
+    }
+}
+
+#[cfg(test)]
+mod target_tests {
+    use super::*;
+    use ksim::builder::{
+        cond_reg,
+        ProgramBuilder, //
+    };
+    use ksim::{
+        CmpOp,
+        FailureKind, //
+    };
+
+    /// A program that can fail two different ways; the failure target makes
+    /// LIFS skip the wrong one and keep searching for the reported one.
+    fn two_failure_program() -> Arc<Program> {
+        let mut p = ProgramBuilder::new("two-failures");
+        let flag = p.global("flag", 0);
+        let obj = p.static_obj("obj", 8);
+        let ptr = p.global_ptr("ptr", obj);
+        {
+            let mut a = p.syscall_thread("A", "x");
+            a.func("path_a");
+            a.n("A1").store_global(flag, 1u64);
+            a.n("A2").load_global("r0", ptr);
+            a.load_ind("r1", "r0", 0); // NULL deref when B nulled ptr
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "y");
+            b.func("path_b");
+            let out = b.new_label();
+            b.n("B1").load_global("r0", flag);
+            b.jmp_if(cond_reg("r0", CmpOp::Eq, 0), out);
+            // Either failure is reachable depending on the interleaving:
+            // B2 nulls the pointer (→ A crashes), or B asserts on the flag.
+            b.n("B2").store_global(ptr, 0u64);
+            b.n("B3").load_global("r1", flag);
+            b.bug_on_msg(cond_reg("r1", CmpOp::Eq, 1), "flag still set");
+            b.place(out);
+            b.ret();
+        }
+        Arc::new(p.build().unwrap())
+    }
+
+    #[test]
+    fn search_without_target_stops_at_first_failure() {
+        let out = Lifs::new(two_failure_program(), LifsConfig::default()).search();
+        let run = out.failing.expect("some failure");
+        // Whichever failure comes first in the search ends it.
+        assert!(matches!(
+            run.failure.kind,
+            FailureKind::AssertionViolation | FailureKind::NullDeref
+        ));
+    }
+
+    #[test]
+    fn search_with_target_skips_other_failures() {
+        for (kind, func) in [
+            (FailureKind::NullDeref, "path_a"),
+            (FailureKind::AssertionViolation, "path_b"),
+        ] {
+            let cfg = LifsConfig {
+                target: Some(FailureTarget::in_func(kind, func)),
+                ..LifsConfig::default()
+            };
+            let out = Lifs::new(two_failure_program(), cfg).search();
+            let run = out
+                .failing
+                .unwrap_or_else(|| panic!("{kind:?} must reproduce"));
+            assert_eq!(run.failure.kind, kind);
+        }
+    }
+
+    #[test]
+    fn target_func_mismatch_rejects() {
+        let prog = two_failure_program();
+        let t = FailureTarget::in_func(FailureKind::NullDeref, "wrong_func");
+        let cfg = LifsConfig {
+            target: Some(t),
+            max_interleavings: 2,
+            ..LifsConfig::default()
+        };
+        let out = Lifs::new(prog, cfg).search();
+        assert!(out.failing.is_none());
+    }
+}

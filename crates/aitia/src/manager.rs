@@ -1,0 +1,312 @@
+//! Parallel orchestration of reproducers and diagnosers (§4.1, §4.5).
+//!
+//! The paper launches 32 virtual machines: reproducers run LIFS over the
+//! candidate slices in parallel; once one reports a failure-causing
+//! instruction sequence, diagnosers run Causality Analysis flips in
+//! parallel. Here each "VM" is a worker thread owning its own engines; the
+//! manager fans slices/flips out over a crossbeam-scoped pool and collects
+//! results deterministically.
+
+use crate::{
+    causality::{
+        CausalityAnalysis,
+        CausalityConfig,
+        CausalityResult, //
+    },
+    lifs::{
+        FailingRun,
+        Lifs,
+        LifsConfig,
+        LifsStats, //
+    },
+    simtime::SimCost,
+};
+use khist::ExecHistory;
+use ksim::Program;
+use parking_lot::Mutex;
+use std::sync::{
+    atomic::{
+        AtomicBool,
+        AtomicUsize,
+        Ordering, //
+    },
+    Arc,
+};
+
+/// Manager configuration.
+#[derive(Clone, Debug)]
+pub struct ManagerConfig {
+    /// Worker ("VM") count.
+    pub vms: usize,
+    /// LIFS configuration for reproducers.
+    pub lifs: LifsConfig,
+    /// Causality Analysis configuration for diagnosers.
+    pub causality: CausalityConfig,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            vms: 8,
+            lifs: LifsConfig::default(),
+            causality: CausalityConfig::default(),
+        }
+    }
+}
+
+/// Outcome of the reproducing stage over multiple candidate slices.
+#[derive(Debug)]
+pub struct ReproduceOutcome {
+    /// The first (by slice priority) failing run, if any slice reproduced.
+    pub failing: Option<FailingRun>,
+    /// Index of the slice that reproduced.
+    pub slice_index: Option<usize>,
+    /// Merged LIFS statistics across every attempted slice.
+    pub stats: LifsStats,
+}
+
+/// The full diagnosis of one bug: reproduction plus causality analysis.
+#[derive(Debug)]
+pub struct Diagnosis {
+    /// Which slice reproduced.
+    pub slice_index: usize,
+    /// The failing run.
+    pub failing: FailingRun,
+    /// The analysis result (chain, verdicts, statistics).
+    pub result: CausalityResult,
+    /// LIFS statistics.
+    pub lifs_stats: LifsStats,
+}
+
+/// The AITIA manager: orchestrates parallel reproducers and diagnosers.
+pub struct Manager {
+    config: ManagerConfig,
+}
+
+impl Manager {
+    /// Creates a manager.
+    #[must_use]
+    pub fn new(config: ManagerConfig) -> Self {
+        Manager { config }
+    }
+
+    /// Reproducing stage: runs LIFS over candidate slices (each a
+    /// [`Program`]) on the VM pool; returns the highest-priority failing
+    /// run. Later slices are cancelled once an earlier one reproduces.
+    #[must_use]
+    pub fn reproduce(&self, slices: &[Arc<Program>]) -> ReproduceOutcome {
+        if slices.is_empty() {
+            return ReproduceOutcome {
+                failing: None,
+                slice_index: None,
+                stats: LifsStats::default(),
+            };
+        }
+        let next = AtomicUsize::new(0);
+        let best: Mutex<Option<(usize, FailingRun)>> = Mutex::new(None);
+        let stop = AtomicBool::new(false);
+        let stats: Mutex<LifsStats> = Mutex::new(LifsStats::default());
+        let workers = self.config.vms.max(1).min(slices.len());
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= slices.len() {
+                        return;
+                    }
+                    {
+                        // Skip work that can no longer improve the result.
+                        let guard = best.lock();
+                        if stop.load(Ordering::SeqCst)
+                            && guard.as_ref().is_some_and(|(bi, _)| *bi < i)
+                        {
+                            continue;
+                        }
+                    }
+                    let out = Lifs::new(Arc::clone(&slices[i]), self.config.lifs.clone()).search();
+                    {
+                        let mut s = stats.lock();
+                        merge_stats(&mut s, &out.stats);
+                    }
+                    if let Some(run) = out.failing {
+                        let mut guard = best.lock();
+                        let better = guard.as_ref().is_none_or(|(bi, _)| i < *bi);
+                        if better {
+                            *guard = Some((i, run));
+                            stop.store(true, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("reproducer pool");
+        let (slice_index, failing) = match best.into_inner() {
+            Some((i, run)) => (Some(i), Some(run)),
+            None => (None, None),
+        };
+        ReproduceOutcome {
+            failing,
+            slice_index,
+            stats: stats.into_inner(),
+        }
+    }
+
+    /// Full pipeline: reproduce over slices, then diagnose the failing run.
+    #[must_use]
+    pub fn diagnose(&self, slices: &[Arc<Program>]) -> Option<Diagnosis> {
+        let repro = self.reproduce(slices);
+        let failing = repro.failing?;
+        let slice_index = repro.slice_index.unwrap_or(0);
+        let result = CausalityAnalysis::new(self.config.causality.clone()).analyze(&failing);
+        Some(Diagnosis {
+            slice_index,
+            failing,
+            result,
+            lifs_stats: repro.stats,
+        })
+    }
+
+    /// Diagnoses a single program (one-slice convenience).
+    #[must_use]
+    pub fn diagnose_program(&self, program: Arc<Program>) -> Option<Diagnosis> {
+        self.diagnose(&[program])
+    }
+
+    /// The full input-to-chain pipeline (§4.1): slices the execution
+    /// history backward from the failure, resolves each slice to an
+    /// executable kernel scenario through `resolver`, and reproduces /
+    /// diagnoses over the candidates in priority order.
+    #[must_use]
+    pub fn diagnose_history(
+        &self,
+        history: &ExecHistory,
+        resolver: &dyn SliceResolver,
+    ) -> Option<Diagnosis> {
+        let slices: Vec<Arc<Program>> = khist::slices(history)
+            .iter()
+            .filter_map(|s| resolver.resolve(s))
+            .collect();
+        self.diagnose(&slices)
+    }
+}
+
+/// Maps a trace slice onto an executable kernel scenario.
+///
+/// In the paper, the user agent replays the slice's system calls against
+/// the real kernel; in the reproduction, a resolver supplies the modeled
+/// kernel code paths for the slice's calls (the corpus provides one
+/// covering its 22 bugs).
+pub trait SliceResolver: Sync {
+    /// The program modeling this slice's concurrent calls, if known.
+    fn resolve(&self, slice: &khist::Slice) -> Option<Arc<Program>>;
+}
+
+fn merge_stats(into: &mut LifsStats, from: &LifsStats) {
+    into.schedules_executed += from.schedules_executed;
+    into.pruned_nonconflicting += from.pruned_nonconflicting;
+    into.pruned_equivalent += from.pruned_equivalent;
+    into.interleaving_count = into.interleaving_count.max(from.interleaving_count);
+    let mut sim = SimCost::default();
+    sim.merge(&into.sim);
+    sim.merge(&from.sim);
+    into.sim = sim;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::builder::ProgramBuilder;
+
+    fn fig1_program() -> Arc<Program> {
+        let mut p = ProgramBuilder::new("fig1");
+        let obj = p.static_obj("obj", 8);
+        let ptr_valid = p.global("ptr_valid", 0);
+        let ptr = p.global_ptr("ptr", obj);
+        {
+            let mut a = p.syscall_thread("A", "writer");
+            a.n("A1").store_global(ptr_valid, 1u64);
+            a.n("A2").load_global("r0", ptr);
+            a.load_ind("r1", "r0", 0);
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "clearer");
+            let out = b.new_label();
+            b.n("B1").load_global("r0", ptr_valid);
+            b.jmp_if(ksim::builder::cond_reg("r0", ksim::CmpOp::Eq, 0), out);
+            b.n("B2").store_global(ptr, 0u64);
+            b.place(out);
+            b.ret();
+        }
+        Arc::new(p.build().unwrap())
+    }
+
+    fn benign_program() -> Arc<Program> {
+        let mut p = ProgramBuilder::new("benign");
+        let x = p.global("x", 0);
+        {
+            let mut a = p.syscall_thread("A", "w");
+            a.fetch_add_global(x, 1u64);
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "w");
+            b.fetch_add_global(x, 1u64);
+            b.ret();
+        }
+        Arc::new(p.build().unwrap())
+    }
+
+    #[test]
+    fn diagnose_pipeline_produces_chain() {
+        let d = Manager::new(ManagerConfig::default())
+            .diagnose_program(fig1_program())
+            .expect("diagnosis");
+        assert_eq!(d.result.chain.race_count(), 2);
+        assert!(d.lifs_stats.schedules_executed > 0);
+    }
+
+    #[test]
+    fn reproduce_prefers_earliest_failing_slice() {
+        let slices = vec![benign_program(), fig1_program(), fig1_program()];
+        let m = Manager::new(ManagerConfig::default());
+        let out = m.reproduce(&slices);
+        assert_eq!(out.slice_index, Some(1));
+        assert!(out.failing.is_some());
+    }
+
+    #[test]
+    fn reproduce_handles_no_failure() {
+        let m = Manager::new(ManagerConfig::default());
+        let out = m.reproduce(&[benign_program()]);
+        assert!(out.failing.is_none());
+        assert!(out.stats.schedules_executed > 0);
+    }
+
+    #[test]
+    fn empty_slice_list_is_fine() {
+        let m = Manager::new(ManagerConfig::default());
+        assert!(m.reproduce(&[]).failing.is_none());
+        assert!(m.diagnose(&[]).is_none());
+    }
+
+    #[test]
+    fn parallel_matches_serial_chain() {
+        let serial = Manager::new(ManagerConfig {
+            vms: 1,
+            ..ManagerConfig::default()
+        })
+        .diagnose_program(fig1_program())
+        .expect("serial");
+        let parallel = Manager::new(ManagerConfig {
+            vms: 8,
+            ..ManagerConfig::default()
+        })
+        .diagnose_program(fig1_program())
+        .expect("parallel");
+        assert_eq!(
+            serial.result.chain.to_string(),
+            parallel.result.chain.to_string()
+        );
+    }
+}

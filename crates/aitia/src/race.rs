@@ -1,0 +1,680 @@
+//! Data-race detection over execution traces.
+//!
+//! The paper adopts the Linux kernel memory model's definitions (§2):
+//! *conflicting accesses* touch the same location with at least one store;
+//! a *data race* is a pair of conflicting accesses from different threads
+//! executed concurrently. Concurrency is judged with vector clocks over the
+//! happens-before order induced by program order, background-thread spawns
+//! (`queue_work` / `call_rcu`), and lock release→acquire edges.
+//!
+//! A race observed in a trace carries its *interleaving order* (`X ⇒ Y`,
+//! first ⇒ second); Causality Analysis flips exactly that order. Races whose
+//! second access never executed — the thread was killed by the failure
+//! before reaching it, like `A12` in the paper's Figure 6 — are represented
+//! with a [`RaceEnd::Pending`] second end, ordered after the executed first
+//! end.
+
+use ksim::{
+    events::LockEvent,
+    Addr,
+    InstrAddr,
+    StepRecord,
+    ThreadId, //
+};
+use std::collections::HashMap;
+
+/// A vector clock, indexed by `ThreadId.0`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(pub Vec<u32>);
+
+impl VClock {
+    fn ensure(&mut self, n: usize) {
+        if self.0.len() < n {
+            self.0.resize(n, 0);
+        }
+    }
+
+    fn tick(&mut self, tid: ThreadId) {
+        self.ensure(tid.0 as usize + 1);
+        self.0[tid.0 as usize] += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        self.ensure(other.0.len());
+        for (i, &v) in other.0.iter().enumerate() {
+            self.0[i] = self.0[i].max(v);
+        }
+    }
+
+    /// Whether `self` happens-before-or-equals `other` (componentwise ≤).
+    #[must_use]
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.0.get(i).copied().unwrap_or(0))
+    }
+
+    /// Whether the two clocks are concurrent (neither ordered).
+    #[must_use]
+    pub fn concurrent(&self, other: &VClock) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+}
+
+/// One memory access extracted from a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessEvt {
+    /// Trace sequence number of the executing step.
+    pub seq: usize,
+    /// Executing thread.
+    pub tid: ThreadId,
+    /// Static instruction address.
+    pub at: InstrAddr,
+    /// Accessed address.
+    pub addr: Addr,
+    /// Whether the access writes.
+    pub is_write: bool,
+    /// Locks held during the access.
+    pub locks: Vec<ksim::LockId>,
+}
+
+/// One end of an observed data race.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RaceEnd {
+    /// The access executed in the trace.
+    Executed(AccessEvt),
+    /// The access never executed — its thread was killed (or left suspended)
+    /// by the failure before reaching the instruction. The interleaving
+    /// order is still determined: the executed end came first.
+    Pending {
+        /// The thread that would have executed the access.
+        tid: ThreadId,
+        /// The instruction that would have performed it.
+        at: InstrAddr,
+    },
+}
+
+impl RaceEnd {
+    /// The static instruction of this end.
+    #[must_use]
+    pub fn at(&self) -> InstrAddr {
+        match self {
+            RaceEnd::Executed(a) => a.at,
+            RaceEnd::Pending { at, .. } => *at,
+        }
+    }
+
+    /// The thread of this end.
+    #[must_use]
+    pub fn tid(&self) -> ThreadId {
+        match self {
+            RaceEnd::Executed(a) => a.tid,
+            RaceEnd::Pending { tid, .. } => *tid,
+        }
+    }
+
+    /// The trace sequence number, when executed.
+    #[must_use]
+    pub fn seq(&self) -> Option<usize> {
+        match self {
+            RaceEnd::Executed(a) => Some(a.seq),
+            RaceEnd::Pending { .. } => None,
+        }
+    }
+}
+
+/// An observed data race with its interleaving order: `first ⇒ second`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObservedRace {
+    /// The earlier access.
+    pub first: AccessEvt,
+    /// The later (possibly pending) access.
+    pub second: RaceEnd,
+}
+
+impl ObservedRace {
+    /// The static identity of the race: ordered instruction pair.
+    #[must_use]
+    pub fn key(&self) -> (InstrAddr, InstrAddr) {
+        (self.first.at, self.second.at())
+    }
+
+    /// The static identity ignoring order (for "same race, either order").
+    #[must_use]
+    pub fn unordered_key(&self) -> (InstrAddr, InstrAddr) {
+        let (a, b) = self.key();
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Sort key for backward testing (§3.4): the position of the *last*
+    /// involved instruction. Pending ends sort last of all.
+    #[must_use]
+    pub fn backward_key(&self) -> usize {
+        match self.second.seq() {
+            Some(s) => s,
+            None => usize::MAX - self.first.seq,
+        }
+    }
+}
+
+/// Extracts all memory accesses from a trace.
+#[must_use]
+pub fn accesses(trace: &[StepRecord]) -> Vec<AccessEvt> {
+    let mut out = Vec::new();
+    for rec in trace {
+        for acc in &rec.accesses {
+            out.push(AccessEvt {
+                seq: rec.seq,
+                tid: rec.tid,
+                at: rec.at,
+                addr: acc.addr,
+                is_write: acc.kind.is_write(),
+                locks: rec.locks_held.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Computes one vector clock per trace step, over program order, spawn
+/// edges, and lock release→acquire edges.
+#[must_use]
+pub fn step_clocks(trace: &[StepRecord]) -> Vec<VClock> {
+    let mut thread_clocks: HashMap<ThreadId, VClock> = HashMap::new();
+    let mut lock_clocks: HashMap<ksim::LockId, VClock> = HashMap::new();
+    let mut out = Vec::with_capacity(trace.len());
+    for rec in trace {
+        let clock = thread_clocks.entry(rec.tid).or_default();
+        if let Some(LockEvent::Acquired(l)) = rec.lock_event {
+            if let Some(lc) = lock_clocks.get(&l) {
+                clock.join(&lc.clone());
+            }
+        }
+        clock.tick(rec.tid);
+        let snapshot = clock.clone();
+        if let Some(LockEvent::Released(l)) = rec.lock_event {
+            lock_clocks.insert(l, snapshot.clone());
+        }
+        if let Some(child) = rec.spawned {
+            let mut child_clock = snapshot.clone();
+            child_clock.tick(child);
+            thread_clocks.insert(child, child_clock);
+        }
+        out.push(snapshot);
+    }
+    out
+}
+
+/// Detects all data races observed in a trace, deduplicated by ordered
+/// instruction pair (the first occurrence wins).
+///
+/// Two accesses race when they touch the same address from different
+/// threads, at least one writes, and their step clocks are concurrent.
+#[must_use]
+pub fn races_in_trace(trace: &[StepRecord]) -> Vec<ObservedRace> {
+    let evts = accesses(trace);
+    let clocks = step_clocks(trace);
+    // Group accesses by address to avoid the full quadratic sweep.
+    let mut by_addr: HashMap<Addr, Vec<usize>> = HashMap::new();
+    for (i, e) in evts.iter().enumerate() {
+        by_addr.entry(e.addr).or_default().push(i);
+    }
+    let mut seen: HashMap<(InstrAddr, InstrAddr), ()> = HashMap::new();
+    let mut out = Vec::new();
+    for idxs in by_addr.values() {
+        // Fast paths: thread-private locations and read-only locations
+        // cannot race — this keeps bulk private traffic (noise work loops)
+        // out of the quadratic pair sweep.
+        let first_tid = evts[idxs[0]].tid;
+        if idxs.iter().all(|&i| evts[i].tid == first_tid) || idxs.iter().all(|&i| !evts[i].is_write)
+        {
+            continue;
+        }
+        for (pos, &i) in idxs.iter().enumerate() {
+            for &j in &idxs[pos + 1..] {
+                let (a, b) = (&evts[i], &evts[j]);
+                if a.tid == b.tid || !(a.is_write || b.is_write) {
+                    continue;
+                }
+                if !clocks[a.seq].concurrent(&clocks[b.seq]) {
+                    continue;
+                }
+                let (first, second) = if a.seq <= b.seq { (a, b) } else { (b, a) };
+                let key = (first.at, second.at);
+                if seen.insert(key, ()).is_none() {
+                    out.push(ObservedRace {
+                        first: first.clone(),
+                        second: RaceEnd::Executed(second.clone()),
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by_key(ObservedRace::backward_key);
+    out
+}
+
+/// Conflicting access pairs whose order is fixed *only by a common lock* —
+/// the critical-section order pairs of §3.4: "the execution order of
+/// critical sections may contribute to the failure", so Causality Analysis
+/// tests them too, flipping whole critical sections as units. They are not
+/// data races under the kernel memory model (the lock orders them), which
+/// is why [`races_in_trace`] excludes them and this function exists
+/// separately.
+#[must_use]
+pub fn cs_order_races(trace: &[StepRecord]) -> Vec<ObservedRace> {
+    let evts = accesses(trace);
+    let clocks = step_clocks(trace);
+    let mut by_addr: HashMap<Addr, Vec<usize>> = HashMap::new();
+    for (i, e) in evts.iter().enumerate() {
+        by_addr.entry(e.addr).or_default().push(i);
+    }
+    let mut seen: HashMap<(InstrAddr, InstrAddr), ()> = HashMap::new();
+    let mut out = Vec::new();
+    for idxs in by_addr.values() {
+        let first_tid = evts[idxs[0]].tid;
+        if idxs.iter().all(|&i| evts[i].tid == first_tid) || idxs.iter().all(|&i| !evts[i].is_write)
+        {
+            continue;
+        }
+        for (pos, &i) in idxs.iter().enumerate() {
+            for &j in &idxs[pos + 1..] {
+                let (a, b) = (&evts[i], &evts[j]);
+                if a.tid == b.tid || !(a.is_write || b.is_write) {
+                    continue;
+                }
+                // Ordered, not concurrent — and both inside critical
+                // sections of a common lock.
+                if clocks[a.seq].concurrent(&clocks[b.seq]) {
+                    continue;
+                }
+                let common_lock = a.locks.iter().any(|l| b.locks.contains(l));
+                if !common_lock {
+                    continue;
+                }
+                let (first, second) = if a.seq <= b.seq { (a, b) } else { (b, a) };
+                let key = (first.at, second.at);
+                if seen.insert(key, ()).is_none() {
+                    out.push(ObservedRace {
+                        first: first.clone(),
+                        second: RaceEnd::Executed(second.clone()),
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by_key(ObservedRace::backward_key);
+    out
+}
+
+/// Whether race `outer` *surrounds* race `inner` (paper Figure 7): the
+/// outer's first access precedes the inner's first in the same thread, and
+/// the inner's second access precedes the outer's second in the other
+/// thread. Flipping the outer while preserving the inner's order is then
+/// impossible.
+#[must_use]
+pub fn surrounds(outer: &ObservedRace, inner: &ObservedRace) -> bool {
+    // Both ends must pair up by thread.
+    if outer.first.tid != inner.first.tid || outer.second.tid() != inner.second.tid() {
+        return false;
+    }
+    if outer.first.tid == outer.second.tid() {
+        return false;
+    }
+    let (Some(outer_second), Some(inner_second)) = (outer.second.seq(), inner.second.seq()) else {
+        return false;
+    };
+    outer.first.seq < inner.first.seq && inner_second < outer_second
+}
+
+/// The critical-section span (sequence range, inclusive) enclosing the step
+/// at `seq` in its thread, or `None` when no lock was held.
+///
+/// The span runs from the `Lock` acquisition of the outermost lock held at
+/// `seq` to its `Unlock` (or the thread's last step when never released) —
+/// the unit Causality Analysis flips to preserve liveness (§3.4).
+#[must_use]
+pub fn critical_section_span(trace: &[StepRecord], seq: usize) -> Option<(usize, usize)> {
+    let rec = trace.get(seq)?;
+    let outer = *rec.locks_held.first()?;
+    let tid = rec.tid;
+    // Scan backward for the acquisition of `outer` by this thread.
+    let mut start = seq;
+    for r in trace[..=seq].iter().rev() {
+        if r.tid != tid {
+            continue;
+        }
+        start = r.seq;
+        if r.lock_event == Some(LockEvent::Acquired(outer)) {
+            break;
+        }
+    }
+    // Scan forward for the release.
+    let mut end = seq;
+    for r in &trace[seq..] {
+        if r.tid != tid {
+            continue;
+        }
+        end = r.seq;
+        if r.lock_event == Some(LockEvent::Released(outer)) {
+            break;
+        }
+    }
+    Some((start, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::{
+        builder::ProgramBuilder,
+        Engine,
+        ThreadId, //
+    };
+    use std::sync::Arc;
+
+    /// Interleaved stores/loads on one global: a data race.
+    #[test]
+    fn concurrent_conflicting_accesses_race() {
+        let mut p = ProgramBuilder::new("race");
+        let x = p.global("x", 0);
+        {
+            let mut a = p.syscall_thread("A", "w");
+            a.store_global(x, 1u64);
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "r");
+            b.load_global("r0", x);
+            b.ret();
+        }
+        let prog = Arc::new(p.build().unwrap());
+        let mut e = Engine::new(prog);
+        e.run_all_serial();
+        let races = races_in_trace(e.trace());
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].first.tid, ThreadId(0));
+        assert_eq!(races[0].second.tid(), ThreadId(1));
+    }
+
+    /// Two reads never race.
+    #[test]
+    fn read_read_is_not_a_race() {
+        let mut p = ProgramBuilder::new("rr");
+        let x = p.global("x", 0);
+        {
+            let mut a = p.syscall_thread("A", "r");
+            a.load_global("r0", x);
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "r");
+            b.load_global("r0", x);
+            b.ret();
+        }
+        let prog = Arc::new(p.build().unwrap());
+        let mut e = Engine::new(prog);
+        e.run_all_serial();
+        assert!(races_in_trace(e.trace()).is_empty());
+    }
+
+    /// Lock-ordered accesses are not concurrent.
+    #[test]
+    fn lock_protected_accesses_do_not_race() {
+        let mut p = ProgramBuilder::new("locked");
+        let x = p.global("x", 0);
+        let l = p.lock("l");
+        {
+            let mut a = p.syscall_thread("A", "w");
+            a.lock(l);
+            a.store_global(x, 1u64);
+            a.unlock(l);
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "w");
+            b.lock(l);
+            b.store_global(x, 2u64);
+            b.unlock(l);
+            b.ret();
+        }
+        let prog = Arc::new(p.build().unwrap());
+        let mut e = Engine::new(prog);
+        e.run_all_serial();
+        assert!(races_in_trace(e.trace()).is_empty());
+    }
+
+    /// Spawn edges order the spawner's earlier accesses before the worker's.
+    #[test]
+    fn spawned_worker_is_ordered_after_spawn() {
+        let mut p = ProgramBuilder::new("spawn");
+        let x = p.global("x", 0);
+        let w = {
+            let mut w = p.kworker_thread("kw");
+            w.store_global(x, 2u64);
+            w.ret();
+            w.id()
+        };
+        {
+            let mut a = p.syscall_thread("A", "q");
+            a.store_global(x, 1u64); // Before the spawn: ordered, no race.
+            a.queue_work(w, None);
+            a.ret();
+        }
+        let prog = Arc::new(p.build().unwrap());
+        let mut e = Engine::new(prog);
+        e.run_all_serial();
+        assert!(races_in_trace(e.trace()).is_empty());
+    }
+
+    /// Accesses after the spawn in the spawner race with the worker.
+    #[test]
+    fn spawner_access_after_spawn_races_with_worker() {
+        let mut p = ProgramBuilder::new("spawn2");
+        let x = p.global("x", 0);
+        let w = {
+            let mut w = p.kworker_thread("kw");
+            w.store_global(x, 2u64);
+            w.ret();
+            w.id()
+        };
+        {
+            let mut a = p.syscall_thread("A", "q");
+            a.queue_work(w, None);
+            a.store_global(x, 1u64); // After the spawn: concurrent with worker.
+            a.ret();
+        }
+        let prog = Arc::new(p.build().unwrap());
+        let mut e = Engine::new(prog);
+        e.run_all_serial();
+        let races = races_in_trace(e.trace());
+        assert_eq!(races.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_instruction_pairs_dedupe() {
+        let mut p = ProgramBuilder::new("dup");
+        let x = p.global("x", 0);
+        {
+            let mut a = p.syscall_thread("A", "w");
+            a.fetch_add_global(x, 1u64);
+            a.fetch_add_global(x, 1u64);
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "w");
+            b.fetch_add_global(x, 1u64);
+            b.fetch_add_global(x, 1u64);
+            b.ret();
+        }
+        let prog = Arc::new(p.build().unwrap());
+        let mut e = Engine::new(prog);
+        e.run_all_serial();
+        let races = races_in_trace(e.trace());
+        // 2 instructions × 2 instructions = 4 distinct ordered pairs.
+        assert_eq!(races.len(), 4);
+    }
+
+    #[test]
+    fn surrounds_detects_nesting() {
+        use ksim::ThreadProgId;
+        let mk_access = |seq, tid, prog, index| AccessEvt {
+            seq,
+            tid: ThreadId(tid),
+            at: InstrAddr {
+                prog: ThreadProgId(prog),
+                index,
+            },
+            addr: Addr(0x1000_0000),
+            is_write: true,
+            locks: vec![],
+        };
+        // Execution: A1(0) A2(1) B1(2) B2(3); outer = A1⇒B2, inner = A2⇒B1.
+        let outer = ObservedRace {
+            first: mk_access(0, 0, 0, 0),
+            second: RaceEnd::Executed(mk_access(3, 1, 1, 1)),
+        };
+        let inner = ObservedRace {
+            first: mk_access(1, 0, 0, 1),
+            second: RaceEnd::Executed(mk_access(2, 1, 1, 0)),
+        };
+        assert!(surrounds(&outer, &inner));
+        assert!(!surrounds(&inner, &outer));
+        assert!(!surrounds(&outer, &outer));
+    }
+
+    #[test]
+    fn critical_section_span_covers_lock_to_unlock() {
+        let mut p = ProgramBuilder::new("cs");
+        let x = p.global("x", 0);
+        let l = p.lock("l");
+        {
+            let mut a = p.syscall_thread("A", "cs");
+            a.lock(l); // seq 0
+            a.store_global(x, 1u64); // seq 1
+            a.store_global(x, 2u64); // seq 2
+            a.unlock(l); // seq 3
+            a.ret(); // seq 4
+        }
+        let prog = Arc::new(p.build().unwrap());
+        let mut e = Engine::new(prog);
+        e.run_all_serial();
+        assert_eq!(critical_section_span(e.trace(), 1), Some((0, 3)));
+        assert_eq!(critical_section_span(e.trace(), 2), Some((0, 3)));
+        // The Unlock itself is inside the span.
+        assert_eq!(critical_section_span(e.trace(), 3), Some((0, 3)));
+        // Outside any lock.
+        assert_eq!(critical_section_span(e.trace(), 4), None);
+    }
+
+    #[test]
+    fn backward_key_orders_pending_last() {
+        use ksim::ThreadProgId;
+        let acc = |seq| AccessEvt {
+            seq,
+            tid: ThreadId(0),
+            at: InstrAddr {
+                prog: ThreadProgId(0),
+                index: seq,
+            },
+            addr: Addr(0x1000_0000),
+            is_write: true,
+            locks: vec![],
+        };
+        let executed = ObservedRace {
+            first: acc(0),
+            second: RaceEnd::Executed(AccessEvt {
+                tid: ThreadId(1),
+                ..acc(5)
+            }),
+        };
+        let pending = ObservedRace {
+            first: acc(1),
+            second: RaceEnd::Pending {
+                tid: ThreadId(1),
+                at: InstrAddr {
+                    prog: ThreadProgId(1),
+                    index: 9,
+                },
+            },
+        };
+        assert!(pending.backward_key() > executed.backward_key());
+    }
+
+    #[test]
+    fn vclock_le_and_concurrent() {
+        let a = VClock(vec![1, 0]);
+        let b = VClock(vec![1, 2]);
+        let c = VClock(vec![0, 1]);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        assert!(a.concurrent(&c));
+        assert!(!a.concurrent(&b));
+    }
+}
+
+#[cfg(test)]
+mod cs_order_tests {
+    use super::*;
+    use ksim::builder::ProgramBuilder;
+    use ksim::Engine;
+    use std::sync::Arc;
+
+    /// Same-lock-ordered conflicting accesses are CS-order pairs, not data
+    /// races.
+    #[test]
+    fn lock_ordered_conflicts_are_cs_pairs() {
+        let mut p = ProgramBuilder::new("cs-pairs");
+        let x = p.global("x", 0);
+        let l = p.lock("l");
+        for name in ["A", "B"] {
+            let mut t = p.syscall_thread(name, "s");
+            t.lock(l);
+            t.store_global(x, 1u64);
+            t.unlock(l);
+            t.ret();
+        }
+        let prog = Arc::new(p.build().unwrap());
+        let mut e = Engine::new(prog);
+        e.run_all_serial();
+        assert!(races_in_trace(e.trace()).is_empty());
+        let cs = cs_order_races(e.trace());
+        assert_eq!(cs.len(), 1);
+        assert!(!cs[0].first.locks.is_empty());
+    }
+
+    /// Accesses ordered by *different* locks do not form CS-order pairs
+    /// (they are plain data races — the locks do not order them).
+    #[test]
+    fn different_locks_are_not_cs_pairs() {
+        let mut p = ProgramBuilder::new("diff-locks");
+        let x = p.global("x", 0);
+        let l1 = p.lock("l1");
+        let l2 = p.lock("l2");
+        {
+            let mut a = p.syscall_thread("A", "s");
+            a.lock(l1);
+            a.store_global(x, 1u64);
+            a.unlock(l1);
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "s");
+            b.lock(l2);
+            b.store_global(x, 2u64);
+            b.unlock(l2);
+            b.ret();
+        }
+        let prog = Arc::new(p.build().unwrap());
+        let mut e = Engine::new(prog);
+        e.run_all_serial();
+        // Concurrent (different locks) → a data race, not a CS pair.
+        assert_eq!(races_in_trace(e.trace()).len(), 1);
+        assert!(cs_order_races(e.trace()).is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! `baselines` — the root-cause-diagnosis techniques AITIA is compared
+//! against (paper Table 1 and §5.3).
+//!
+//! * [`kairux`] — inflection-point localization: the first instruction of
+//!   the failing run deviating from every passing run (a single
+//!   instruction, hence not *comprehensive* for multi-race chains);
+//! * [`coop`] — cooperative bug localization (Gist/Snorlax/CCI style):
+//!   statistical ranking of predefined single-variable order/atomicity
+//!   violation patterns (hence not *pattern-agnostic*);
+//! * [`muvi`] — access-correlation mining: flags multi-variable pairs by
+//!   co-access probability (fails on loosely correlated objects);
+//! * [`replay`] — naive replay-based benign-race classification (flips a
+//!   race without preserving the other orders, hence misclassifies);
+//! * [`sampler`] — the randomized-schedule execution sampler the
+//!   statistical baselines consume.
+//!
+//! Each module measures, on the shared corpus, exactly the comparison the
+//! paper makes.
+
+#![warn(missing_docs)]
+
+pub mod coop;
+pub mod kairux;
+pub mod muvi;
+pub mod replay;
+pub mod sampler;
+
+pub use coop::{
+    localize,
+    Pattern,
+    RankedPattern, //
+};
+pub use kairux::{
+    inflection_point,
+    InflectionPoint, //
+};
+pub use muvi::{
+    correlations,
+    flags_pair,
+    THRESHOLD,
+    WINDOW, //
+};
+pub use replay::{
+    classify_all,
+    ReplayVerdict, //
+};
+pub use sampler::{
+    sample_runs,
+    split,
+    SampledRun,
+    SamplerConfig, //
+};

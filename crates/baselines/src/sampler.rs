@@ -1,0 +1,191 @@
+//! Randomized schedule sampling.
+//!
+//! The cooperative-bug-localization and Kairux baselines are statistical:
+//! they need many labeled executions (failing / passing) of the same
+//! program. This sampler produces them with a PCT-flavoured randomized
+//! scheduler (random preemptions at every step boundary), seeded for
+//! determinism.
+
+use ksim::{
+    Engine,
+    Program,
+    StepOutcome,
+    StepRecord,
+    ThreadId, //
+};
+use rand::{
+    Rng,
+    SeedableRng, //
+};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// One sampled execution.
+#[derive(Clone, Debug)]
+pub struct SampledRun {
+    /// The executed trace.
+    pub trace: Vec<StepRecord>,
+    /// Whether the run failed.
+    pub failed: bool,
+}
+
+/// Sampler configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SamplerConfig {
+    /// Probability of preempting the running thread at each step.
+    pub preempt_prob: f64,
+    /// Per-run step budget.
+    pub step_budget: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            preempt_prob: 0.15,
+            step_budget: 100_000,
+        }
+    }
+}
+
+/// Runs `n` randomized executions of `program`.
+#[must_use]
+pub fn sample_runs(
+    program: &Arc<Program>,
+    n: usize,
+    seed: u64,
+    cfg: &SamplerConfig,
+) -> Vec<SampledRun> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut engine = Engine::new(Arc::clone(program));
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        engine.reboot();
+        let mut current: Option<ThreadId> = engine.runnable().first().copied();
+        let mut steps = 0usize;
+        while !engine.halted() && steps < cfg.step_budget {
+            let runnable = engine.runnable();
+            if runnable.is_empty() {
+                break;
+            }
+            let cur = match current {
+                Some(c) if runnable.contains(&c) && !rng.gen_bool(cfg.preempt_prob) => c,
+                _ => runnable[rng.gen_range(0..runnable.len())],
+            };
+            current = Some(cur);
+            match engine.step(cur) {
+                Ok(StepOutcome::Blocked { .. }) => {
+                    // Pick someone else next iteration.
+                    current = None;
+                }
+                Ok(_) => steps += 1,
+                Err(_) => break,
+            }
+        }
+        out.push(SampledRun {
+            trace: engine.trace().to_vec(),
+            failed: engine.failure().is_some(),
+        });
+    }
+    out
+}
+
+/// Runs `n` executions *guided* by a known failure-triggering schedule:
+/// each run enforces a random subset of the schedule's preemption points
+/// (each kept with probability 0.7). This models the
+/// cooperative-bug-localization setting — a production site that keeps
+/// hitting interleavings *near* the failing one, sometimes completing the
+/// full pattern (failing run) and sometimes not — which blind random
+/// sampling cannot reproduce for bugs this rare (the corpus bugs needed a
+/// fuzzer plus AITIA to surface at all).
+#[must_use]
+pub fn sample_runs_guided(
+    program: &Arc<Program>,
+    schedule: &aitia::Schedule,
+    n: usize,
+    seed: u64,
+    cfg: &SamplerConfig,
+) -> Vec<SampledRun> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut engine = Engine::new(Arc::clone(program));
+    let mut out = Vec::with_capacity(n);
+    let enforce_cfg = aitia::EnforceConfig {
+        step_budget: cfg.step_budget,
+    };
+    for _ in 0..n {
+        engine.reboot();
+        let kept: Vec<aitia::SchedPoint> = schedule
+            .points
+            .iter()
+            .filter(|_| rng.gen_bool(0.7))
+            .cloned()
+            .collect();
+        let sub = aitia::Schedule {
+            start: schedule.start,
+            points: kept,
+            fallback: schedule.fallback.clone(),
+            segments: Vec::new(),
+        };
+        let run = aitia::enforce_run(&mut engine, &sub, &enforce_cfg);
+        out.push(SampledRun {
+            trace: run.trace,
+            failed: run.failure.is_some(),
+        });
+    }
+    out
+}
+
+/// Splits samples into failing and passing sets.
+#[must_use]
+pub fn split(samples: Vec<SampledRun>) -> (Vec<SampledRun>, Vec<SampledRun>) {
+    samples.into_iter().partition(|s| s.failed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::builder::ProgramBuilder;
+
+    fn racy_program() -> Arc<Program> {
+        let mut p = ProgramBuilder::new("racy");
+        let obj = p.static_obj("obj", 8);
+        let ptr_valid = p.global("ptr_valid", 0);
+        let ptr = p.global_ptr("ptr", obj);
+        {
+            let mut a = p.syscall_thread("A", "w");
+            a.store_global(ptr_valid, 1u64);
+            a.load_global("r0", ptr);
+            a.load_ind("r1", "r0", 0);
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "c");
+            let out = b.new_label();
+            b.load_global("r0", ptr_valid);
+            b.jmp_if(ksim::builder::cond_reg("r0", ksim::CmpOp::Eq, 0), out);
+            b.store_global(ptr, 0u64);
+            b.place(out);
+            b.ret();
+        }
+        Arc::new(p.build().unwrap())
+    }
+
+    #[test]
+    fn sampling_finds_both_outcomes() {
+        let prog = racy_program();
+        let samples = sample_runs(&prog, 200, 42, &SamplerConfig::default());
+        let (fail, pass) = split(samples);
+        assert!(!fail.is_empty(), "randomized runs should hit the race");
+        assert!(!pass.is_empty(), "most runs should pass");
+        assert!(pass.len() > fail.len());
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let prog = racy_program();
+        let a = sample_runs(&prog, 50, 7, &SamplerConfig::default());
+        let b = sample_runs(&prog, 50, 7, &SamplerConfig::default());
+        let fa: Vec<bool> = a.iter().map(|s| s.failed).collect();
+        let fb: Vec<bool> = b.iter().map(|s| s.failed).collect();
+        assert_eq!(fa, fb);
+    }
+}

@@ -1,0 +1,848 @@
+//! The ten CVE concurrency failures of Table 2.
+//!
+//! Each model reproduces the published bug's *race structure* — the racing
+//! variables, their correlation, the race-steered control flows, the
+//! interleaving count required, and the failure class — against the public
+//! CVE analyses and the kernel patches. The kernel code around the race is
+//! abstracted to the instructions AITIA actually reasons about.
+
+use crate::{
+    noise::{
+        Noise,
+        NoiseSpec, //
+    },
+    BugModel, MultiVar, PaperRow,
+};
+use ksim::{
+    builder::{
+        cond_reg,
+        ProgramBuilder, //
+    },
+    CmpOp, FailureKind, Program,
+};
+
+/// All ten Table 2 models, in table order.
+#[must_use]
+pub fn all() -> Vec<BugModel> {
+    vec![
+        BugModel {
+            id: "CVE-2019-11486",
+            subsystem: "TTY",
+            bug_type: "Use-after-free access",
+            multi_variable: MultiVar::No,
+            kind: FailureKind::UseAfterFree,
+            target_func: Some("slcan_transmit"),
+            expected_chain_races: 2,
+            expected_interleavings: 1,
+            kthread: None,
+            paper: PaperRow {
+                lifs_time_s: 44.7,
+                lifs_schedules: 225,
+                interleavings: 1,
+                ca_time_s: 497.6,
+                ca_schedules: 130,
+                chain_races: None,
+            },
+            syscalls: &["write", "ioctl"],
+            racing_vars: &["tty->ldisc_ready"],
+            default_noise: NoiseSpec {
+                shared_counters: 30,
+                burst: 52,
+                private_work: 1500,
+                seed: 11486,
+            },
+            build: cve_2019_11486,
+            doc: "The slcan/slip line-discipline teardown races with a \
+                  concurrent write: TIOCSETD tears the ldisc state down and \
+                  frees it while the write path still dereferences it. The \
+                  model guards the write path on `ldisc_ready` and frees the \
+                  ldisc object on the ioctl path.",
+        },
+        BugModel {
+            id: "CVE-2019-6974",
+            subsystem: "KVM",
+            bug_type: "Use-after-free access",
+            multi_variable: MultiVar::Loose,
+            kind: FailureKind::UseAfterFree,
+            target_func: Some("kvm_create_device"),
+            expected_chain_races: 2,
+            expected_interleavings: 1,
+            kthread: None,
+            paper: PaperRow {
+                lifs_time_s: 103.8,
+                lifs_schedules: 664,
+                interleavings: 1,
+                ca_time_s: 1183.8,
+                ca_schedules: 688,
+                chain_races: None,
+            },
+            syscalls: &["ioctl", "close"],
+            racing_vars: &["fdtable[fd]"],
+            default_noise: NoiseSpec {
+                shared_counters: 100,
+                burst: 180,
+                private_work: 2600,
+                seed: 6974,
+            },
+            build: cve_2019_6974,
+            doc: "KVM_CREATE_DEVICE installs the device's file descriptor \
+                  (VFS layer) before the kvm object's initialization \
+                  completes (KVM layer); a concurrent close() on the guessed \
+                  fd releases the device under the creator's feet. The two \
+                  racing objects — the fd-table slot and the kvm device — \
+                  live in different subsystems and are loosely correlated \
+                  (§2.2).",
+        },
+        BugModel {
+            id: "CVE-2018-12232",
+            subsystem: "SockFS",
+            bug_type: "NULL pointer dereference",
+            multi_variable: MultiVar::No,
+            kind: FailureKind::NullDeref,
+            target_func: Some("sock_setattr"),
+            expected_chain_races: 2,
+            expected_interleavings: 1,
+            kthread: None,
+            paper: PaperRow {
+                lifs_time_s: 37.8,
+                lifs_schedules: 536,
+                interleavings: 1,
+                ca_time_s: 511.4,
+                ca_schedules: 680,
+                chain_races: None,
+            },
+            syscalls: &["ioctl", "close"],
+            racing_vars: &["sock->sk"],
+            default_noise: NoiseSpec {
+                shared_counters: 100,
+                burst: 170,
+                private_work: 2200,
+                seed: 12232,
+            },
+            build: cve_2018_12232,
+            doc: "fchownat() on a socket inode races with close(): \
+                  sock_close() NULLs sock->sk while sock_setattr re-reads it \
+                  without synchronization. A single racing variable read \
+                  twice on the setattr path.",
+        },
+        BugModel {
+            id: "CVE-2017-15649",
+            subsystem: "Packet socket",
+            bug_type: "Assertion violation",
+            multi_variable: MultiVar::Tight,
+            kind: FailureKind::AssertionViolation,
+            target_func: Some("fanout_unlink"),
+            expected_chain_races: 4,
+            expected_interleavings: 2,
+            kthread: None,
+            paper: PaperRow {
+                lifs_time_s: 88.0,
+                lifs_schedules: 1052,
+                interleavings: 2,
+                ca_time_s: 337.9,
+                ca_schedules: 257,
+                chain_races: None,
+            },
+            syscalls: &["setsockopt", "bind"],
+            racing_vars: &["po->running", "po->fanout"],
+            default_noise: NoiseSpec {
+                shared_counters: 6,
+                burst: 16,
+                private_work: 3000,
+                seed: 15649,
+            },
+            build: cve_2017_15649,
+            doc: "The paper's running example (Figure 2/Figure 6): \
+                  fanout_add() and packet_do_bind() communicate through the \
+                  tightly correlated pair po->fanout / po->running; the \
+                  multi-variable atomicity violation steers \
+                  fanout_unlink() into BUG_ON(!list_contains(sk)). Needs \
+                  two interleavings.",
+        },
+        BugModel {
+            id: "CVE-2017-10661",
+            subsystem: "Timer fd",
+            bug_type: "List corruption",
+            multi_variable: MultiVar::Tight,
+            kind: FailureKind::ListCorruption,
+            target_func: Some("timerfd_setup_cancel"),
+            expected_chain_races: 3,
+            expected_interleavings: 1,
+            kthread: None,
+            paper: PaperRow {
+                lifs_time_s: 32.8,
+                lifs_schedules: 99,
+                interleavings: 1,
+                ca_time_s: 336.1,
+                ca_schedules: 266,
+                chain_races: None,
+            },
+            syscalls: &["timerfd_settime", "timerfd_settime"],
+            racing_vars: &["ctx->might_cancel", "cancel_list"],
+            default_noise: NoiseSpec {
+                shared_counters: 24,
+                burst: 41,
+                private_work: 600,
+                seed: 10661,
+            },
+            build: cve_2017_10661,
+            doc: "Concurrent timerfd_settime() calls both observe \
+                  ctx->might_cancel == 0 and both insert the context into \
+                  the global cancel list — a check-then-act atomicity \
+                  violation on the tightly correlated flag/list pair, \
+                  corrupting the list by double insertion.",
+        },
+        BugModel {
+            id: "CVE-2017-7533",
+            subsystem: "Inotify",
+            bug_type: "Slab-out-of-bounds access",
+            multi_variable: MultiVar::Tight,
+            kind: FailureKind::SlabOutOfBounds,
+            target_func: Some("inotify_handle_event"),
+            expected_chain_races: 2,
+            expected_interleavings: 1,
+            kthread: None,
+            paper: PaperRow {
+                lifs_time_s: 64.5,
+                lifs_schedules: 1056,
+                interleavings: 1,
+                ca_time_s: 1846.7,
+                ca_schedules: 1578,
+                chain_races: None,
+            },
+            syscalls: &["rename", "inotify_add_watch"],
+            racing_vars: &["dentry->d_name.name", "dentry->d_name.len"],
+            default_noise: NoiseSpec {
+                shared_counters: 110,
+                burst: 190,
+                private_work: 4200,
+                seed: 7533,
+            },
+            build: cve_2017_7533,
+            doc: "inotify_handle_event() reads the dentry name pointer and \
+                  the name length as two separate accesses while rename() \
+                  updates both: a shorter name with the stale longer length \
+                  drives the copy past the allocation — the classic \
+                  pointer/length tightly-correlated multi-variable race.",
+        },
+        BugModel {
+            id: "CVE-2017-2671",
+            subsystem: "IPV4",
+            bug_type: "NULL pointer dereference",
+            multi_variable: MultiVar::No,
+            kind: FailureKind::NullDeref,
+            target_func: Some("ping_check_bind"),
+            expected_chain_races: 2,
+            expected_interleavings: 1,
+            kthread: None,
+            paper: PaperRow {
+                lifs_time_s: 33.2,
+                lifs_schedules: 130,
+                interleavings: 1,
+                ca_time_s: 195.3,
+                ca_schedules: 159,
+                chain_races: None,
+            },
+            syscalls: &["connect", "connect"],
+            racing_vars: &["sk->sk_node"],
+            default_noise: NoiseSpec {
+                shared_counters: 36,
+                burst: 63,
+                private_work: 800,
+                seed: 2671,
+            },
+            build: cve_2017_2671,
+            doc: "ping_unhash() clears the socket's hash-list linkage while \
+                  a concurrent connect() re-reads it unlocked; the second \
+                  read observes NULL and the subsequent dereference \
+                  crashes. A single racing variable.",
+        },
+        BugModel {
+            id: "CVE-2017-2636",
+            subsystem: "TTY",
+            bug_type: "Double free",
+            multi_variable: MultiVar::No,
+            kind: FailureKind::DoubleFree,
+            target_func: Some("n_hdlc_release"),
+            expected_chain_races: 2,
+            expected_interleavings: 1,
+            kthread: None,
+            paper: PaperRow {
+                lifs_time_s: 34.3,
+                lifs_schedules: 197,
+                interleavings: 1,
+                ca_time_s: 270.0,
+                ca_schedules: 215,
+                chain_races: None,
+            },
+            syscalls: &["ioctl", "ioctl"],
+            racing_vars: &["n_hdlc->tbuf"],
+            default_noise: NoiseSpec {
+                shared_counters: 50,
+                burst: 87,
+                private_work: 900,
+                seed: 2636,
+            },
+            build: cve_2017_2636,
+            doc: "The n_hdlc line discipline's flush_tx_queue() and \
+                  n_hdlc_release() both pop n_hdlc.tbuf and free it; without \
+                  synchronization both observe the same buffer and free it \
+                  twice (the analysis in the paper's reference [5]).",
+        },
+        BugModel {
+            id: "CVE-2016-10200",
+            subsystem: "L2TP",
+            bug_type: "Use-after-free access",
+            multi_variable: MultiVar::Tight,
+            kind: FailureKind::UseAfterFree,
+            target_func: Some("l2tp_ip_connect"),
+            expected_chain_races: 2,
+            expected_interleavings: 1,
+            kthread: None,
+            paper: PaperRow {
+                lifs_time_s: 32.8,
+                lifs_schedules: 112,
+                interleavings: 1,
+                ca_time_s: 184.9,
+                ca_schedules: 159,
+                chain_races: None,
+            },
+            syscalls: &["bind", "connect"],
+            racing_vars: &["sk->bound", "sk->hashed"],
+            default_noise: NoiseSpec {
+                shared_counters: 36,
+                burst: 63,
+                private_work: 700,
+                seed: 10200,
+            },
+            build: cve_2016_10200,
+            doc: "The l2tp socket-hashing race where AITIA encounters its \
+                  single ambiguity case (§5.1): the surrounding data race \
+                  cannot be flipped while preserving the nested one, and \
+                  both avert the failure — the Figure 7 geometry. The model \
+                  reproduces exactly that: two crossing races on the \
+                  tightly-correlated bind state, where the nested race is \
+                  causal and the surrounding race is reported ambiguous.",
+        },
+        BugModel {
+            id: "CVE-2016-8655",
+            subsystem: "Packet socket",
+            bug_type: "Slab-out-of-bounds access",
+            multi_variable: MultiVar::Tight,
+            kind: FailureKind::SlabOutOfBounds,
+            target_func: Some("packet_set_ring"),
+            expected_chain_races: 3,
+            expected_interleavings: 1,
+            kthread: None,
+            paper: PaperRow {
+                lifs_time_s: 47.8,
+                lifs_schedules: 213,
+                interleavings: 1,
+                ca_time_s: 184.0,
+                ca_schedules: 135,
+                chain_races: None,
+            },
+            syscalls: &["setsockopt", "setsockopt"],
+            racing_vars: &["po->tp_version", "po->rx_ring.pg_vec"],
+            default_noise: NoiseSpec {
+                shared_counters: 32,
+                burst: 55,
+                private_work: 800,
+                seed: 8655,
+            },
+            build: cve_2016_8655,
+            doc: "packet_set_ring() reads po->tp_version twice while a \
+                  concurrent PACKET_VERSION setsockopt changes it; the ring \
+                  geometry computed for one version is used with the other, \
+                  walking past the ring block — the tp_version/rx_ring \
+                  tightly-correlated pair the fix made atomic.",
+        },
+    ]
+}
+
+/// CVE-2019-11486: slcan ldisc teardown vs write (UAF, chain 2).
+fn cve_2019_11486(spec: NoiseSpec) -> Program {
+    let mut p = ProgramBuilder::new("CVE-2019-11486");
+    let mut noise = Noise::setup(&mut p, spec);
+    let ldisc_obj = p.static_obj("slcan_ldisc", 16);
+    let ldisc_ready = p.global("tty->ldisc_ready", 1);
+    let ldisc = p.global_ptr("tty->disc_data", ldisc_obj);
+    {
+        let mut a = p.syscall_thread("A", "write");
+        a.func("slcan_transmit").line(100);
+        noise.private_work(&mut a);
+        noise.burst_pre(&mut a);
+        let out = a.new_label();
+        a.n("A1").load_global("r0", ldisc_ready);
+        a.jmp_if(cond_reg("r0", CmpOp::Eq, 0), out);
+        a.n("A2").load_global("r1", ldisc);
+        a.n("A3").store_ind("r1", 8, 1u64); // sl->xleft = ...
+        a.place(out);
+        noise.burst_post(&mut a);
+        a.ret();
+    }
+    {
+        let mut b = p.syscall_thread("B", "ioctl");
+        b.func("tty_set_ldisc").line(200);
+        noise.private_work(&mut b);
+        noise.burst_pre(&mut b);
+        b.n("B1").store_global(ldisc_ready, 0u64);
+        b.n("B2").load_global("r0", ldisc);
+        b.n("B3").free("r0"); // slcan_close() frees the ldisc state
+        noise.burst_post(&mut b);
+        b.ret();
+    }
+    p.build().expect("CVE-2019-11486 builds")
+}
+
+/// CVE-2019-6974: KVM device fd install vs close (UAF, loose, chain 2).
+fn cve_2019_6974(spec: NoiseSpec) -> Program {
+    let mut p = ProgramBuilder::new("CVE-2019-6974");
+    let mut noise = Noise::setup(&mut p, spec);
+    let fd_slot = p.global("fdtable[fd]", 0);
+    {
+        let mut a = p.syscall_thread("A", "ioctl");
+        a.func("kvm_create_device").line(300);
+        noise.private_work(&mut a);
+        noise.burst_pre(&mut a);
+        a.n("A1").alloc("r0", 24); // dev = kzalloc()
+        a.n("A2").store_global_from(fd_slot, "r0"); // fd_install(): published
+        a.n("A3").store_ind("r0", 8, 7u64); // dev->kvm = kvm (init continues)
+        noise.burst_post(&mut a);
+        a.ret();
+    }
+    {
+        let mut b = p.syscall_thread("B", "close");
+        b.func("kvm_device_release").line(400);
+        noise.private_work(&mut b);
+        noise.burst_pre(&mut b);
+        let out = b.new_label();
+        b.n("B1").load_global("r0", fd_slot);
+        b.jmp_if(cond_reg("r0", CmpOp::Eq, 0), out);
+        b.n("B2").free("r0"); // kvm_device destroy
+        b.place(out);
+        noise.burst_post(&mut b);
+        b.ret();
+    }
+    p.build().expect("CVE-2019-6974 builds")
+}
+
+/// CVE-2018-12232: sock_close vs setattr re-read (NULL deref, chain 2).
+fn cve_2018_12232(spec: NoiseSpec) -> Program {
+    let mut p = ProgramBuilder::new("CVE-2018-12232");
+    let mut noise = Noise::setup(&mut p, spec);
+    let sk_obj = p.static_obj("sk", 16);
+    let sk = p.global_ptr("sock->sk", sk_obj);
+    {
+        let mut a = p.syscall_thread("A", "ioctl");
+        a.func("sock_setattr").line(500);
+        noise.private_work(&mut a);
+        noise.burst_pre(&mut a);
+        let out = a.new_label();
+        a.n("A1").load_global("r0", sk);
+        a.jmp_if(cond_reg("r0", CmpOp::Eq, 0), out);
+        a.n("A2").load_global("r1", sk); // unlocked re-read
+        a.n("A3").load_ind("r2", "r1", 0); // sk->sk_uid
+        a.place(out);
+        noise.burst_post(&mut a);
+        a.ret();
+    }
+    {
+        let mut b = p.syscall_thread("B", "close");
+        b.func("sock_close").line(600);
+        noise.private_work(&mut b);
+        noise.burst_pre(&mut b);
+        b.n("B1").store_global(sk, 0u64); // sock->sk = NULL
+        noise.burst_post(&mut b);
+        b.ret();
+    }
+    p.build().expect("CVE-2018-12232 builds")
+}
+
+/// CVE-2017-15649: the Figure 2 packet-fanout bug (BUG_ON, chain 4,
+/// interleaving count 2).
+///
+/// Instruction names follow the paper's Figure 2 exactly.
+#[must_use]
+pub fn cve_2017_15649(spec: NoiseSpec) -> Program {
+    let mut p = ProgramBuilder::new("CVE-2017-15649");
+    let mut noise = Noise::setup(&mut p, spec);
+    let sk_obj = p.static_obj("sk", 16);
+    let po_running = p.global("po->running", 1);
+    let po_fanout = p.global("po->fanout", 0);
+    let global_list = p.global("fanout_list", 0);
+    let sk = p.global_ptr("sk_ptr", sk_obj);
+    {
+        let mut a = p.syscall_thread("A", "setsockopt");
+        a.func("fanout_add").line(1);
+        noise.private_work(&mut a);
+        noise.burst_pre(&mut a);
+        let out = a.new_label();
+        a.n("A2").load_global("r0", po_running);
+        a.n("A3").jmp_if(cond_reg("r0", CmpOp::Eq, 0), out); // return -EINVAL
+        a.n("A5").alloc("r1", 16); // match = kmalloc()
+        a.n("A6").store_global_from(po_fanout, "r1");
+        a.func("fanout_link").line(11);
+        a.n("A8").load_global("r2", sk);
+        a.n("A12").list_add(global_list, "r2"); // list_add(sk, &global_list)
+        a.place(out);
+        a.ret();
+    }
+    {
+        let mut b = p.syscall_thread("B", "bind");
+        b.func("packet_do_bind").line(1);
+        noise.private_work(&mut b);
+        noise.burst_pre(&mut b);
+        let out = b.new_label();
+        let skip_unlink = b.new_label();
+        b.n("B2").load_global("r0", po_fanout);
+        b.n("B3").jmp_if(cond_reg("r0", CmpOp::Ne, 0), out); // return -EINVAL
+        b.func("unregister_hook").line(10);
+        b.n("B11").store_global(po_running, 0u64);
+        b.n("B12").load_global("r1", po_fanout);
+        b.jmp_if(cond_reg("r1", CmpOp::Eq, 0), skip_unlink);
+        b.func("fanout_unlink").line(16);
+        b.n("B16").load_global("r2", sk);
+        b.n("B17").list_contains("r3", global_list, "r2");
+        b.bug_on_msg(
+            cond_reg("r3", CmpOp::Eq, 0),
+            "!list_contains(sk, &global_list)",
+        );
+        b.n("B18").list_del(global_list, "r2");
+        b.place(skip_unlink);
+        b.func("fanout_link").line(11);
+        b.n("B7a").load_global("r4", sk);
+        b.n("B7").list_add(global_list, "r4");
+        b.place(out);
+        b.ret();
+    }
+    p.build().expect("CVE-2017-15649 builds")
+}
+
+/// CVE-2017-10661: timerfd might_cancel double list insertion (chain 3).
+fn cve_2017_10661(spec: NoiseSpec) -> Program {
+    let mut p = ProgramBuilder::new("CVE-2017-10661");
+    let mut noise = Noise::setup(&mut p, spec);
+    let ctx_obj = p.static_obj("timerfd_ctx", 8);
+    let might_cancel = p.global("ctx->might_cancel", 0);
+    let cancel_list = p.global("cancel_list", 0);
+    let ctx = p.global_ptr("ctx_ptr", ctx_obj);
+    let thread = |p: &mut ProgramBuilder,
+                  noise: &mut Noise,
+                  name: &str,
+                  n1: &'static str,
+                  n2: &'static str,
+                  n3: &'static str,
+                  line: u32| {
+        let mut t = p.syscall_thread(name, "timerfd_settime");
+        t.func("timerfd_setup_cancel").line(line);
+        noise.private_work(&mut t);
+        noise.burst_pre(&mut t);
+        let out = t.new_label();
+        t.n(n1).load_global("r0", might_cancel);
+        t.jmp_if(cond_reg("r0", CmpOp::Ne, 0), out); // already armed
+        noise.burst_pre(&mut t);
+        t.n(n2).store_global(might_cancel, 1u64);
+        t.n("ld").load_global("r1", ctx);
+        t.n(n3).list_add(cancel_list, "r1");
+        t.place(out);
+        noise.burst_post(&mut t);
+        t.ret();
+    };
+    thread(&mut p, &mut noise, "A", "A1", "A2", "A3", 700);
+    thread(&mut p, &mut noise, "B", "B1", "B2", "B3", 700);
+    p.build().expect("CVE-2017-10661 builds")
+}
+
+/// CVE-2017-7533: inotify name pointer/length race (slab OOB, chain 2).
+fn cve_2017_7533(spec: NoiseSpec) -> Program {
+    let mut p = ProgramBuilder::new("CVE-2017-7533");
+    let mut noise = Noise::setup(&mut p, spec);
+    let long_name = p.static_obj("name_long", 24);
+    let short_name = p.static_obj("name_short", 8);
+    let name_ptr = p.global_ptr("dentry->d_name.name", long_name);
+    let name_len = p.global("dentry->d_name.len", 24);
+    // Hold the replacement buffer's address in a global the rename path
+    // reads (a thread-private read, not racing).
+    let short_ptr = p.global_ptr("new_name", short_name);
+    {
+        let mut a = p.syscall_thread("A", "inotify_add_watch");
+        a.func("inotify_handle_event").line(800);
+        noise.private_work(&mut a);
+        noise.burst_pre(&mut a);
+        a.n("A1").load_global("r0", name_ptr);
+        a.n("A2").load_global("r1", name_len);
+        // copy name[len-8] — in range for the original, past the end for
+        // the shorter replacement.
+        a.op("r2", ksim::instr::BinOp::Add, "r0", "r1");
+        a.op("r2", ksim::instr::BinOp::Sub, "r2", 8u64);
+        a.mov("r3", 0u64);
+        a.op("r3", ksim::instr::BinOp::Add, "r3", "r2");
+        a.n("A3").load_ind("r4", "r3", 0);
+        noise.burst_post(&mut a);
+        a.ret();
+    }
+    {
+        let mut b = p.syscall_thread("B", "rename");
+        b.func("d_move").line(900);
+        noise.private_work(&mut b);
+        noise.burst_pre(&mut b);
+        b.load_global("r0", short_ptr);
+        b.n("B1").store_global_from(name_ptr, "r0"); // swap to shorter name
+        b.n("B2").store_global(name_len, 8u64); // update the length
+        noise.burst_post(&mut b);
+        b.ret();
+    }
+    p.build().expect("CVE-2017-7533 builds")
+}
+
+/// CVE-2017-2671: ping_unhash vs connect re-read (NULL deref, chain 2).
+fn cve_2017_2671(spec: NoiseSpec) -> Program {
+    let mut p = ProgramBuilder::new("CVE-2017-2671");
+    let mut noise = Noise::setup(&mut p, spec);
+    let node_obj = p.static_obj("hlist_node", 8);
+    let hlist = p.global_ptr("sk->sk_node", node_obj);
+    {
+        let mut a = p.syscall_thread("A", "connect");
+        a.func("ping_check_bind").line(1000);
+        noise.private_work(&mut a);
+        noise.burst_pre(&mut a);
+        let out = a.new_label();
+        a.n("A1").load_global("r0", hlist);
+        a.jmp_if(cond_reg("r0", CmpOp::Eq, 0), out);
+        a.n("A2").load_global("r1", hlist); // unlocked re-read
+        a.n("A3").load_ind("r2", "r1", 0);
+        a.place(out);
+        noise.burst_post(&mut a);
+        a.ret();
+    }
+    {
+        let mut b = p.syscall_thread("B", "connect");
+        b.func("ping_unhash").line(1100);
+        noise.private_work(&mut b);
+        noise.burst_pre(&mut b);
+        b.n("B1").store_global(hlist, 0u64); // hlist_nulls_del
+        noise.burst_post(&mut b);
+        b.ret();
+    }
+    p.build().expect("CVE-2017-2671 builds")
+}
+
+/// CVE-2017-2636: n_hdlc tbuf double free (chain 2).
+fn cve_2017_2636(spec: NoiseSpec) -> Program {
+    let mut p = ProgramBuilder::new("CVE-2017-2636");
+    let mut noise = Noise::setup(&mut p, spec);
+    let buf_obj = p.static_obj("tbuf", 8);
+    let tbuf = p.global_ptr("n_hdlc->tbuf", buf_obj);
+    let side = |p: &mut ProgramBuilder,
+                noise: &mut Noise,
+                name: &str,
+                func: &'static str,
+                n1: &'static str,
+                n2: &'static str,
+                n3: &'static str| {
+        let mut t = p.syscall_thread(name, "ioctl");
+        t.func(func).line(1200);
+        noise.private_work(&mut t);
+        noise.burst_pre(&mut t);
+        let out = t.new_label();
+        t.n(n1).load_global("r0", tbuf);
+        t.jmp_if(cond_reg("r0", CmpOp::Eq, 0), out);
+        t.n(n2).free("r0");
+        t.n(n3).store_global(tbuf, 0u64);
+        t.place(out);
+        noise.burst_post(&mut t);
+        t.ret();
+    };
+    side(&mut p, &mut noise, "A", "flush_tx_queue", "A1", "A2", "A3");
+    side(&mut p, &mut noise, "B", "n_hdlc_release", "B1", "B2", "B3");
+    p.build().expect("CVE-2017-2636 builds")
+}
+
+/// CVE-2016-10200: the ambiguity case (Figure 7 geometry, UAF).
+fn cve_2016_10200(spec: NoiseSpec) -> Program {
+    let mut p = ProgramBuilder::new("CVE-2016-10200");
+    let mut noise = Noise::setup(&mut p, spec);
+    let sess_obj = p.static_obj("l2tp_session", 8);
+    let conn_pending = p.global("sk->conn_pending", 0);
+    let bound = p.global("sk->bound", 0);
+    let hashed = p.global("sk->hashed", 0);
+    let sess = p.global_ptr("session", sess_obj);
+    {
+        let mut a = p.syscall_thread("A", "bind");
+        a.func("l2tp_ip_bind").line(1300);
+        noise.private_work(&mut a);
+        noise.burst_pre(&mut a);
+        let out = a.new_label();
+        // bind proceeds only while a connect is in flight (-EALREADY
+        // otherwise), so the failure needs the calls to overlap.
+        a.n("A0").load_global("r9", conn_pending);
+        a.jmp_if(cond_reg("r9", CmpOp::Eq, 0), out);
+        a.n("A1").store_global(bound, 1u64);
+        a.n("A2").store_global(hashed, 1u64);
+        a.place(out);
+        a.ret();
+    }
+    {
+        let mut b = p.syscall_thread("B", "connect");
+        b.func("l2tp_ip_connect").line(1400);
+        noise.private_work(&mut b);
+        noise.burst_pre(&mut b);
+        let out = b.new_label();
+        b.n("B0").store_global(conn_pending, 1u64);
+        b.n("B1").load_global("r0", hashed);
+        b.n("B2").load_global("r1", bound);
+        b.op("r2", ksim::instr::BinOp::And, "r0", "r1");
+        b.jmp_if(cond_reg("r2", CmpOp::Eq, 0), out);
+        // Both halves of the bind state observed: tear the session down
+        // and touch it again — the published use-after-free.
+        b.n("B3").load_global("r3", sess);
+        b.n("B4").free("r3");
+        b.n("B5").store_ind("r3", 0, 1u64);
+        b.place(out);
+        noise.burst_post(&mut b);
+        b.ret();
+    }
+    p.build().expect("CVE-2016-10200 builds")
+}
+
+/// CVE-2016-8655: tp_version vs packet_set_ring (slab OOB, chain 3).
+fn cve_2016_8655(spec: NoiseSpec) -> Program {
+    let mut p = ProgramBuilder::new("CVE-2016-8655");
+    let mut noise = Noise::setup(&mut p, spec);
+    let tp_version = p.global("po->tp_version", 1);
+    let rx_ring = p.global("po->rx_ring.pg_vec", 0);
+    {
+        let mut a = p.syscall_thread("A", "setsockopt");
+        a.func("packet_set_ring").line(1500);
+        noise.private_work(&mut a);
+        noise.burst_pre(&mut a);
+        a.n("A1").load_global("r0", tp_version); // geometry for this version
+        a.n("A2").alloc("r1", 8); // alloc_pg_vec()
+        a.n("A3").store_global_from(rx_ring, "r1");
+        a.n("A4").load_global("r2", tp_version); // re-read for init
+        let ok = a.new_label();
+        a.jmp_if(ksim::builder::cond_rr("r0", CmpOp::Eq, "r2"), ok);
+        // Version changed mid-setup: the V3 walk uses V1 geometry and
+        // steps past the ring block.
+        a.n("A5").load_ind("r3", "r1", 16);
+        a.place(ok);
+        noise.burst_post(&mut a);
+        a.ret();
+    }
+    {
+        let mut b = p.syscall_thread("B", "setsockopt");
+        b.func("packet_setsockopt").line(1600);
+        noise.private_work(&mut b);
+        noise.burst_pre(&mut b);
+        let out = b.new_label();
+        b.n("B1").load_global("r0", rx_ring);
+        b.jmp_if(cond_reg("r0", CmpOp::Ne, 0), out); // -EBUSY if ring exists
+        b.n("B2").store_global(tp_version, 3u64); // TPACKET_V3
+        b.place(out);
+        noise.burst_post(&mut b);
+        b.ret();
+    }
+    p.build().expect("CVE-2016-8655 builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aitia::{
+        CausalityAnalysis,
+        CausalityConfig,
+        Lifs, //
+    };
+
+    /// Every CVE reproduces with small noise and the expected failure kind
+    /// at the expected interleaving count.
+    #[test]
+    fn cves_reproduce_with_expected_shape() {
+        for bug in all() {
+            let prog = bug.program_scaled(0.05);
+            let out = Lifs::new(prog, bug.lifs_config()).search();
+            let run = out
+                .failing
+                .unwrap_or_else(|| panic!("{} did not reproduce", bug.id));
+            assert_eq!(run.failure.kind, bug.kind, "{}", bug.id);
+            assert_eq!(
+                out.stats.interleaving_count, bug.expected_interleavings,
+                "{}: interleaving count",
+                bug.id
+            );
+        }
+    }
+
+    /// Every CVE's chain has the modeled number of causal races, and the
+    /// ambiguity case is exactly CVE-2016-10200.
+    #[test]
+    fn cves_chains_match_expectations() {
+        for bug in all() {
+            let prog = bug.program_scaled(0.05);
+            let run = Lifs::new(prog, bug.lifs_config())
+                .search()
+                .failing
+                .unwrap_or_else(|| panic!("{} did not reproduce", bug.id));
+            let res = CausalityAnalysis::new(CausalityConfig::default()).analyze(&run);
+            assert_eq!(
+                res.chain.race_count(),
+                bug.expected_chain_races,
+                "{}: chain {} tested {:?}",
+                bug.id,
+                res.chain,
+                res.tested
+                    .iter()
+                    .map(|t| (t.race.key(), t.verdict))
+                    .collect::<Vec<_>>()
+            );
+            if bug.id == "CVE-2016-10200" {
+                assert!(
+                    !res.ambiguous().is_empty(),
+                    "10200 must report the ambiguity case"
+                );
+            } else {
+                assert!(
+                    res.ambiguous().is_empty(),
+                    "{}: unexpected ambiguity, chain {}",
+                    bug.id,
+                    res.chain
+                );
+            }
+        }
+    }
+
+    /// The 15649 chain matches Figure 6(b): a conjunction of the two guard
+    /// races, then the race-steered flow, then the pending list race.
+    #[test]
+    fn cve_15649_chain_matches_fig6() {
+        let bug = all()
+            .into_iter()
+            .find(|b| b.id == "CVE-2017-15649")
+            .unwrap();
+        let prog = bug.program(NoiseSpec::silent());
+        let run = Lifs::new(prog, bug.lifs_config())
+            .search()
+            .failing
+            .expect("reproduces");
+        let res = CausalityAnalysis::new(CausalityConfig::default()).analyze(&run);
+        let s = res.chain.to_string();
+        assert_eq!(res.chain.race_count(), 4, "{s}");
+        assert!(s.contains('∧'), "conjunction expected: {s}");
+        assert!(s.contains("BUG_ON"), "{s}");
+        // The conjunction is the multi-variable pair on po->running /
+        // po->fanout.
+        let conj = res
+            .chain
+            .nodes
+            .iter()
+            .find_map(|n| match n {
+                aitia::ChainNode::Conj(v) => Some(v),
+                aitia::ChainNode::Single(_) => None,
+            })
+            .expect("has a conjunction");
+        let vars: Vec<&str> = conj.iter().map(|r| r.variable.as_str()).collect();
+        assert!(vars.contains(&"po->running"), "{vars:?}");
+        assert!(vars.contains(&"po->fanout"), "{vars:?}");
+    }
+}

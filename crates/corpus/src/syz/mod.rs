@@ -1,0 +1,1030 @@
+//! The twelve Syzkaller-reported concurrency failures of Table 3.
+//!
+//! Six were taken from Google's open failure database, six were found (and
+//! at evaluation time unfixed) by the paper's authors. Eight are races
+//! between two system calls; four involve a kernel background thread
+//! (`kworkerd`, an RCU callback, or a timer) — the Figure 4 patterns. Six
+//! involve multi-variable races, three of those with loosely correlated
+//! objects.
+//!
+//! Model documentation cites the syzkaller dashboard entries / fix commits
+//! referenced by the paper (its references \[45\], \[52\], \[55\],
+//! \[90\]–\[98\]).
+
+use crate::{
+    noise::{
+        Noise,
+        NoiseSpec, //
+    },
+    BugModel, MultiVar, PaperRow,
+};
+use khist::KthreadKind;
+use ksim::{
+    builder::{
+        cond_reg,
+        ProgramBuilder, //
+    },
+    instr::BinOp,
+    CmpOp, FailureKind, Program,
+};
+
+/// All twelve Table 3 models, in table order.
+#[must_use]
+pub fn all() -> Vec<BugModel> {
+    vec![
+        BugModel {
+            id: "#1",
+            subsystem: "L2TP",
+            bug_type: "Slab-out-of-bound access",
+            multi_variable: MultiVar::Loose,
+            kind: FailureKind::SlabOutOfBounds,
+            target_func: Some("pppol2tp_connect"),
+            expected_chain_races: 2,
+            expected_interleavings: 1,
+            kthread: None,
+            paper: PaperRow {
+                lifs_time_s: 165.7,
+                lifs_schedules: 751,
+                interleavings: 1,
+                ca_time_s: 251.3,
+                ca_schedules: 236,
+                chain_races: Some(2),
+            },
+            syscalls: &["connect", "setsockopt"],
+            racing_vars: &["sk->sk_state", "session->pkt_len"],
+            default_noise: NoiseSpec {
+                shared_counters: 53,
+                burst: 61,
+                private_work: 2000,
+                seed: 901,
+            },
+            build: syz01_l2tp_oob,
+            doc: "pppol2tp_connect reads a payload length owned by the l2tp \
+                  session while a concurrent setsockopt enlarges it; the \
+                  copy walks past the receive buffer. The racing objects — \
+                  the socket-layer state flag and the l2tp-layer length — \
+                  are loosely correlated (most paths touch only one).",
+        },
+        BugModel {
+            id: "#2",
+            subsystem: "Packet socket",
+            bug_type: "Assertion violation",
+            multi_variable: MultiVar::No,
+            kind: FailureKind::AssertionViolation,
+            target_func: Some("packet_lookup_frame"),
+            expected_chain_races: 4,
+            expected_interleavings: 1,
+            kthread: None,
+            paper: PaperRow {
+                lifs_time_s: 318.0,
+                lifs_schedules: 133,
+                interleavings: 1,
+                ca_time_s: 1152.0,
+                ca_schedules: 471,
+                chain_races: Some(4),
+            },
+            syscalls: &["setsockopt", "ioctl"],
+            racing_vars: &["obj_ptr"],
+            default_noise: NoiseSpec {
+                shared_counters: 100,
+                burst: 140,
+                private_work: 9500,
+                seed: 902,
+            },
+            build: syz02_packet_ring,
+            doc: "Ring-buffer reconfiguration races with frame lookup: four \
+                  fields of the single ring object (head, frame_max, status, \
+                  owner) are read/written without the ring lock, and the \
+                  lookup trips a frame-state assertion. Single object, four \
+                  racing accesses — a four-race chain from one variable \
+                  (object) in the paper's counting.",
+        },
+        BugModel {
+            id: "#3",
+            subsystem: "L2TP",
+            bug_type: "Use-after-free access",
+            multi_variable: MultiVar::Tight,
+            kind: FailureKind::UseAfterFree,
+            target_func: Some("l2tp_session_get"),
+            expected_chain_races: 2,
+            expected_interleavings: 1,
+            kthread: None,
+            paper: PaperRow {
+                lifs_time_s: 65.8,
+                lifs_schedules: 178,
+                interleavings: 1,
+                ca_time_s: 1035.6,
+                ca_schedules: 773,
+                chain_races: Some(2),
+            },
+            syscalls: &["connect", "close"],
+            racing_vars: &["tunnel->closing", "tunnel->session"],
+            default_noise: NoiseSpec {
+                shared_counters: 107,
+                burst: 110,
+                private_work: 5000,
+                seed: 903,
+            },
+            build: syz03_l2tp_uaf,
+            doc: "pppol2tp_connect races with tunnel teardown: the \
+                  tunnel->closing flag and the session pointer are a \
+                  tightly-correlated pair; connect checks the flag, close \
+                  sets it and frees the session, connect then touches the \
+                  freed session.",
+        },
+        BugModel {
+            id: "#4",
+            subsystem: "KVM",
+            bug_type: "Use-after-free access",
+            multi_variable: MultiVar::Loose,
+            kind: FailureKind::UseAfterFree,
+            target_func: Some("irq_bypass_register_consumer"),
+            expected_chain_races: 2,
+            expected_interleavings: 1,
+            kthread: Some(KthreadKind::Kworker),
+            paper: PaperRow {
+                lifs_time_s: 152.1,
+                lifs_schedules: 503,
+                interleavings: 1,
+                ca_time_s: 189.6,
+                ca_schedules: 138,
+                chain_races: Some(2),
+            },
+            syscalls: &["ioctl", "ioctl"],
+            racing_vars: &["consumer_list"],
+            default_noise: NoiseSpec {
+                shared_counters: 40,
+                burst: 63,
+                private_work: 2500,
+                seed: 904,
+            },
+            build: syz04_irqfd,
+            doc: "The paper's Figure 9 case study: KVM_IRQFD assign adds the \
+                  irqfd to the consumer list and continues initializing it; \
+                  a concurrent deassign finds it on the list and queues \
+                  irqfd_shutdown on kworkerd, which frees the irqfd while \
+                  the assign path still writes it. The list (irqbypass \
+                  layer) and the irqfd object (KVM layer) are loosely \
+                  correlated, and the causality crosses the thread boundary \
+                  through the deferred work.",
+        },
+        BugModel {
+            id: "#5",
+            subsystem: "RxRPC",
+            bug_type: "Use-after-free access",
+            multi_variable: MultiVar::No,
+            kind: FailureKind::UseAfterFree,
+            target_func: Some("rxrpc_queue_local"),
+            expected_chain_races: 1,
+            expected_interleavings: 1,
+            kthread: Some(KthreadKind::Kworker),
+            paper: PaperRow {
+                lifs_time_s: 45.7,
+                lifs_schedules: 2,
+                interleavings: 1,
+                ca_time_s: 930.4,
+                ca_schedules: 405,
+                chain_races: Some(1),
+            },
+            syscalls: &["sendmsg"],
+            racing_vars: &["rx->local"],
+            default_noise: NoiseSpec {
+                shared_counters: 80,
+                burst: 95,
+                private_work: 1500,
+                seed: 905,
+            },
+            build: syz05_rxrpc,
+            doc: "A single sendmsg races with the rxrpc_local processor \
+                  work item it queued: the worker drops the last reference \
+                  and frees the local endpoint while the syscall still \
+                  writes it. One data race, reproduced by LIFS's very first \
+                  preemption (2 schedules in the paper).",
+        },
+        BugModel {
+            id: "#6",
+            subsystem: "BPF",
+            bug_type: "General protection fault",
+            multi_variable: MultiVar::Tight,
+            kind: FailureKind::GeneralProtectionFault,
+            target_func: Some("dev_map_hash_update_elem"),
+            expected_chain_races: 4,
+            expected_interleavings: 1,
+            kthread: Some(KthreadKind::RcuCallback),
+            paper: PaperRow {
+                lifs_time_s: 755.0,
+                lifs_schedules: 176,
+                interleavings: 1,
+                ca_time_s: 988.0,
+                ca_schedules: 388,
+                chain_races: Some(4),
+            },
+            syscalls: &["bpf", "close"],
+            racing_vars: &["map->ready", "map->count"],
+            default_noise: NoiseSpec {
+                shared_counters: 66,
+                burst: 72,
+                private_work: 4500,
+                seed: 906,
+            },
+            build: syz06_bpf_devmap,
+            doc: "dev_map_hash_update_elem walks the hash buckets while map \
+                  teardown poisons them from an RCU callback: the map-ready \
+                  flag and element count (tightly correlated) steer the \
+                  release path into call_rcu, and the callback's poisoned \
+                  bucket pointer sends the updater into a wild dereference.",
+        },
+        BugModel {
+            id: "#7",
+            subsystem: "Block device",
+            bug_type: "Use-after-free access",
+            multi_variable: MultiVar::No,
+            kind: FailureKind::UseAfterFree,
+            target_func: Some("delete_partition"),
+            expected_chain_races: 4,
+            expected_interleavings: 1,
+            kthread: None,
+            paper: PaperRow {
+                lifs_time_s: 872.7,
+                lifs_schedules: 231,
+                interleavings: 1,
+                ca_time_s: 1575.0,
+                ca_schedules: 523,
+                chain_races: Some(4),
+            },
+            syscalls: &["ioctl", "ioctl"],
+            racing_vars: &["disk"],
+            default_noise: NoiseSpec {
+                shared_counters: 93,
+                burst: 100,
+                private_work: 8000,
+                seed: 907,
+            },
+            build: syz07_blkpg,
+            doc: "Concurrent BLKPG partition add/delete ioctls (fixed by \
+                  'fix locking in bdev_del_partition' [50]): four unlocked \
+                  accesses to the partition state steer the add path into \
+                  touching the partition object the delete path already \
+                  freed.",
+        },
+        BugModel {
+            id: "#8",
+            subsystem: "CAN",
+            bug_type: "Assertion violation",
+            multi_variable: MultiVar::Tight,
+            kind: FailureKind::RefcountWarning,
+            target_func: Some("j1939_netdev_start"),
+            expected_chain_races: 5,
+            expected_interleavings: 2,
+            kthread: None,
+            paper: PaperRow {
+                lifs_time_s: 2818.8,
+                lifs_schedules: 1044,
+                interleavings: 2,
+                ca_time_s: 3286.0,
+                ca_schedules: 1469,
+                chain_races: Some(5),
+            },
+            syscalls: &["sendmsg", "close"],
+            racing_vars: &["ndev->active", "can->j1939_priv", "priv->session_pending"],
+            default_noise: NoiseSpec {
+                shared_counters: 4,
+                burst: 16,
+                private_work: 9500,
+                seed: 908,
+            },
+            build: syz08_j1939,
+            doc: "WARNING: refcount bug in j1939_netdev_start (fixed by \
+                  'fix uaf for rx_kref of j1939_priv' [54]): the \
+                  ndev-active flag, the published priv pointer, and a \
+                  pending-session flag form a tightly-correlated triple; \
+                  two interleavings drive netdev_stop into dropping the \
+                  last rx_kref reference just before netdev_start takes a \
+                  new one — refcount_inc on zero.",
+        },
+        BugModel {
+            id: "#9",
+            subsystem: "Seccomp",
+            bug_type: "Memory leak",
+            multi_variable: MultiVar::Loose,
+            kind: FailureKind::MemoryLeak,
+            target_func: Some("do_seccomp"),
+            expected_chain_races: 2,
+            expected_interleavings: 1,
+            kthread: None,
+            paper: PaperRow {
+                lifs_time_s: 1526.4,
+                lifs_schedules: 628,
+                interleavings: 1,
+                ca_time_s: 1452.6,
+                ca_schedules: 848,
+                chain_races: Some(2),
+            },
+            syscalls: &["seccomp", "unshare"],
+            racing_vars: &["task->exit_state", "task->seccomp.filter"],
+            default_noise: NoiseSpec {
+                shared_counters: 107,
+                burst: 75,
+                private_work: 4000,
+                seed: 909,
+            },
+            build: syz09_seccomp_leak,
+            doc: "memory leak in do_seccomp (fix [97]): the filter attach \
+                  path checks the task's lifecycle state before publishing \
+                  the freshly allocated filter, while exit tears filters \
+                  down; in the window, the filter is published after \
+                  teardown looked and freed by nobody. The task state (core \
+                  kernel) and the filter slot (seccomp) are loosely \
+                  correlated.",
+        },
+        BugModel {
+            id: "#10",
+            subsystem: "Software RAID",
+            bug_type: "Assertion violation",
+            multi_variable: MultiVar::No,
+            kind: FailureKind::AssertionViolation,
+            target_func: Some("md_ioctl"),
+            expected_chain_races: 4,
+            expected_interleavings: 1,
+            kthread: None,
+            paper: PaperRow {
+                lifs_time_s: 70.8,
+                lifs_schedules: 101,
+                interleavings: 1,
+                ca_time_s: 2365.1,
+                ca_schedules: 1032,
+                chain_races: Some(4),
+            },
+            syscalls: &["ioctl", "ioctl"],
+            racing_vars: &["obj_ptr"],
+            default_noise: NoiseSpec {
+                shared_counters: 83,
+                burst: 80,
+                private_work: 1200,
+                seed: 910,
+            },
+            build: syz10_md_ioctl,
+            doc: "md: warning caused by a race between concurrent \
+                  md_ioctl()s [45]: four unlocked accesses to the mddev \
+                  state words let one ioctl observe the other's half-done \
+                  reconfiguration and trip the consistency WARN.",
+        },
+        BugModel {
+            id: "#11",
+            subsystem: "Floppy",
+            bug_type: "Assertion violation",
+            multi_variable: MultiVar::No,
+            kind: FailureKind::AssertionViolation,
+            target_func: Some("schedule_bh"),
+            expected_chain_races: 2,
+            expected_interleavings: 1,
+            kthread: None,
+            paper: PaperRow {
+                lifs_time_s: 72.4,
+                lifs_schedules: 15,
+                interleavings: 1,
+                ca_time_s: 1692.9,
+                ca_schedules: 627,
+                chain_races: Some(2),
+            },
+            syscalls: &["ioctl", "ioctl"],
+            racing_vars: &["fdc_busy"],
+            default_noise: NoiseSpec {
+                shared_counters: 13,
+                burst: 13,
+                private_work: 160,
+                seed: 911,
+            },
+            build: syz11_floppy,
+            doc: "WARNING in schedule_bh [52]: one ioctl claims the floppy \
+                  controller while another queues a command; the pending \
+                  command observed under a fresh claim trips the WARN. The \
+                  racing instructions sit right at the entry of both paths, \
+                  so LIFS reproduces within its first candidates (15 \
+                  schedules in the paper).",
+        },
+        BugModel {
+            id: "#12",
+            subsystem: "Bluetooth",
+            bug_type: "Use-after-free access",
+            multi_variable: MultiVar::No,
+            kind: FailureKind::UseAfterFree,
+            target_func: Some("sco_sock_connect"),
+            expected_chain_races: 4,
+            expected_interleavings: 1,
+            kthread: Some(KthreadKind::Timer),
+            paper: PaperRow {
+                lifs_time_s: 740.1,
+                lifs_schedules: 272,
+                interleavings: 1,
+                ca_time_s: 2032.0,
+                ca_schedules: 843,
+                chain_races: Some(4),
+            },
+            syscalls: &["connect"],
+            racing_vars: &["conn->state.lookup", "conn->state.attach"],
+            default_noise: NoiseSpec {
+                shared_counters: 54,
+                burst: 46,
+                private_work: 3000,
+                seed: 912,
+            },
+            build: syz12_sco_timer,
+            doc: "Bluetooth: dangling sco_conn / use-after-free in \
+                  sco_sock_timeout [55]: connect arms the sco timer and \
+                  keeps initializing the connection; the timer callback \
+                  observes the half-initialized state, tears the conn down, \
+                  and the syscall's tail writes the freed object.",
+        },
+    ]
+}
+
+/// #1 — pppol2tp OOB: loosely-correlated state flag (sock layer) and
+/// payload length (l2tp layer).
+fn syz01_l2tp_oob(spec: NoiseSpec) -> Program {
+    let mut p = ProgramBuilder::new("syz-1-l2tp-oob");
+    let mut noise = Noise::setup(&mut p, spec);
+    let buf = p.static_obj("rx_buf", 8);
+    let sk_state = p.global("sk->sk_state", 0);
+    let pkt_len = p.global("session->pkt_len", 8);
+    let buf_ptr = p.global_ptr("session->rx_buf", buf);
+    {
+        let mut a = p.syscall_thread("A", "connect");
+        a.func("pppol2tp_connect").line(100);
+        noise.private_work(&mut a);
+        noise.burst_pre(&mut a);
+        a.n("A1").store_global(sk_state, 1u64); // PPPOX_CONNECTED
+        a.n("A2").load_global("r1", pkt_len);
+        a.n("A3").load_global("r0", buf_ptr);
+        a.op("r2", BinOp::Add, "r0", "r1");
+        a.op("r2", BinOp::Sub, "r2", 8u64);
+        a.n("A4").load_ind("r3", "r2", 0); // copy tail of the payload
+        noise.burst_post(&mut a);
+        a.ret();
+    }
+    {
+        let mut b = p.syscall_thread("B", "setsockopt");
+        b.func("pppol2tp_setsockopt").line(200);
+        noise.private_work(&mut b);
+        noise.burst_pre(&mut b);
+        let out = b.new_label();
+        b.n("B1").load_global("r0", sk_state);
+        b.jmp_if(cond_reg("r0", CmpOp::Eq, 0), out);
+        b.n("B2").store_global(pkt_len, 16u64); // enlarge while connected
+        b.place(out);
+        noise.burst_post(&mut b);
+        b.ret();
+    }
+    p.build().expect("syz01 builds")
+}
+
+/// Shared shape for the four-race single-object bugs (#2, #10): two state
+/// words written by A steer B into setting two more, and A's tail trips an
+/// assertion on them.
+#[allow(clippy::too_many_arguments)]
+fn quad_assert(
+    name: &str,
+    func_a: &'static str,
+    func_b: &'static str,
+    syscall_a: &str,
+    syscall_b: &str,
+    obj_name: &str,
+    msg: &'static str,
+    spec: NoiseSpec,
+) -> Program {
+    let mut p = ProgramBuilder::new(name);
+    let mut noise = Noise::setup(&mut p, spec);
+    let obj = p.static_obj(obj_name, 32);
+    let obj_ptr = p.global_ptr("obj_ptr", obj);
+    {
+        let mut a = p.syscall_thread("A", syscall_a);
+        a.func(func_a).line(100);
+        noise.private_work(&mut a);
+        noise.burst_pre(&mut a);
+        a.load_global("r10", obj_ptr);
+        a.n("A1").store_ind("r10", 0, 1u64);
+        a.n("A2").store_ind("r10", 8, 1u64);
+        let out = a.new_label();
+        a.n("A3").load_ind("r1", "r10", 16);
+        a.n("A4").load_ind("r2", "r10", 24);
+        a.jmp_if(cond_reg("r1", CmpOp::Eq, 0), out);
+        a.n("A5").bug_on_msg(cond_reg("r2", CmpOp::Eq, 1), msg);
+        a.place(out);
+        noise.burst_post(&mut a);
+        a.ret();
+    }
+    {
+        let mut b = p.syscall_thread("B", syscall_b);
+        b.func(func_b).line(200);
+        noise.private_work(&mut b);
+        noise.burst_pre(&mut b);
+        b.load_global("r10", obj_ptr);
+        let out = b.new_label();
+        b.n("B1").load_ind("r0", "r10", 0);
+        b.jmp_if(cond_reg("r0", CmpOp::Eq, 0), out);
+        b.n("B2").load_ind("r1", "r10", 8);
+        b.jmp_if(cond_reg("r1", CmpOp::Eq, 0), out);
+        b.n("B3").store_ind("r10", 16, 1u64);
+        b.n("B4").store_ind("r10", 24, 1u64);
+        b.place(out);
+        noise.burst_post(&mut b);
+        b.ret();
+    }
+    p.build().expect("quad builds")
+}
+
+/// #2 — packet ring frame-state assertion (four races, one ring object).
+fn syz02_packet_ring(spec: NoiseSpec) -> Program {
+    quad_assert(
+        "syz-2-packet-ring",
+        "packet_lookup_frame",
+        "packet_set_ring",
+        "setsockopt",
+        "ioctl",
+        "rx_ring",
+        "frame status bit",
+        spec,
+    )
+}
+
+/// #3 — l2tp session UAF behind the tunnel->closing flag.
+fn syz03_l2tp_uaf(spec: NoiseSpec) -> Program {
+    let mut p = ProgramBuilder::new("syz-3-l2tp-uaf");
+    let mut noise = Noise::setup(&mut p, spec);
+    let sess = p.static_obj("l2tp_session", 16);
+    let closing = p.global("tunnel->closing", 0);
+    let sess_ptr = p.global_ptr("tunnel->session", sess);
+    {
+        let mut a = p.syscall_thread("A", "connect");
+        a.func("l2tp_session_get").line(100);
+        noise.private_work(&mut a);
+        noise.burst_pre(&mut a);
+        let out = a.new_label();
+        a.n("A1").load_global("r0", closing);
+        a.jmp_if(cond_reg("r0", CmpOp::Ne, 0), out);
+        a.n("A2").load_global("r1", sess_ptr);
+        a.n("A3").store_ind("r1", 0, 1u64); // session->ref++
+        a.place(out);
+        noise.burst_post(&mut a);
+        a.ret();
+    }
+    {
+        let mut b = p.syscall_thread("B", "close");
+        b.func("l2tp_tunnel_closeall").line(200);
+        noise.private_work(&mut b);
+        noise.burst_pre(&mut b);
+        b.n("B1").store_global(closing, 1u64);
+        b.n("B2").load_global("r0", sess_ptr);
+        b.n("B3").free("r0");
+        noise.burst_post(&mut b);
+        b.ret();
+    }
+    p.build().expect("syz03 builds")
+}
+
+/// #4 — the Figure 9 irqfd bug: assign vs deassign vs kworker shutdown.
+fn syz04_irqfd(spec: NoiseSpec) -> Program {
+    let mut p = ProgramBuilder::new("syz-4-irqfd");
+    let mut noise = Noise::setup(&mut p, spec);
+    let consumer_list = p.global("consumer_list", 0);
+    let shutdown = {
+        let mut k = p.kworker_thread("kworker");
+        k.func("irqfd_shutdown").line(300);
+        k.n("K1").free("r0"); // kfree(irqfd)
+        k.ret();
+        k.id()
+    };
+    {
+        let mut a = p.syscall_thread("A", "ioctl");
+        a.func("irq_bypass_register_consumer").line(100);
+        noise.private_work(&mut a);
+        noise.burst_pre(&mut a);
+        a.alloc("r0", 16); // irqfd = kzalloc()
+        a.n("A1").list_add(consumer_list, "r0"); // published too early
+        a.n("A2").store_ind("r0", 8, 7u64); // irqfd->consumer.token = ...
+        noise.burst_post(&mut a);
+        a.ret();
+    }
+    {
+        let mut b = p.syscall_thread("B", "ioctl");
+        b.func("kvm_irqfd_deassign").line(200);
+        noise.private_work(&mut b);
+        noise.burst_pre(&mut b);
+        let out = b.new_label();
+        b.n("B1").list_first("r0", consumer_list); // irqfd = list_find(list)
+        b.jmp_if(cond_reg("r0", CmpOp::Eq, 0), out);
+        b.n("B2").queue_work_arg(shutdown, "r0"); // queue_work(irqfd_shutdown)
+        b.place(out);
+        noise.burst_post(&mut b);
+        b.ret();
+    }
+    p.build().expect("syz04 builds")
+}
+
+/// #5 — rxrpc local endpoint freed by its own work item (one race).
+fn syz05_rxrpc(spec: NoiseSpec) -> Program {
+    let mut p = ProgramBuilder::new("syz-5-rxrpc");
+    let mut noise = Noise::setup(&mut p, spec);
+    let local_obj = p.static_obj("rxrpc_local", 16);
+    let local = p.global_ptr("rx->local", local_obj);
+    let worker = {
+        let mut k = p.kworker_thread("kworker");
+        k.func("rxrpc_local_processor").line(300);
+        noise.burst_pre(&mut k);
+        k.n("K1").load_global("r0", local);
+        k.n("K2").free("r0"); // last ref dropped, endpoint destroyed
+        k.ret();
+        k.id()
+    };
+    {
+        let mut a = p.syscall_thread("A", "sendmsg");
+        a.func("rxrpc_queue_local").line(100);
+        noise.private_work(&mut a);
+        a.n("A1").queue_work(worker, None);
+        // The benign traffic sits *after* the spawn: only accesses past the
+        // queue_work race with the worker (spawn happens-before).
+        noise.burst_pre(&mut a);
+        a.n("A2").load_global("r1", local);
+        a.n("A3").store_ind("r1", 0, 1u64); // local->processing = 1
+        noise.burst_post(&mut a);
+        a.ret();
+    }
+    p.build().expect("syz05 builds")
+}
+
+/// #6 — BPF devmap teardown poisons buckets from an RCU callback.
+fn syz06_bpf_devmap(spec: NoiseSpec) -> Program {
+    // LIST_POISON-style sentinel: unmapped, faults as a GPF.
+    const POISON: u64 = 0xdead_4ead_0000_0100;
+    let mut p = ProgramBuilder::new("syz-6-bpf-devmap");
+    let mut noise = Noise::setup(&mut p, spec);
+    let buckets_obj = p.static_obj("dtab_buckets", 16);
+    let map_ready = p.global("map->ready", 0);
+    let elem_cnt = p.global("map->count", 0);
+    let buckets = p.global_ptr("dtab->dev_index_head", buckets_obj);
+    let freed = p.global("dtab->freed", 0);
+    let rcu_cb = {
+        let mut r = p.rcu_thread("rcu");
+        r.func("dev_map_free_rcu").line(300);
+        // Writes in the same order the updater reads (flag first, buckets
+        // second): the two races run in parallel rather than nested.
+        r.n("R1").store_global(freed, 1u64);
+        r.n("R2").store_global(buckets, POISON);
+        r.ret();
+        r.id()
+    };
+    {
+        let mut a = p.syscall_thread("A", "bpf");
+        a.func("dev_map_hash_update_elem").line(100);
+        noise.private_work(&mut a);
+        noise.burst_pre(&mut a);
+        a.n("A1").store_global(map_ready, 1u64);
+        a.n("A2").store_global(elem_cnt, 1u64);
+        let out = a.new_label();
+        a.n("A3").load_global("r1", freed);
+        a.n("A4").load_global("r2", buckets);
+        a.jmp_if(cond_reg("r1", CmpOp::Eq, 0), out);
+        a.n("A5").load_ind("r3", "r2", 0); // poisoned pointer → GPF
+        a.place(out);
+        noise.burst_post(&mut a);
+        a.ret();
+    }
+    {
+        let mut b = p.syscall_thread("B", "close");
+        b.func("dev_map_free").line(200);
+        noise.private_work(&mut b);
+        noise.burst_pre(&mut b);
+        let out = b.new_label();
+        b.n("B1").load_global("r0", map_ready);
+        b.jmp_if(cond_reg("r0", CmpOp::Eq, 0), out);
+        b.n("B2").load_global("r1", elem_cnt);
+        b.jmp_if(cond_reg("r1", CmpOp::Eq, 0), out);
+        b.n("B3").call_rcu(rcu_cb, None);
+        b.place(out);
+        noise.burst_post(&mut b);
+        b.ret();
+    }
+    p.build().expect("syz06 builds")
+}
+
+/// #7 — BLKPG partition add/delete UAF (four races on the disk/partition
+/// state).
+fn syz07_blkpg(spec: NoiseSpec) -> Program {
+    let mut p = ProgramBuilder::new("syz-7-blkpg");
+    let mut noise = Noise::setup(&mut p, spec);
+    let disk = p.static_obj("gendisk", 24);
+    let part = p.static_obj("hd_struct", 16);
+    let disk_ptr = p.global_ptr("disk", disk);
+    let part_ptr = p.global_ptr("disk->part[1]", part);
+    {
+        let mut a = p.syscall_thread("A", "ioctl");
+        a.func("delete_partition").line(100);
+        noise.private_work(&mut a);
+        noise.burst_pre(&mut a);
+        a.load_global("r10", disk_ptr);
+        a.n("A1").store_ind("r10", 0, 1u64); // disk->open_partitions++
+        a.n("A2").store_ind("r10", 8, 1u64); // disk->state = RESCANNING
+        let out = a.new_label();
+        a.n("A3").load_ind("r1", "r10", 16); // disk->del_pending (B writes)
+        a.n("A4").load_global("r2", part_ptr);
+        a.jmp_if(cond_reg("r1", CmpOp::Eq, 0), out);
+        a.n("A5").store_ind("r2", 0, 1u64); // touch freed partition → UAF
+        a.place(out);
+        noise.burst_post(&mut a);
+        a.ret();
+    }
+    {
+        let mut b = p.syscall_thread("B", "ioctl");
+        b.func("bdev_del_partition").line(200);
+        noise.private_work(&mut b);
+        noise.burst_pre(&mut b);
+        b.load_global("r10", disk_ptr);
+        let out = b.new_label();
+        b.n("B1").load_ind("r0", "r10", 0);
+        b.jmp_if(cond_reg("r0", CmpOp::Eq, 0), out);
+        b.n("B2").load_ind("r1", "r10", 8);
+        b.jmp_if(cond_reg("r1", CmpOp::Eq, 0), out);
+        b.n("B3").store_ind("r10", 16, 1u64); // disk->del_pending = 1
+        b.load_global("r2", part_ptr);
+        b.n("B4").free("r2"); // delete_partition() frees hd_struct
+        b.place(out);
+        noise.burst_post(&mut b);
+        b.ret();
+    }
+    p.build().expect("syz07 builds")
+}
+
+/// #8 — j1939 rx_kref refcount WARN: a five-race chain needing two
+/// interleavings (the 15649 shape plus an extra steering flag).
+fn syz08_j1939(spec: NoiseSpec) -> Program {
+    let mut p = ProgramBuilder::new("syz-8-j1939");
+    let mut noise = Noise::setup(&mut p, spec);
+    let ndev_up = p.global("ndev->active", 1);
+    let priv_pub = p.global("can->j1939_priv", 0);
+    let sess_pending = p.global("priv->session_pending", 0);
+    let rx_kref = p.global("priv->rx_kref", 1);
+    {
+        let mut a = p.syscall_thread("A", "sendmsg");
+        a.func("j1939_netdev_start").line(100);
+        noise.private_work(&mut a);
+        noise.burst_pre(&mut a);
+        let out = a.new_label();
+        a.n("A2").load_global("r0", ndev_up);
+        a.jmp_if(cond_reg("r0", CmpOp::Eq, 0), out);
+        a.n("A4").store_global(sess_pending, 1u64);
+        a.n("A6").store_global(priv_pub, 1u64);
+        a.n("A12").ref_get(rx_kref); // kref_get(&priv->rx_kref)
+        a.place(out);
+        a.ret();
+    }
+    {
+        let mut b = p.syscall_thread("B", "close");
+        b.func("j1939_netdev_stop").line(200);
+        noise.private_work(&mut b);
+        noise.burst_pre(&mut b);
+        let out = b.new_label();
+        let skip = b.new_label();
+        b.n("B2").load_global("r0", priv_pub);
+        b.jmp_if(cond_reg("r0", CmpOp::Ne, 0), out);
+        b.n("B11").store_global(ndev_up, 0u64);
+        b.n("B11b").load_global("r1", sess_pending);
+        b.jmp_if(cond_reg("r1", CmpOp::Eq, 0), skip);
+        b.n("B12").load_global("r2", priv_pub);
+        b.jmp_if(cond_reg("r2", CmpOp::Eq, 0), skip);
+        b.n("B17").ref_put(rx_kref); // kref_put: drops the last reference
+        b.place(skip);
+        noise.burst_post(&mut b);
+        b.place(out);
+        b.ret();
+    }
+    p.build().expect("syz08 builds")
+}
+
+/// #9 — seccomp filter leak: publish-after-teardown window.
+fn syz09_seccomp_leak(spec: NoiseSpec) -> Program {
+    let mut p = ProgramBuilder::new("syz-9-seccomp-leak");
+    p.check_leaks(true);
+    let mut noise = Noise::setup(&mut p, spec);
+    let task_exiting = p.global("task->exit_state", 0);
+    let filter_slot = p.global("task->seccomp.filter", 0);
+    {
+        let mut a = p.syscall_thread("A", "seccomp");
+        a.func("do_seccomp").line(100);
+        noise.private_work(&mut a);
+        noise.burst_pre(&mut a);
+        a.n("A1").alloc_must_free("r0", 16); // prepare the filter
+        let dying = a.new_label();
+        let done = a.new_label();
+        a.n("A2").load_global("r1", task_exiting);
+        a.jmp_if(cond_reg("r1", CmpOp::Ne, 0), dying);
+        a.n("A3").store_global_from(filter_slot, "r0"); // publish
+        a.jmp(done);
+        a.place(dying);
+        a.free("r0"); // task dying: drop the filter ourselves
+        a.place(done);
+        noise.burst_post(&mut a);
+        a.ret();
+    }
+    {
+        let mut b = p.syscall_thread("B", "unshare");
+        b.func("seccomp_filter_release").line(200);
+        noise.private_work(&mut b);
+        noise.burst_pre(&mut b);
+        b.n("B1").store_global(task_exiting, 1u64);
+        let out = b.new_label();
+        b.n("B2").load_global("r0", filter_slot);
+        b.jmp_if(cond_reg("r0", CmpOp::Eq, 0), out);
+        b.free("r0"); // release the published filter
+        b.store_global(filter_slot, 0u64);
+        b.place(out);
+        noise.burst_post(&mut b);
+        b.ret();
+    }
+    p.build().expect("syz09 builds")
+}
+
+/// #10 — md_ioctl consistency WARN (four races on the mddev state).
+fn syz10_md_ioctl(spec: NoiseSpec) -> Program {
+    quad_assert(
+        "syz-10-md",
+        "md_ioctl",
+        "md_set_readonly",
+        "ioctl",
+        "ioctl",
+        "mddev",
+        "mddev state consistency",
+        spec,
+    )
+}
+
+/// #11 — floppy schedule_bh WARN: claim vs queued command.
+fn syz11_floppy(spec: NoiseSpec) -> Program {
+    let mut p = ProgramBuilder::new("syz-11-floppy");
+    let mut noise = Noise::setup(&mut p, spec);
+    let fdc_busy = p.global("fdc_busy", 0);
+    let cmd_pending = p.global("command_status", 0);
+    {
+        let mut a = p.syscall_thread("A", "ioctl");
+        a.func("schedule_bh").line(100);
+        // The racing accesses sit near the front of the claim path — the
+        // paper reproduces this one within 15 schedules — while the command
+        // path on the other side carries far heavier counter traffic.
+        noise.burst_pre(&mut a);
+        a.n("A1").store_global(fdc_busy, 1u64);
+        a.n("A2").load_global("r0", cmd_pending);
+        a.bug_on_msg(cond_reg("r0", CmpOp::Eq, 1), "command already pending");
+        noise.private_work(&mut a);
+        noise.burst_post(&mut a);
+        a.ret();
+    }
+    {
+        let mut b = p.syscall_thread("B", "ioctl");
+        b.func("fd_locked_ioctl").line(200);
+        noise.burst_pre_n(&mut b, 220);
+        let out = b.new_label();
+        b.n("B1").load_global("r0", fdc_busy);
+        b.jmp_if(cond_reg("r0", CmpOp::Eq, 0), out);
+        b.n("B2").store_global(cmd_pending, 1u64);
+        b.place(out);
+        noise.private_work(&mut b);
+        b.ret();
+    }
+    p.build().expect("syz11 builds")
+}
+
+/// #12 — sco_sock_timeout UAF: connect vs its own timer (four races).
+fn syz12_sco_timer(spec: NoiseSpec) -> Program {
+    let mut p = ProgramBuilder::new("syz-12-sco");
+    let mut noise = Noise::setup(&mut p, spec);
+    let conn_obj = p.static_obj("sco_conn", 16);
+    let f_lookup = p.global("conn->state.lookup", 0);
+    let f_attach = p.global("conn->state.attach", 0);
+    let t_fired = p.global("timer_fired", 0);
+    let conn = p.global_ptr("sk->sco_conn", conn_obj);
+    let timer = {
+        let mut t = p.timer_thread("sco_timer");
+        t.func("sco_sock_timeout").line(300);
+        noise.burst_pre(&mut t);
+        let out = t.new_label();
+        t.n("T1").load_global("r1", f_lookup);
+        t.jmp_if(cond_reg("r1", CmpOp::Eq, 0), out);
+        t.n("T2").load_global("r2", f_attach);
+        t.jmp_if(cond_reg("r2", CmpOp::Eq, 0), out);
+        t.n("T3").store_global(t_fired, 1u64);
+        t.load_global("r3", conn);
+        t.n("T4").free("r3"); // sco_conn_del
+        t.place(out);
+        t.ret();
+        t.id()
+    };
+    {
+        let mut a = p.syscall_thread("A", "connect");
+        a.func("sco_sock_connect").line(100);
+        noise.private_work(&mut a);
+        a.n("A0").arm_timer(timer, None); // sco_sock_set_timer
+                                          // Counter traffic after the timer arm races with the callback.
+        noise.burst_pre_n(&mut a, 160);
+        a.n("A1").store_global(f_lookup, 1u64);
+        a.n("A2").store_global(f_attach, 1u64);
+        let out = a.new_label();
+        a.n("A3").load_global("r1", t_fired);
+        a.n("A4").load_global("r2", conn);
+        a.jmp_if(cond_reg("r1", CmpOp::Eq, 0), out);
+        a.n("A5").store_ind("r2", 0, 1u64); // conn->sk = sk → UAF
+        a.place(out);
+        noise.burst_post(&mut a);
+        a.ret();
+    }
+    p.build().expect("syz12 builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aitia::{
+        CausalityAnalysis,
+        CausalityConfig,
+        Lifs, //
+    };
+
+    #[test]
+    fn syzkaller_bugs_reproduce_with_expected_shape() {
+        for bug in all() {
+            let prog = bug.program_scaled(0.05);
+            let out = Lifs::new(prog, bug.lifs_config()).search();
+            let run = out
+                .failing
+                .unwrap_or_else(|| panic!("{} did not reproduce", bug.id));
+            assert_eq!(run.failure.kind, bug.kind, "{}", bug.id);
+            assert_eq!(
+                out.stats.interleaving_count, bug.expected_interleavings,
+                "{}: interleaving count",
+                bug.id
+            );
+        }
+    }
+
+    #[test]
+    fn syzkaller_chains_match_table3() {
+        for bug in all() {
+            let prog = bug.program_scaled(0.05);
+            let run = Lifs::new(prog, bug.lifs_config())
+                .search()
+                .failing
+                .unwrap_or_else(|| panic!("{} did not reproduce", bug.id));
+            let res = CausalityAnalysis::new(CausalityConfig::default()).analyze(&run);
+            assert_eq!(
+                res.chain.race_count(),
+                bug.expected_chain_races,
+                "{}: chain {} (tested {:?})",
+                bug.id,
+                res.chain,
+                res.tested
+                    .iter()
+                    .map(|t| (t.race.key(), t.verdict))
+                    .collect::<Vec<_>>()
+            );
+            assert!(
+                res.ambiguous().is_empty(),
+                "{}: no Table 3 bug is ambiguous (chain {})",
+                bug.id,
+                res.chain
+            );
+        }
+    }
+
+    /// Table 3 average chain length is 3.0 (§5.2).
+    #[test]
+    fn average_chain_length_is_three() {
+        let total: usize = all().iter().map(|b| b.expected_chain_races).sum();
+        assert_eq!(total, 36);
+        assert_eq!(total as f64 / 12.0, 3.0);
+    }
+
+    /// #4's chain is the Figure 9 chain: (A1 ⇒ B1) → (K1 ⇒ A2) → UAF.
+    #[test]
+    fn irqfd_chain_matches_fig9() {
+        let bug = all().into_iter().find(|b| b.id == "#4").unwrap();
+        let prog = bug.program(NoiseSpec::silent());
+        let run = Lifs::new(prog, bug.lifs_config())
+            .search()
+            .failing
+            .expect("reproduces");
+        let res = CausalityAnalysis::new(CausalityConfig::default()).analyze(&run);
+        let s = res.chain.to_string();
+        assert_eq!(res.chain.race_count(), 2, "{s}");
+        assert!(s.contains("A1 ⇒ B1"), "{s}");
+        assert!(s.contains("K1 ⇒ A2"), "{s}");
+        assert!(s.contains("use-after-free"), "{s}");
+    }
+
+    /// #5 reproduces on LIFS's second schedule, as in the paper.
+    #[test]
+    fn rxrpc_reproduces_on_second_schedule() {
+        let bug = all().into_iter().find(|b| b.id == "#5").unwrap();
+        let prog = bug.program(NoiseSpec::silent());
+        let out = Lifs::new(prog, bug.lifs_config()).search();
+        assert!(out.failing.is_some());
+        assert_eq!(out.stats.schedules_executed, 2);
+    }
+}

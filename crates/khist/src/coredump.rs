@@ -1,0 +1,105 @@
+//! Failure information extracted from a crash report / coredump.
+//!
+//! AITIA "identifies the symptom of the failure (e.g., kernel panic or
+//! watchdog report) and the location of the failure" by analyzing the crash
+//! report (§4.2). This module models exactly that extract: the symptom
+//! string, the faulting symbol, the failure timestamp, and the execution
+//! contexts the report mentions.
+
+use serde::{
+    Deserialize,
+    Serialize, //
+};
+
+/// The execution contexts named in a crash report.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReportedContext {
+    /// A user task executing a system call.
+    Task {
+        /// User task id.
+        task: u32,
+        /// System call name, when the report resolves it.
+        syscall: Option<String>,
+    },
+    /// A kernel background thread.
+    Kthread {
+        /// Worker description (e.g. `"kworker/1:2"`).
+        desc: String,
+    },
+}
+
+/// Failure information AITIA takes as input alongside the trace.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureInfo {
+    /// Symptom line of the report (e.g. `"KASAN: use-after-free Write in
+    /// irq_bypass_register_consumer"`).
+    pub symptom: String,
+    /// Faulting symbol / function.
+    pub location: String,
+    /// Timestamp of the failure within the trace.
+    pub ts: u64,
+    /// Contexts the report mentions (criterion ii of the paper's bug
+    /// selection: "a crash report contains multiple contexts").
+    pub contexts: Vec<ReportedContext>,
+}
+
+impl FailureInfo {
+    /// Whether the report involves a kernel background thread.
+    #[must_use]
+    pub fn involves_kthread(&self) -> bool {
+        self.contexts
+            .iter()
+            .any(|c| matches!(c, ReportedContext::Kthread { .. }))
+    }
+
+    /// Whether the report names more than one execution context.
+    #[must_use]
+    pub fn multi_context(&self) -> bool {
+        self.contexts.len() > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info() -> FailureInfo {
+        FailureInfo {
+            symptom: "KASAN: use-after-free Write in irq_bypass_register_consumer".into(),
+            location: "irq_bypass_register_consumer".into(),
+            ts: 1000,
+            contexts: vec![
+                ReportedContext::Task {
+                    task: 7,
+                    syscall: Some("ioctl".into()),
+                },
+                ReportedContext::Kthread {
+                    desc: "kworker/1:2".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn context_queries() {
+        let i = info();
+        assert!(i.involves_kthread());
+        assert!(i.multi_context());
+    }
+
+    #[test]
+    fn single_task_report() {
+        let mut i = info();
+        i.contexts.truncate(1);
+        assert!(!i.involves_kthread());
+        assert!(!i.multi_context());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let i = info();
+        let s = serde_json::to_string(&i).unwrap();
+        let back: FailureInfo = serde_json::from_str(&s).unwrap();
+        assert_eq!(i, back);
+    }
+}

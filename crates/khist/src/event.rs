@@ -1,0 +1,98 @@
+//! Kernel events: background-thread invocations.
+
+use serde::{
+    Deserialize,
+    Serialize, //
+};
+
+/// The kind of kernel background context that was invoked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KthreadKind {
+    /// Deferred work executed by `kworkerd` (`queue_work`).
+    Kworker,
+    /// An RCU callback (`call_rcu`, runs in softirq context).
+    RcuCallback,
+    /// A timer callback.
+    Timer,
+}
+
+/// The source context that triggered a background-thread invocation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InvokeSource {
+    /// A system call issued by the given user task.
+    Syscall {
+        /// User task id.
+        task: u32,
+    },
+    /// Another background thread (chained deferral).
+    Kthread {
+        /// The invoking kernel-thread event's `work` id.
+        work: u64,
+    },
+    /// A software interrupt.
+    Softirq,
+}
+
+/// One background-thread invocation recorded by kernel event tracing
+/// (ftrace `workqueue_queue_work` / `rcu_callback`-style events, §4.2).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KthreadEvent {
+    /// Invocation timestamp (nanoseconds since trace start).
+    pub ts: u64,
+    /// Execution duration in nanoseconds.
+    pub dur: u64,
+    /// What kind of background context ran.
+    pub kind: KthreadKind,
+    /// A stable id for the deferred work item.
+    pub work: u64,
+    /// The context that queued the work.
+    pub source: InvokeSource,
+    /// Symbol name of the work function (e.g. `"irqfd_shutdown"`).
+    pub func: String,
+}
+
+impl KthreadEvent {
+    /// End timestamp of the execution.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.ts + self.dur
+    }
+}
+
+/// Convenience constructor for trace generators and tests.
+#[must_use]
+pub fn kthread(
+    ts: u64,
+    dur: u64,
+    kind: KthreadKind,
+    work: u64,
+    source: InvokeSource,
+) -> KthreadEvent {
+    KthreadEvent {
+        ts,
+        dur,
+        kind,
+        work,
+        source,
+        func: String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_is_ts_plus_dur() {
+        let e = kthread(100, 20, KthreadKind::Kworker, 1, InvokeSource::Softirq);
+        assert_eq!(e.end(), 120);
+    }
+
+    #[test]
+    fn source_distinguishes_contexts() {
+        assert_ne!(
+            InvokeSource::Syscall { task: 1 },
+            InvokeSource::Kthread { work: 1 }
+        );
+    }
+}

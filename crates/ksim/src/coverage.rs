@@ -1,0 +1,204 @@
+//! Basic-block structure of thread programs (the kcov analogue, §4.3).
+//!
+//! The paper's user agent registers a kcov callback at the entry of every
+//! basic block and then consults a disassembly map to find the
+//! memory-accessing instructions within the block. This module computes the
+//! same structure statically: block leaders, the block each instruction
+//! belongs to, and per-block memory-access candidates.
+
+use crate::{
+    instr::Instr,
+    program::{
+        InstrAddr,
+        Program,
+        ThreadProg, //
+    },
+};
+
+/// Identifier of a basic block within one thread program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub usize);
+
+/// Basic-block decomposition of one thread program.
+#[derive(Clone, Debug)]
+pub struct BlockMap {
+    /// `leaders[b]` = instruction index where block `b` starts.
+    pub leaders: Vec<usize>,
+    /// `block_of[i]` = block containing instruction `i`.
+    pub block_of: Vec<BlockId>,
+}
+
+impl BlockMap {
+    /// Computes basic blocks: leaders are instruction 0, every branch
+    /// target, and every instruction following a branch.
+    #[must_use]
+    pub fn compute(prog: &ThreadProg) -> Self {
+        let n = prog.instrs.len();
+        let mut is_leader = vec![false; n];
+        if n > 0 {
+            is_leader[0] = true;
+        }
+        for (i, ins) in prog.instrs.iter().enumerate() {
+            match ins {
+                Instr::Jmp { target } | Instr::JmpIf { target, .. } => {
+                    if *target < n {
+                        is_leader[*target] = true;
+                    }
+                    if i + 1 < n {
+                        is_leader[i + 1] = true;
+                    }
+                }
+                Instr::Ret if i + 1 < n => {
+                    is_leader[i + 1] = true;
+                }
+                _ => {}
+            }
+        }
+        let leaders: Vec<usize> = (0..n).filter(|&i| is_leader[i]).collect();
+        let mut block_of = Vec::with_capacity(n);
+        let mut cur = 0usize;
+        for i in 0..n {
+            if cur + 1 < leaders.len() && leaders[cur + 1] == i {
+                cur += 1;
+            }
+            block_of.push(BlockId(cur));
+        }
+        BlockMap { leaders, block_of }
+    }
+
+    /// The block containing instruction `i`.
+    #[must_use]
+    pub fn block_of(&self, i: usize) -> BlockId {
+        self.block_of[i]
+    }
+
+    /// Whether instruction `i` is a block leader (a kcov callback point).
+    #[must_use]
+    pub fn is_leader(&self, i: usize) -> bool {
+        self.leaders.binary_search(&i).is_ok()
+    }
+
+    /// Number of basic blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.leaders.len()
+    }
+
+    /// Whether the program has no blocks (empty program).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.leaders.is_empty()
+    }
+}
+
+/// Program-wide coverage map: one [`BlockMap`] per thread program.
+#[derive(Clone, Debug)]
+pub struct CoverageMap {
+    maps: Vec<BlockMap>,
+}
+
+impl CoverageMap {
+    /// Computes block maps for every thread program.
+    #[must_use]
+    pub fn compute(program: &Program) -> Self {
+        CoverageMap {
+            maps: program.progs.iter().map(BlockMap::compute).collect(),
+        }
+    }
+
+    /// The block map of one thread program.
+    #[must_use]
+    pub fn prog(&self, p: crate::instr::ThreadProgId) -> &BlockMap {
+        &self.maps[p.0 as usize]
+    }
+
+    /// The block containing a static instruction address.
+    #[must_use]
+    pub fn block_at(&self, at: InstrAddr) -> BlockId {
+        self.maps[at.prog.0 as usize].block_of(at.index)
+    }
+
+    /// Whether executing `at` enters a new basic block (a kcov event).
+    #[must_use]
+    pub fn enters_block(&self, at: InstrAddr) -> bool {
+        self.maps[at.prog.0 as usize].is_leader(at.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{
+        cond_reg,
+        ProgramBuilder, //
+    };
+    use crate::instr::CmpOp;
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut p = ProgramBuilder::new("sl");
+        let g = p.global("g", 0);
+        {
+            let mut a = p.syscall_thread("A", "s");
+            a.store_global(g, 1u64);
+            a.store_global(g, 2u64);
+            a.ret();
+        }
+        let prog = p.build().unwrap();
+        let bm = BlockMap::compute(&prog.progs[0]);
+        assert_eq!(bm.len(), 1);
+        assert_eq!(bm.block_of(0), bm.block_of(2));
+    }
+
+    #[test]
+    fn branch_splits_blocks() {
+        let mut p = ProgramBuilder::new("br");
+        let g = p.global("g", 0);
+        {
+            let mut a = p.syscall_thread("A", "s");
+            let out = a.new_label();
+            a.load_global("r0", g); // 0: block 0
+            a.jmp_if(cond_reg("r0", CmpOp::Eq, 0), out); // 1: block 0
+            a.store_global(g, 1u64); // 2: block 1 (fallthrough leader)
+            a.place(out);
+            a.ret(); // 3: block 2 (branch target leader)
+        }
+        let prog = p.build().unwrap();
+        let bm = BlockMap::compute(&prog.progs[0]);
+        assert_eq!(bm.len(), 3);
+        assert!(bm.is_leader(0));
+        assert!(bm.is_leader(2));
+        assert!(bm.is_leader(3));
+        assert_ne!(bm.block_of(1), bm.block_of(2));
+        assert_ne!(bm.block_of(2), bm.block_of(3));
+    }
+
+    #[test]
+    fn coverage_map_spans_programs() {
+        let mut p = ProgramBuilder::new("multi");
+        {
+            let mut a = p.syscall_thread("A", "s");
+            a.nop();
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "s");
+            b.ret();
+        }
+        let prog = p.build().unwrap();
+        let cm = CoverageMap::compute(&prog);
+        use crate::instr::ThreadProgId;
+        assert!(cm.enters_block(InstrAddr {
+            prog: ThreadProgId(0),
+            index: 0
+        }));
+        assert!(!cm.enters_block(InstrAddr {
+            prog: ThreadProgId(0),
+            index: 1
+        }));
+        assert!(cm.enters_block(InstrAddr {
+            prog: ThreadProgId(1),
+            index: 0
+        }));
+    }
+}

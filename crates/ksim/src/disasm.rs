@@ -1,0 +1,142 @@
+//! The disassembly map: static memory-access candidates per program.
+//!
+//! AITIA's user agent keeps "a map of the disassembled kernel code and
+//! searches for memory-accessing instructions from the pertinent basic
+//! block" (§4.3). This module is that map for the simulator's IR: for every
+//! thread program it lists the instructions that *may* access shared memory
+//! — the universe of breakpoint candidates for LIFS.
+
+use crate::{
+    coverage::{
+        BlockId,
+        CoverageMap, //
+    },
+    instr::ThreadProgId,
+    program::{
+        InstrAddr,
+        Program, //
+    },
+};
+
+/// Static memory-access candidate index over a whole [`Program`].
+#[derive(Clone, Debug)]
+pub struct Disasm {
+    /// Per program: instruction indices that may access memory, ascending.
+    mem_instrs: Vec<Vec<usize>>,
+    coverage: CoverageMap,
+}
+
+impl Disasm {
+    /// Builds the map for `program`.
+    #[must_use]
+    pub fn new(program: &Program) -> Self {
+        let mem_instrs = program
+            .progs
+            .iter()
+            .map(|p| {
+                p.instrs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, i)| i.may_access_memory())
+                    .map(|(idx, _)| idx)
+                    .collect()
+            })
+            .collect();
+        Disasm {
+            mem_instrs,
+            coverage: CoverageMap::compute(program),
+        }
+    }
+
+    /// Memory-accessing instruction indices of one program, front to back
+    /// (the order LIFS searches preemption points, §3.3).
+    #[must_use]
+    pub fn mem_instrs(&self, prog: ThreadProgId) -> &[usize] {
+        &self.mem_instrs[prog.0 as usize]
+    }
+
+    /// Whether the instruction at `at` may access memory.
+    #[must_use]
+    pub fn may_access_memory(&self, at: InstrAddr) -> bool {
+        self.mem_instrs[at.prog.0 as usize]
+            .binary_search(&at.index)
+            .is_ok()
+    }
+
+    /// Memory-accessing instructions within one basic block of a program —
+    /// what the user agent extracts per kcov callback.
+    #[must_use]
+    pub fn mem_instrs_in_block(&self, prog: ThreadProgId, block: BlockId) -> Vec<InstrAddr> {
+        let bm = self.coverage.prog(prog);
+        self.mem_instrs[prog.0 as usize]
+            .iter()
+            .filter(|&&i| bm.block_of(i) == block)
+            .map(|&i| InstrAddr { prog, index: i })
+            .collect()
+    }
+
+    /// The coverage (basic-block) map.
+    #[must_use]
+    pub fn coverage(&self) -> &CoverageMap {
+        &self.coverage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn mem_instrs_listed_front_to_back() {
+        let mut p = ProgramBuilder::new("d");
+        let g = p.global("g", 0);
+        {
+            let mut a = p.syscall_thread("A", "s");
+            a.mov("r0", 1u64); // 0: not memory
+            a.store_global(g, "r0"); // 1: memory
+            a.nop(); // 2: not memory
+            a.load_global("r1", g); // 3: memory
+            a.ret(); // 4: not memory
+        }
+        let prog = p.build().unwrap();
+        let d = Disasm::new(&prog);
+        assert_eq!(d.mem_instrs(ThreadProgId(0)), &[1, 3]);
+        assert!(d.may_access_memory(InstrAddr {
+            prog: ThreadProgId(0),
+            index: 1
+        }));
+        assert!(!d.may_access_memory(InstrAddr {
+            prog: ThreadProgId(0),
+            index: 0
+        }));
+    }
+
+    #[test]
+    fn block_filter_returns_only_that_block() {
+        let mut p = ProgramBuilder::new("d2");
+        let g = p.global("g", 0);
+        {
+            let mut a = p.syscall_thread("A", "s");
+            let out = a.new_label();
+            a.load_global("r0", g); // 0: block 0, memory
+            a.jmp_if(
+                crate::builder::cond_reg("r0", crate::instr::CmpOp::Eq, 0),
+                out,
+            ); // 1
+            a.store_global(g, 1u64); // 2: block 1, memory
+            a.place(out);
+            a.ret(); // 3: block 2
+        }
+        let prog = p.build().unwrap();
+        let d = Disasm::new(&prog);
+        let pid = ThreadProgId(0);
+        let b0 = d.coverage().block_at(InstrAddr {
+            prog: pid,
+            index: 0,
+        });
+        let in_b0 = d.mem_instrs_in_block(pid, b0);
+        assert_eq!(in_b0.len(), 1);
+        assert_eq!(in_b0[0].index, 0);
+    }
+}

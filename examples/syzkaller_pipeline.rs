@@ -1,0 +1,53 @@
+//! The full AITIA pipeline over the whole Syzkaller corpus.
+//!
+//! For every Table 3 bug: take the modeled Syzkaller input (timestamped
+//! syscall trace + coredump extract), slice the history backward from the
+//! failure, reproduce with LIFS against the reported failure signature, run
+//! Causality Analysis, and print the one-line causality chain — the
+//! artifact a kernel developer receives.
+//!
+//! ```text
+//! cargo run --release --example syzkaller_pipeline
+//! ```
+
+use aitia_repro::aitia::{
+    CausalityAnalysis,
+    CausalityConfig,
+    Lifs, //
+};
+use aitia_repro::corpus;
+use aitia_repro::khist;
+
+fn main() {
+    println!(
+        "{:<5} {:<14} {:>7} {:>6} {:>7} {:>7}  chain",
+        "bug", "subsystem", "slices", "LIFS#", "races", "benign"
+    );
+    for bug in corpus::syzkaller() {
+        // Input: execution history + failure info from the bug finder.
+        let history = bug.history();
+        let slices = khist::slices(&history);
+        assert!(!slices.is_empty(), "{}: trace must slice", bug.id);
+
+        // Reproduce (small noise so the example runs in seconds; the bench
+        // harness uses the full calibration).
+        let program = bug.program_scaled(0.05);
+        let search = Lifs::new(program, bug.lifs_config()).search();
+        let run = search.failing.expect("every corpus bug reproduces");
+
+        // Diagnose.
+        let result = CausalityAnalysis::new(CausalityConfig::default()).analyze(&run);
+        println!(
+            "{:<5} {:<14} {:>7} {:>6} {:>7} {:>7}  {}",
+            bug.id,
+            bug.subsystem,
+            slices.len(),
+            search.stats.schedules_executed,
+            result.tested.len(),
+            result.benign().len(),
+            result.chain
+        );
+        assert_eq!(result.chain.race_count(), bug.expected_chain_races);
+    }
+    println!("\nall 12 Syzkaller bugs diagnosed; chains match Table 3.");
+}

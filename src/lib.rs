@@ -1,0 +1,11 @@
+//! Facade crate for the AITIA reproduction workspace.
+//!
+//! Re-exports the public APIs of every crate so examples and integration
+//! tests can use a single dependency. See `README.md` for an overview and
+//! `DESIGN.md` for the system inventory.
+
+pub use aitia;
+pub use baselines;
+pub use corpus;
+pub use khist;
+pub use ksim;
