@@ -1,0 +1,49 @@
+//! VM-pool scaling — wall-clock time of a single-slice diagnosis (LIFS +
+//! Causality Analysis through the shared executor) at worker counts 1, 2,
+//! and 8 over the Table 2 CVE corpus.
+//!
+//! Outputs are bit-for-bit identical across worker counts (the executor
+//! folds in canonical submission order); only wall-clock time changes, so
+//! the `vms/8` rows against `vms/1` measure the within-slice speedup of the
+//! execution layer.
+//!
+//! The pool spawns at most `available_parallelism` OS threads regardless of
+//! `vms`, so the speedup shows on multicore hosts; on a single-core host
+//! the rows coincide instead of regressing (results are identical either
+//! way).
+
+use aitia::exec::Executor;
+use aitia_bench::experiments::diagnose_bug_on;
+use criterion::{
+    criterion_group,
+    criterion_main,
+    Criterion, //
+};
+use std::sync::Arc;
+
+/// Noise scale for benches: large enough to exercise the search, small
+/// enough for Criterion's sampling.
+const SCALE: f64 = 0.15;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for vms in [1usize, 2, 8] {
+        let exec = Arc::new(Executor::new(vms));
+        group.bench_function(format!("table2/vms/{vms}"), |b| {
+            b.iter(|| {
+                let mut schedules = 0usize;
+                for bug in corpus::cves() {
+                    let outcome = diagnose_bug_on(&bug, SCALE, &exec);
+                    schedules +=
+                        outcome.lifs.schedules_executed + outcome.result.stats.schedules_executed;
+                }
+                schedules
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

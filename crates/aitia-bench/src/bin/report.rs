@@ -11,12 +11,17 @@
 //! `--scale` multiplies every bug's calibrated benign-race noise (1.0 =
 //! full calibration, matching the magnitudes of the paper's tables; smaller
 //! values run faster).
+//!
+//! `--vms` sizes the shared VM pool the tables run on; the same number
+//! parameterizes the simulated-time cost model, so reported seconds always
+//! describe the pool that actually executed the schedules.
 
 use aitia::{
     causality::{
         CausalityAnalysis,
         CausalityConfig, //
     },
+    exec::Executor,
     lifs::{
         Lifs,
         LifsConfig, //
@@ -33,6 +38,7 @@ fn main() {
     let mut cmd = "all".to_string();
     let mut scale = 1.0f64;
     let mut samples = 400usize;
+    let mut vms = 8usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -44,16 +50,21 @@ fn main() {
                 i += 1;
                 samples = args[i].parse().expect("--samples takes a number");
             }
+            "--vms" => {
+                i += 1;
+                vms = args[i].parse().expect("--vms takes a number");
+            }
             other => cmd = other.to_string(),
         }
         i += 1;
     }
-    let model = CostModel::default();
+    let exec = Arc::new(Executor::new(vms));
+    let model = experiments::cost_model_for(&exec);
     match cmd.as_str() {
-        "table2" => table2(scale, &model),
-        "table3" => table3(scale, &model),
+        "table2" => table2(scale, &exec, &model),
+        "table3" => table3(scale, &exec, &model),
         "conciseness" => {
-            let rows = experiments::table3(scale);
+            let rows = experiments::table3_on(scale, &exec);
             print_conciseness(&rows);
         }
         "comparison" | "table1" => comparison(scale, samples),
@@ -66,8 +77,8 @@ fn main() {
         "fig9" => fig9(),
         "extensions" => extensions(),
         "all" => {
-            table2(scale, &model);
-            let rows = experiments::table3(scale);
+            table2(scale, &exec, &model);
+            let rows = experiments::table3_on(scale, &exec);
             println!("{}", experiments::render_table3(&rows, &model));
             let avg: f64 =
                 rows.iter().map(|r| r.chain_races() as f64).sum::<f64>() / rows.len() as f64;
@@ -88,8 +99,8 @@ fn main() {
     }
 }
 
-fn table2(scale: f64, model: &CostModel) {
-    let rows = experiments::table2(scale);
+fn table2(scale: f64, exec: &Arc<Executor>, model: &CostModel) {
+    let rows = experiments::table2_on(scale, exec);
     println!("{}", experiments::render_table2(&rows, model));
     let amb: Vec<&str> = rows
         .iter()
@@ -99,8 +110,8 @@ fn table2(scale: f64, model: &CostModel) {
     println!("ambiguity cases: {amb:?} (paper: [\"CVE-2016-10200\"])\n");
 }
 
-fn table3(scale: f64, model: &CostModel) {
-    let rows = experiments::table3(scale);
+fn table3(scale: f64, exec: &Arc<Executor>, model: &CostModel) {
+    let rows = experiments::table3_on(scale, exec);
     println!("{}", experiments::render_table3(&rows, model));
     let avg: f64 = rows.iter().map(|r| r.chain_races() as f64).sum::<f64>() / rows.len() as f64;
     println!("average chain length: {avg:.1} (paper: 3.0)\n");
@@ -206,7 +217,10 @@ fn extensions() {
     let out = Lifs::new(Arc::clone(&prog), LifsConfig::default()).search();
     let run = out.failing.expect("irq scenario reproduces");
     let res = CausalityAnalysis::new(CausalityConfig::default()).analyze(&run);
-    println!("  IRQ injection: {} → chain {}", run.failure.kind, res.chain);
+    println!(
+        "  IRQ injection: {} → chain {}",
+        run.failure.kind, res.chain
+    );
     // RCU grace periods.
     let safe = Lifs::new(
         Arc::new(corpus::figures::rcu_scenario(true)),

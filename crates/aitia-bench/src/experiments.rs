@@ -9,6 +9,7 @@ use aitia::{
         CausalityAnalysis,
         CausalityConfig, //
     },
+    exec::Executor,
     lifs::{
         Lifs,
         LifsStats, //
@@ -57,19 +58,33 @@ impl BugOutcome {
     }
 }
 
-/// Diagnoses one bug at the given noise scale.
+/// Diagnoses one bug at the given noise scale on a single-worker VM.
 ///
 /// # Panics
 ///
 /// Panics when the bug fails to reproduce — every corpus bug must.
 #[must_use]
 pub fn diagnose_bug(bug: &BugModel, scale: f64) -> BugOutcome {
+    diagnose_bug_on(bug, scale, &Arc::new(Executor::new(1)))
+}
+
+/// Diagnoses one bug with LIFS rounds and Causality Analysis flips fanned
+/// out over the given VM pool. Results are bit-for-bit identical at any
+/// worker count (the executor folds in canonical order); only wall-clock
+/// time changes.
+///
+/// # Panics
+///
+/// Panics when the bug fails to reproduce — every corpus bug must.
+#[must_use]
+pub fn diagnose_bug_on(bug: &BugModel, scale: f64, exec: &Arc<Executor>) -> BugOutcome {
     let prog = bug.program_scaled(scale);
-    let out = Lifs::new(prog, bug.lifs_config()).search();
+    let out = Lifs::with_executor(prog, bug.lifs_config(), Arc::clone(exec)).search();
     let run = out
         .failing
         .unwrap_or_else(|| panic!("{} did not reproduce", bug.id));
-    let result = CausalityAnalysis::new(CausalityConfig::default()).analyze(&run);
+    let result = CausalityAnalysis::with_executor(CausalityConfig::default(), Arc::clone(exec))
+        .analyze(&run);
     let c = conciseness(&run, &result);
     BugOutcome {
         id: bug.id,
@@ -84,21 +99,44 @@ pub fn diagnose_bug(bug: &BugModel, scale: f64) -> BugOutcome {
     }
 }
 
+/// The cost model describing a pool: `vms` mirrors the executor's actual
+/// worker count, so simulated-time reports reflect the pool that ran the
+/// schedules.
+#[must_use]
+pub fn cost_model_for(exec: &Executor) -> CostModel {
+    CostModel {
+        vms: u32::try_from(exec.vms()).unwrap_or(u32::MAX),
+        ..CostModel::default()
+    }
+}
+
 /// Table 2: the ten CVE bugs.
 #[must_use]
 pub fn table2(scale: f64) -> Vec<BugOutcome> {
+    table2_on(scale, &Arc::new(Executor::new(1)))
+}
+
+/// Table 2 diagnosed over a shared VM pool.
+#[must_use]
+pub fn table2_on(scale: f64, exec: &Arc<Executor>) -> Vec<BugOutcome> {
     corpus::cves()
         .iter()
-        .map(|b| diagnose_bug(b, scale))
+        .map(|b| diagnose_bug_on(b, scale, exec))
         .collect()
 }
 
 /// Table 3: the twelve Syzkaller bugs.
 #[must_use]
 pub fn table3(scale: f64) -> Vec<BugOutcome> {
+    table3_on(scale, &Arc::new(Executor::new(1)))
+}
+
+/// Table 3 diagnosed over a shared VM pool.
+#[must_use]
+pub fn table3_on(scale: f64, exec: &Arc<Executor>) -> Vec<BugOutcome> {
     corpus::syzkaller()
         .iter()
-        .map(|b| diagnose_bug(b, scale))
+        .map(|b| diagnose_bug_on(b, scale, exec))
         .collect()
 }
 

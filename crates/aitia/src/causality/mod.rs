@@ -30,8 +30,13 @@ pub mod flip;
 
 use crate::{
     enforce::{
-        self,
-        EnforceConfig, //
+        EnforceConfig,
+        RunResult, //
+    },
+    exec::{
+        CancelToken,
+        ExecJob,
+        Executor, //
     },
     lifs::FailingRun,
     race::ObservedRace,
@@ -45,10 +50,7 @@ use flip::{
     plan_flip,
     FlipPlan, //
 };
-use ksim::{
-    Engine,
-    InstrAddr, //
-};
+use ksim::InstrAddr;
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -152,8 +154,15 @@ impl CausalityResult {
 }
 
 /// The Causality Analysis driver.
+///
+/// Flip runs execute through the shared VM-pool executor ([`crate::exec`]):
+/// each backward pass submits its flips as one batch and folds the results
+/// in canonical submission order, so verdicts — including Figure 7's
+/// nested-race ambiguity resolution, which depends on the order verdicts
+/// settle — are identical at any worker count.
 pub struct CausalityAnalysis {
     config: CausalityConfig,
+    exec: Arc<Executor>,
 }
 
 struct FlipOutcome {
@@ -163,17 +172,23 @@ struct FlipOutcome {
 }
 
 impl CausalityAnalysis {
-    /// Creates an analysis with the given configuration.
+    /// Creates an analysis executing on a private single-worker VM.
     #[must_use]
     pub fn new(config: CausalityConfig) -> Self {
-        CausalityAnalysis { config }
+        CausalityAnalysis::with_executor(config, Arc::new(Executor::new(1)))
+    }
+
+    /// Creates an analysis executing its flip batches on `exec`.
+    #[must_use]
+    pub fn with_executor(config: CausalityConfig, exec: Arc<Executor>) -> Self {
+        CausalityAnalysis { config, exec }
     }
 
     /// Runs the full analysis on a failing run.
     #[must_use]
     pub fn analyze(&self, run: &FailingRun) -> CausalityResult {
         let mut stats = CaStats::default();
-        let mut engine = Engine::new(Arc::clone(&run.program));
+        let cancel = CancelToken::new();
 
         // Test order: backward (last race first) per the paper; forward is
         // the ablation. `run.races` is sorted ascending by backward key.
@@ -182,13 +197,27 @@ impl CausalityAnalysis {
             order.reverse();
         }
 
-        // Phase A: flip each race once.
+        // Phase A: flip each race once — one batch over the pass, folded in
+        // test order.
+        let plans: Vec<FlipPlan> = order
+            .iter()
+            .map(|&i| plan_flip(run, &run.races[i], &run.races, self.config.cs_as_unit))
+            .collect();
+        let jobs: Vec<ExecJob> = plans
+            .iter()
+            .map(|plan| ExecJob {
+                program: Arc::clone(&run.program),
+                schedule: plan.schedule.clone(),
+                enforce: self.config.enforce,
+            })
+            .collect();
+        let results = self.exec.run_batch(&jobs, &cancel);
         let mut outcomes: Vec<Option<FlipOutcome>> = (0..run.races.len()).map(|_| None).collect();
-        for &i in &order {
-            let race = &run.races[i];
-            let plan = plan_flip(run, race, &run.races, self.config.cs_as_unit);
-            let outcome = self.execute(&mut engine, run, &plan, &mut stats);
-            outcomes[i] = Some(outcome);
+        for ((&i, plan), res) in order.iter().zip(&plans).zip(results) {
+            let out = res.expect("uncancelled batches complete");
+            stats.schedules_executed += 1;
+            stats.sim.add_run(out.run.steps, out.run.failure.is_some());
+            outcomes[i] = Some(flip_outcome(run, plan, &out.run));
         }
 
         // Phase B: verdicts, resolving nested-race dependencies first.
@@ -277,10 +306,25 @@ impl CausalityAnalysis {
             .collect();
         let root_causes: Vec<ObservedRace> =
             root_idx.iter().map(|&i| run.races[i].clone()).collect();
+        let root_plans: Vec<FlipPlan> = root_idx
+            .iter()
+            .map(|&i| plan_flip(run, &run.races[i], &run.races, self.config.cs_as_unit))
+            .collect();
+        let root_jobs: Vec<ExecJob> = root_plans
+            .iter()
+            .map(|plan| ExecJob {
+                program: Arc::clone(&run.program),
+                schedule: plan.schedule.clone(),
+                enforce: self.config.enforce,
+            })
+            .collect();
+        let root_results = self.exec.run_batch(&root_jobs, &cancel);
         let mut edges = Vec::new();
-        for (ri, &i) in root_idx.iter().enumerate() {
-            let plan = plan_flip(run, &run.races[i], &run.races, self.config.cs_as_unit);
-            let outcome = self.execute(&mut engine, run, &plan, &mut stats);
+        for ((ri, plan), res) in root_plans.iter().enumerate().zip(root_results) {
+            let out = res.expect("uncancelled batches complete");
+            stats.schedules_executed += 1;
+            stats.sim.add_run(out.run.steps, out.run.failure.is_some());
+            let outcome = flip_outcome(run, plan, &out.run);
             let flipped_along: Vec<(InstrAddr, InstrAddr)> =
                 plan.also_flipped.iter().map(ObservedRace::key).collect();
             for (rj, &j) in root_idx.iter().enumerate() {
@@ -304,45 +348,38 @@ impl CausalityAnalysis {
             stats,
         }
     }
+}
 
-    fn execute(
-        &self,
-        engine: &mut Engine,
-        run: &FailingRun,
-        plan: &FlipPlan,
-        stats: &mut CaStats,
-    ) -> FlipOutcome {
-        engine.reboot();
-        let res = enforce::run(engine, &plan.schedule, &self.config.enforce);
-        stats.schedules_executed += 1;
-        stats.sim.add_run(res.steps, res.failure.is_some());
-        // "Averted" means the original failure did not manifest. A different
-        // failure (other kind or site) still counts as averting the original
-        // one; livelock/budget exhaustion conservatively counts as *not*
-        // averted.
-        let averted = match &res.failure {
-            None => !res.budget_exhausted,
-            Some(f) => !(f.kind == run.failure.kind && f.at == run.failure.at),
-        };
-        // Which known races occurred in this run (both instructions executed
-        // with at least one memory access)?
-        let executed: HashSet<InstrAddr> = res
-            .trace
-            .iter()
-            .filter(|r| !r.accesses.is_empty())
-            .map(|r| r.at)
-            .collect();
-        let occurred = run
-            .races
-            .iter()
-            .map(ObservedRace::key)
-            .filter(|(a, b)| executed.contains(a) && executed.contains(b))
-            .collect();
-        FlipOutcome {
-            plan: plan.clone(),
-            averted,
-            occurred,
-        }
+/// Interprets one flip run: was the original failure averted, and which of
+/// the known races occurred? Pure over the enforcement result, so outcomes
+/// are independent of which pool worker executed the run.
+fn flip_outcome(run: &FailingRun, plan: &FlipPlan, res: &RunResult) -> FlipOutcome {
+    // "Averted" means the original failure did not manifest. A different
+    // failure (other kind or site) still counts as averting the original
+    // one; livelock/budget exhaustion conservatively counts as *not*
+    // averted.
+    let averted = match &res.failure {
+        None => !res.budget_exhausted,
+        Some(f) => !(f.kind == run.failure.kind && f.at == run.failure.at),
+    };
+    // Which known races occurred in this run (both instructions executed
+    // with at least one memory access)?
+    let executed: HashSet<InstrAddr> = res
+        .trace
+        .iter()
+        .filter(|r| !r.accesses.is_empty())
+        .map(|r| r.at)
+        .collect();
+    let occurred = run
+        .races
+        .iter()
+        .map(ObservedRace::key)
+        .filter(|(a, b)| executed.contains(a) && executed.contains(b))
+        .collect();
+    FlipOutcome {
+        plan: plan.clone(),
+        averted,
+        occurred,
     }
 }
 

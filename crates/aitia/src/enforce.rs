@@ -113,41 +113,310 @@ impl RunResult {
     }
 }
 
+/// Live enforcement-loop state, extracted so a run can *resume* from a
+/// snapshot taken at a point boundary (the executor's snapshot-prefix
+/// cache) instead of always starting from a fresh boot.
+struct LoopState {
+    triggered: Vec<bool>,
+    forced: Vec<ForcedResume>,
+    steps: usize,
+    budget_exhausted: bool,
+    point_idx: usize,
+    exec_counts: HashMap<(ThreadId, InstrAddr), u32>,
+    current: Option<ThreadId>,
+    /// Cursor into the schedule's intended segment sequence (when present).
+    seg_cursor: usize,
+    /// Consecutive forced-resume hops without an executed step: a chain
+    /// longer than the thread count is a lock cycle (ABBA deadlock).
+    forced_chain: usize,
+    /// Whether every scheduling decision so far was dictated by the
+    /// schedule's points alone (no fallback/segment consultation). Only
+    /// clean prefixes are deposited in the snapshot cache: a fallback
+    /// decision depends on schedule parts *outside* the point prefix, so
+    /// the resulting state would not be reusable across sibling schedules.
+    clean: bool,
+    /// Points already checkpointed this run (avoids duplicate deposits).
+    checkpointed: usize,
+}
+
+impl LoopState {
+    fn fresh(engine: &mut Engine, schedule: &Schedule) -> LoopState {
+        let current = schedule
+            .start
+            .and_then(|s| s.resolve(engine))
+            .or_else(|| engine.runnable().first().copied());
+        LoopState {
+            triggered: vec![false; schedule.points.len()],
+            forced: Vec::new(),
+            steps: 0,
+            budget_exhausted: false,
+            point_idx: 0,
+            exec_counts: HashMap::new(),
+            current,
+            seg_cursor: 0,
+            forced_chain: 0,
+            clean: true,
+            checkpointed: 0,
+        }
+    }
+}
+
+/// An engine checkpoint plus the enforcement-loop state at the moment the
+/// `consumed`-th scheduling point was consumed. Restoring both resumes the
+/// run exactly where a from-scratch execution of the same prefix would be.
+#[derive(Clone)]
+struct SavedPrefix {
+    consumed: usize,
+    snapshot: ksim::Snapshot,
+    triggered: Vec<bool>,
+    forced: Vec<ForcedResume>,
+    steps: usize,
+    exec_counts: HashMap<(ThreadId, InstrAddr), u32>,
+    current: Option<ThreadId>,
+    forced_chain: usize,
+}
+
+impl SavedPrefix {
+    fn resume(&self, schedule: &Schedule) -> LoopState {
+        let mut triggered = self.triggered.clone();
+        triggered.resize(schedule.points.len(), false);
+        LoopState {
+            triggered,
+            forced: self.forced.clone(),
+            steps: self.steps,
+            budget_exhausted: false,
+            point_idx: self.consumed,
+            exec_counts: self.exec_counts.clone(),
+            current: self.current,
+            seg_cursor: 0,
+            forced_chain: self.forced_chain,
+            clean: true,
+            checkpointed: self.consumed,
+        }
+    }
+}
+
+/// A small worker-local LRU of engine checkpoints keyed by schedule-point
+/// prefix.
+///
+/// LIFS explores many sibling schedules that differ only in their final
+/// preemptions; the shared prefix of scheduling points produces — by
+/// sequential consistency — bit-identical engine states. Instead of
+/// rebooting and replaying the prefix for every sibling, a worker restores
+/// the nearest cached ancestor and executes only the divergent suffix.
+///
+/// Invariants (see DESIGN.md §5):
+///
+/// * only **clean** prefixes are cached — every control transfer up to the
+///   checkpoint was dictated by the point list itself, never by the
+///   fallback picker or segment cursor, so the state depends on nothing
+///   but `(start, points[..k], step_budget)`;
+/// * schedules carrying a segment sequence are never cached (the segment
+///   cursor consults the whole schedule);
+/// * the cache is only valid for a single program — callers must
+///   [`SnapshotCache::clear`] it when their engine switches programs.
+pub struct SnapshotCache {
+    cap: usize,
+    /// LRU order: least-recently-used first.
+    entries: Vec<(u64, SavedPrefix)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SnapshotCache {
+    /// Creates a cache holding at most `cap` checkpoints (0 disables it).
+    #[must_use]
+    pub fn new(cap: usize) -> SnapshotCache {
+        SnapshotCache {
+            cap,
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Drops every checkpoint (required when the engine switches programs).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of cached checkpoints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no checkpoints.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Runs that restored from a cached ancestor prefix.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Runs that found no cached ancestor and booted from scratch.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn get(&mut self, key: u64) -> Option<SavedPrefix> {
+        let pos = self.entries.iter().position(|(k, _)| *k == key)?;
+        let entry = self.entries.remove(pos);
+        let saved = entry.1.clone();
+        self.entries.push(entry);
+        Some(saved)
+    }
+
+    fn put(&mut self, key: u64, saved: SavedPrefix) {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+        }
+        self.entries.push((key, saved));
+        while self.entries.len() > self.cap {
+            self.entries.remove(0);
+        }
+    }
+}
+
+/// Hash of everything a clean prefix's engine state can depend on: the
+/// start selector, the first `k` scheduling points (all fields), and the
+/// step budget.
+fn prefix_key(schedule: &Schedule, k: usize, cfg: &EnforceConfig) -> u64 {
+    use std::hash::{
+        Hash,
+        Hasher, //
+    };
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    cfg.step_budget.hash(&mut h);
+    match schedule.start {
+        Some(s) => (1u8, s.prog.0, s.occurrence).hash(&mut h),
+        None => 0u8.hash(&mut h),
+    }
+    k.hash(&mut h);
+    for p in &schedule.points[..k] {
+        (p.thread.prog.0, p.thread.occurrence).hash(&mut h);
+        (p.at.prog.0, p.at.index).hash(&mut h);
+        p.nth.hash(&mut h);
+        u8::from(p.when == Anchor::After).hash(&mut h);
+        (p.switch_to.prog.0, p.switch_to.occurrence).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Deposits a checkpoint for the just-consumed point prefix, when eligible.
+fn maybe_checkpoint(
+    engine: &Engine,
+    schedule: &Schedule,
+    cfg: &EnforceConfig,
+    state: &mut LoopState,
+    cache: &mut Option<&mut SnapshotCache>,
+) {
+    let Some(cache) = cache.as_deref_mut() else {
+        return;
+    };
+    if !state.clean || state.point_idx <= state.checkpointed || engine.halted() {
+        return;
+    }
+    let k = state.point_idx;
+    cache.put(
+        prefix_key(schedule, k, cfg),
+        SavedPrefix {
+            consumed: k,
+            snapshot: engine.snapshot(),
+            triggered: state.triggered[..k].to_vec(),
+            forced: state.forced.clone(),
+            steps: state.steps,
+            exec_counts: state.exec_counts.clone(),
+            current: state.current,
+            forced_chain: state.forced_chain,
+        },
+    );
+    state.checkpointed = k;
+}
+
 /// Runs `engine` under `schedule`.
 ///
 /// The engine should be freshly booted (or restored); the run consumes it —
 /// inspect the returned [`RunResult`] and the engine afterwards.
 #[must_use]
 pub fn run(engine: &mut Engine, schedule: &Schedule, cfg: &EnforceConfig) -> RunResult {
-    let mut triggered = vec![false; schedule.points.len()];
-    let mut forced = Vec::new();
-    let mut steps = 0usize;
-    let mut budget_exhausted = false;
-    let mut point_idx = 0usize;
-    let mut exec_counts: HashMap<(ThreadId, InstrAddr), u32> = HashMap::new();
+    let mut state = LoopState::fresh(engine, schedule);
+    drive(engine, schedule, cfg, &mut state, None)
+}
 
-    let mut current: Option<ThreadId> = schedule
-        .start
-        .and_then(|s| s.resolve(engine))
-        .or_else(|| engine.runnable().first().copied());
-    // Cursor into the schedule's intended segment sequence (when present).
-    let mut seg_cursor: usize = 0;
-    // Consecutive forced-resume hops without an executed step: a chain
-    // longer than the thread count is a lock cycle (ABBA deadlock).
-    let mut forced_chain: usize = 0;
+/// Runs `engine` under `schedule` through a worker-local snapshot-prefix
+/// cache.
+///
+/// Unlike [`run`], the engine need *not* be freshly booted: this function
+/// either restores the longest cached ancestor of the schedule's point
+/// prefix or reboots the engine itself. While a run consumes scheduling
+/// points cleanly it deposits a checkpoint after each, so sibling schedules
+/// sharing the prefix skip straight past it. The returned [`RunResult`] is
+/// bit-for-bit what [`run`] on a fresh engine would produce.
+///
+/// Schedules that carry a segment sequence execute uncached: the segment
+/// cursor makes control flow depend on the whole schedule rather than the
+/// point prefix, so such states are not reusable across schedules.
+#[must_use]
+pub fn run_cached(
+    engine: &mut Engine,
+    schedule: &Schedule,
+    cfg: &EnforceConfig,
+    cache: &mut SnapshotCache,
+) -> RunResult {
+    if cache.cap == 0 || !schedule.segments.is_empty() || schedule.points.is_empty() {
+        engine.reboot();
+        let mut state = LoopState::fresh(engine, schedule);
+        return drive(engine, schedule, cfg, &mut state, None);
+    }
+    for k in (1..=schedule.points.len()).rev() {
+        if let Some(saved) = cache.get(prefix_key(schedule, k, cfg)) {
+            cache.hits += 1;
+            engine.restore(&saved.snapshot);
+            let mut state = saved.resume(schedule);
+            return drive(engine, schedule, cfg, &mut state, Some(cache));
+        }
+    }
+    cache.misses += 1;
+    engine.reboot();
+    let mut state = LoopState::fresh(engine, schedule);
+    drive(engine, schedule, cfg, &mut state, Some(cache))
+}
 
+fn drive(
+    engine: &mut Engine,
+    schedule: &Schedule,
+    cfg: &EnforceConfig,
+    state: &mut LoopState,
+    mut cache: Option<&mut SnapshotCache>,
+) -> RunResult {
     loop {
         if engine.halted() {
-            break;
+            if engine.failure().is_some() {
+                break;
+            }
+            // Every listed thread finished without failing, but the
+            // schedule may still name an unfired IRQ handler (LIFS's
+            // handler probe): consult the fallback once, which injects it.
+            state.clean = false;
+            match pick_next(engine, schedule, &mut state.seg_cursor, None) {
+                Some(t) => state.current = Some(t),
+                None => break,
+            }
         }
-        if steps >= cfg.step_budget {
-            budget_exhausted = true;
+        if state.steps >= cfg.step_budget {
+            state.budget_exhausted = true;
             break;
         }
 
         // Skip points whose thread can never reach its anchor any more.
-        while point_idx < schedule.points.len() {
-            let p = &schedule.points[point_idx];
+        while state.point_idx < schedule.points.len() {
+            let p = &schedule.points[state.point_idx];
             let gone = match p.thread.resolve(engine) {
                 Some(tid) => engine
                     .thread(tid)
@@ -163,19 +432,23 @@ pub fn run(engine: &mut Engine, schedule: &Schedule, cfg: &EnforceConfig) -> Run
             if gone {
                 // Disappeared: preserve downstream intent by handing control
                 // to the point's target.
-                point_idx += 1;
-                if let Some(t) = schedule.points[point_idx - 1].switch_to.resolve(engine) {
+                state.point_idx += 1;
+                if let Some(t) = schedule.points[state.point_idx - 1]
+                    .switch_to
+                    .resolve(engine)
+                {
                     if engine.thread(t).is_some_and(ksim::Thread::is_runnable) {
-                        current = Some(t);
+                        state.current = Some(t);
                     }
                 }
             } else {
                 break;
             }
         }
+        maybe_checkpoint(engine, schedule, cfg, state, &mut cache);
 
         // Validate current; re-pick when it finished.
-        let cur = match current {
+        let cur = match state.current {
             Some(t) if engine.thread(t).is_some_and(ksim::Thread::is_runnable) => t,
             Some(t)
                 if engine
@@ -188,18 +461,18 @@ pub fn run(engine: &mut Engine, schedule: &Schedule, cfg: &EnforceConfig) -> Run
                 };
                 match engine.lock_holder(on) {
                     Some(h) if h != t => {
-                        forced_chain += 1;
-                        if forced_chain > engine.threads().len() {
+                        state.forced_chain += 1;
+                        if state.forced_chain > engine.threads().len() {
                             // A cycle of lock holders: deadlock.
                             break;
                         }
-                        forced.push(ForcedResume {
+                        state.forced.push(ForcedResume {
                             blocked: ThreadSel::of(engine, t),
                             holder: ThreadSel::of(engine, h),
                             lock: on,
                             seq: engine.trace().len(),
                         });
-                        current = Some(h);
+                        state.current = Some(h);
                         continue;
                     }
                     _ => {
@@ -208,22 +481,33 @@ pub fn run(engine: &mut Engine, schedule: &Schedule, cfg: &EnforceConfig) -> Run
                     }
                 }
             }
-            _ => match pick_next(engine, schedule, &mut seg_cursor, None) {
-                Some(t) => {
-                    current = Some(t);
-                    t
+            _ => {
+                state.clean = false;
+                match pick_next(engine, schedule, &mut state.seg_cursor, None) {
+                    Some(t) => {
+                        state.current = Some(t);
+                        t
+                    }
+                    None => break,
                 }
-                None => break,
-            },
+            }
         };
 
         // Before-anchored scheduling point?
-        if point_idx < schedule.points.len() {
-            let p = &schedule.points[point_idx];
-            if p.when == Anchor::Before && matches_point(engine, &exec_counts, cur, p) {
-                triggered[point_idx] = true;
-                point_idx += 1;
-                current = switch_target(engine, schedule, p, cur, &mut seg_cursor);
+        if state.point_idx < schedule.points.len() {
+            let p = &schedule.points[state.point_idx];
+            if p.when == Anchor::Before && matches_point(engine, &state.exec_counts, cur, p) {
+                state.triggered[state.point_idx] = true;
+                state.point_idx += 1;
+                state.current = switch_target(
+                    engine,
+                    schedule,
+                    p,
+                    cur,
+                    &mut state.seg_cursor,
+                    &mut state.clean,
+                );
+                maybe_checkpoint(engine, schedule, cfg, state, &mut cache);
                 continue;
             }
         }
@@ -232,19 +516,27 @@ pub fn run(engine: &mut Engine, schedule: &Schedule, cfg: &EnforceConfig) -> Run
             Ok(StepOutcome::Executed(rec))
             | Ok(StepOutcome::Exited(rec))
             | Ok(StepOutcome::Failed(rec)) => {
-                steps += 1;
-                *exec_counts.entry((cur, rec.at)).or_insert(0) += 1;
+                state.steps += 1;
+                *state.exec_counts.entry((cur, rec.at)).or_insert(0) += 1;
                 // After-anchored scheduling point?
-                if point_idx < schedule.points.len() {
-                    let p = &schedule.points[point_idx];
+                if state.point_idx < schedule.points.len() {
+                    let p = &schedule.points[state.point_idx];
                     if p.when == Anchor::After
                         && ThreadSel::of(engine, cur) == p.thread
                         && rec.at == p.at
-                        && exec_counts.get(&(cur, p.at)).copied().unwrap_or(0) == p.nth + 1
+                        && state.exec_counts.get(&(cur, p.at)).copied().unwrap_or(0) == p.nth + 1
                     {
-                        triggered[point_idx] = true;
-                        point_idx += 1;
-                        current = switch_target(engine, schedule, p, cur, &mut seg_cursor);
+                        state.triggered[state.point_idx] = true;
+                        state.point_idx += 1;
+                        state.current = switch_target(
+                            engine,
+                            schedule,
+                            p,
+                            cur,
+                            &mut state.seg_cursor,
+                            &mut state.clean,
+                        );
+                        maybe_checkpoint(engine, schedule, cfg, state, &mut cache);
                     }
                 }
             }
@@ -252,13 +544,13 @@ pub fn run(engine: &mut Engine, schedule: &Schedule, cfg: &EnforceConfig) -> Run
                 // Lock contention: resume the holder until it releases.
                 match engine.lock_holder(on) {
                     Some(h) if h != cur => {
-                        forced.push(ForcedResume {
+                        state.forced.push(ForcedResume {
                             blocked: ThreadSel::of(engine, cur),
                             holder: ThreadSel::of(engine, h),
                             lock: on,
                             seq: engine.trace().len(),
                         });
-                        current = Some(h);
+                        state.current = Some(h);
                     }
                     _ => {
                         // Cannot make progress at all.
@@ -267,8 +559,9 @@ pub fn run(engine: &mut Engine, schedule: &Schedule, cfg: &EnforceConfig) -> Run
                 }
             }
             Err(_) => {
-                current = pick_next(engine, schedule, &mut seg_cursor, None);
-                if current.is_none() {
+                state.clean = false;
+                state.current = pick_next(engine, schedule, &mut state.seg_cursor, None);
+                if state.current.is_none() {
                     break;
                 }
             }
@@ -277,7 +570,7 @@ pub fn run(engine: &mut Engine, schedule: &Schedule, cfg: &EnforceConfig) -> Run
 
     // The kernel watchdog: no runnable thread, blocked threads remain —
     // an ABBA-style deadlock manifests as a hung-task report.
-    let deadlock_cycle = forced_chain > engine.threads().len();
+    let deadlock_cycle = state.forced_chain > engine.threads().len();
     let watchdog = if engine.failure().is_none() && (engine.deadlocked() || deadlock_cycle) {
         engine
             .threads()
@@ -312,10 +605,10 @@ pub fn run(engine: &mut Engine, schedule: &Schedule, cfg: &EnforceConfig) -> Run
     RunResult {
         trace: engine.trace().to_vec(),
         failure: engine.failure().cloned().or(watchdog),
-        triggered,
-        forced,
-        steps,
-        budget_exhausted,
+        triggered: std::mem::take(&mut state.triggered),
+        forced: std::mem::take(&mut state.forced),
+        steps: state.steps,
+        budget_exhausted: state.budget_exhausted,
         threads,
     }
 }
@@ -337,11 +630,15 @@ fn switch_target(
     p: &SchedPoint,
     cur: ThreadId,
     seg_cursor: &mut usize,
+    clean: &mut bool,
 ) -> Option<ThreadId> {
     advance_cursor_to(schedule, seg_cursor, p.switch_to);
     match resolve_or_inject(engine, p.switch_to) {
         Some(t) if engine.thread(t).is_some_and(ksim::Thread::is_runnable) => Some(t),
-        _ => pick_next(engine, schedule, seg_cursor, Some(cur)),
+        _ => {
+            *clean = false;
+            pick_next(engine, schedule, seg_cursor, Some(cur))
+        }
     }
 }
 
@@ -396,8 +693,13 @@ fn pick_next(
 }
 
 /// The flat-list fallback (schedules without a segment sequence).
+///
+/// A fallback entry naming a not-yet-fired hardware-IRQ handler *injects*
+/// it when consulted, exactly like a scheduling-point target: a serial
+/// schedule ending in an IRQ selector runs the listed threads to completion
+/// and then fires the interrupt (LIFS's handler probe runs).
 fn pick_fallback_excluding(
-    engine: &Engine,
+    engine: &mut Engine,
     schedule: &Schedule,
     exclude: Option<ThreadId>,
 ) -> Option<ThreadId> {
@@ -414,8 +716,9 @@ fn pick_fallback_excluding(
             return Some(t);
         }
     }
-    for sel in &schedule.fallback {
-        if let Some(t) = sel.resolve(engine) {
+    for i in 0..schedule.fallback.len() {
+        let sel = schedule.fallback[i];
+        if let Some(t) = resolve_or_inject(engine, sel) {
             if Some(t) == exclude {
                 continue;
             }
@@ -613,6 +916,45 @@ mod tests {
         );
         assert!(r.budget_exhausted);
         assert!(!r.succeeded());
+    }
+
+    /// A cached run restored from a sibling's prefix checkpoint must be
+    /// bit-identical to a from-scratch run of the same schedule.
+    #[test]
+    fn cached_runs_match_fresh_runs() {
+        let prog = fig1_program();
+        let cfg = EnforceConfig::default();
+        let failing = Schedule {
+            start: Some(sel(0)),
+            points: vec![SchedPoint {
+                thread: sel(0),
+                at: InstrAddr {
+                    prog: ThreadProgId(0),
+                    index: 1,
+                },
+                nth: 0,
+                when: Anchor::Before,
+                switch_to: sel(1),
+            }],
+            fallback: vec![sel(1), sel(0)],
+            segments: Vec::new(),
+        };
+        let mut cache = SnapshotCache::new(8);
+        let mut e = ksim::Engine::new(Arc::clone(&prog));
+        let first = run_cached(&mut e, &failing, &cfg, &mut cache);
+        assert!(!cache.is_empty(), "clean prefix deposited a checkpoint");
+        let second = run_cached(&mut e, &failing, &cfg, &mut cache);
+        assert_eq!(cache.hits(), 1, "second run restored the prefix");
+
+        let mut fresh = ksim::Engine::new(Arc::clone(&prog));
+        let reference = run(&mut fresh, &failing, &cfg);
+        for r in [&first, &second] {
+            assert_eq!(r.failure, reference.failure);
+            assert_eq!(r.triggered, reference.triggered);
+            assert_eq!(r.steps, reference.steps);
+            assert_eq!(r.trace.len(), reference.trace.len());
+            assert_eq!(r.forced, reference.forced);
+        }
     }
 
     #[test]

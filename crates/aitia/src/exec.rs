@@ -1,0 +1,611 @@
+//! The shared VM-pool execution layer (DESIGN.md §5).
+//!
+//! Every consumer of schedule execution — LIFS rounds, Causality Analysis
+//! flips, the manager's slice fan-out — goes through one executor that owns
+//! the worker "VMs" (per-worker [`ksim::Engine`]s plus snapshot-prefix
+//! caches). Callers submit *batches* of `(program, schedule)` jobs and fold
+//! the results in canonical submission order, which keeps every consumer
+//! bit-for-bit deterministic at any worker count:
+//!
+//! * each job is a pure function of its program and schedule (sequential
+//!   consistency of the engine), so *which* worker runs it cannot change
+//!   its result;
+//! * workers claim job indices from a single monotone counter, and an
+//!   early-stop request at index `i` only ever *lowers* the shared stop
+//!   bound — so every index at or below the final bound is guaranteed to
+//!   have been executed, and the returned prefix is complete;
+//! * results beyond the final stop bound are discarded (speculative work),
+//!   never folded.
+//!
+//! Cancellation is checked at schedule boundaries (job claim time): an
+//! in-flight search stops submitting work but completed results still form
+//! a contiguous prefix that callers can fold deterministically.
+
+use crate::{
+    enforce::{
+        run_cached,
+        EnforceConfig,
+        RunResult,
+        SnapshotCache, //
+    },
+    schedule::{
+        Schedule,
+        ThreadSel, //
+    },
+};
+use ksim::{
+    Engine,
+    Program,
+    ThreadId, //
+};
+use std::{
+    collections::HashMap,
+    sync::{
+        atomic::{
+            AtomicBool,
+            AtomicUsize,
+            Ordering, //
+        },
+        Arc,
+        Mutex, //
+    },
+};
+
+/// A cooperative cancellation flag, checked at schedule boundaries.
+///
+/// Tokens form a chain: a [`CancelToken::child`] is cancelled when either
+/// it or any ancestor is cancelled, so the manager can abort one slice's
+/// search without touching its siblings while a user-level cancel still
+/// reaches everything.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    flag: AtomicBool,
+    parent: Option<CancelToken>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A child token: cancelled when either it or `self` is cancelled.
+    #[must_use]
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                parent: Some(self.clone()),
+            }),
+        }
+    }
+
+    /// Requests cancellation (of this token and all its children).
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether this token or any ancestor has been cancelled.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        let mut tok = Some(self);
+        while let Some(t) = tok {
+            if t.inner.flag.load(Ordering::SeqCst) {
+                return true;
+            }
+            tok = t.inner.parent.as_ref();
+        }
+        false
+    }
+}
+
+/// One unit of work: enforce `schedule` on a fresh (or prefix-restored)
+/// boot of `program`.
+#[derive(Clone, Debug)]
+pub struct ExecJob {
+    /// The kernel scenario to boot.
+    pub program: Arc<Program>,
+    /// The interleaving to enforce.
+    pub schedule: Schedule,
+    /// Enforcement limits.
+    pub enforce: EnforceConfig,
+}
+
+/// The observable outcome of one job.
+#[derive(Clone, Debug)]
+pub struct ExecOutput {
+    /// The enforced run, exactly as [`crate::enforce::run`] on a fresh
+    /// engine would report it.
+    pub run: RunResult,
+    /// Stable selector of every runtime thread the run spawned.
+    pub sel_of: HashMap<ThreadId, ThreadSel>,
+}
+
+/// Executor sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecutorConfig {
+    /// Worker ("VM") count. One worker executes jobs inline on the calling
+    /// thread — the only serial path. Spawned OS threads are additionally
+    /// capped at the host's available parallelism; results never depend on
+    /// either number.
+    pub vms: usize,
+    /// Snapshot-prefix cache capacity per worker (0 disables caching).
+    pub snapshot_cache: usize,
+    /// Cap on spawned OS threads; `None` uses the host's available
+    /// parallelism. Only wall-clock time depends on this — results are
+    /// bit-for-bit identical at any value (tests force it above the host
+    /// count to exercise the concurrent path on small machines).
+    pub os_threads: Option<usize>,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            vms: 8,
+            snapshot_cache: 8,
+            os_threads: None,
+        }
+    }
+}
+
+/// A worker's persistent state: the engine it keeps booted and the
+/// snapshot-prefix cache for the program that engine is running. Both are
+/// discarded when a batch hands the worker a different program.
+struct WorkerVm {
+    prog: usize,
+    engine: Engine,
+    cache: SnapshotCache,
+}
+
+/// The shared VM pool.
+///
+/// Worker state persists *across* batches (engines stay booted, caches stay
+/// warm) but worker threads do not: each batch spawns scoped threads that
+/// lock their slot for the batch's duration, so the executor holds no
+/// running threads while idle and is trivially safe to drop.
+pub struct Executor {
+    config: ExecutorConfig,
+    slots: Vec<Mutex<Option<WorkerVm>>>,
+}
+
+impl Executor {
+    /// A pool with `vms` workers and default cache sizing.
+    #[must_use]
+    pub fn new(vms: usize) -> Executor {
+        Executor::with_config(ExecutorConfig {
+            vms,
+            ..ExecutorConfig::default()
+        })
+    }
+
+    /// A pool with explicit sizing. `vms` is clamped to at least 1.
+    #[must_use]
+    pub fn with_config(config: ExecutorConfig) -> Executor {
+        let vms = config.vms.max(1);
+        Executor {
+            config,
+            slots: (0..vms).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Worker count.
+    #[must_use]
+    pub fn vms(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The OS-thread budget actually used for a batch (see
+    /// [`ExecutorConfig::os_threads`]).
+    fn os_threads(&self) -> usize {
+        self.config
+            .os_threads
+            .unwrap_or_else(hardware_threads)
+            .max(1)
+    }
+
+    /// Runs every job; `results[i]` is job `i`'s outcome, in submission
+    /// order. Entries are `None` only past a cancellation boundary.
+    #[must_use]
+    pub fn run_batch(&self, jobs: &[ExecJob], cancel: &CancelToken) -> Vec<Option<ExecOutput>> {
+        self.run_until(jobs, cancel, |_| false)
+    }
+
+    /// Runs jobs until `stop` accepts one, in *canonical* terms: the
+    /// returned vector holds `Some` for a contiguous prefix of submission
+    /// indices ending at the first accepted job (all of them executed), and
+    /// `None` beyond it. Workers may speculatively execute later jobs;
+    /// those results are discarded, so the outcome is identical to a serial
+    /// front-to-back scan at any worker count.
+    #[must_use]
+    pub fn run_until<F>(
+        &self,
+        jobs: &[ExecJob],
+        cancel: &CancelToken,
+        stop: F,
+    ) -> Vec<Option<ExecOutput>>
+    where
+        F: Fn(&ExecOutput) -> bool + Sync,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let cache_cap = self.config.snapshot_cache;
+        let workers = self.slots.len().min(n).min(self.os_threads());
+        if workers <= 1 {
+            let mut slot = self.slots[0].lock().unwrap();
+            let mut out: Vec<Option<ExecOutput>> = Vec::with_capacity(n);
+            for job in jobs {
+                if cancel.is_cancelled() {
+                    break;
+                }
+                let res = run_job(&mut slot, job, cache_cap);
+                let hit = stop(&res);
+                out.push(Some(res));
+                if hit {
+                    break;
+                }
+            }
+            out.resize_with(n, || None);
+            return out;
+        }
+
+        let next = AtomicUsize::new(0);
+        let stop_at = AtomicUsize::new(usize::MAX);
+        let results: Vec<Mutex<Option<ExecOutput>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let (results, next, stop_at, stop) = (&results, &next, &stop_at, &stop);
+                let slot = &self.slots[w];
+                scope.spawn(move || {
+                    let mut slot = slot.lock().unwrap();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        // `stop_at` only decreases, so a stale read can only
+                        // make us execute speculatively, never skip an index
+                        // at or below the final bound.
+                        if i >= n || i > stop_at.load(Ordering::SeqCst) || cancel.is_cancelled() {
+                            return;
+                        }
+                        let res = run_job(&mut slot, &jobs[i], cache_cap);
+                        if stop(&res) {
+                            stop_at.fetch_min(i, Ordering::SeqCst);
+                        }
+                        *results[i].lock().unwrap() = Some(res);
+                    }
+                });
+            }
+        });
+        let cut = stop_at.load(Ordering::SeqCst);
+        let mut out: Vec<Option<ExecOutput>> = results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect();
+        for (i, r) in out.iter_mut().enumerate() {
+            if i > cut {
+                *r = None;
+            }
+        }
+        normalize_prefix(&mut out);
+        out
+    }
+
+    /// Fans `count` opaque tasks out over the pool's worker budget with the
+    /// same canonical-prefix semantics as [`Executor::run_until`], *without*
+    /// touching the pool's per-worker engines — so a task may itself run a
+    /// (single-worker) executor without deadlocking. The manager uses this
+    /// for slice fan-out.
+    ///
+    /// Each task receives a child of `cancel`; when an earlier task stops
+    /// the scan, the tokens of all later in-flight tasks are cancelled so
+    /// they abort at their next schedule boundary.
+    #[must_use]
+    pub fn run_tasks_until<T, F, S>(
+        &self,
+        count: usize,
+        cancel: &CancelToken,
+        task: F,
+        stop: S,
+    ) -> Vec<Option<T>>
+    where
+        T: Send,
+        F: Fn(usize, CancelToken) -> T + Sync,
+        S: Fn(&T) -> bool + Sync,
+    {
+        if count == 0 {
+            return Vec::new();
+        }
+        let tokens: Vec<CancelToken> = (0..count).map(|_| cancel.child()).collect();
+        let workers = self.slots.len().min(count).min(self.os_threads());
+        if workers <= 1 {
+            let mut out: Vec<Option<T>> = Vec::with_capacity(count);
+            for (i, token) in tokens.iter().enumerate() {
+                if cancel.is_cancelled() {
+                    break;
+                }
+                let res = task(i, token.clone());
+                let hit = stop(&res);
+                out.push(Some(res));
+                if hit {
+                    break;
+                }
+            }
+            out.resize_with(count, || None);
+            return out;
+        }
+
+        let next = AtomicUsize::new(0);
+        let stop_at = AtomicUsize::new(usize::MAX);
+        let results: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let (results, next, stop_at, task, stop, tokens) =
+                    (&results, &next, &stop_at, &task, &stop, &tokens);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= count || i > stop_at.load(Ordering::SeqCst) || cancel.is_cancelled() {
+                        return;
+                    }
+                    let res = task(i, tokens[i].clone());
+                    if stop(&res) {
+                        let bound = stop_at.fetch_min(i, Ordering::SeqCst).min(i);
+                        // Only indices strictly above the (monotonically
+                        // shrinking) bound are ever cancelled, so every task
+                        // at or below the final bound ran uncancelled.
+                        for t in &tokens[bound + 1..] {
+                            t.cancel();
+                        }
+                    }
+                    *results[i].lock().unwrap() = Some(res);
+                });
+            }
+        });
+        let cut = stop_at.load(Ordering::SeqCst);
+        let mut out: Vec<Option<T>> = results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect();
+        for (i, r) in out.iter_mut().enumerate() {
+            if i > cut {
+                *r = None;
+            }
+        }
+        normalize_prefix(&mut out);
+        out
+    }
+}
+
+/// OS threads available to the process (cgroup-quota aware). By default the
+/// pool never spawns more threads than this: `vms` is the *semantic* pool
+/// width (it sizes the slots and the simulated cost model), while the OS
+/// thread count is an implementation detail that cannot change any result —
+/// oversubscribing a small host would only add context-switch overhead for
+/// bit-identical output.
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Executes one job on a worker's persistent VM, rebooting (and dropping
+/// the snapshot cache) when the job's program differs from the VM's.
+fn run_job(slot: &mut Option<WorkerVm>, job: &ExecJob, cache_cap: usize) -> ExecOutput {
+    let key = Arc::as_ptr(&job.program) as usize;
+    let vm = match slot {
+        Some(vm) if vm.prog == key => vm,
+        _ => slot.insert(WorkerVm {
+            prog: key,
+            engine: Engine::new(Arc::clone(&job.program)),
+            cache: SnapshotCache::new(cache_cap),
+        }),
+    };
+    let run = run_cached(&mut vm.engine, &job.schedule, &job.enforce, &mut vm.cache);
+    let sel_of = vm
+        .engine
+        .threads()
+        .iter()
+        .map(|t| {
+            (
+                t.id,
+                ThreadSel {
+                    prog: t.prog,
+                    occurrence: t.occurrence,
+                },
+            )
+        })
+        .collect();
+    ExecOutput { run, sel_of }
+}
+
+/// Truncates at the first hole so callers always fold a contiguous prefix
+/// (cancellation can otherwise leave an executed job after a skipped one).
+fn normalize_prefix<T>(out: &mut [Option<T>]) {
+    if let Some(first_none) = out.iter().position(Option::is_none) {
+        for r in out.iter_mut().skip(first_none) {
+            *r = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{
+        Anchor,
+        SchedPoint, //
+    };
+    use ksim::{
+        builder::ProgramBuilder,
+        FailureKind,
+        InstrAddr,
+        ThreadProgId, //
+    };
+
+    fn fig1_program() -> Arc<Program> {
+        let mut p = ProgramBuilder::new("fig1");
+        let obj = p.static_obj("obj", 8);
+        let ptr_valid = p.global("ptr_valid", 0);
+        let ptr = p.global_ptr("ptr", obj);
+        {
+            let mut a = p.syscall_thread("A", "writer");
+            a.n("A1").store_global(ptr_valid, 1u64);
+            a.n("A2").load_global("r0", ptr);
+            a.load_ind("r1", "r0", 0);
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "clearer");
+            let out = b.new_label();
+            b.n("B1").load_global("r0", ptr_valid);
+            b.jmp_if(ksim::builder::cond_reg("r0", ksim::CmpOp::Eq, 0), out);
+            b.n("B2").store_global(ptr, 0u64);
+            b.place(out);
+            b.ret();
+        }
+        Arc::new(p.build().unwrap())
+    }
+
+    fn sel(p: u16) -> ThreadSel {
+        ThreadSel::first(ThreadProgId(p))
+    }
+
+    /// A pool that really spawns `vms` OS threads, even on a host with
+    /// fewer cores — the concurrent path must stay tested everywhere.
+    fn threaded_pool(vms: usize) -> Executor {
+        Executor::with_config(ExecutorConfig {
+            vms,
+            os_threads: Some(vms),
+            ..ExecutorConfig::default()
+        })
+    }
+
+    /// The failing fig1 interleaving plus the two benign serial orders.
+    fn fig1_jobs(program: &Arc<Program>) -> Vec<ExecJob> {
+        let failing = Schedule {
+            start: Some(sel(0)),
+            points: vec![SchedPoint {
+                thread: sel(0),
+                at: InstrAddr {
+                    prog: ThreadProgId(0),
+                    index: 1,
+                },
+                nth: 0,
+                when: Anchor::Before,
+                switch_to: sel(1),
+            }],
+            fallback: vec![sel(1), sel(0)],
+            segments: Vec::new(),
+        };
+        [
+            Schedule::serial(vec![sel(0), sel(1)]),
+            Schedule::serial(vec![sel(1), sel(0)]),
+            failing,
+            Schedule::serial(vec![sel(0), sel(1)]),
+        ]
+        .into_iter()
+        .map(|schedule| ExecJob {
+            program: Arc::clone(program),
+            schedule,
+            enforce: EnforceConfig::default(),
+        })
+        .collect()
+    }
+
+    fn digest(out: &[Option<ExecOutput>]) -> Vec<Option<(Option<FailureKind>, usize)>> {
+        out.iter()
+            .map(|o| {
+                o.as_ref()
+                    .map(|o| (o.run.failure.as_ref().map(|f| f.kind), o.run.steps))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_are_identical_across_worker_counts() {
+        let program = fig1_program();
+        let jobs = fig1_jobs(&program);
+        let baseline = Executor::new(1).run_batch(&jobs, &CancelToken::new());
+        for vms in [2, 4, 8] {
+            let got = threaded_pool(vms).run_batch(&jobs, &CancelToken::new());
+            assert_eq!(digest(&baseline), digest(&got), "vms={vms}");
+        }
+        assert!(baseline.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn run_until_stops_at_first_match_in_submission_order() {
+        let program = fig1_program();
+        let jobs = fig1_jobs(&program);
+        for vms in [1, 2, 8] {
+            let out = threaded_pool(vms)
+                .run_until(&jobs, &CancelToken::new(), |o| o.run.failure.is_some());
+            // Jobs 0–2 executed (2 is the first failing one), job 3 cut off.
+            assert!(out[0].as_ref().is_some_and(|o| o.run.failure.is_none()));
+            assert!(out[1].as_ref().is_some_and(|o| o.run.failure.is_none()));
+            assert!(out[2].as_ref().is_some_and(|o| o.run.failure.is_some()));
+            assert!(out[3].is_none(), "vms={vms}");
+        }
+    }
+
+    #[test]
+    fn cancelled_token_stops_at_schedule_boundary() {
+        let program = fig1_program();
+        let jobs = fig1_jobs(&program);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let out = threaded_pool(4).run_batch(&jobs, &cancel);
+        assert!(out.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn child_tokens_observe_parent_cancellation() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        let grandchild = child.child();
+        assert!(!grandchild.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled());
+        assert!(grandchild.is_cancelled());
+        // Sibling cancellation does not propagate upward.
+        let other = parent.child();
+        other.cancel();
+        assert!(!CancelToken::new().is_cancelled());
+    }
+
+    #[test]
+    fn task_fanout_cancels_tasks_past_the_stop_index() {
+        let exec = threaded_pool(4);
+        let out = exec.run_tasks_until(
+            6,
+            &CancelToken::new(),
+            |i, token| {
+                if i > 2 {
+                    // Later tasks spin until the index-2 stop cancels them.
+                    while !token.is_cancelled() {
+                        std::thread::yield_now();
+                    }
+                }
+                i
+            },
+            |&i| i == 2,
+        );
+        assert_eq!(out[0], Some(0));
+        assert_eq!(out[1], Some(1));
+        assert_eq!(out[2], Some(2));
+        assert!(out[3..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn workers_reuse_engines_across_batches() {
+        let program = fig1_program();
+        let jobs = fig1_jobs(&program);
+        let exec = threaded_pool(2);
+        let first = exec.run_batch(&jobs, &CancelToken::new());
+        let second = exec.run_batch(&jobs, &CancelToken::new());
+        assert_eq!(digest(&first), digest(&second));
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`race`] — data races, happens-before, critical sections (§2);
 //! * [`schedule`] — scheduling points and schedules (§4.3);
 //! * [`enforce`] — schedule enforcement, the hypervisor equivalent (§4.4);
+//! * [`exec`] — the shared VM-pool execution layer: batch scheduling of
+//!   enforced runs with deterministic canonical-order folding;
 //! * [`lifs`] — Least Interleaving First Search (§3.3);
 //! * [`causality`] — Causality Analysis and chain construction (§3.4);
 //! * [`simtime`] — the deterministic cost model standing in for the paper's
@@ -68,6 +70,7 @@
 
 pub mod causality;
 pub mod enforce;
+pub mod exec;
 pub mod lifs;
 pub mod manager;
 pub mod race;
@@ -88,7 +91,15 @@ pub use causality::{
 pub use enforce::{
     run as enforce_run,
     EnforceConfig,
-    RunResult, //
+    RunResult,
+    SnapshotCache, //
+};
+pub use exec::{
+    CancelToken,
+    ExecJob,
+    ExecOutput,
+    Executor,
+    ExecutorConfig, //
 };
 pub use lifs::{
     FailingRun,

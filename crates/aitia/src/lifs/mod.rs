@@ -35,10 +35,15 @@ pub mod tree;
 
 use crate::{
     enforce::{
-        self,
         EnforceConfig,
         RunResult,
         ThreadFinal, //
+    },
+    exec::{
+        CancelToken,
+        ExecJob,
+        ExecOutput,
+        Executor, //
     },
     race::{
         races_in_trace,
@@ -55,7 +60,6 @@ use crate::{
 };
 use ksim::{
     Addr,
-    Engine,
     Failure,
     InstrAddr,
     Program,
@@ -138,6 +142,10 @@ pub struct LifsConfig {
     pub max_schedules: usize,
     /// The reported failure to reproduce. `None` accepts any failure.
     pub target: Option<FailureTarget>,
+    /// Cooperative cancellation: an in-flight search aborts at the next
+    /// schedule boundary. Statistics still count the deterministically
+    /// folded prefix of completed schedules.
+    pub cancel: CancelToken,
 }
 
 impl Default for LifsConfig {
@@ -148,6 +156,7 @@ impl Default for LifsConfig {
             por: true,
             max_schedules: 200_000,
             target: None,
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -166,6 +175,18 @@ pub struct LifsStats {
     pub interleaving_count: u32,
     /// Simulated cost (schedule setups, steps, reboots).
     pub sim: SimCost,
+}
+
+impl LifsStats {
+    /// Folds another search's statistics into this one. Counters add;
+    /// the interleaving count keeps the maximum reached by either search.
+    pub fn merge(&mut self, other: &LifsStats) {
+        self.schedules_executed += other.schedules_executed;
+        self.pruned_nonconflicting += other.pruned_nonconflicting;
+        self.pruned_equivalent += other.pruned_equivalent;
+        self.interleaving_count = self.interleaving_count.max(other.interleaving_count);
+        self.sim.merge(&other.sim);
+    }
 }
 
 /// The failure-causing instruction sequence and everything Causality
@@ -419,16 +440,34 @@ fn conflict_signature(trace: &[StepRecord], sel_of: &HashMap<ThreadId, ThreadSel
 }
 
 /// The LIFS searcher for one program (slice).
+///
+/// All schedule execution goes through the shared VM-pool executor
+/// ([`crate::exec`]): each preemption round's candidate schedules are
+/// submitted as one batch and the results are folded into the knowledge
+/// base in canonical submission order, so the search outcome — failing
+/// schedule, statistics, tree — is bit-for-bit identical at any worker
+/// count.
 pub struct Lifs {
     program: Arc<Program>,
     config: LifsConfig,
+    exec: Arc<Executor>,
 }
 
 impl Lifs {
-    /// Creates a searcher.
+    /// Creates a searcher executing on a private single-worker VM.
     #[must_use]
     pub fn new(program: Arc<Program>, config: LifsConfig) -> Self {
-        Lifs { program, config }
+        Lifs::with_executor(program, config, Arc::new(Executor::new(1)))
+    }
+
+    /// Creates a searcher executing its schedule batches on `exec`.
+    #[must_use]
+    pub fn with_executor(program: Arc<Program>, config: LifsConfig, exec: Arc<Executor>) -> Self {
+        Lifs {
+            program,
+            config,
+            exec,
+        }
     }
 
     /// Runs the search.
@@ -449,18 +488,33 @@ impl Lifs {
         for &irq in &self.program.irq_handlers {
             knowledge.note_sel(ThreadSel::first(irq));
         }
-        let mut engine = Engine::new(Arc::clone(&self.program));
 
-        // Interleaving count 0: serial permutations.
-        for perm in permutations(&initial_sels) {
+        // Interleaving count 0: serial permutations, one batch. The fold
+        // below replays the batch front to back, so "first failing schedule
+        // wins" is preserved no matter which worker found it.
+        let perms = permutations(&initial_sels);
+        let jobs: Vec<ExecJob> = perms
+            .iter()
+            .map(|perm| self.job(Schedule::serial(perm.clone())))
+            .collect();
+        let results = self.run_batch(&jobs);
+        for (perm, res) in perms.iter().zip(results) {
+            let Some(out) = res else {
+                // Cancelled mid-batch: the folded prefix is all we count.
+                return LifsOutput {
+                    failing: None,
+                    stats,
+                    tree,
+                };
+            };
             order += 1;
-            let schedule = Schedule::serial(perm.clone());
-            let (run, sel_of) = self.execute(&mut engine, &schedule, &mut stats);
-            let fresh = knowledge.absorb(&run, &sel_of);
+            stats.schedules_executed += 1;
+            stats.sim.add_run(out.run.steps, out.run.failure.is_some());
+            let fresh = knowledge.absorb(&out.run, &out.sel_of);
             if !fresh {
                 stats.pruned_equivalent += 1;
             }
-            let failed = self.is_target_failure(&run);
+            let failed = self.is_target_failure(&out.run);
             tree.nodes.push(SearchNode {
                 order,
                 interleavings: 0,
@@ -471,17 +525,18 @@ impl Lifs {
                 } else {
                     NodeOutcome::NoFailure
                 },
-                steps: run.steps,
+                steps: out.run.steps,
             });
             // Remember solo traces (per-thread projections) from successful
             // serial runs.
-            if run.failure.is_none() {
-                store_solo(&mut knowledge, &run, &sel_of);
+            if out.run.failure.is_none() {
+                store_solo(&mut knowledge, &out.run, &out.sel_of);
             }
             if failed {
                 stats.interleaving_count = 0;
+                let schedule = Schedule::serial(perm.clone());
                 return LifsOutput {
-                    failing: Some(self.finish(schedule, run, sel_of, &knowledge)),
+                    failing: Some(self.finish(schedule, out.run, out.sel_of, &knowledge)),
                     stats,
                     tree,
                 };
@@ -491,123 +546,120 @@ impl Lifs {
         // Probe runs for hardware-IRQ handlers: a serial execution with the
         // handler injected at the end seeds the handler's memory footprint
         // (the user agent knows the handler's code from the disassembly
-        // map, but conflict knowledge is dynamic).
-        for &irq in &self.program.irq_handlers {
-            order += 1;
-            engine.reboot();
-            for sel in &initial_sels {
-                if let Some(t) = sel.resolve(&engine) {
-                    engine.run_to_completion(t);
-                }
-            }
-            let mut steps = engine.trace().len();
-            if let Ok(t) = engine.inject_irq(irq) {
-                engine.run_to_completion(t);
-                steps = engine.trace().len();
-            }
-            stats.schedules_executed += 1;
-            stats.sim.add_run(steps, engine.failure().is_some());
-            let sel_of: HashMap<ThreadId, ThreadSel> = engine
-                .threads()
-                .iter()
-                .map(|t| {
-                    (
-                        t.id,
-                        ThreadSel {
-                            prog: t.prog,
-                            occurrence: t.occurrence,
-                        },
-                    )
-                })
-                .collect();
-            let run = RunResult {
-                trace: engine.trace().to_vec(),
-                failure: engine.failure().cloned(),
-                triggered: vec![],
-                forced: vec![],
-                steps,
-                budget_exhausted: false,
-                threads: engine
-                    .threads()
-                    .iter()
-                    .map(|t| crate::enforce::ThreadFinal {
-                        sel: ThreadSel {
-                            prog: t.prog,
-                            occurrence: t.occurrence,
-                        },
-                        status: t.status,
-                        next: engine.next_instr(t.id),
-                    })
-                    .collect(),
+        // map, but conflict knowledge is dynamic). Each probe is expressed
+        // as a serial schedule ending in the handler's selector — the
+        // enforcer's fallback resolution injects the IRQ once the syscall
+        // threads exit — so probes run through the executor like any batch.
+        let irq_sels: Vec<ThreadSel> = self
+            .program
+            .irq_handlers
+            .iter()
+            .map(|&irq| ThreadSel::first(irq))
+            .collect();
+        let probe_jobs: Vec<ExecJob> = irq_sels
+            .iter()
+            .map(|&irq| {
+                let mut probe_order = initial_sels.clone();
+                probe_order.push(irq);
+                self.job(Schedule::serial(probe_order))
+            })
+            .collect();
+        let results = self.run_batch(&probe_jobs);
+        for ((irq, job), res) in irq_sels.iter().zip(&probe_jobs).zip(results) {
+            let Some(out) = res else {
+                return LifsOutput {
+                    failing: None,
+                    stats,
+                    tree,
+                };
             };
-            knowledge.absorb(&run, &sel_of);
-            if run.failure.is_none() {
-                store_solo(&mut knowledge, &run, &sel_of);
+            order += 1;
+            stats.schedules_executed += 1;
+            stats.sim.add_run(out.run.steps, out.run.failure.is_some());
+            knowledge.absorb(&out.run, &out.sel_of);
+            if out.run.failure.is_none() {
+                store_solo(&mut knowledge, &out.run, &out.sel_of);
             }
+            let failed = self.is_target_failure(&out.run);
             tree.nodes.push(SearchNode {
                 order,
                 interleavings: 0,
                 plan: vec![],
-                serial_order: vec![ThreadSel::first(irq)],
-                outcome: if self.is_target_failure(&run) {
+                serial_order: vec![*irq],
+                outcome: if failed {
                     NodeOutcome::Failure
                 } else {
                     NodeOutcome::NoFailure
                 },
-                steps: run.steps,
+                steps: out.run.steps,
             });
-            if self.is_target_failure(&run) {
+            if failed {
                 stats.interleaving_count = 0;
                 // The c ≥ 1 phase never started: no prune log to flush.
-                let schedule = Schedule::serial(initial_sels.clone());
                 return LifsOutput {
-                    failing: Some(self.finish(schedule, run, sel_of, &knowledge)),
+                    failing: Some(self.finish(
+                        job.schedule.clone(),
+                        out.run,
+                        out.sel_of,
+                        &knowledge,
+                    )),
                     stats,
                     tree,
                 };
             }
         }
 
-        // Interleaving counts 1..=max.
+        // Interleaving counts 1..=max. Plans of length c are generated in
+        // rounds: each round enumerates every not-yet-executed plan the
+        // *current* knowledge base supports (depth-first, front to back),
+        // executes the whole round as one batch, and folds the results in
+        // canonical order. Knowledge grown by a round (race-steered paths
+        // revealing new memory points) feeds the next round's generation;
+        // a count is exhausted when a round generates nothing new.
         let mut prune_log = PruneLog::default();
-        for c in 1..=self.config.max_interleavings {
-            // Plans of length c are generated lazily (depth-first over
-            // prefixes) because knowledge grows during execution.
-            let mut stack: Vec<Vec<Preemption>> = vec![vec![]];
+        'counts: for c in 1..=self.config.max_interleavings {
             let mut plans_done: HashSet<PlanKey> = HashSet::new();
-            while let Some(prefix) = stack.pop() {
-                if stats.schedules_executed >= self.config.max_schedules {
-                    break;
+            loop {
+                if self.config.cancel.is_cancelled() {
+                    break 'counts;
                 }
-                if prefix.len() == c as usize {
-                    let key: PlanKey = prefix
-                        .iter()
-                        .map(|p| {
-                            (
-                                p.victim.prog.0,
-                                p.victim.occurrence,
-                                p.at.index,
-                                p.nth,
-                                p.target.prog.0,
-                                p.target.occurrence,
-                            )
-                        })
-                        .collect();
-                    if !plans_done.insert(key) {
-                        continue;
-                    }
+                let remaining = self
+                    .config
+                    .max_schedules
+                    .saturating_sub(stats.schedules_executed);
+                if remaining == 0 {
+                    break 'counts;
+                }
+                let mut plans =
+                    self.generate_plans(c as usize, &knowledge, &mut prune_log, &mut plans_done);
+                if plans.is_empty() {
+                    break; // This count is exhausted; move to c + 1.
+                }
+                let capped = plans.len() > remaining;
+                plans.truncate(remaining);
+                let jobs: Vec<ExecJob> = plans
+                    .iter()
+                    .map(|plan| self.job(plan_schedule(plan, &initial_sels)))
+                    .collect();
+                let results = self.run_until_failure(&jobs);
+                let mut cancelled = false;
+                for (plan, res) in plans.iter().zip(results) {
+                    let Some(out) = res else {
+                        cancelled = true;
+                        break;
+                    };
                     order += 1;
-                    let schedule = plan_schedule(&prefix, &initial_sels);
-                    let (run, sel_of) = self.execute(&mut engine, &schedule, &mut stats);
-                    let fresh = knowledge.absorb(&run, &sel_of);
+                    stats.schedules_executed += 1;
+                    stats.sim.add_run(out.run.steps, out.run.failure.is_some());
+                    let fresh = knowledge.absorb(&out.run, &out.sel_of);
                     if !fresh {
                         stats.pruned_equivalent += 1;
                     }
-                    let failed = self.is_target_failure(&run);
+                    let failed = self.is_target_failure(&out.run);
                     tree.nodes.push(SearchNode {
                         order,
                         interleavings: c,
-                        plan: describe(&prefix),
+                        plan: describe(plan),
                         serial_order: vec![],
                         outcome: if failed {
                             NodeOutcome::Failure
@@ -616,26 +668,21 @@ impl Lifs {
                         } else {
                             NodeOutcome::PrunedEquivalent
                         },
-                        steps: run.steps,
+                        steps: out.run.steps,
                     });
                     if failed {
                         stats.interleaving_count = c;
                         prune_log.flush(&mut stats, &mut tree, &mut order);
+                        let schedule = plan_schedule(plan, &initial_sels);
                         return LifsOutput {
-                            failing: Some(self.finish(schedule, run, sel_of, &knowledge)),
+                            failing: Some(self.finish(schedule, out.run, out.sel_of, &knowledge)),
                             stats,
                             tree,
                         };
                     }
-                    continue;
                 }
-                // Extend the prefix: enumerate next preemptions in reverse
-                // so the stack pops them front-to-back.
-                let exts = self.extensions(&knowledge, &prefix, &mut prune_log);
-                for ext in exts.into_iter().rev() {
-                    let mut next = prefix.clone();
-                    next.push(ext);
-                    stack.push(next);
+                if cancelled || capped {
+                    break 'counts;
                 }
             }
         }
@@ -646,6 +693,71 @@ impl Lifs {
             stats,
             tree,
         }
+    }
+
+    /// Wraps a schedule as an executor job for this searcher's program.
+    fn job(&self, schedule: Schedule) -> ExecJob {
+        ExecJob {
+            program: Arc::clone(&self.program),
+            schedule,
+            enforce: self.config.enforce,
+        }
+    }
+
+    /// Submits a batch that stops at the first target failure.
+    fn run_until_failure(&self, jobs: &[ExecJob]) -> Vec<Option<ExecOutput>> {
+        self.exec.run_until(jobs, &self.config.cancel, |o| {
+            self.is_target_failure(&o.run)
+        })
+    }
+
+    /// Alias of [`Lifs::run_until_failure`] for the c = 0 phases, which
+    /// share the same first-failure-wins semantics.
+    fn run_batch(&self, jobs: &[ExecJob]) -> Vec<Option<ExecOutput>> {
+        self.run_until_failure(jobs)
+    }
+
+    /// Enumerates every not-yet-executed length-`c` plan the knowledge base
+    /// supports, in the canonical depth-first front-to-back order.
+    fn generate_plans(
+        &self,
+        c: usize,
+        knowledge: &Knowledge,
+        prune_log: &mut PruneLog,
+        plans_done: &mut HashSet<PlanKey>,
+    ) -> Vec<Vec<Preemption>> {
+        let mut out = Vec::new();
+        let mut stack: Vec<Vec<Preemption>> = vec![vec![]];
+        while let Some(prefix) = stack.pop() {
+            if prefix.len() == c {
+                let key: PlanKey = prefix
+                    .iter()
+                    .map(|p| {
+                        (
+                            p.victim.prog.0,
+                            p.victim.occurrence,
+                            p.at.index,
+                            p.nth,
+                            p.target.prog.0,
+                            p.target.occurrence,
+                        )
+                    })
+                    .collect();
+                if plans_done.insert(key) {
+                    out.push(prefix);
+                }
+                continue;
+            }
+            // Extend the prefix: enumerate next preemptions in reverse so
+            // the stack pops them front-to-back.
+            let exts = self.extensions(knowledge, &prefix, prune_log);
+            for ext in exts.into_iter().rev() {
+                let mut next = prefix.clone();
+                next.push(ext);
+                stack.push(next);
+            }
+        }
+        out
     }
 
     /// Whether a run's failure matches the reported failure signature.
@@ -710,32 +822,6 @@ impl Lifs {
             }
         }
         out
-    }
-
-    fn execute(
-        &self,
-        engine: &mut Engine,
-        schedule: &Schedule,
-        stats: &mut LifsStats,
-    ) -> (RunResult, HashMap<ThreadId, ThreadSel>) {
-        engine.reboot();
-        let run = enforce::run(engine, schedule, &self.config.enforce);
-        stats.schedules_executed += 1;
-        stats.sim.add_run(run.steps, run.failure.is_some());
-        let sel_of = engine
-            .threads()
-            .iter()
-            .map(|t| {
-                (
-                    t.id,
-                    ThreadSel {
-                        prog: t.prog,
-                        occurrence: t.occurrence,
-                    },
-                )
-            })
-            .collect();
-        (run, sel_of)
     }
 
     /// Assembles the [`FailingRun`], including pending-second races.
@@ -955,8 +1041,9 @@ fn store_solo(k: &mut Knowledge, run: &RunResult, sel_of: &HashMap<ThreadId, Thr
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::enforce;
     use ksim::builder::ProgramBuilder;
-    use ksim::FailureKind;
+    use ksim::{Engine, FailureKind};
 
     /// The paper's Figure 1: `ptr_valid`/`ptr` multi-variable race, NULL
     /// deref only under `A1 ⇒ B1 ⇒ B2 ⇒ A2`.
@@ -1022,8 +1109,10 @@ mod tests {
 
     #[test]
     fn por_prunes_candidates() {
-        let mut cfg = LifsConfig::default();
-        cfg.por = true;
+        let mut cfg = LifsConfig {
+            por: true,
+            ..LifsConfig::default()
+        };
         let with_por = Lifs::new(fig1_program(), cfg.clone()).search();
         cfg.por = false;
         let without = Lifs::new(fig1_program(), cfg).search();

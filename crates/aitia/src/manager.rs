@@ -3,9 +3,20 @@
 //! The paper launches 32 virtual machines: reproducers run LIFS over the
 //! candidate slices in parallel; once one reports a failure-causing
 //! instruction sequence, diagnosers run Causality Analysis flips in
-//! parallel. Here each "VM" is a worker thread owning its own engines; the
-//! manager fans slices/flips out over a crossbeam-scoped pool and collects
-//! results deterministically.
+//! parallel. Here each "VM" is a pool worker owning its own engine; the
+//! manager delegates all fan-out to the shared executor ([`crate::exec`]),
+//! whose canonical-order fold makes every outcome — failing slice choice,
+//! merged statistics, chain — identical at any worker count.
+//!
+//! Two fan-out shapes share the one pool:
+//!
+//! * **one slice** — the slice's LIFS rounds and the diagnosis flips run
+//!   *through* the pool ([`Lifs::with_executor`]), parallelizing within the
+//!   search;
+//! * **many slices** — slices fan out as tasks over the pool
+//!   ([`crate::exec::Executor::run_tasks_until`]); each task searches its
+//!   slice on a private single-worker executor, and later slices are
+//!   cancelled through child tokens once an earlier one reproduces.
 
 use crate::{
     causality::{
@@ -13,30 +24,24 @@ use crate::{
         CausalityConfig,
         CausalityResult, //
     },
+    exec::Executor,
     lifs::{
         FailingRun,
         Lifs,
         LifsConfig,
         LifsStats, //
     },
-    simtime::SimCost,
+    simtime::CostModel,
 };
 use khist::ExecHistory;
 use ksim::Program;
-use parking_lot::Mutex;
-use std::sync::{
-    atomic::{
-        AtomicBool,
-        AtomicUsize,
-        Ordering, //
-    },
-    Arc,
-};
+use std::sync::Arc;
 
 /// Manager configuration.
 #[derive(Clone, Debug)]
 pub struct ManagerConfig {
-    /// Worker ("VM") count.
+    /// Worker ("VM") count — the one pool size shared by the executor and
+    /// the simulated-time cost model ([`Manager::cost_model`]).
     pub vms: usize,
     /// LIFS configuration for reproducers.
     pub lifs: LifsConfig,
@@ -81,13 +86,27 @@ pub struct Diagnosis {
 /// The AITIA manager: orchestrates parallel reproducers and diagnosers.
 pub struct Manager {
     config: ManagerConfig,
+    exec: Arc<Executor>,
 }
 
 impl Manager {
-    /// Creates a manager.
+    /// Creates a manager owning a VM pool of `config.vms` workers.
     #[must_use]
     pub fn new(config: ManagerConfig) -> Self {
-        Manager { config }
+        let exec = Arc::new(Executor::new(config.vms));
+        Manager { config, exec }
+    }
+
+    /// The simulated-time cost model for this manager's pool: `vms`
+    /// reflects the configured worker count, so reports derived from
+    /// [`crate::simtime::SimCost::seconds`] describe the pool that actually
+    /// ran the schedules.
+    #[must_use]
+    pub fn cost_model(&self) -> CostModel {
+        CostModel {
+            vms: u32::try_from(self.config.vms.max(1)).unwrap_or(u32::MAX),
+            ..CostModel::default()
+        }
     }
 
     /// Reproducing stage: runs LIFS over candidate slices (each a
@@ -95,59 +114,66 @@ impl Manager {
     /// run. Later slices are cancelled once an earlier one reproduces.
     #[must_use]
     pub fn reproduce(&self, slices: &[Arc<Program>]) -> ReproduceOutcome {
+        let mut stats = LifsStats::default();
+        let mut failing = None;
+        let mut slice_index = None;
         if slices.is_empty() {
             return ReproduceOutcome {
-                failing: None,
-                slice_index: None,
-                stats: LifsStats::default(),
+                failing,
+                slice_index,
+                stats,
             };
         }
-        let next = AtomicUsize::new(0);
-        let best: Mutex<Option<(usize, FailingRun)>> = Mutex::new(None);
-        let stop = AtomicBool::new(false);
-        let stats: Mutex<LifsStats> = Mutex::new(LifsStats::default());
-        let workers = self.config.vms.max(1).min(slices.len());
-        crossbeam::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::SeqCst);
-                    if i >= slices.len() {
-                        return;
-                    }
-                    {
-                        // Skip work that can no longer improve the result.
-                        let guard = best.lock();
-                        if stop.load(Ordering::SeqCst)
-                            && guard.as_ref().is_some_and(|(bi, _)| *bi < i)
-                        {
-                            continue;
-                        }
-                    }
-                    let out = Lifs::new(Arc::clone(&slices[i]), self.config.lifs.clone()).search();
-                    {
-                        let mut s = stats.lock();
-                        merge_stats(&mut s, &out.stats);
-                    }
-                    if let Some(run) = out.failing {
-                        let mut guard = best.lock();
-                        let better = guard.as_ref().is_none_or(|(bi, _)| i < *bi);
-                        if better {
-                            *guard = Some((i, run));
-                            stop.store(true, Ordering::SeqCst);
-                        }
-                    }
-                });
+        if slices.len() == 1 {
+            // One slice: the search itself fans out over the pool.
+            let out = Lifs::with_executor(
+                Arc::clone(&slices[0]),
+                self.config.lifs.clone(),
+                Arc::clone(&self.exec),
+            )
+            .search();
+            stats.merge(&out.stats);
+            if out.failing.is_some() {
+                failing = out.failing;
+                slice_index = Some(0);
             }
-        })
-        .expect("reproducer pool");
-        let (slice_index, failing) = match best.into_inner() {
-            Some((i, run)) => (Some(i), Some(run)),
-            None => (None, None),
-        };
+            return ReproduceOutcome {
+                failing,
+                slice_index,
+                stats,
+            };
+        }
+        // Many slices: fan the slices out as tasks; each runs its search on
+        // a private single-worker executor so slice-level parallelism is
+        // not serialized behind the pool's batch slots. The fold below
+        // walks the canonical prefix, so the earliest failing slice wins
+        // and statistics only ever count deterministically completed
+        // searches.
+        let results = self.exec.run_tasks_until(
+            slices.len(),
+            &self.config.lifs.cancel,
+            |i, token| {
+                let mut cfg = self.config.lifs.clone();
+                cfg.cancel = token;
+                Lifs::with_executor(Arc::clone(&slices[i]), cfg, Arc::new(Executor::new(1)))
+                    .search()
+            },
+            |out| out.failing.is_some(),
+        );
+        for (i, res) in results.into_iter().enumerate() {
+            let Some(out) = res else {
+                break; // Cancelled tail: nothing past the first hole counts.
+            };
+            stats.merge(&out.stats);
+            if failing.is_none() && out.failing.is_some() {
+                failing = out.failing;
+                slice_index = Some(i);
+            }
+        }
         ReproduceOutcome {
             failing,
             slice_index,
-            stats: stats.into_inner(),
+            stats,
         }
     }
 
@@ -157,7 +183,9 @@ impl Manager {
         let repro = self.reproduce(slices);
         let failing = repro.failing?;
         let slice_index = repro.slice_index.unwrap_or(0);
-        let result = CausalityAnalysis::new(self.config.causality.clone()).analyze(&failing);
+        let result =
+            CausalityAnalysis::with_executor(self.config.causality.clone(), Arc::clone(&self.exec))
+                .analyze(&failing);
         Some(Diagnosis {
             slice_index,
             failing,
@@ -199,17 +227,6 @@ impl Manager {
 pub trait SliceResolver: Sync {
     /// The program modeling this slice's concurrent calls, if known.
     fn resolve(&self, slice: &khist::Slice) -> Option<Arc<Program>>;
-}
-
-fn merge_stats(into: &mut LifsStats, from: &LifsStats) {
-    into.schedules_executed += from.schedules_executed;
-    into.pruned_nonconflicting += from.pruned_nonconflicting;
-    into.pruned_equivalent += from.pruned_equivalent;
-    into.interleaving_count = into.interleaving_count.max(from.interleaving_count);
-    let mut sim = SimCost::default();
-    sim.merge(&into.sim);
-    sim.merge(&from.sim);
-    into.sim = sim;
 }
 
 #[cfg(test)]
@@ -291,7 +308,16 @@ mod tests {
     }
 
     #[test]
-    fn parallel_matches_serial_chain() {
+    fn cost_model_reflects_configured_pool_size() {
+        let m = Manager::new(ManagerConfig {
+            vms: 3,
+            ..ManagerConfig::default()
+        });
+        assert_eq!(m.cost_model().vms, 3);
+    }
+
+    #[test]
+    fn parallel_matches_serial_chain_and_stats() {
         let serial = Manager::new(ManagerConfig {
             vms: 1,
             ..ManagerConfig::default()
@@ -308,5 +334,34 @@ mod tests {
             serial.result.chain.to_string(),
             parallel.result.chain.to_string()
         );
+        assert_eq!(
+            serial.lifs_stats.schedules_executed,
+            parallel.lifs_stats.schedules_executed
+        );
+        assert_eq!(
+            serial.result.stats.schedules_executed,
+            parallel.result.stats.schedules_executed
+        );
+        assert_eq!(serial.lifs_stats.sim.steps, parallel.lifs_stats.sim.steps);
+    }
+
+    #[test]
+    fn multi_slice_stats_are_deterministic_across_pool_sizes() {
+        let slices = vec![benign_program(), fig1_program(), fig1_program()];
+        let run = |vms| {
+            Manager::new(ManagerConfig {
+                vms,
+                ..ManagerConfig::default()
+            })
+            .reproduce(&slices)
+        };
+        let serial = run(1);
+        let parallel = run(8);
+        assert_eq!(serial.slice_index, parallel.slice_index);
+        assert_eq!(
+            serial.stats.schedules_executed,
+            parallel.stats.schedules_executed
+        );
+        assert_eq!(serial.stats.sim.steps, parallel.stats.sim.steps);
     }
 }

@@ -592,11 +592,7 @@ mod deadlock_tests {
     /// preemption between the two lock acquisitions suffices.
     #[test]
     fn abba_deadlock_reproduces_as_hung_task() {
-        let out = Lifs::new(
-            Arc::new(abba_deadlock_scenario()),
-            LifsConfig::default(),
-        )
-        .search();
+        let out = Lifs::new(Arc::new(abba_deadlock_scenario()), LifsConfig::default()).search();
         let run = out.failing.expect("deadlock reproduces");
         assert_eq!(run.failure.kind, ksim::FailureKind::HungTask);
         assert_eq!(out.stats.interleaving_count, 1);
@@ -619,13 +615,10 @@ mod deadlock_diagnosis_tests {
     /// hang, so the CS-order pair is the chain.
     #[test]
     fn abba_deadlock_yields_a_cs_order_chain() {
-        let run = Lifs::new(
-            Arc::new(abba_deadlock_scenario()),
-            LifsConfig::default(),
-        )
-        .search()
-        .failing
-        .expect("reproduces");
+        let run = Lifs::new(Arc::new(abba_deadlock_scenario()), LifsConfig::default())
+            .search()
+            .failing
+            .expect("reproduces");
         let res = CausalityAnalysis::new(CausalityConfig::default()).analyze(&run);
         assert!(
             res.chain.race_count() >= 1,

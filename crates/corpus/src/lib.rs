@@ -454,7 +454,9 @@ mod resolver_tests {
                     );
                 }
             }
-            profile.validate().unwrap_or_else(|e| panic!("{}: {e}", bug.id));
+            profile
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", bug.id));
         }
     }
 

@@ -140,7 +140,7 @@ impl Noise {
             let c = counters[self.rng.gen_range(0..counters.len())];
             // Mix plain counter bumps with flag-bit style updates.
             let inc: u64 = if self.rng.gen_bool(0.25) {
-                1 << self.rng.gen_range(0..8)
+                1u64 << self.rng.gen_range(0..8)
             } else {
                 1
             };

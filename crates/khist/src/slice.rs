@@ -359,7 +359,7 @@ mod prop_tests {
                 .collect();
             for s in slices(&h) {
                 for rec in s.setup.iter().chain(s.teardown.iter()) {
-                    prop_assert!(all.iter().any(|x| *x == rec));
+                    prop_assert!(all.contains(&rec));
                 }
             }
         }

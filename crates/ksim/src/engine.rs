@@ -82,14 +82,21 @@ impl std::error::Error for EngineError {}
 
 /// A restorable engine checkpoint — the simulator's equivalent of reverting
 /// a virtual machine's memory contents after a run of LIFS (§4.3).
+///
+/// The captured state lives behind an [`Arc`], so cloning a snapshot is a
+/// reference-count bump. Schedule-prefix caches (the executor layer) hold
+/// many snapshots and shuffle them through LRU order; cheap clones keep
+/// that bookkeeping free of deep memory copies.
 #[derive(Clone, Debug)]
-pub struct Snapshot {
+pub struct Snapshot(Arc<SnapshotData>);
+
+#[derive(Debug)]
+struct SnapshotData {
     mem: Memory,
     lists: Lists,
     threads: Vec<Thread>,
     lock_owner: HashMap<LockId, ThreadId>,
     failure: Option<Failure>,
-    trace_len: usize,
     trace: Vec<StepRecord>,
     spawn_counts: HashMap<ThreadProgId, u32>,
     grace_waiters: Vec<(ThreadId, Vec<ThreadId>)>,
@@ -309,32 +316,31 @@ impl Engine {
     /// Captures a restorable checkpoint.
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
-        Snapshot {
+        Snapshot(Arc::new(SnapshotData {
             mem: self.mem.clone(),
             lists: self.lists.clone(),
             threads: self.threads.clone(),
             lock_owner: self.lock_owner.clone(),
             failure: self.failure.clone(),
-            trace_len: self.trace.len(),
             trace: self.trace.clone(),
             spawn_counts: self.spawn_counts.clone(),
             grace_waiters: self.grace_waiters.clone(),
             halted: self.halted,
-        }
+        }))
     }
 
     /// Restores a checkpoint taken from this engine (same program).
     pub fn restore(&mut self, s: &Snapshot) {
-        self.mem = s.mem.clone();
-        self.lists = s.lists.clone();
-        self.threads = s.threads.clone();
-        self.lock_owner = s.lock_owner.clone();
-        self.failure = s.failure.clone();
-        self.trace = s.trace.clone();
-        self.trace.truncate(s.trace_len);
-        self.spawn_counts = s.spawn_counts.clone();
-        self.grace_waiters = s.grace_waiters.clone();
-        self.halted = s.halted;
+        let d = &*s.0;
+        self.mem = d.mem.clone();
+        self.lists = d.lists.clone();
+        self.threads = d.threads.clone();
+        self.lock_owner = d.lock_owner.clone();
+        self.failure = d.failure.clone();
+        self.trace = d.trace.clone();
+        self.spawn_counts = d.spawn_counts.clone();
+        self.grace_waiters = d.grace_waiters.clone();
+        self.halted = d.halted;
     }
 
     fn reg(&self, tid: ThreadId, r: crate::instr::Reg) -> u64 {

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# The repo's CI gate, runnable locally and from .github/workflows/ci.yml.
+# Builds are fully offline: vendor/ + .cargo/config.toml replace the
+# registry, so no network access is needed beyond the Rust toolchain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "CI OK"

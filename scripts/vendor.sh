@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates vendor/*/.cargo-checksum.json after editing a vendored crate.
+# Cargo's directory-source replacement verifies each listed file against its
+# sha256, so any change to a vendored file must be followed by a run of this
+# script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+for crate in vendor/*/; do
+    [ -f "$crate/Cargo.toml" ] || continue
+    (
+        cd "$crate"
+        {
+            echo -n '{"files":{'
+            first=1
+            while IFS= read -r -d '' f; do
+                rel="${f#./}"
+                [ "$rel" = ".cargo-checksum.json" ] && continue
+                sum=$(sha256sum "$f" | cut -d' ' -f1)
+                if [ $first -eq 1 ]; then first=0; else echo -n ','; fi
+                echo -n "\"$rel\":\"$sum\""
+            done < <(find . -type f -print0 | sort -z)
+            echo -n '},"package":""}'
+        } > .cargo-checksum.json
+    )
+    echo "checksummed $crate"
+done

@@ -17,14 +17,15 @@ use aitia_repro::aitia::{
         self,
         EnforceConfig, //
     },
-    races_in_trace, CausalityAnalysis, CausalityConfig, Lifs, LifsConfig, Schedule, ThreadSel,
+    races_in_trace, CausalityAnalysis, CausalityConfig, Executor, ExecutorConfig, Lifs, LifsConfig,
+    Schedule, ThreadSel, Verdict,
 };
 use aitia_repro::ksim::{
     builder::{
         cond_reg,
         ProgramBuilder, //
     },
-    CmpOp, Engine, Program, ThreadProgId,
+    CmpOp, Engine, Program,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -203,4 +204,124 @@ proptest! {
             }
         }
     }
+}
+
+/// What the executor's canonical-order fold promises to keep invariant in
+/// one full diagnosis: LIFS schedule count, the failing schedule, and (when
+/// it fails) the chain, verdicts, and Causality Analysis schedule count.
+type DiagnosisDigest = (
+    usize,
+    Option<Schedule>,
+    Option<(String, Vec<Verdict>, usize)>,
+);
+
+/// A pool that really spawns `vms` OS threads even on a small host, so the
+/// invariance checks exercise true concurrency everywhere.
+fn threaded_pool(vms: usize) -> Arc<Executor> {
+    Arc::new(Executor::with_config(ExecutorConfig {
+        vms,
+        os_threads: Some(vms),
+        ..ExecutorConfig::default()
+    }))
+}
+
+/// One full diagnosis (LIFS + Causality Analysis) through a shared pool of
+/// `vms` workers.
+fn diagnose_at(program: &Arc<Program>, vms: usize) -> DiagnosisDigest {
+    let exec = threaded_pool(vms);
+    let out = Lifs::with_executor(
+        Arc::clone(program),
+        LifsConfig {
+            max_interleavings: 2,
+            max_schedules: 2_000,
+            ..LifsConfig::default()
+        },
+        Arc::clone(&exec),
+    )
+    .search();
+    let schedule = out.failing.as_ref().map(|r| r.schedule.clone());
+    let analysis = out.failing.map(|run| {
+        let result =
+            CausalityAnalysis::with_executor(CausalityConfig::default(), exec).analyze(&run);
+        let verdicts: Vec<Verdict> = result.tested.iter().map(|t| t.verdict).collect();
+        (
+            result.chain.to_string(),
+            verdicts,
+            result.stats.schedules_executed,
+        )
+    });
+    (out.stats.schedules_executed, schedule, analysis)
+}
+
+proptest! {
+    // Each case diagnoses three times (worker counts 1, 2, 8); keep the
+    // case count small.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The whole pipeline is deterministic in the pool size: chains,
+    /// verdicts, failing schedules, and schedule counts are identical at
+    /// 1, 2, and 8 workers.
+    #[test]
+    fn diagnosis_is_identical_across_worker_counts(threads in gen_program()) {
+        let program = build(&threads);
+        let serial = diagnose_at(&program, 1);
+        for vms in [2usize, 8] {
+            let pooled = diagnose_at(&program, vms);
+            prop_assert_eq!(&serial, &pooled, "diverged at {} workers", vms);
+        }
+    }
+}
+
+/// Round-batched LIFS keeps "first failing schedule wins": several serial
+/// permutations fail here, and at any worker count the search must report
+/// the front-to-back first one and count exactly the schedules up to it.
+#[test]
+fn lifs_batches_stop_at_first_failing_schedule() {
+    // A publishes a pointer two consumers dereference: every permutation
+    // where B or C runs before A crashes, so the batch of serial
+    // permutations holds multiple failures and a racing worker could
+    // finish a later one first.
+    let mut p = ProgramBuilder::new("first-fail");
+    let obj = p.static_obj("obj", 8);
+    let real = p.global_ptr("storage", obj);
+    let ptr = p.global("ptr", 0);
+    {
+        let mut a = p.syscall_thread("A", "publish");
+        a.load_global("r0", real);
+        a.store_global_from(ptr, "r0");
+        a.ret();
+    }
+    for name in ["B", "C"] {
+        let mut t = p.syscall_thread(name, "consume");
+        t.load_global("r1", ptr);
+        t.load_ind("r2", "r1", 0);
+        t.ret();
+    }
+    let program = Arc::new(p.build().expect("builds"));
+    let outputs: Vec<_> = [1usize, 8]
+        .into_iter()
+        .map(|vms| {
+            let out = Lifs::with_executor(
+                Arc::clone(&program),
+                LifsConfig::default(),
+                threaded_pool(vms),
+            )
+            .search();
+            (
+                out.stats.schedules_executed,
+                out.stats.interleaving_count,
+                out.failing.expect("a serial permutation fails").schedule,
+            )
+        })
+        .collect();
+    assert_eq!(outputs[0], outputs[1], "pool size changed the outcome");
+    let (schedules, interleavings, _) = &outputs[0];
+    assert_eq!(*interleavings, 0, "a serial permutation fails");
+    // Permutations are submitted front to back; the fold stops at the
+    // first failing one, so later failing permutations are never counted.
+    let all_perms = 6;
+    assert!(
+        *schedules < all_perms,
+        "expected an early stop, executed {schedules}"
+    );
 }

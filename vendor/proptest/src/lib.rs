@@ -1,0 +1,442 @@
+//! Minimal property-testing harness, API-compatible with the subset of
+//! `proptest` 1.x this workspace uses: `Strategy` + `prop_map`, tuple and
+//! integer-range strategies, `prop::collection::vec`, `prop::option::of`,
+//! `prop_oneof!`, and the `proptest!` macro in both its block form
+//! (`proptest! { #![proptest_config(..)] #[test] fn name(x in strat) {..} }`)
+//! and its inline closure form (`proptest!(cfg, |(x in strat)| {..})`).
+//!
+//! No shrinking: a failing case panics with the case number and message.
+//! Generation is deterministic (fixed ChaCha8 seed), so failures reproduce.
+
+pub mod test_runner {
+    //! The test runner: configuration and deterministic RNG.
+
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Configuration accepted by `proptest!`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// The deterministic RNG driving strategy generation.
+    pub struct TestRng {
+        inner: ChaCha8Rng,
+    }
+
+    impl TestRng {
+        /// A fresh deterministic generator.
+        #[must_use]
+        pub fn deterministic() -> Self {
+            TestRng {
+                inner: ChaCha8Rng::seed_from_u64(0x7072_6f70_7465_7374),
+            }
+        }
+
+        /// A uniform value in `[0, bound)`.
+        pub fn below(&mut self, bound: usize) -> usize {
+            use rand::Rng;
+            self.inner.gen_range(0..bound)
+        }
+
+        /// A uniform `u64`.
+        pub fn next(&mut self) -> u64 {
+            use rand::RngCore;
+            self.inner.next_u64()
+        }
+
+        /// A uniform `i64` in `[lo, hi)`.
+        pub fn in_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+            use rand::Rng;
+            self.inner.gen_range(lo..hi)
+        }
+
+        /// A uniform `u64` in `[lo, hi)`.
+        pub fn in_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+            use rand::Rng;
+            self.inner.gen_range(lo..hi)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn Fn(&mut TestRng) -> V>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice between strategies (the `prop_oneof!` backend).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over the given options (must be non-empty).
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    /// A strategy producing a fixed (cloned) value.
+    #[derive(Clone)]
+    pub struct Just<V: Clone>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+
+        fn generate(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_unsigned_range {
+        ($($ty:ty),*) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.in_range_u64(self.start as u64, self.end as u64) as $ty
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start() as u64, *self.end() as u64);
+                    if hi == u64::MAX {
+                        return rng.next() as $ty;
+                    }
+                    rng.in_range_u64(lo, hi + 1) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_unsigned_range!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_signed_range {
+        ($($ty:ty),*) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.in_range_i64(self.start as i64, self.end as i64) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_signed_range!(i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<char> {
+        type Value = char;
+
+        fn generate(&self, rng: &mut TestRng) -> char {
+            assert!(self.start < self.end, "empty range strategy");
+            loop {
+                let c = rng.in_range_u64(self.start as u64, self.end as u64) as u32;
+                if let Some(c) = char::from_u32(c) {
+                    return c;
+                }
+            }
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident $idx:tt),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::ops::Range;
+
+    /// A strategy for `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + rng.below(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A strategy for `Option<S::Value>` (≈75% `Some`, like real proptest).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Some` values from `inner` about three-quarters of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`prop::collection::vec`, `prop::option::of`).
+
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs `cfg.cases` cases of a property given as pattern/strategy pairs and
+/// a body closure result. Used by the `proptest!` macro expansion.
+#[doc(hidden)]
+pub fn __run_cases(
+    cases: u32,
+    mut case: impl FnMut(&mut test_runner::TestRng) -> Result<(), String>,
+) {
+    let mut rng = test_runner::TestRng::deterministic();
+    for i in 0..cases {
+        if let Err(msg) = case(&mut rng) {
+            panic!("proptest case {i} failed: {msg}");
+        }
+    }
+}
+
+/// The property-test macro. Supports the block form with optional
+/// `#![proptest_config(..)]` and the inline `(cfg, |(pat in strat)| {..})`
+/// form.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($cfg:expr, |($($pat:pat in $strat:expr),+ $(,)?)| $body:block) => {{
+        let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+        $crate::__run_cases(__cfg.cases, |__rng| {
+            $(let $pat = $crate::strategy::Strategy::generate(&$strat, __rng);)+
+            $body
+            Ok(())
+        });
+    }};
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Expands each `fn name(pat in strat, ..) { body }` item of a `proptest!`
+/// block into a zero-argument test function running the case loop.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::__run_cases(__cfg.cases, |__rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&$strat, __rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategy expressions producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let __l = $lhs;
+        let __r = $rhs;
+        if !(__l == __r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l,
+                __r
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let __l = $lhs;
+        let __r = $rhs;
+        if !(__l == __r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                __l,
+                __r,
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let __l = $lhs;
+        let __r = $rhs;
+        if __l == __r {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                __l,
+                __r
+            ));
+        }
+    }};
+}

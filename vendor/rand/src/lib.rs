@@ -1,0 +1,227 @@
+//! Minimal random-number traits, API- and bit-compatible with the subset
+//! of `rand` 0.8 this workspace uses: `RngCore`, `SeedableRng` (including
+//! the SplitMix64-based `seed_from_u64` default), and `Rng::{gen, gen_bool,
+//! gen_range}` with the exact sampling algorithms of rand 0.8 (Lemire-style
+//! widening-multiply rejection for integer ranges, 64-bit fixed-point
+//! comparison for Bernoulli), so that a given generator yields the same
+//! values as the real crates.
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator seedable from a fixed-size byte seed.
+pub trait SeedableRng: Sized {
+    /// The seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64 —
+    /// byte-identical to `rand_core` 0.6.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(PHI);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types producible directly from raw generator output (the `Standard`
+/// distribution of real rand).
+pub trait Standard: Sized {
+    /// Samples a uniformly random value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl Standard for u16 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8: one bit from the top of next_u32.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+/// Widening multiply, returning `(high, low)` words of the product.
+trait WideningMul: Copy {
+    fn wmul(self, other: Self) -> (Self, Self);
+}
+
+impl WideningMul for u32 {
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let p = u64::from(self) * u64::from(other);
+        ((p >> 32) as u32, p as u32)
+    }
+}
+
+impl WideningMul for u64 {
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let p = u128::from(self) * u128::from(other);
+        ((p >> 64) as u64, p as u64)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples a value from the range, consuming it.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range {
+    ($($ty:ty, $unsigned:ty, $u_large:ty);* $(;)?) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                sample_inclusive_impl!(self.start, self.end - 1, rng, $ty, $unsigned, $u_large)
+            }
+        }
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start() <= self.end(), "cannot sample empty range");
+                sample_inclusive_impl!(*self.start(), *self.end(), rng, $ty, $unsigned, $u_large)
+            }
+        }
+    )*};
+}
+
+/// `sample_single_inclusive` of rand 0.8's `UniformInt`, verbatim.
+macro_rules! sample_inclusive_impl {
+    ($low:expr, $high:expr, $rng:expr, $ty:ty, $unsigned:ty, $u_large:ty) => {{
+        let low = $low;
+        let high = $high;
+        let range =
+            (high as $unsigned).wrapping_sub(low as $unsigned).wrapping_add(1) as $u_large;
+        if range == 0 {
+            // The range covers the whole type.
+            <$u_large as Standard>::sample($rng) as $ty
+        } else {
+            let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                let unsigned_max = <$u_large>::MAX;
+                let ints_to_reject = (unsigned_max - range + 1) % range;
+                unsigned_max - ints_to_reject
+            } else {
+                (range << range.leading_zeros()).wrapping_sub(1)
+            };
+            loop {
+                let v = <$u_large as Standard>::sample($rng);
+                let (hi, lo) = v.wmul(range);
+                if lo <= zone {
+                    break low.wrapping_add(hi as $ty);
+                }
+            }
+        }
+    }};
+}
+
+impl_range! {
+    u8, u8, u32;
+    u16, u16, u32;
+    u32, u32, u32;
+    u64, u64, u64;
+    usize, usize, u64;
+    i8, u8, u32;
+    i16, u16, u32;
+    i32, u32, u32;
+    i64, u64, u64;
+    isize, usize, u64;
+}
+
+/// User-facing generator methods.
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from its full distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` — bit-compatible with rand 0.8's
+    /// `Bernoulli`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        if p == 1.0 {
+            // rand 0.8's ALWAYS_TRUE marker: no RNG draw at all.
+            return true;
+        }
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Placeholder module mirroring `rand::rngs` (unused by the workspace).
+}
+
+/// Prelude mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng};
+}

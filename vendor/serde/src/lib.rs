@@ -1,0 +1,506 @@
+//! Minimal serialization framework, API-compatible with the subset of
+//! `serde` this workspace uses: `#[derive(Serialize, Deserialize)]` on
+//! non-generic structs and enums, plus impls for the std types that appear
+//! in their fields.
+//!
+//! The data model is a self-describing [`Value`] tree; formats (JSON via
+//! the vendored `serde_json`) render and parse that tree. The derive
+//! macros live in the vendored `serde_derive` crate.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+use std::rc::Rc;
+use std::sync::Arc;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unit / `None` / unit enum variant payload.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer (only used when negative or explicitly signed).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (tuples, vectors, tuple structs).
+    Seq(Vec<Value>),
+    /// A map with string keys (structs, externally-tagged enum variants).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a struct field by name.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::new(format!("missing field `{name}`"))),
+            other => Err(Error::new(format!(
+                "expected map with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Interprets the value as an externally-tagged enum: a one-entry map
+    /// (payload-carrying variant) or a bare string (unit variant).
+    pub fn variant(&self) -> Result<(&str, &Value), Error> {
+        match self {
+            Value::Map(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), &entries[0].1))
+            }
+            Value::Str(s) => Ok((s.as_str(), &Value::Null)),
+            other => Err(Error::new(format!(
+                "expected enum variant, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Interprets the value as a sequence.
+    pub fn seq(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(items) => Ok(items),
+            other => Err(Error::new(format!(
+                "expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Element `i` of a sequence.
+    pub fn seq_item(&self, i: usize) -> Result<&Value, Error> {
+        let items = self.seq()?;
+        items
+            .get(i)
+            .ok_or_else(|| Error::new(format!("sequence too short: no element {i}")))
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) => "unsigned integer",
+            Value::I64(_) => "signed integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, Error> {
+        match *self {
+            Value::U64(n) => Ok(n),
+            Value::I64(n) if n >= 0 => Ok(n as u64),
+            ref other => Err(Error::new(format!(
+                "expected unsigned integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn as_i64(&self) -> Result<i64, Error> {
+        match *self {
+            Value::I64(n) => Ok(n),
+            Value::U64(n) => i64::try_from(n)
+                .map_err(|_| Error::new("unsigned integer out of i64 range".to_string())),
+            ref other => Err(Error::new(format!(
+                "expected signed integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// A (de)serialization error.
+#[derive(Clone, Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn new(msg: String) -> Self {
+        Error { msg }
+    }
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Deserializes a value of this type from `v`.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64()?;
+                <$ty>::try_from(n).map_err(|_| {
+                    Error::new(format!("{n} out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                let n = i64::from(*self);
+                if n >= 0 {
+                    Value::U64(n as u64)
+                } else {
+                    Value::I64(n)
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64()?;
+                <$ty>::try_from(n).map_err(|_| {
+                    Error::new(format!("{n} out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for usize {
+    fn serialize(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        usize::try_from(v.as_u64()?).map_err(|_| Error::new("out of usize range".to_string()))
+    }
+}
+
+impl Serialize for isize {
+    fn serialize(&self) -> Value {
+        (*self as i64).serialize()
+    }
+}
+
+impl Deserialize for isize {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        isize::try_from(v.as_i64()?).map_err(|_| Error::new("out of isize range".to_string()))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            ref other => Err(Error::new(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::F64(x) => Ok(x),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            ref other => Err(Error::new(format!(
+                "expected float, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(f64::deserialize(v)? as f32)
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let s = String::deserialize(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::new("expected single-character string".to_string())),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(Error::new(format!("expected null, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::deserialize(v)?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(Arc::new(T::deserialize(v)?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(Rc::new(T::deserialize(v)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.seq()?.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.serialize(), v.serialize()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S> Deserialize for HashMap<K, V, S>
+where
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.seq()?
+            .iter()
+            .map(|pair| Ok((K::deserialize(pair.seq_item(0)?)?, V::deserialize(pair.seq_item(1)?)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.serialize(), v.serialize()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.seq()?
+            .iter()
+            .map(|pair| Ok((K::deserialize(pair.seq_item(0)?)?, V::deserialize(pair.seq_item(1)?)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize + Eq + Hash, S> Serialize for std::collections::HashSet<K, S> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, S> Deserialize for std::collections::HashSet<K, S>
+where
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.seq()?.iter().map(K::deserialize).collect()
+    }
+}
+
+impl<K: Serialize + Ord> Serialize for std::collections::BTreeSet<K> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<K: Deserialize + Ord> Deserialize for std::collections::BTreeSet<K> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.seq()?.iter().map(K::deserialize).collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                Ok(($($name::deserialize(v.seq_item($idx)?)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
