@@ -15,13 +15,21 @@
 //! `--vms` sizes the shared VM pool the tables run on; the same number
 //! parameterizes the simulated-time cost model, so reported seconds always
 //! describe the pool that actually executed the schedules.
+//!
+//! `--fault-rate` (permille) and `--fault-seed` enable deterministic VM
+//! fault injection in the pool; the robustness counter block printed at
+//! the end shows what the retry/quarantine machinery absorbed.
 
 use aitia::{
     causality::{
         CausalityAnalysis,
         CausalityConfig, //
     },
-    exec::Executor,
+    exec::{
+        Executor,
+        ExecutorConfig,
+        FaultInjection, //
+    },
     lifs::{
         Lifs,
         LifsConfig, //
@@ -33,32 +41,81 @@ use aitia_bench::experiments::{
 };
 use std::sync::Arc;
 
+const USAGE: &str = "usage: report [SUBCOMMAND] [FLAGS]
+
+subcommands (default: all):
+  table1 | comparison   reproduction-rate comparison (Table 1)
+  table2                the ten CVE bugs (Table 2)
+  table3                the twelve Syzkaller bugs (Table 3)
+  conciseness           §5.2 conciseness summary
+  ablations             backward/CS-unit/POR ablations
+  fig5 | fig6 | fig7 | fig9
+  extensions            beyond-paper scenarios (IRQ, RCU, ABBA)
+  all                   everything above
+
+flags:
+  --scale <float>       benign-race noise scale (default 1.0)
+  --samples <int>       comparison sample count (default 400)
+  --vms <int>           VM-pool worker count, at least 1 (default 8)
+  --fault-rate <int>    injected VM-fault rate in permille (default 0 = off)
+  --fault-seed <int>    fault-injection seed (default 0)";
+
+/// Prints the usage message (prefixed by `msg`) and exits with status 2.
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("report: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Parses the value of flag `flag` at `args[*i + 1]`, advancing `*i`.
+fn flag_value<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> T {
+    *i += 1;
+    let Some(raw) = args.get(*i) else {
+        usage_exit(&format!("{flag} requires a value"));
+    };
+    raw.parse()
+        .unwrap_or_else(|_| usage_exit(&format!("{flag}: invalid value {raw:?}")))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = "all".to_string();
     let mut scale = 1.0f64;
     let mut samples = 400usize;
     let mut vms = 8usize;
+    let mut fault_rate = 0u32;
+    let mut fault_seed = 0u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--scale" => {
-                i += 1;
-                scale = args[i].parse().expect("--scale takes a number");
+            "--scale" => scale = flag_value(&args, &mut i, "--scale"),
+            "--samples" => samples = flag_value(&args, &mut i, "--samples"),
+            "--vms" => vms = flag_value(&args, &mut i, "--vms"),
+            "--fault-rate" => fault_rate = flag_value(&args, &mut i, "--fault-rate"),
+            "--fault-seed" => fault_seed = flag_value(&args, &mut i, "--fault-seed"),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
             }
-            "--samples" => {
-                i += 1;
-                samples = args[i].parse().expect("--samples takes a number");
-            }
-            "--vms" => {
-                i += 1;
-                vms = args[i].parse().expect("--vms takes a number");
+            other if other.starts_with('-') => {
+                usage_exit(&format!("unknown flag {other:?}"));
             }
             other => cmd = other.to_string(),
         }
         i += 1;
     }
-    let exec = Arc::new(Executor::new(vms));
+    if vms == 0 {
+        usage_exit("--vms must be at least 1 (there is no zero-VM pool)");
+    }
+    let fault = (fault_rate > 0).then(|| FaultInjection {
+        seed: fault_seed,
+        rate_permille: fault_rate,
+        ..FaultInjection::default()
+    });
+    let exec = Arc::new(Executor::with_config(ExecutorConfig {
+        vms,
+        fault,
+        ..ExecutorConfig::default()
+    }));
     let model = experiments::cost_model_for(&exec);
     match cmd.as_str() {
         "table2" => table2(scale, &exec, &model),
@@ -93,10 +150,10 @@ fn main() {
             extensions();
         }
         other => {
-            eprintln!("unknown subcommand {other:?}");
-            std::process::exit(2);
+            usage_exit(&format!("unknown subcommand {other:?}"));
         }
     }
+    println!("{}", experiments::render_exec_stats(&exec.stats()));
 }
 
 fn table2(scale: f64, exec: &Arc<Executor>, model: &CostModel) {

@@ -110,6 +110,32 @@ pub fn cost_model_for(exec: &Executor) -> CostModel {
     }
 }
 
+/// Renders the pool's robustness counter block ([`aitia::ExecStats`]) —
+/// the `report` binary prints this after every run so the perf trajectory
+/// tracks robustness alongside speed.
+#[must_use]
+pub fn render_exec_stats(stats: &aitia::ExecStats) -> String {
+    format!(
+        "VM-pool execution stats\n\
+        \x20 enforced runs:       {}\n\
+        \x20 retries:             {}\n\
+        \x20 faults:              {} crash / {} hang\n\
+        \x20 gave up (no result): {}\n\
+        \x20 VM restarts:         {}\n\
+        \x20 quarantined slots:   {}\n\
+        \x20 snapshot cache:      {} hits / {} misses\n",
+        stats.runs,
+        stats.retries,
+        stats.crash_faults,
+        stats.hang_faults,
+        stats.gave_up,
+        stats.vm_restarts,
+        stats.quarantined_slots,
+        stats.snapshot_hits,
+        stats.snapshot_misses,
+    )
+}
+
 /// Table 2: the ten CVE bugs.
 #[must_use]
 pub fn table2(scale: f64) -> Vec<BugOutcome> {

@@ -20,6 +20,7 @@
 //!   is unavoidably flipped along; the planner reports exactly which, so the
 //!   analysis can issue an ambiguity verdict when needed.
 
+use crate::enforce::RunResult;
 use crate::{
     lifs::FailingRun,
     race::{
@@ -34,6 +35,19 @@ use crate::{
     },
 };
 use ksim::InstrAddr;
+
+/// Whether a flip run averted `original`. A different failure (other kind
+/// or site) still counts as averting the original one; livelock/budget
+/// exhaustion conservatively counts as *not* averted — callers must check
+/// [`crate::enforce::RunOutcome::is_inconclusive`] first so a timed-out
+/// flip surfaces as ambiguous rather than benign.
+#[must_use]
+pub fn failure_averted(original: &ksim::Failure, res: &RunResult) -> bool {
+    match &res.failure {
+        None => !res.budget_exhausted,
+        Some(f) => !(f.kind == original.kind && f.at == original.at),
+    }
+}
 
 /// A planned flip: the schedule plus what else the flip necessarily moves.
 #[derive(Clone, Debug)]

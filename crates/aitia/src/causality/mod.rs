@@ -31,11 +31,12 @@ pub mod flip;
 use crate::{
     enforce::{
         EnforceConfig,
-        RunResult, //
+        RunOutcome, //
     },
     exec::{
         CancelToken,
         ExecJob,
+        ExecOutput,
         Executor, //
     },
     lifs::FailingRun,
@@ -47,6 +48,7 @@ use chain::{
     CausalityChain, //
 };
 use flip::{
+    failure_averted,
     plan_flip,
     FlipPlan, //
 };
@@ -61,9 +63,11 @@ pub enum Verdict {
     Causal,
     /// The failure still manifested: the race is benign.
     Benign,
-    /// The race surrounds a causal nested race (Figure 7): flipping it
-    /// necessarily flipped the nested race too, so its own contribution
-    /// cannot be determined.
+    /// The race's contribution cannot be determined: either it surrounds a
+    /// causal nested race (Figure 7 — flipping it necessarily flipped the
+    /// nested race too), or the flip run was inconclusive (timed out,
+    /// crashed, or lost to a VM fault) and its non-failure must not be
+    /// read as "the failure was averted".
     Ambiguous,
 }
 
@@ -81,6 +85,9 @@ pub struct TestedRace {
     pub vanished: Vec<(InstrAddr, InstrAddr)>,
     /// Whether the flip's window had to grow to a whole critical section.
     pub cs_expanded: bool,
+    /// Classification of the flip run (a [`RunOutcome::Timeout`] or
+    /// [`RunOutcome::Crashed`] run forces an ambiguous verdict).
+    pub outcome: RunOutcome,
 }
 
 /// Statistics of one analysis (the Causality Analysis columns of Tables 2
@@ -168,6 +175,7 @@ pub struct CausalityAnalysis {
 struct FlipOutcome {
     plan: FlipPlan,
     averted: bool,
+    outcome: RunOutcome,
     occurred: HashSet<(InstrAddr, InstrAddr)>,
 }
 
@@ -215,9 +223,12 @@ impl CausalityAnalysis {
         let mut outcomes: Vec<Option<FlipOutcome>> = (0..run.races.len()).map(|_| None).collect();
         for ((&i, plan), res) in order.iter().zip(&plans).zip(results) {
             let out = res.expect("uncancelled batches complete");
-            stats.schedules_executed += 1;
-            stats.sim.add_run(out.run.steps, out.run.failure.is_some());
-            outcomes[i] = Some(flip_outcome(run, plan, &out.run));
+            stats.sim.add_retries(out.retries as usize);
+            if out.vm_faulted.is_none() {
+                stats.schedules_executed += 1;
+                stats.sim.add_run(out.run.steps, out.run.failure.is_some());
+            }
+            outcomes[i] = Some(flip_outcome(run, plan, &out));
         }
 
         // Phase B: verdicts, resolving nested-race dependencies first.
@@ -230,6 +241,14 @@ impl CausalityAnalysis {
                     continue;
                 }
                 let outcome = outcomes[i].as_ref().expect("phase A ran");
+                // An inconclusive run (timeout, crash, VM fault) observed
+                // nothing: its lack of a failure must not read as "averted"
+                // nor its silence as "benign" — the verdict is ambiguous.
+                if outcome.outcome.is_inconclusive() {
+                    verdicts[i] = Some(Verdict::Ambiguous);
+                    progress = true;
+                    continue;
+                }
                 if !outcome.averted {
                     verdicts[i] = Some(Verdict::Benign);
                     progress = true;
@@ -292,6 +311,7 @@ impl CausalityAnalysis {
                         .collect(),
                     vanished,
                     cs_expanded: outcome.plan.cs_expanded,
+                    outcome: outcome.outcome,
                 }
             })
             .collect();
@@ -322,9 +342,18 @@ impl CausalityAnalysis {
         let mut edges = Vec::new();
         for ((ri, plan), res) in root_plans.iter().enumerate().zip(root_results) {
             let out = res.expect("uncancelled batches complete");
-            stats.schedules_executed += 1;
-            stats.sim.add_run(out.run.steps, out.run.failure.is_some());
-            let outcome = flip_outcome(run, plan, &out.run);
+            stats.sim.add_retries(out.retries as usize);
+            if out.vm_faulted.is_none() {
+                stats.schedules_executed += 1;
+                stats.sim.add_run(out.run.steps, out.run.failure.is_some());
+            }
+            let outcome = flip_outcome(run, plan, &out);
+            // An inconclusive re-run observed nothing: its empty `occurred`
+            // set would manufacture a "vanished" edge to every other root
+            // cause, so no edges are extracted from it.
+            if outcome.outcome.is_inconclusive() {
+                continue;
+            }
             let flipped_along: Vec<(InstrAddr, InstrAddr)> =
                 plan.also_flipped.iter().map(ObservedRace::key).collect();
             for (rj, &j) in root_idx.iter().enumerate() {
@@ -350,21 +379,16 @@ impl CausalityAnalysis {
     }
 }
 
-/// Interprets one flip run: was the original failure averted, and which of
-/// the known races occurred? Pure over the enforcement result, so outcomes
-/// are independent of which pool worker executed the run.
-fn flip_outcome(run: &FailingRun, plan: &FlipPlan, res: &RunResult) -> FlipOutcome {
-    // "Averted" means the original failure did not manifest. A different
-    // failure (other kind or site) still counts as averting the original
-    // one; livelock/budget exhaustion conservatively counts as *not*
-    // averted.
-    let averted = match &res.failure {
-        None => !res.budget_exhausted,
-        Some(f) => !(f.kind == run.failure.kind && f.at == run.failure.at),
-    };
+/// Interprets one flip run: was the original failure averted, how did the
+/// run classify, and which of the known races occurred? Pure over the
+/// execution output, so outcomes are independent of which pool worker
+/// executed the run.
+fn flip_outcome(run: &FailingRun, plan: &FlipPlan, out: &ExecOutput) -> FlipOutcome {
+    let averted = failure_averted(&run.failure, &out.run);
     // Which known races occurred in this run (both instructions executed
     // with at least one memory access)?
-    let executed: HashSet<InstrAddr> = res
+    let executed: HashSet<InstrAddr> = out
+        .run
         .trace
         .iter()
         .filter(|r| !r.accesses.is_empty())
@@ -379,6 +403,7 @@ fn flip_outcome(run: &FailingRun, plan: &FlipPlan, res: &RunResult) -> FlipOutco
     FlipOutcome {
         plan: plan.clone(),
         averted,
+        outcome: out.outcome,
         occurred,
     }
 }
@@ -541,6 +566,60 @@ mod tests {
         // Phase A: one run per race; phase C: one run per root cause.
         let expected = run.races.len() + result.root_causes.len();
         assert_eq!(result.stats.schedules_executed, expected);
+    }
+
+    #[test]
+    fn timed_out_flip_is_ambiguous_not_causal() {
+        // Reproduce normally, then analyze with a step budget so small every
+        // flip run exhausts it: no flip observes anything, so no race may be
+        // judged causal (nor benign) off a silent run.
+        let run = Lifs::new(fig1_program(), LifsConfig::default())
+            .search()
+            .failing
+            .expect("fig1 reproduces");
+        let cfg = CausalityConfig {
+            enforce: EnforceConfig { step_budget: 1 },
+            ..CausalityConfig::default()
+        };
+        let result = CausalityAnalysis::new(cfg).analyze(&run);
+        assert!(!result.tested.is_empty());
+        for t in &result.tested {
+            assert_eq!(t.outcome, RunOutcome::Timeout);
+            assert_eq!(t.verdict, Verdict::Ambiguous, "race {:?}", t.race.key());
+        }
+        assert!(result.root_causes.is_empty());
+        assert!(result.edges.is_empty());
+        assert_eq!(result.chain.race_count(), 0);
+    }
+
+    #[test]
+    fn faulted_flips_yield_ambiguous_verdicts() {
+        let run = Lifs::new(fig1_program(), LifsConfig::default())
+            .search()
+            .failing
+            .expect("fig1 reproduces");
+        // Every flip attempt faults; placeholders are inconclusive.
+        let exec = Arc::new(crate::exec::Executor::with_config(
+            crate::exec::ExecutorConfig {
+                vms: 1,
+                fault: Some(crate::exec::FaultInjection {
+                    seed: 3,
+                    rate_permille: 1000,
+                    max_retries: 1,
+                    quarantine_after: 0,
+                }),
+                ..crate::exec::ExecutorConfig::default()
+            },
+        ));
+        let result =
+            CausalityAnalysis::with_executor(CausalityConfig::default(), exec).analyze(&run);
+        assert!(result
+            .tested
+            .iter()
+            .all(|t| t.verdict == Verdict::Ambiguous));
+        assert!(result.root_causes.is_empty());
+        assert_eq!(result.stats.schedules_executed, 0);
+        assert!(result.stats.sim.retries > 0, "retry backoff was charged");
     }
 
     #[test]

@@ -74,6 +74,57 @@ pub struct ThreadFinal {
     pub next: Option<InstrAddr>,
 }
 
+/// Classification of one run's observable outcome (DESIGN.md §5).
+///
+/// Enforced schedules on real VMs do not just pass or fail: race-steered
+/// control flow can make an awaited instruction never arrive (the schedule
+/// *diverges*), a livelock can eat the whole step budget (the run *times
+/// out*), and the VM itself can die under the run (the exec layer's
+/// *crashed* — never produced by enforcement itself). Every consumer —
+/// LIFS round folding, causality flip verdicts, the manager's fan-out —
+/// branches on this taxonomy instead of re-deriving it from raw fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RunOutcome {
+    /// The run completed with no failure and every scheduling point fired.
+    Passed,
+    /// A failure manifested.
+    Failed,
+    /// The run completed without failing, but at least one scheduling point
+    /// never fired — race-steered control flow took another path, so the
+    /// enforced interleaving was not realized.
+    Diverged,
+    /// The step budget ran out (livelock / hang). A timed-out run proves
+    /// nothing in either direction: it neither passed nor failed.
+    Timeout,
+    /// The worker VM died under the run (exec-layer fault injection or a
+    /// real crash). Only [`crate::exec`] produces this variant;
+    /// [`RunResult::outcome`] never returns it.
+    Crashed,
+}
+
+impl RunOutcome {
+    /// Whether the run's result carries no diagnostic signal: the schedule
+    /// was never actually driven to completion, so neither "failed" nor
+    /// "did not fail" may be concluded from it.
+    #[must_use]
+    pub fn is_inconclusive(self) -> bool {
+        matches!(self, RunOutcome::Timeout | RunOutcome::Crashed)
+    }
+}
+
+impl std::fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RunOutcome::Passed => "passed",
+            RunOutcome::Failed => "failed",
+            RunOutcome::Diverged => "diverged",
+            RunOutcome::Timeout => "timeout",
+            RunOutcome::Crashed => "crashed",
+        };
+        f.write_str(s)
+    }
+}
+
 /// The observable outcome of one enforced run.
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -110,6 +161,24 @@ impl RunResult {
     #[must_use]
     pub fn succeeded(&self) -> bool {
         self.failure.is_none() && !self.budget_exhausted
+    }
+
+    /// Classifies this run. Priority: a manifested failure wins (a failing
+    /// run is diagnostic signal even if the budget also ran out), then
+    /// budget exhaustion, then divergence (some point never fired), then a
+    /// clean pass. Never [`RunOutcome::Crashed`] — VM death is observed by
+    /// the exec layer, not by enforcement.
+    #[must_use]
+    pub fn outcome(&self) -> RunOutcome {
+        if self.failure.is_some() {
+            RunOutcome::Failed
+        } else if self.budget_exhausted {
+            RunOutcome::Timeout
+        } else if self.triggered.iter().any(|&t| !t) {
+            RunOutcome::Diverged
+        } else {
+            RunOutcome::Passed
+        }
     }
 }
 
@@ -728,6 +797,68 @@ fn pick_fallback_excluding(
         }
     }
     runnable.into_iter().find(|&t| Some(t) != exclude)
+}
+
+#[cfg(test)]
+mod outcome_tests {
+    use super::*;
+
+    fn result(failure: Option<ksim::Failure>, triggered: Vec<bool>, exhausted: bool) -> RunResult {
+        RunResult {
+            trace: Vec::new(),
+            failure,
+            triggered,
+            forced: Vec::new(),
+            steps: 0,
+            budget_exhausted: exhausted,
+            threads: Vec::new(),
+        }
+    }
+
+    fn some_failure() -> Option<ksim::Failure> {
+        Some(ksim::Failure {
+            kind: ksim::FailureKind::NullDeref,
+            at: ksim::InstrAddr {
+                prog: ksim::ThreadProgId(0),
+                index: 0,
+            },
+            tid: ksim::ThreadId(0),
+            addr: None,
+            message: String::new(),
+        })
+    }
+
+    #[test]
+    fn outcome_priority_failed_over_timeout_over_diverged() {
+        // A manifested failure wins even over an exhausted budget or an
+        // unfired point.
+        let r = result(some_failure(), vec![false], true);
+        assert_eq!(r.outcome(), RunOutcome::Failed);
+        // No failure + exhausted budget: timeout, even with unfired points.
+        let r = result(None, vec![false], true);
+        assert_eq!(r.outcome(), RunOutcome::Timeout);
+        // No failure, budget fine, a point never fired: divergence.
+        let r = result(None, vec![true, false], false);
+        assert_eq!(r.outcome(), RunOutcome::Diverged);
+        // Everything fired, nothing failed: passed.
+        let r = result(None, vec![true, true], false);
+        assert_eq!(r.outcome(), RunOutcome::Passed);
+    }
+
+    #[test]
+    fn inconclusive_covers_timeout_and_crashed_only() {
+        assert!(RunOutcome::Timeout.is_inconclusive());
+        assert!(RunOutcome::Crashed.is_inconclusive());
+        assert!(!RunOutcome::Passed.is_inconclusive());
+        assert!(!RunOutcome::Failed.is_inconclusive());
+        assert!(!RunOutcome::Diverged.is_inconclusive());
+    }
+
+    #[test]
+    fn outcome_display_is_lowercase() {
+        assert_eq!(RunOutcome::Passed.to_string(), "passed");
+        assert_eq!(RunOutcome::Crashed.to_string(), "crashed");
+    }
 }
 
 #[cfg(test)]

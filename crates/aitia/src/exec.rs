@@ -25,6 +25,7 @@ use crate::{
     enforce::{
         run_cached,
         EnforceConfig,
+        RunOutcome,
         RunResult,
         SnapshotCache, //
     },
@@ -40,9 +41,15 @@ use ksim::{
 };
 use std::{
     collections::HashMap,
+    hash::{
+        Hash,
+        Hasher, //
+    },
     sync::{
         atomic::{
             AtomicBool,
+            AtomicU32,
+            AtomicU64,
             AtomicUsize,
             Ordering, //
         },
@@ -121,10 +128,186 @@ pub struct ExecJob {
 #[derive(Clone, Debug)]
 pub struct ExecOutput {
     /// The enforced run, exactly as [`crate::enforce::run`] on a fresh
-    /// engine would report it.
+    /// engine would report it. For a job that exhausted its retry budget
+    /// (`vm_faulted` is `Some`), this is an empty placeholder — no trace,
+    /// no failure — that must not be read as a passing run; check
+    /// `outcome` first.
     pub run: RunResult,
     /// Stable selector of every runtime thread the run spawned.
     pub sel_of: HashMap<ThreadId, ThreadSel>,
+    /// Classification of the run, including the exec-layer-only
+    /// [`RunOutcome::Crashed`].
+    pub outcome: RunOutcome,
+    /// How many times the job was retried after an injected VM fault
+    /// before this result was produced. Deterministic: fault decisions
+    /// depend only on the job's content and the attempt number.
+    pub retries: u32,
+    /// `Some` when every attempt (initial + `max_retries` retries)
+    /// faulted and the executor gave up on the job; `run` is then a
+    /// placeholder and `outcome` is [`RunOutcome::Crashed`] or
+    /// [`RunOutcome::Timeout`].
+    pub vm_faulted: Option<FaultKind>,
+}
+
+/// The kind of a (simulated) VM fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The guest died under the run (panic outside the enforced scenario,
+    /// QEMU crash). The worker's engine and snapshot cache are lost.
+    Crash,
+    /// The guest stopped responding (hypervisor watchdog fired). The run
+    /// is abandoned and the VM restarted; the attempt reads as a timeout.
+    Hang,
+}
+
+/// Deterministic, seed-driven VM-fault injection (DESIGN.md §5).
+///
+/// Real AITIA deployments lose VMs routinely: enforced schedules hang the
+/// guest, crash it outright, or wedge QEMU. The simulator has no real
+/// flakiness, so the retry/quarantine machinery is exercised by *injecting*
+/// faults instead — at a configurable rate, decided by a hash of the
+/// **job's content and the attempt number only**. Worker identity, batch
+/// position, and wall-clock never enter the decision, so whether a given
+/// job faults (and on which attempt it recovers) is identical at any
+/// worker count — the canonical-prefix determinism guarantee survives
+/// fault injection unchanged.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultInjection {
+    /// Seed mixed into every fault decision.
+    pub seed: u64,
+    /// Fault probability per attempt, in permille (0 disables, 1000 faults
+    /// every attempt).
+    pub rate_permille: u32,
+    /// Retries granted per job after its first faulted attempt. When the
+    /// budget is exhausted the job publishes a placeholder output with
+    /// [`ExecOutput::vm_faulted`] set.
+    pub max_retries: u32,
+    /// Quarantine a worker slot after this many *consecutive* jobs on it
+    /// experienced a fault (0 disables the breaker). The last active slot
+    /// is never quarantined.
+    pub quarantine_after: u32,
+}
+
+impl Default for FaultInjection {
+    fn default() -> Self {
+        FaultInjection {
+            seed: 0,
+            rate_permille: 0,
+            max_retries: 3,
+            quarantine_after: 3,
+        }
+    }
+}
+
+impl FaultInjection {
+    /// Decides whether attempt `attempt` of `job` faults, and if so how
+    /// (kind) and where (the index of the schedule point the VM dies at —
+    /// purely cosmetic in the simulator, but logged).
+    ///
+    /// Pure over `(self, job content, attempt)`: never consults worker
+    /// identity, batch index, pointers, or time.
+    #[must_use]
+    pub fn decide(&self, job: &ExecJob, attempt: u32) -> Option<(FaultKind, usize)> {
+        if self.rate_permille == 0 {
+            return None;
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.seed.hash(&mut h);
+        attempt.hash(&mut h);
+        job.enforce.step_budget.hash(&mut h);
+        match job.schedule.start {
+            Some(s) => (1u8, s).hash(&mut h),
+            None => 0u8.hash(&mut h),
+        }
+        for p in &job.schedule.points {
+            p.thread.hash(&mut h);
+            (p.at.prog.0, p.at.index).hash(&mut h);
+            p.nth.hash(&mut h);
+            u8::from(p.when == crate::schedule::Anchor::After).hash(&mut h);
+            p.switch_to.hash(&mut h);
+        }
+        job.schedule.fallback.hash(&mut h);
+        job.schedule.segments.hash(&mut h);
+        let v = h.finish();
+        if v % 1000 >= u64::from(self.rate_permille.min(1000)) {
+            return None;
+        }
+        let kind = if (v >> 10) & 1 == 0 {
+            FaultKind::Crash
+        } else {
+            FaultKind::Hang
+        };
+        let k = ((v >> 11) as usize) % (job.schedule.points.len() + 1);
+        Some((kind, k))
+    }
+}
+
+/// A snapshot of the pool's robustness counters (surfaced via `report`).
+///
+/// `runs`/`retries`/fault counts are deterministic at any worker count
+/// (fault decisions are content-keyed); `quarantined_slots` and the cache
+/// counters depend on which slot happened to claim which job and are
+/// diagnostics only.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Enforced runs actually executed (faulted attempts execute nothing).
+    pub runs: u64,
+    /// Attempts re-run after an injected fault.
+    pub retries: u64,
+    /// Injected faults of kind [`FaultKind::Crash`].
+    pub crash_faults: u64,
+    /// Injected faults of kind [`FaultKind::Hang`].
+    pub hang_faults: u64,
+    /// Jobs that faulted on every attempt and published a placeholder.
+    pub gave_up: u64,
+    /// Worker slots quarantined by the consecutive-fault breaker.
+    pub quarantined_slots: u64,
+    /// Worker VMs discarded and restarted after a fault.
+    pub vm_restarts: u64,
+    /// Snapshot-prefix cache hits across all workers.
+    pub snapshot_hits: u64,
+    /// Snapshot-prefix cache misses across all workers.
+    pub snapshot_misses: u64,
+}
+
+/// Internal atomic counters behind [`ExecStats`].
+#[derive(Debug, Default)]
+struct StatCells {
+    runs: AtomicU64,
+    retries: AtomicU64,
+    crash_faults: AtomicU64,
+    hang_faults: AtomicU64,
+    gave_up: AtomicU64,
+    quarantined_slots: AtomicU64,
+    vm_restarts: AtomicU64,
+    snapshot_hits: AtomicU64,
+    snapshot_misses: AtomicU64,
+}
+
+impl StatCells {
+    fn snapshot(&self) -> ExecStats {
+        ExecStats {
+            runs: self.runs.load(Ordering::SeqCst),
+            retries: self.retries.load(Ordering::SeqCst),
+            crash_faults: self.crash_faults.load(Ordering::SeqCst),
+            hang_faults: self.hang_faults.load(Ordering::SeqCst),
+            gave_up: self.gave_up.load(Ordering::SeqCst),
+            quarantined_slots: self.quarantined_slots.load(Ordering::SeqCst),
+            vm_restarts: self.vm_restarts.load(Ordering::SeqCst),
+            snapshot_hits: self.snapshot_hits.load(Ordering::SeqCst),
+            snapshot_misses: self.snapshot_misses.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Per-slot circuit-breaker state.
+#[derive(Debug, Default)]
+struct SlotHealth {
+    /// Consecutive jobs on this slot that experienced a fault (reset by
+    /// any fault-free job).
+    consecutive_faults: AtomicU32,
+    /// Whether the breaker has tripped for this slot.
+    quarantined: AtomicBool,
 }
 
 /// Executor sizing.
@@ -142,6 +325,8 @@ pub struct ExecutorConfig {
     /// bit-for-bit identical at any value (tests force it above the host
     /// count to exercise the concurrent path on small machines).
     pub os_threads: Option<usize>,
+    /// Deterministic VM-fault injection; `None` disables it.
+    pub fault: Option<FaultInjection>,
 }
 
 impl Default for ExecutorConfig {
@@ -150,6 +335,7 @@ impl Default for ExecutorConfig {
             vms: 8,
             snapshot_cache: 8,
             os_threads: None,
+            fault: None,
         }
     }
 }
@@ -172,6 +358,10 @@ struct WorkerVm {
 pub struct Executor {
     config: ExecutorConfig,
     slots: Vec<Mutex<Option<WorkerVm>>>,
+    health: Vec<SlotHealth>,
+    /// Slots not yet quarantined. The breaker never lets this reach 0.
+    active: AtomicUsize,
+    stats: StatCells,
 }
 
 impl Executor {
@@ -184,20 +374,40 @@ impl Executor {
         })
     }
 
-    /// A pool with explicit sizing. `vms` is clamped to at least 1.
+    /// A pool with explicit sizing. A zero-width pool is degenerate (there
+    /// would be no slot to run the serial path on), so `vms` is clamped to
+    /// at least 1; callers that want to reject `0` outright (the `report`
+    /// CLI) must validate before construction.
     #[must_use]
     pub fn with_config(config: ExecutorConfig) -> Executor {
         let vms = config.vms.max(1);
         Executor {
             config,
             slots: (0..vms).map(|_| Mutex::new(None)).collect(),
+            health: (0..vms).map(|_| SlotHealth::default()).collect(),
+            active: AtomicUsize::new(vms),
+            stats: StatCells::default(),
         }
     }
 
-    /// Worker count.
+    /// Worker count (including quarantined slots).
     #[must_use]
     pub fn vms(&self) -> usize {
         self.slots.len()
+    }
+
+    /// A snapshot of the pool's robustness counters.
+    #[must_use]
+    pub fn stats(&self) -> ExecStats {
+        self.stats.snapshot()
+    }
+
+    /// Indices of slots the breaker has not quarantined. Non-empty by
+    /// invariant (the last active slot is never quarantined).
+    fn active_slots(&self) -> Vec<usize> {
+        (0..self.slots.len())
+            .filter(|&i| !self.health[i].quarantined.load(Ordering::SeqCst))
+            .collect()
     }
 
     /// The OS-thread budget actually used for a batch (see
@@ -236,16 +446,17 @@ impl Executor {
         if n == 0 {
             return Vec::new();
         }
-        let cache_cap = self.config.snapshot_cache;
-        let workers = self.slots.len().min(n).min(self.os_threads());
+        let active = self.active_slots();
+        let workers = active.len().min(n).min(self.os_threads());
         if workers <= 1 {
-            let mut slot = self.slots[0].lock().unwrap();
+            let si = active[0];
+            let mut slot = self.slots[si].lock().unwrap();
             let mut out: Vec<Option<ExecOutput>> = Vec::with_capacity(n);
             for job in jobs {
                 if cancel.is_cancelled() {
                     break;
                 }
-                let res = run_job(&mut slot, job, cache_cap);
+                let res = self.run_job_ft(si, &mut slot, job);
                 let hit = stop(&res);
                 out.push(Some(res));
                 if hit {
@@ -253,6 +464,8 @@ impl Executor {
                 }
             }
             out.resize_with(n, || None);
+            drop(slot);
+            self.apply_quarantine();
             return out;
         }
 
@@ -260,9 +473,9 @@ impl Executor {
         let stop_at = AtomicUsize::new(usize::MAX);
         let results: Vec<Mutex<Option<ExecOutput>>> = (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
-            for w in 0..workers {
+            for &si in &active[..workers] {
                 let (results, next, stop_at, stop) = (&results, &next, &stop_at, &stop);
-                let slot = &self.slots[w];
+                let slot = &self.slots[si];
                 scope.spawn(move || {
                     let mut slot = slot.lock().unwrap();
                     loop {
@@ -273,7 +486,7 @@ impl Executor {
                         if i >= n || i > stop_at.load(Ordering::SeqCst) || cancel.is_cancelled() {
                             return;
                         }
-                        let res = run_job(&mut slot, &jobs[i], cache_cap);
+                        let res = self.run_job_ft(si, &mut slot, &jobs[i]);
                         if stop(&res) {
                             stop_at.fetch_min(i, Ordering::SeqCst);
                         }
@@ -282,6 +495,7 @@ impl Executor {
                 });
             }
         });
+        self.apply_quarantine();
         let cut = stop_at.load(Ordering::SeqCst);
         let mut out: Vec<Option<ExecOutput>> = results
             .into_iter()
@@ -294,6 +508,98 @@ impl Executor {
         }
         normalize_prefix(&mut out);
         out
+    }
+
+    /// Executes one job with the fault-tolerance wrapper: injected faults
+    /// are retried **inside the owning worker, before the result is
+    /// published** — so job `i`'s slot in the canonical fold never observes
+    /// an intermediate attempt, and fold order / worker-count invariance
+    /// are exactly as without fault injection. A job whose every attempt
+    /// faults publishes a placeholder output with `vm_faulted` set.
+    fn run_job_ft(&self, si: usize, slot: &mut Option<WorkerVm>, job: &ExecJob) -> ExecOutput {
+        let cache_cap = self.config.snapshot_cache;
+        let mut retries = 0u32;
+        let mut job_faulted = false;
+        loop {
+            let injected = self.config.fault.and_then(|f| f.decide(job, retries));
+            let Some((kind, k)) = injected else {
+                let out = run_job(slot, job, cache_cap, &self.stats, retries);
+                self.note_slot_result(si, job_faulted);
+                return out;
+            };
+            job_faulted = true;
+            match kind {
+                FaultKind::Crash => &self.stats.crash_faults,
+                FaultKind::Hang => &self.stats.hang_faults,
+            }
+            .fetch_add(1, Ordering::SeqCst);
+            // The VM died under the attempt: the worker's engine and its
+            // snapshot-prefix cache are lost with it.
+            *slot = None;
+            self.stats.vm_restarts.fetch_add(1, Ordering::SeqCst);
+            let budget = self.config.fault.map_or(0, |f| f.max_retries);
+            if retries >= budget {
+                self.stats.gave_up.fetch_add(1, Ordering::SeqCst);
+                self.note_slot_result(si, true);
+                eprintln!(
+                    "aitia-exec: giving up on job after {retries} retries \
+                     ({kind:?} at schedule point {k})",
+                );
+                return faulted_output(job, kind, retries);
+            }
+            retries += 1;
+            self.stats.retries.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Updates the slot's consecutive-fault counter after a job.
+    fn note_slot_result(&self, si: usize, job_faulted: bool) {
+        let h = &self.health[si];
+        if job_faulted {
+            h.consecutive_faults.fetch_add(1, Ordering::SeqCst);
+        } else {
+            h.consecutive_faults.store(0, Ordering::SeqCst);
+        }
+    }
+
+    /// Trips the circuit-breaker for slots over the consecutive-fault
+    /// threshold. Runs at batch boundaries so a mid-batch trip can never
+    /// leave a batch without workers (the canonical-prefix contract —
+    /// entries are `None` only past a cancellation — is unaffected). The
+    /// last active slot is never quarantined.
+    fn apply_quarantine(&self) {
+        let Some(threshold) = self
+            .config
+            .fault
+            .map(|f| f.quarantine_after)
+            .filter(|&q| q > 0)
+        else {
+            return;
+        };
+        for (si, h) in self.health.iter().enumerate() {
+            if h.quarantined.load(Ordering::SeqCst)
+                || h.consecutive_faults.load(Ordering::SeqCst) < threshold
+            {
+                continue;
+            }
+            // Shrink the pool only while another active slot remains.
+            let shrunk = self
+                .active
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |a| {
+                    (a > 1).then(|| a - 1)
+                });
+            if let Ok(before) = shrunk {
+                h.quarantined.store(true, Ordering::SeqCst);
+                self.stats.quarantined_slots.fetch_add(1, Ordering::SeqCst);
+                eprintln!(
+                    "aitia-exec: quarantined worker slot {si} after {} consecutive \
+                     faulted jobs; effective pool {} -> {}",
+                    h.consecutive_faults.load(Ordering::SeqCst),
+                    before,
+                    before - 1,
+                );
+            }
+        }
     }
 
     /// Fans `count` opaque tasks out over the pool's worker budget with the
@@ -322,7 +628,7 @@ impl Executor {
             return Vec::new();
         }
         let tokens: Vec<CancelToken> = (0..count).map(|_| cancel.child()).collect();
-        let workers = self.slots.len().min(count).min(self.os_threads());
+        let workers = self.active_slots().len().min(count).min(self.os_threads());
         if workers <= 1 {
             let mut out: Vec<Option<T>> = Vec::with_capacity(count);
             for (i, token) in tokens.iter().enumerate() {
@@ -393,7 +699,13 @@ fn hardware_threads() -> usize {
 
 /// Executes one job on a worker's persistent VM, rebooting (and dropping
 /// the snapshot cache) when the job's program differs from the VM's.
-fn run_job(slot: &mut Option<WorkerVm>, job: &ExecJob, cache_cap: usize) -> ExecOutput {
+fn run_job(
+    slot: &mut Option<WorkerVm>,
+    job: &ExecJob,
+    cache_cap: usize,
+    stats: &StatCells,
+    retries: u32,
+) -> ExecOutput {
     let key = Arc::as_ptr(&job.program) as usize;
     let vm = match slot {
         Some(vm) if vm.prog == key => vm,
@@ -403,7 +715,15 @@ fn run_job(slot: &mut Option<WorkerVm>, job: &ExecJob, cache_cap: usize) -> Exec
             cache: SnapshotCache::new(cache_cap),
         }),
     };
+    let (hits0, misses0) = (vm.cache.hits(), vm.cache.misses());
     let run = run_cached(&mut vm.engine, &job.schedule, &job.enforce, &mut vm.cache);
+    stats.runs.fetch_add(1, Ordering::SeqCst);
+    stats
+        .snapshot_hits
+        .fetch_add(vm.cache.hits() - hits0, Ordering::SeqCst);
+    stats
+        .snapshot_misses
+        .fetch_add(vm.cache.misses() - misses0, Ordering::SeqCst);
     let sel_of = vm
         .engine
         .threads()
@@ -418,7 +738,40 @@ fn run_job(slot: &mut Option<WorkerVm>, job: &ExecJob, cache_cap: usize) -> Exec
             )
         })
         .collect();
-    ExecOutput { run, sel_of }
+    let outcome = run.outcome();
+    ExecOutput {
+        run,
+        sel_of,
+        outcome,
+        retries,
+        vm_faulted: None,
+    }
+}
+
+/// The placeholder output published when a job faults on every attempt.
+/// Its `run` is empty (no trace, no failure, nothing triggered) so no
+/// consumer can mistake it for an observation; `outcome` carries the
+/// fault's flavour.
+fn faulted_output(job: &ExecJob, kind: FaultKind, retries: u32) -> ExecOutput {
+    let run = RunResult {
+        trace: Vec::new(),
+        failure: None,
+        triggered: vec![false; job.schedule.points.len()],
+        forced: Vec::new(),
+        steps: 0,
+        budget_exhausted: kind == FaultKind::Hang,
+        threads: Vec::new(),
+    };
+    ExecOutput {
+        run,
+        sel_of: HashMap::new(),
+        outcome: match kind {
+            FaultKind::Crash => RunOutcome::Crashed,
+            FaultKind::Hang => RunOutcome::Timeout,
+        },
+        retries,
+        vm_faulted: Some(kind),
+    }
 }
 
 /// Truncates at the first hole so callers always fold a contiguous prefix
@@ -607,5 +960,206 @@ mod tests {
         let first = exec.run_batch(&jobs, &CancelToken::new());
         let second = exec.run_batch(&jobs, &CancelToken::new());
         assert_eq!(digest(&first), digest(&second));
+    }
+
+    #[test]
+    fn zero_width_pool_is_clamped_to_one_slot() {
+        let exec = Executor::new(0);
+        assert_eq!(exec.vms(), 1);
+        let program = fig1_program();
+        let out = exec.run_batch(&fig1_jobs(&program), &CancelToken::new());
+        assert!(out.iter().all(Option::is_some));
+    }
+
+    fn faulty_pool(vms: usize, fault: FaultInjection) -> Executor {
+        Executor::with_config(ExecutorConfig {
+            vms,
+            os_threads: Some(vms),
+            fault: Some(fault),
+            ..ExecutorConfig::default()
+        })
+    }
+
+    /// A seed where at least one fig1 job faults on its first attempt but
+    /// recovers within the retry budget (fault decisions are pure over the
+    /// job content, so the search itself is deterministic).
+    fn recovering_fault(jobs: &[ExecJob]) -> FaultInjection {
+        for seed in 0..10_000u64 {
+            let f = FaultInjection {
+                seed,
+                rate_permille: 400,
+                max_retries: 3,
+                quarantine_after: 0,
+            };
+            let recovers = |job: &ExecJob| {
+                f.decide(job, 0).is_some()
+                    && (1..=f.max_retries).any(|a| f.decide(job, a).is_none())
+            };
+            if jobs.iter().any(recovers)
+                && jobs
+                    .iter()
+                    .all(|j| (0..4).any(|a| f.decide(j, a).is_none()))
+            {
+                return f;
+            }
+        }
+        panic!("no recovering seed found");
+    }
+
+    #[test]
+    fn injected_fault_is_retried_deterministically() {
+        let program = fig1_program();
+        let jobs = fig1_jobs(&program);
+        let fault = recovering_fault(&jobs);
+        let baseline = Executor::new(1).run_batch(&jobs, &CancelToken::new());
+        let exec = faulty_pool(1, fault);
+        let got = exec.run_batch(&jobs, &CancelToken::new());
+        // Retries happen in-worker before publishing: results match the
+        // fault-free baseline bit for bit.
+        assert_eq!(digest(&baseline), digest(&got));
+        let retried: u32 = got.iter().flatten().map(|o| o.retries).sum();
+        assert!(retried > 0, "the chosen seed faults at least one job");
+        assert!(got.iter().flatten().all(|o| o.vm_faulted.is_none()));
+        let stats = exec.stats();
+        assert_eq!(stats.retries, u64::from(retried));
+        assert_eq!(stats.vm_restarts, stats.crash_faults + stats.hang_faults);
+        assert_eq!(stats.gave_up, 0);
+        // Re-running reproduces the identical retry pattern.
+        let again = faulty_pool(1, fault).run_batch(&jobs, &CancelToken::new());
+        let retries_of = |out: &[Option<ExecOutput>]| -> Vec<u32> {
+            out.iter().flatten().map(|o| o.retries).collect()
+        };
+        assert_eq!(retries_of(&got), retries_of(&again));
+    }
+
+    #[test]
+    fn fault_injection_preserves_worker_count_invariance() {
+        let program = fig1_program();
+        let jobs = fig1_jobs(&program);
+        let fault = recovering_fault(&jobs);
+        let baseline = faulty_pool(1, fault).run_batch(&jobs, &CancelToken::new());
+        for vms in [2, 4, 8] {
+            let got = faulty_pool(vms, fault).run_batch(&jobs, &CancelToken::new());
+            assert_eq!(digest(&baseline), digest(&got), "vms={vms}");
+            let rb: Vec<u32> = baseline.iter().flatten().map(|o| o.retries).collect();
+            let rg: Vec<u32> = got.iter().flatten().map(|o| o.retries).collect();
+            assert_eq!(rb, rg, "vms={vms}");
+        }
+    }
+
+    /// Faults every attempt of every job.
+    fn always_fault() -> FaultInjection {
+        FaultInjection {
+            seed: 7,
+            rate_permille: 1000,
+            max_retries: 2,
+            quarantine_after: 0,
+        }
+    }
+
+    #[test]
+    fn exhausted_retry_budget_publishes_a_placeholder() {
+        let program = fig1_program();
+        let jobs = fig1_jobs(&program);
+        let exec = faulty_pool(1, always_fault());
+        let out = exec.run_batch(&jobs, &CancelToken::new());
+        for o in out.iter().flatten() {
+            let kind = o.vm_faulted.expect("every job gives up");
+            assert_eq!(o.retries, always_fault().max_retries);
+            assert!(o.run.trace.is_empty());
+            assert!(o.run.failure.is_none());
+            match kind {
+                FaultKind::Crash => assert_eq!(o.outcome, RunOutcome::Crashed),
+                FaultKind::Hang => {
+                    assert_eq!(o.outcome, RunOutcome::Timeout);
+                    assert!(o.run.budget_exhausted);
+                }
+            }
+            assert!(o.outcome.is_inconclusive());
+        }
+        let stats = exec.stats();
+        assert_eq!(stats.gave_up, jobs.len() as u64);
+        assert_eq!(stats.runs, 0, "faulted attempts execute nothing");
+    }
+
+    #[test]
+    fn quarantine_trips_after_consecutive_faults_but_spares_last_slot() {
+        let program = fig1_program();
+        let jobs = fig1_jobs(&program);
+        let fault = FaultInjection {
+            quarantine_after: 1,
+            ..always_fault()
+        };
+        let exec = faulty_pool(2, fault);
+        let _ = exec.run_batch(&jobs, &CancelToken::new());
+        // Both slots only saw faulted jobs, but the breaker never empties
+        // the pool: exactly one slot is quarantined.
+        assert_eq!(exec.stats().quarantined_slots, 1);
+        assert_eq!(exec.active_slots().len(), 1);
+        // Subsequent batches still run (on the surviving slot).
+        let out = exec.run_batch(&jobs, &CancelToken::new());
+        assert!(out.iter().all(Option::is_some));
+
+        // A single-slot pool never quarantines.
+        let solo = faulty_pool(1, fault);
+        let _ = solo.run_batch(&jobs, &CancelToken::new());
+        assert_eq!(solo.stats().quarantined_slots, 0);
+        assert_eq!(solo.active_slots().len(), 1);
+    }
+
+    #[test]
+    fn fault_free_jobs_reset_the_consecutive_fault_counter() {
+        let program = fig1_program();
+        let jobs = fig1_jobs(&program);
+        let fault = recovering_fault(&jobs);
+        let exec = faulty_pool(
+            1,
+            FaultInjection {
+                quarantine_after: u32::MAX,
+                ..fault
+            },
+        );
+        let _ = exec.run_batch(&jobs, &CancelToken::new());
+        // Every job recovered, so the last job on the slot reset the
+        // counter to 0 unless it itself faulted first.
+        let last_faulted = fault.decide(jobs.last().unwrap(), 0).is_some();
+        let count = exec.health[0].consecutive_faults.load(Ordering::SeqCst);
+        if last_faulted {
+            assert!(count >= 1);
+        } else {
+            assert_eq!(count, 0);
+        }
+    }
+
+    #[test]
+    fn stats_track_runs_and_snapshot_cache() {
+        let program = fig1_program();
+        let jobs = fig1_jobs(&program);
+        let exec = threaded_pool(1);
+        let _ = exec.run_batch(&jobs, &CancelToken::new());
+        let stats = exec.stats();
+        assert_eq!(stats.runs, jobs.len() as u64);
+        assert_eq!(stats.crash_faults + stats.hang_faults, 0);
+        // Jobs 0 and 3 share a schedule: the second occurrence hits the
+        // worker's snapshot-prefix cache.
+        assert!(stats.snapshot_hits + stats.snapshot_misses > 0);
+    }
+
+    #[test]
+    fn fault_decision_ignores_worker_identity() {
+        let program = fig1_program();
+        let jobs = fig1_jobs(&program);
+        let f = always_fault();
+        for job in &jobs {
+            // Same job, same attempt: same decision, every time.
+            assert_eq!(f.decide(job, 0), f.decide(job, 0));
+            assert_eq!(f.decide(job, 1), f.decide(job, 1));
+        }
+        // rate 0 disables injection outright.
+        let off = FaultInjection {
+            rate_permille: 0,
+            ..always_fault()
+        };
+        assert!(jobs.iter().all(|j| off.decide(j, 0).is_none()));
     }
 }

@@ -91,6 +91,7 @@ pub use causality::{
 pub use enforce::{
     run as enforce_run,
     EnforceConfig,
+    RunOutcome,
     RunResult,
     SnapshotCache, //
 };
@@ -98,8 +99,11 @@ pub use exec::{
     CancelToken,
     ExecJob,
     ExecOutput,
+    ExecStats,
     Executor,
-    ExecutorConfig, //
+    ExecutorConfig,
+    FaultInjection,
+    FaultKind, //
 };
 pub use lifs::{
     FailingRun,

@@ -171,9 +171,12 @@ pub struct LifsStats {
     pub pruned_nonconflicting: usize,
     /// Candidates skipped or discounted as equivalent interleavings.
     pub pruned_equivalent: usize,
+    /// Schedules whose every execution attempt hit a VM fault; they
+    /// contribute no observation (not counted in `schedules_executed`).
+    pub faulted: usize,
     /// The interleaving count at which the failure reproduced.
     pub interleaving_count: u32,
-    /// Simulated cost (schedule setups, steps, reboots).
+    /// Simulated cost (schedule setups, steps, reboots, retry backoff).
     pub sim: SimCost,
 }
 
@@ -184,6 +187,7 @@ impl LifsStats {
         self.schedules_executed += other.schedules_executed;
         self.pruned_nonconflicting += other.pruned_nonconflicting;
         self.pruned_equivalent += other.pruned_equivalent;
+        self.faulted += other.faulted;
         self.interleaving_count = self.interleaving_count.max(other.interleaving_count);
         self.sim.merge(&other.sim);
     }
@@ -508,6 +512,21 @@ impl Lifs {
                 };
             };
             order += 1;
+            stats.sim.add_retries(out.retries as usize);
+            if out.vm_faulted.is_some() {
+                // The run produced no observation: nothing to absorb, no
+                // failure to check — record the loss and move on.
+                stats.faulted += 1;
+                tree.nodes.push(SearchNode {
+                    order,
+                    interleavings: 0,
+                    plan: vec![],
+                    serial_order: perm.clone(),
+                    outcome: NodeOutcome::Faulted,
+                    steps: 0,
+                });
+                continue;
+            }
             stats.schedules_executed += 1;
             stats.sim.add_run(out.run.steps, out.run.failure.is_some());
             let fresh = knowledge.absorb(&out.run, &out.sel_of);
@@ -574,6 +593,19 @@ impl Lifs {
                 };
             };
             order += 1;
+            stats.sim.add_retries(out.retries as usize);
+            if out.vm_faulted.is_some() {
+                stats.faulted += 1;
+                tree.nodes.push(SearchNode {
+                    order,
+                    interleavings: 0,
+                    plan: vec![],
+                    serial_order: vec![*irq],
+                    outcome: NodeOutcome::Faulted,
+                    steps: 0,
+                });
+                continue;
+            }
             stats.schedules_executed += 1;
             stats.sim.add_run(out.run.steps, out.run.failure.is_some());
             knowledge.absorb(&out.run, &out.sel_of);
@@ -649,6 +681,19 @@ impl Lifs {
                         break;
                     };
                     order += 1;
+                    stats.sim.add_retries(out.retries as usize);
+                    if out.vm_faulted.is_some() {
+                        stats.faulted += 1;
+                        tree.nodes.push(SearchNode {
+                            order,
+                            interleavings: c,
+                            plan: describe(plan),
+                            serial_order: vec![],
+                            outcome: NodeOutcome::Faulted,
+                            steps: 0,
+                        });
+                        continue;
+                    }
                     stats.schedules_executed += 1;
                     stats.sim.add_run(out.run.steps, out.run.failure.is_some());
                     let fresh = knowledge.absorb(&out.run, &out.sel_of);
@@ -1206,6 +1251,31 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn faulted_schedules_are_counted_but_never_absorbed() {
+        // Every attempt of every job faults: the search observes nothing,
+        // reproduces nothing, and records every loss.
+        let exec = Arc::new(crate::exec::Executor::with_config(
+            crate::exec::ExecutorConfig {
+                vms: 1,
+                fault: Some(crate::exec::FaultInjection {
+                    seed: 1,
+                    rate_permille: 1000,
+                    max_retries: 1,
+                    quarantine_after: 0,
+                }),
+                ..crate::exec::ExecutorConfig::default()
+            },
+        ));
+        let out = Lifs::with_executor(fig1_program(), LifsConfig::default(), exec).search();
+        assert!(out.failing.is_none());
+        assert_eq!(out.stats.schedules_executed, 0);
+        assert_eq!(out.stats.faulted, 2, "both serial permutations lost");
+        assert_eq!(out.tree.faulted(), 2);
+        // Each faulted job burned its full retry budget.
+        assert_eq!(out.stats.sim.retries, 2);
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub enum NodeOutcome {
     /// Skipped before execution: equivalent to an already-explored
     /// interleaving (partial-order reduction).
     PrunedEquivalent,
+    /// Submitted for execution but every attempt hit a VM fault and the
+    /// executor gave up; the run produced no observation.
+    Faulted,
 }
 
 /// One preemption of a candidate plan, for display.
@@ -74,7 +77,24 @@ impl SearchTree {
     /// Number of pruned nodes.
     #[must_use]
     pub fn pruned(&self) -> usize {
-        self.nodes.len() - self.executed()
+        self.nodes
+            .iter()
+            .filter(|n| {
+                matches!(
+                    n.outcome,
+                    NodeOutcome::PrunedNonConflicting | NodeOutcome::PrunedEquivalent
+                )
+            })
+            .count()
+    }
+
+    /// Number of nodes lost to VM faults.
+    #[must_use]
+    pub fn faulted(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.outcome == NodeOutcome::Faulted)
+            .count()
     }
 
     /// Renders the tree walkthrough (one line per node).
@@ -108,6 +128,7 @@ impl SearchTree {
                 NodeOutcome::Failure => "FAILURE",
                 NodeOutcome::PrunedNonConflicting => "skip (non-conflicting)",
                 NodeOutcome::PrunedEquivalent => "skip (equivalent)",
+                NodeOutcome::Faulted => "VM FAULT (gave up)",
             };
             out.push_str(&format!(
                 "{:>4}. c={} {:<48} {}\n",
@@ -140,9 +161,11 @@ mod tests {
                 mk(2, NodeOutcome::PrunedEquivalent),
                 mk(3, NodeOutcome::Failure),
                 mk(4, NodeOutcome::PrunedNonConflicting),
+                mk(5, NodeOutcome::Faulted),
             ],
         };
         assert_eq!(tree.executed(), 2);
         assert_eq!(tree.pruned(), 2);
+        assert_eq!(tree.faulted(), 1);
     }
 }

@@ -24,7 +24,12 @@ use crate::{
         CausalityConfig,
         CausalityResult, //
     },
-    exec::Executor,
+    exec::{
+        ExecStats,
+        Executor,
+        ExecutorConfig,
+        FaultInjection, //
+    },
     lifs::{
         FailingRun,
         Lifs,
@@ -47,6 +52,9 @@ pub struct ManagerConfig {
     pub lifs: LifsConfig,
     /// Causality Analysis configuration for diagnosers.
     pub causality: CausalityConfig,
+    /// Deterministic VM-fault injection, threaded into the pool *and* the
+    /// per-slice single-worker executors; `None` disables it.
+    pub fault: Option<FaultInjection>,
 }
 
 impl Default for ManagerConfig {
@@ -55,6 +63,7 @@ impl Default for ManagerConfig {
             vms: 8,
             lifs: LifsConfig::default(),
             causality: CausalityConfig::default(),
+            fault: None,
         }
     }
 }
@@ -93,8 +102,20 @@ impl Manager {
     /// Creates a manager owning a VM pool of `config.vms` workers.
     #[must_use]
     pub fn new(config: ManagerConfig) -> Self {
-        let exec = Arc::new(Executor::new(config.vms));
+        let exec = Arc::new(Executor::with_config(ExecutorConfig {
+            vms: config.vms,
+            fault: config.fault,
+            ..ExecutorConfig::default()
+        }));
         Manager { config, exec }
+    }
+
+    /// Robustness counters of the manager's shared pool. Multi-slice
+    /// reproduction additionally runs per-slice single-worker executors
+    /// whose counters are private to each slice task and not merged here.
+    #[must_use]
+    pub fn exec_stats(&self) -> ExecStats {
+        self.exec.stats()
     }
 
     /// The simulated-time cost model for this manager's pool: `vms`
@@ -155,8 +176,12 @@ impl Manager {
             |i, token| {
                 let mut cfg = self.config.lifs.clone();
                 cfg.cancel = token;
-                Lifs::with_executor(Arc::clone(&slices[i]), cfg, Arc::new(Executor::new(1)))
-                    .search()
+                let slice_exec = Arc::new(Executor::with_config(ExecutorConfig {
+                    vms: 1,
+                    fault: self.config.fault,
+                    ..ExecutorConfig::default()
+                }));
+                Lifs::with_executor(Arc::clone(&slices[i]), cfg, slice_exec).search()
             },
             |out| out.failing.is_some(),
         );

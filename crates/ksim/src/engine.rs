@@ -119,6 +119,10 @@ pub struct Engine {
     /// sections (threads) that must end first.
     grace_waiters: Vec<(ThreadId, Vec<ThreadId>)>,
     halted: bool,
+    /// Lifetime reboot count of this "VM". Survives [`Engine::reboot`] and
+    /// is deliberately not part of snapshots: restoring a checkpoint
+    /// rewinds execution state, not the machine's service history.
+    reboots: u64,
 }
 
 impl Engine {
@@ -164,13 +168,22 @@ impl Engine {
             static_obj_addrs,
             grace_waiters: Vec::new(),
             halted: false,
+            reboots: 0,
         }
     }
 
     /// Reboots the engine to its initial state (the paper's VM reboot after
     /// a failing run).
     pub fn reboot(&mut self) {
+        let reboots = self.reboots + 1;
         *self = Engine::new(Arc::clone(&self.program));
+        self.reboots = reboots;
+    }
+
+    /// How many times this engine has been rebooted since boot.
+    #[must_use]
+    pub fn reboots(&self) -> u64 {
+        self.reboots
     }
 
     /// The program under execution.
@@ -930,6 +943,20 @@ mod tests {
         let seqs: Vec<usize> = e.trace().iter().map(|r| r.seq).collect();
         assert_eq!(seqs, (0..e.trace().len()).collect::<Vec<_>>());
         assert_eq!(e.trace().len(), 4);
+    }
+
+    #[test]
+    fn reboot_counter_survives_reboot_and_restore() {
+        let prog = two_thread_program();
+        let mut e = Engine::new(prog);
+        assert_eq!(e.reboots(), 0);
+        let snap = e.snapshot();
+        e.reboot();
+        e.reboot();
+        assert_eq!(e.reboots(), 2);
+        // Restoring rewinds execution state, not the machine's history.
+        e.restore(&snap);
+        assert_eq!(e.reboots(), 2);
     }
 
     #[test]

@@ -13,12 +13,13 @@
 //!   count as races.
 
 use aitia_repro::aitia::{
+    causality::flip,
     enforce::{
         self,
         EnforceConfig, //
     },
-    races_in_trace, CausalityAnalysis, CausalityConfig, Executor, ExecutorConfig, Lifs, LifsConfig,
-    Schedule, ThreadSel, Verdict,
+    races_in_trace, CancelToken, CausalityAnalysis, CausalityConfig, ExecJob, Executor,
+    ExecutorConfig, FaultInjection, Lifs, LifsConfig, Schedule, ThreadSel, Verdict,
 };
 use aitia_repro::ksim::{
     builder::{
@@ -28,6 +29,7 @@ use aitia_repro::ksim::{
     CmpOp, Engine, Program,
 };
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// One generated instruction of the random-program grammar.
@@ -192,24 +194,28 @@ proptest! {
                 prop_assert!(!result.chain.contains(benign.first.at, benign.second.at()));
             }
             for race in &result.root_causes {
-                let plan = aitia_repro::aitia::causality::flip::plan_flip(
-                    &run, race, &run.races, true);
+                let plan = flip::plan_flip(&run, race, &run.races, true);
                 let mut e = Engine::new(Arc::clone(&program));
                 let res = enforce::run(&mut e, &plan.schedule, &EnforceConfig::default());
-                let averted = match &res.failure {
-                    None => true,
-                    Some(f) => !(f.kind == run.failure.kind && f.at == run.failure.at),
-                };
-                prop_assert!(averted, "root-cause flip did not avert");
+                prop_assert!(
+                    !res.outcome().is_inconclusive(),
+                    "root-cause flip replay was inconclusive"
+                );
+                prop_assert!(
+                    flip::failure_averted(&run.failure, &res),
+                    "root-cause flip did not avert"
+                );
             }
         }
     }
 }
 
 /// What the executor's canonical-order fold promises to keep invariant in
-/// one full diagnosis: LIFS schedule count, the failing schedule, and (when
-/// it fails) the chain, verdicts, and Causality Analysis schedule count.
+/// one full diagnosis: LIFS schedule and fault counts, the failing
+/// schedule, and (when it fails) the chain, verdicts, and Causality
+/// Analysis schedule count.
 type DiagnosisDigest = (
+    usize,
     usize,
     Option<Schedule>,
     Option<(String, Vec<Verdict>, usize)>,
@@ -218,17 +224,27 @@ type DiagnosisDigest = (
 /// A pool that really spawns `vms` OS threads even on a small host, so the
 /// invariance checks exercise true concurrency everywhere.
 fn threaded_pool(vms: usize) -> Arc<Executor> {
+    faulty_threaded_pool(vms, None)
+}
+
+/// [`threaded_pool`] with deterministic VM-fault injection enabled.
+fn faulty_threaded_pool(vms: usize, fault: Option<FaultInjection>) -> Arc<Executor> {
     Arc::new(Executor::with_config(ExecutorConfig {
         vms,
         os_threads: Some(vms),
+        fault,
         ..ExecutorConfig::default()
     }))
 }
 
 /// One full diagnosis (LIFS + Causality Analysis) through a shared pool of
-/// `vms` workers.
-fn diagnose_at(program: &Arc<Program>, vms: usize) -> DiagnosisDigest {
-    let exec = threaded_pool(vms);
+/// `vms` workers, optionally under injected VM faults.
+fn diagnose_at(
+    program: &Arc<Program>,
+    vms: usize,
+    fault: Option<FaultInjection>,
+) -> DiagnosisDigest {
+    let exec = faulty_threaded_pool(vms, fault);
     let out = Lifs::with_executor(
         Arc::clone(program),
         LifsConfig {
@@ -250,7 +266,12 @@ fn diagnose_at(program: &Arc<Program>, vms: usize) -> DiagnosisDigest {
             result.stats.schedules_executed,
         )
     });
-    (out.stats.schedules_executed, schedule, analysis)
+    (
+        out.stats.schedules_executed,
+        out.stats.faulted,
+        schedule,
+        analysis,
+    )
 }
 
 proptest! {
@@ -264,10 +285,142 @@ proptest! {
     #[test]
     fn diagnosis_is_identical_across_worker_counts(threads in gen_program()) {
         let program = build(&threads);
-        let serial = diagnose_at(&program, 1);
+        let serial = diagnose_at(&program, 1, None);
         for vms in [2usize, 8] {
-            let pooled = diagnose_at(&program, vms);
+            let pooled = diagnose_at(&program, vms, None);
             prop_assert_eq!(&serial, &pooled, "diverged at {} workers", vms);
+        }
+    }
+}
+
+proptest! {
+    // Each case diagnoses three times; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Worker-count invariance survives deterministic fault injection:
+    /// fault decisions key on job content and attempt number (never worker
+    /// identity), and retries happen inside the owning worker before the
+    /// result is published, so at a fixed seed the whole pipeline is still
+    /// bit-identical at 1, 2, and 8 workers — even when retry budgets are
+    /// exhausted or slots get quarantined along the way.
+    #[test]
+    fn faulty_diagnosis_is_identical_across_worker_counts(threads in gen_program()) {
+        let fault = FaultInjection {
+            seed: 0xA17A,
+            rate_permille: 120,
+            max_retries: 2,
+            quarantine_after: 2,
+        };
+        let program = build(&threads);
+        let serial = diagnose_at(&program, 1, Some(fault));
+        for vms in [2usize, 8] {
+            let pooled = diagnose_at(&program, vms, Some(fault));
+            prop_assert_eq!(&serial, &pooled, "diverged at {} workers", vms);
+        }
+    }
+}
+
+/// True when `out` is a contiguous `Some` prefix: no `Some` after the
+/// first `None`.
+fn contiguous_prefix<T>(out: &[Option<T>]) -> bool {
+    let first_none = out.iter().position(Option::is_none).unwrap_or(out.len());
+    out[first_none..].iter().all(Option::is_none)
+}
+
+/// The serial schedule of `program` as a batch of `n` identical jobs.
+fn repeated_jobs(program: &Arc<Program>, n: usize) -> Vec<ExecJob> {
+    let job = ExecJob {
+        program: Arc::clone(program),
+        schedule: serial_schedule(program),
+        enforce: EnforceConfig::default(),
+    };
+    vec![job; n]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A `CancelToken` fired after `c` executed jobs mid-`run_until` still
+    /// yields a contiguous `Some` prefix — no holes — at 1, 2, and 8
+    /// workers; cancelling before the first job yields all `None`.
+    #[test]
+    fn cancelled_run_until_keeps_a_contiguous_prefix(
+        threads in gen_program(),
+        c in 0usize..6,
+    ) {
+        let program = build(&threads);
+        let jobs = repeated_jobs(&program, 6);
+        for vms in [1usize, 2, 8] {
+            let exec = threaded_pool(vms);
+            let cancel = CancelToken::new();
+            if c == 0 {
+                cancel.cancel();
+            }
+            let executed = AtomicUsize::new(0);
+            let out = exec.run_until(&jobs, &cancel, |_| {
+                if executed.fetch_add(1, Ordering::SeqCst) + 1 >= c {
+                    cancel.cancel();
+                }
+                false
+            });
+            prop_assert_eq!(out.len(), jobs.len());
+            prop_assert!(contiguous_prefix(&out), "hole in results at {} workers", vms);
+            if c == 0 {
+                prop_assert!(
+                    out.iter().all(Option::is_none),
+                    "cancel-before-first-job still executed a job at {} workers",
+                    vms
+                );
+            }
+        }
+    }
+
+    /// The same contract holds for opaque task fan-out: cancelling
+    /// mid-scan through `run_tasks_until` leaves a contiguous prefix of
+    /// completed tasks, and each task's child token observes the cancel.
+    #[test]
+    fn cancelled_run_tasks_until_keeps_a_contiguous_prefix(
+        threads in gen_program(),
+        c in 0usize..6,
+    ) {
+        let program = build(&threads);
+        for vms in [1usize, 2, 8] {
+            let exec = threaded_pool(vms);
+            let cancel = CancelToken::new();
+            if c == 0 {
+                cancel.cancel();
+            }
+            let finished = AtomicUsize::new(0);
+            let out = exec.run_tasks_until(
+                6,
+                &cancel,
+                |i, token| {
+                    // A task aborts early when its child token fires, as a
+                    // slice search would at a schedule boundary.
+                    if token.is_cancelled() {
+                        return None;
+                    }
+                    let mut e = Engine::new(Arc::clone(&program));
+                    let res =
+                        enforce::run(&mut e, &serial_schedule(&program), &EnforceConfig::default());
+                    Some((i, res.trace.len()))
+                },
+                |_| {
+                    if finished.fetch_add(1, Ordering::SeqCst) + 1 >= c {
+                        cancel.cancel();
+                    }
+                    false
+                },
+            );
+            prop_assert_eq!(out.len(), 6);
+            prop_assert!(contiguous_prefix(&out), "hole in task results at {} workers", vms);
+            if c == 0 {
+                prop_assert!(
+                    out.iter().all(Option::is_none),
+                    "cancel-before-first-task still ran a task at {} workers",
+                    vms
+                );
+            }
         }
     }
 }
