@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Subcommands: `table1`, `table2`, `table3`, `conciseness`, `comparison`,
-//! `ablations`, `fig5`, `fig6`, `fig7`, `fig9`, `all`.
+//! `ablations`, `fig5`, `fig6`, `fig7`, `fig9`, `bench-memo`, `all`.
 //!
 //! `--scale` multiplies every bug's calibrated benign-race noise (1.0 =
 //! full calibration, matching the magnitudes of the paper's tables; smaller
@@ -51,12 +51,17 @@ subcommands (default: all):
   ablations             backward/CS-unit/POR ablations
   fig5 | fig6 | fig7 | fig9
   extensions            beyond-paper scenarios (IRQ, RCU, ABBA)
+  bench-memo            memoization A/B over Table 2 (JSON on stdout)
   all                   everything above
 
 flags:
   --scale <float>       benign-race noise scale (default 1.0)
   --samples <int>       comparison sample count (default 400)
   --vms <int>           VM-pool worker count, at least 1 (default 8)
+  --snapshot-cache <n>  per-worker snapshot-prefix cache entries, at
+                        least 1 (default 8)
+  --no-memo             disable cross-run memoization and the shared
+                        snapshot forest (the A/B baseline)
   --fault-rate <int>    injected VM-fault rate in permille (default 0 = off)
   --fault-seed <int>    fault-injection seed (default 0)";
 
@@ -82,6 +87,8 @@ fn main() {
     let mut scale = 1.0f64;
     let mut samples = 400usize;
     let mut vms = 8usize;
+    let mut snapshot_cache = ExecutorConfig::default().snapshot_cache;
+    let mut memo = true;
     let mut fault_rate = 0u32;
     let mut fault_seed = 0u64;
     let mut i = 0;
@@ -90,6 +97,8 @@ fn main() {
             "--scale" => scale = flag_value(&args, &mut i, "--scale"),
             "--samples" => samples = flag_value(&args, &mut i, "--samples"),
             "--vms" => vms = flag_value(&args, &mut i, "--vms"),
+            "--snapshot-cache" => snapshot_cache = flag_value(&args, &mut i, "--snapshot-cache"),
+            "--no-memo" => memo = false,
             "--fault-rate" => fault_rate = flag_value(&args, &mut i, "--fault-rate"),
             "--fault-seed" => fault_seed = flag_value(&args, &mut i, "--fault-seed"),
             "--help" | "-h" => {
@@ -106,6 +115,9 @@ fn main() {
     if vms == 0 {
         usage_exit("--vms must be at least 1 (there is no zero-VM pool)");
     }
+    if snapshot_cache == 0 {
+        usage_exit("--snapshot-cache must be at least 1 (0 would disable the prefix cache; use --no-memo to disable sharing instead)");
+    }
     let fault = (fault_rate > 0).then(|| FaultInjection {
         seed: fault_seed,
         rate_permille: fault_rate,
@@ -113,7 +125,9 @@ fn main() {
     });
     let exec = Arc::new(Executor::with_config(ExecutorConfig {
         vms,
+        snapshot_cache,
         fault,
+        memo,
         ..ExecutorConfig::default()
     }));
     let model = experiments::cost_model_for(&exec);
@@ -133,6 +147,30 @@ fn main() {
         "fig7" => fig7(),
         "fig9" => fig9(),
         "extensions" => extensions(),
+        "bench-memo" => {
+            // Must run on a cold process-wide memo table: the main pool
+            // above executed nothing yet. JSON goes to stdout so the bench
+            // script can redirect it straight into BENCH_memo.json; the
+            // human summary goes to stderr.
+            let b = experiments::bench_memo(scale);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&b).expect("bench result serializes")
+            );
+            eprintln!(
+                "bench-memo: {} -> {} VM executions ({:.1}% reduction), \
+                 {} memo hits, {} forest hits, {:.1} sim seconds saved, \
+                 diagnoses identical: {}",
+                b.baseline.vm_executions,
+                b.memoized.vm_executions,
+                b.vm_execution_reduction_percent,
+                b.memoized.memo_hits,
+                b.memoized.forest_hits,
+                b.memoized.sim_time_saved_s,
+                b.diagnoses_identical
+            );
+            return;
+        }
         "all" => {
             table2(scale, &exec, &model);
             let rows = experiments::table3_on(scale, &exec);

@@ -68,6 +68,12 @@ pub struct FlipPlan {
 ///
 /// `cs_as_unit` enables the §3.4 liveness rule (critical sections move as
 /// units); disabling it is the ablation.
+///
+/// Planning is a pure function of its inputs: the same run, race, and flags
+/// always yield an identical plan and schedule. Cross-run memoization in
+/// [`crate::exec`] leans on this — Phase A and Phase C plan the same flip
+/// for a root cause, produce the same schedule fingerprint, and the Phase C
+/// re-run is answered from the memo table without touching a VM.
 #[must_use]
 pub fn plan_flip(
     run: &FailingRun,
@@ -286,6 +292,20 @@ mod tests {
         let first_step_sel = run.sel(run.trace[0].tid);
         if r.first.seq > 0 {
             assert_eq!(plan.schedule.start, Some(first_step_sel));
+        }
+    }
+
+    #[test]
+    fn plan_flip_is_deterministic() {
+        let run = fig1_failing_run();
+        // Memoization keys executor jobs by schedule content: re-planning
+        // the same flip must reproduce the schedule exactly.
+        for r in &run.races {
+            let a = plan_flip(&run, r, &run.races, true);
+            let b = plan_flip(&run, r, &run.races, true);
+            assert_eq!(a.schedule, b.schedule);
+            assert_eq!(a.cs_expanded, b.cs_expanded);
+            assert_eq!(a.also_flipped.len(), b.also_flipped.len());
         }
     }
 

@@ -94,10 +94,33 @@ pub struct TestedRace {
 /// and 3).
 #[derive(Clone, Debug, Default)]
 pub struct CaStats {
-    /// Schedules executed across both passes.
+    /// Schedules executed across both passes. Memo hits are counted here
+    /// (and in [`CaStats::sim`]) exactly like executed schedules, so the
+    /// diagnosis-facing statistics are invariant to memoization; the avoided
+    /// cost is tracked separately in [`CaStats::sim_time_saved_s`].
     pub schedules_executed: usize,
     /// Simulated cost.
     pub sim: SimCost,
+    /// Flip runs answered from the cross-run memo table instead of a VM.
+    pub memo_hits: usize,
+    /// Snapshot-prefix restores served by the shared snapshot forest
+    /// (published by another worker) rather than the VM's own cache.
+    pub forest_hits: usize,
+    /// Serial simulated seconds the memo hits avoided paying.
+    pub sim_time_saved_s: f64,
+}
+
+impl CaStats {
+    /// Folds one executor output's memo/forest accounting. Faulted
+    /// placeholders contribute nothing (`memo_hit` false, `forest_hits` 0).
+    fn note_exec(&mut self, out: &crate::exec::ExecOutput) {
+        self.memo_hits += usize::from(out.memo_hit);
+        self.forest_hits += out.forest_hits as usize;
+        if out.memo_hit {
+            self.sim_time_saved_s += crate::simtime::CostModel::default()
+                .serial_run_s(out.run.steps, out.run.failure.is_some());
+        }
+    }
 }
 
 /// Configuration of the analysis.
@@ -224,6 +247,7 @@ impl CausalityAnalysis {
         for ((&i, plan), res) in order.iter().zip(&plans).zip(results) {
             let out = res.expect("uncancelled batches complete");
             stats.sim.add_retries(out.retries as usize);
+            stats.note_exec(&out);
             if out.vm_faulted.is_none() {
                 stats.schedules_executed += 1;
                 stats.sim.add_run(out.run.steps, out.run.failure.is_some());
@@ -343,6 +367,7 @@ impl CausalityAnalysis {
         for ((ri, plan), res) in root_plans.iter().enumerate().zip(root_results) {
             let out = res.expect("uncancelled batches complete");
             stats.sim.add_retries(out.retries as usize);
+            stats.note_exec(&out);
             if out.vm_faulted.is_none() {
                 stats.schedules_executed += 1;
                 stats.sim.add_run(out.run.steps, out.run.failure.is_some());

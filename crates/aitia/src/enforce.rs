@@ -34,6 +34,10 @@ use ksim::{
     ThreadStatus, //
 };
 use std::collections::HashMap;
+use std::sync::{
+    Arc,
+    Mutex, //
+};
 
 /// Enforcement limits.
 #[derive(Clone, Copy, Debug)]
@@ -290,6 +294,7 @@ pub struct SnapshotCache {
     entries: Vec<(u64, SavedPrefix)>,
     hits: u64,
     misses: u64,
+    forest_hits: u64,
 }
 
 impl SnapshotCache {
@@ -301,6 +306,7 @@ impl SnapshotCache {
             entries: Vec::new(),
             hits: 0,
             misses: 0,
+            forest_hits: 0,
         }
     }
 
@@ -331,6 +337,14 @@ impl SnapshotCache {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Runs that restored a prefix published by *another* worker through a
+    /// shared [`SnapshotForest`] — the checkpoint was absent from this
+    /// worker's local LRU. Disjoint from [`SnapshotCache::hits`].
+    #[must_use]
+    pub fn forest_hits(&self) -> u64 {
+        self.forest_hits
     }
 
     fn get(&mut self, key: u64) -> Option<SavedPrefix> {
@@ -377,34 +391,155 @@ fn prefix_key(schedule: &Schedule, k: usize, cfg: &EnforceConfig) -> u64 {
     h.finish()
 }
 
+/// Canonical fingerprint of everything an execution's outcome can depend
+/// on: the step budget and the *entire* schedule — start selector, every
+/// scheduling point (all fields), the fallback list, and the segment
+/// sequence. Enforcement is deterministic, so two jobs over the same
+/// program whose fingerprints (and, verified by the caller, full
+/// schedules) agree drive the engine identically and their outputs are
+/// interchangeable — the keying rule of the exec-layer memo table.
+pub(crate) fn schedule_fingerprint(schedule: &Schedule, cfg: &EnforceConfig) -> u64 {
+    use std::hash::{
+        Hash,
+        Hasher, //
+    };
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    cfg.step_budget.hash(&mut h);
+    match schedule.start {
+        Some(s) => (1u8, s.prog.0, s.occurrence).hash(&mut h),
+        None => 0u8.hash(&mut h),
+    }
+    schedule.points.len().hash(&mut h);
+    for p in &schedule.points {
+        (p.thread.prog.0, p.thread.occurrence).hash(&mut h);
+        (p.at.prog.0, p.at.index).hash(&mut h);
+        p.nth.hash(&mut h);
+        u8::from(p.when == Anchor::After).hash(&mut h);
+        (p.switch_to.prog.0, p.switch_to.occurrence).hash(&mut h);
+    }
+    schedule.fallback.len().hash(&mut h);
+    for s in &schedule.fallback {
+        (s.prog.0, s.occurrence).hash(&mut h);
+    }
+    schedule.segments.len().hash(&mut h);
+    for s in &schedule.segments {
+        (s.prog.0, s.occurrence).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// A process-wide, thread-safe store of engine checkpoints — the shared
+/// counterpart of the worker-local [`SnapshotCache`].
+///
+/// Workers publish every checkpoint they deposit locally, so any worker —
+/// in any executor — enforcing the same program can resume from the
+/// longest clean prefix *anyone* has built, not just its own recent
+/// history. `ksim::Snapshot` is `Arc`-backed, so sharing is a
+/// reference-count bump, never a deep copy.
+///
+/// Entries are keyed by the prefix hash *and* program identity
+/// (`Arc::ptr_eq`): the held `Arc<Program>` pins the allocation, so a live
+/// entry's pointer can never alias a recycled address, and — unlike the
+/// local cache — the forest never needs clearing when an engine switches
+/// programs.
+pub struct SnapshotForest {
+    cap: usize,
+    /// LRU order: least-recently-used first.
+    entries: Mutex<Vec<(u64, Arc<ksim::Program>, SavedPrefix)>>,
+}
+
+impl SnapshotForest {
+    /// Creates a forest holding at most `cap` checkpoints (0 disables it).
+    #[must_use]
+    pub fn new(cap: usize) -> SnapshotForest {
+        SnapshotForest {
+            cap,
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of checkpoints currently held.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the interior lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether the forest holds no checkpoints.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, program: &Arc<ksim::Program>, key: u64) -> Option<SavedPrefix> {
+        let mut entries = self.entries.lock().unwrap();
+        let pos = entries
+            .iter()
+            .position(|(k, p, _)| *k == key && Arc::ptr_eq(p, program))?;
+        let entry = entries.remove(pos);
+        let saved = entry.2.clone();
+        entries.push(entry);
+        Some(saved)
+    }
+
+    fn put(&self, key: u64, program: &Arc<ksim::Program>, saved: SavedPrefix) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(pos) = entries
+            .iter()
+            .position(|(k, p, _)| *k == key && Arc::ptr_eq(p, program))
+        {
+            entries.remove(pos);
+        }
+        entries.push((key, Arc::clone(program), saved));
+        while entries.len() > self.cap {
+            entries.remove(0);
+        }
+    }
+}
+
+/// The checkpoint sinks a driven run deposits into: the worker-local LRU
+/// and, when sharing is on, the process-wide forest.
+struct CacheCtx<'a> {
+    cache: &'a mut SnapshotCache,
+    forest: Option<&'a SnapshotForest>,
+}
+
 /// Deposits a checkpoint for the just-consumed point prefix, when eligible.
 fn maybe_checkpoint(
     engine: &Engine,
     schedule: &Schedule,
     cfg: &EnforceConfig,
     state: &mut LoopState,
-    cache: &mut Option<&mut SnapshotCache>,
+    sinks: &mut Option<CacheCtx<'_>>,
 ) {
-    let Some(cache) = cache.as_deref_mut() else {
+    let Some(sinks) = sinks.as_mut() else {
         return;
     };
     if !state.clean || state.point_idx <= state.checkpointed || engine.halted() {
         return;
     }
     let k = state.point_idx;
-    cache.put(
-        prefix_key(schedule, k, cfg),
-        SavedPrefix {
-            consumed: k,
-            snapshot: engine.snapshot(),
-            triggered: state.triggered[..k].to_vec(),
-            forced: state.forced.clone(),
-            steps: state.steps,
-            exec_counts: state.exec_counts.clone(),
-            current: state.current,
-            forced_chain: state.forced_chain,
-        },
-    );
+    let key = prefix_key(schedule, k, cfg);
+    let saved = SavedPrefix {
+        consumed: k,
+        snapshot: engine.snapshot(),
+        triggered: state.triggered[..k].to_vec(),
+        forced: state.forced.clone(),
+        steps: state.steps,
+        exec_counts: state.exec_counts.clone(),
+        current: state.current,
+        forced_chain: state.forced_chain,
+    };
+    if let Some(forest) = sinks.forest {
+        forest.put(key, engine.program(), saved.clone());
+    }
+    sinks.cache.put(key, saved);
     state.checkpointed = k;
 }
 
@@ -415,7 +550,7 @@ fn maybe_checkpoint(
 #[must_use]
 pub fn run(engine: &mut Engine, schedule: &Schedule, cfg: &EnforceConfig) -> RunResult {
     let mut state = LoopState::fresh(engine, schedule);
-    drive(engine, schedule, cfg, &mut state, None)
+    drive(engine, schedule, cfg, &mut state, &mut None)
 }
 
 /// Runs `engine` under `schedule` through a worker-local snapshot-prefix
@@ -438,23 +573,59 @@ pub fn run_cached(
     cfg: &EnforceConfig,
     cache: &mut SnapshotCache,
 ) -> RunResult {
+    run_cached_shared(engine, schedule, cfg, cache, None)
+}
+
+/// [`run_cached`] with an optional process-wide [`SnapshotForest`].
+///
+/// The lookup prefers the worker's local LRU (no lock); on a local miss it
+/// consults the forest for the same prefix key under the same program
+/// (identity-checked), counts a *forest hit*, backfills the local LRU, and
+/// resumes from the shared checkpoint. Every checkpoint the run deposits
+/// locally is also published to the forest, so sibling workers — including
+/// workers of other executors over the same program — skip the prefix too.
+/// The returned [`RunResult`] is bit-for-bit what [`run`] on a fresh
+/// engine would produce.
+#[must_use]
+pub fn run_cached_shared(
+    engine: &mut Engine,
+    schedule: &Schedule,
+    cfg: &EnforceConfig,
+    cache: &mut SnapshotCache,
+    forest: Option<&SnapshotForest>,
+) -> RunResult {
     if cache.cap == 0 || !schedule.segments.is_empty() || schedule.points.is_empty() {
         engine.reboot();
         let mut state = LoopState::fresh(engine, schedule);
-        return drive(engine, schedule, cfg, &mut state, None);
+        return drive(engine, schedule, cfg, &mut state, &mut None);
     }
     for k in (1..=schedule.points.len()).rev() {
-        if let Some(saved) = cache.get(prefix_key(schedule, k, cfg)) {
-            cache.hits += 1;
+        let key = prefix_key(schedule, k, cfg);
+        let (saved, from_forest) = match cache.get(key) {
+            Some(s) => (Some(s), false),
+            None => (
+                forest.and_then(|f| f.get(engine.program(), key)),
+                true, //
+            ),
+        };
+        if let Some(saved) = saved {
+            if from_forest {
+                cache.forest_hits += 1;
+                cache.put(key, saved.clone());
+            } else {
+                cache.hits += 1;
+            }
             engine.restore(&saved.snapshot);
             let mut state = saved.resume(schedule);
-            return drive(engine, schedule, cfg, &mut state, Some(cache));
+            let mut sinks = Some(CacheCtx { cache, forest });
+            return drive(engine, schedule, cfg, &mut state, &mut sinks);
         }
     }
     cache.misses += 1;
     engine.reboot();
     let mut state = LoopState::fresh(engine, schedule);
-    drive(engine, schedule, cfg, &mut state, Some(cache))
+    let mut sinks = Some(CacheCtx { cache, forest });
+    drive(engine, schedule, cfg, &mut state, &mut sinks)
 }
 
 fn drive(
@@ -462,7 +633,7 @@ fn drive(
     schedule: &Schedule,
     cfg: &EnforceConfig,
     state: &mut LoopState,
-    mut cache: Option<&mut SnapshotCache>,
+    sinks: &mut Option<CacheCtx<'_>>,
 ) -> RunResult {
     loop {
         if engine.halted() {
@@ -514,7 +685,7 @@ fn drive(
                 break;
             }
         }
-        maybe_checkpoint(engine, schedule, cfg, state, &mut cache);
+        maybe_checkpoint(engine, schedule, cfg, state, sinks);
 
         // Validate current; re-pick when it finished.
         let cur = match state.current {
@@ -576,7 +747,7 @@ fn drive(
                     &mut state.seg_cursor,
                     &mut state.clean,
                 );
-                maybe_checkpoint(engine, schedule, cfg, state, &mut cache);
+                maybe_checkpoint(engine, schedule, cfg, state, sinks);
                 continue;
             }
         }
@@ -605,7 +776,7 @@ fn drive(
                             &mut state.seg_cursor,
                             &mut state.clean,
                         );
-                        maybe_checkpoint(engine, schedule, cfg, state, &mut cache);
+                        maybe_checkpoint(engine, schedule, cfg, state, sinks);
                     }
                 }
             }
@@ -1086,6 +1257,129 @@ mod tests {
             assert_eq!(r.trace.len(), reference.trace.len());
             assert_eq!(r.forced, reference.forced);
         }
+    }
+
+    /// A worker with an *empty* local LRU resumes from a prefix another
+    /// worker published to the shared forest, and the result is
+    /// bit-identical to a from-scratch run.
+    #[test]
+    fn forest_shares_prefixes_across_workers() {
+        let prog = fig1_program();
+        let cfg = EnforceConfig::default();
+        let failing = Schedule {
+            start: Some(sel(0)),
+            points: vec![SchedPoint {
+                thread: sel(0),
+                at: InstrAddr {
+                    prog: ThreadProgId(0),
+                    index: 1,
+                },
+                nth: 0,
+                when: Anchor::Before,
+                switch_to: sel(1),
+            }],
+            fallback: vec![sel(1), sel(0)],
+            segments: Vec::new(),
+        };
+        let forest = SnapshotForest::new(64);
+
+        // Worker 1 runs from scratch and publishes its checkpoints.
+        let mut cache1 = SnapshotCache::new(8);
+        let mut e1 = ksim::Engine::new(Arc::clone(&prog));
+        let first = run_cached_shared(&mut e1, &failing, &cfg, &mut cache1, Some(&forest));
+        assert!(!forest.is_empty(), "checkpoint published to the forest");
+        assert_eq!(cache1.misses(), 1);
+
+        // Worker 2 has never seen this schedule, but the forest has.
+        let mut cache2 = SnapshotCache::new(8);
+        let mut e2 = ksim::Engine::new(Arc::clone(&prog));
+        let second = run_cached_shared(&mut e2, &failing, &cfg, &mut cache2, Some(&forest));
+        assert_eq!(cache2.forest_hits(), 1, "prefix came from the forest");
+        assert_eq!(cache2.hits(), 0);
+        assert_eq!(cache2.misses(), 0);
+        // The forest hit backfilled worker 2's local LRU.
+        assert!(!cache2.is_empty());
+
+        let mut fresh = ksim::Engine::new(Arc::clone(&prog));
+        let reference = run(&mut fresh, &failing, &cfg);
+        for r in [&first, &second] {
+            assert_eq!(r.failure, reference.failure);
+            assert_eq!(r.triggered, reference.triggered);
+            assert_eq!(r.steps, reference.steps);
+            assert_eq!(r.trace.len(), reference.trace.len());
+            assert_eq!(r.forced, reference.forced);
+        }
+    }
+
+    /// Forest entries are keyed by program *identity*: a structurally
+    /// identical but distinct program allocation never matches.
+    #[test]
+    fn forest_is_keyed_by_program_identity() {
+        let cfg = EnforceConfig::default();
+        let failing = Schedule {
+            start: Some(sel(0)),
+            points: vec![SchedPoint {
+                thread: sel(0),
+                at: InstrAddr {
+                    prog: ThreadProgId(0),
+                    index: 1,
+                },
+                nth: 0,
+                when: Anchor::Before,
+                switch_to: sel(1),
+            }],
+            fallback: vec![sel(1), sel(0)],
+            segments: Vec::new(),
+        };
+        let forest = SnapshotForest::new(64);
+        let mut cache1 = SnapshotCache::new(8);
+        let mut e1 = ksim::Engine::new(fig1_program());
+        let _ = run_cached_shared(&mut e1, &failing, &cfg, &mut cache1, Some(&forest));
+        assert!(!forest.is_empty());
+
+        // Same program *contents*, different allocation: no forest hit.
+        let mut cache2 = SnapshotCache::new(8);
+        let mut e2 = ksim::Engine::new(fig1_program());
+        let _ = run_cached_shared(&mut e2, &failing, &cfg, &mut cache2, Some(&forest));
+        assert_eq!(cache2.forest_hits(), 0);
+        assert_eq!(cache2.misses(), 1);
+    }
+
+    /// The full-schedule fingerprint distinguishes schedules that share a
+    /// point prefix but differ in fallback order or suffix.
+    #[test]
+    fn schedule_fingerprint_covers_the_whole_schedule() {
+        let cfg = EnforceConfig::default();
+        let base = Schedule {
+            start: Some(sel(0)),
+            points: vec![SchedPoint {
+                thread: sel(0),
+                at: InstrAddr {
+                    prog: ThreadProgId(0),
+                    index: 1,
+                },
+                nth: 0,
+                when: Anchor::Before,
+                switch_to: sel(1),
+            }],
+            fallback: vec![sel(1), sel(0)],
+            segments: Vec::new(),
+        };
+        assert_eq!(
+            schedule_fingerprint(&base, &cfg),
+            schedule_fingerprint(&base.clone(), &cfg)
+        );
+        let mut flipped = base.clone();
+        flipped.fallback = vec![sel(0), sel(1)];
+        assert_ne!(
+            schedule_fingerprint(&base, &cfg),
+            schedule_fingerprint(&flipped, &cfg)
+        );
+        let tighter = EnforceConfig { step_budget: 7 };
+        assert_ne!(
+            schedule_fingerprint(&base, &cfg),
+            schedule_fingerprint(&base, &tighter)
+        );
     }
 
     #[test]

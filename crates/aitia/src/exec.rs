@@ -23,11 +23,13 @@
 
 use crate::{
     enforce::{
-        run_cached,
+        run_cached_shared,
+        schedule_fingerprint,
         EnforceConfig,
         RunOutcome,
         RunResult,
-        SnapshotCache, //
+        SnapshotCache,
+        SnapshotForest, //
     },
     schedule::{
         Schedule,
@@ -54,7 +56,8 @@ use std::{
             Ordering, //
         },
         Arc,
-        Mutex, //
+        Mutex,
+        OnceLock, //
     },
 };
 
@@ -147,6 +150,15 @@ pub struct ExecOutput {
     /// placeholder and `outcome` is [`RunOutcome::Crashed`] or
     /// [`RunOutcome::Timeout`].
     pub vm_faulted: Option<FaultKind>,
+    /// Whether this output came from the process-wide result memo table
+    /// instead of a VM execution. Memoized outputs are bit-identical to
+    /// what the execution would have produced (enforcement is a pure
+    /// function of program, schedule, and step budget); consumers use the
+    /// flag only for cost accounting, never to branch on content.
+    pub memo_hit: bool,
+    /// Snapshot-forest restores this job's execution consumed (a prefix
+    /// published by *another* worker; 0 on a memo hit — nothing executed).
+    pub forest_hits: u32,
 }
 
 /// The kind of a (simulated) VM fault.
@@ -268,6 +280,23 @@ pub struct ExecStats {
     pub snapshot_hits: u64,
     /// Snapshot-prefix cache misses across all workers.
     pub snapshot_misses: u64,
+    /// Jobs served from the process-wide result memo table without any VM
+    /// execution. Worker-count *dependent* (two fingerprint-equal jobs in
+    /// flight race to insert first), like the cache counters — a
+    /// diagnostic, never folded into results.
+    pub memo_hits: u64,
+    /// Jobs that consulted the memo table and executed (fingerprint not
+    /// yet seen).
+    pub memo_misses: u64,
+    /// Executed runs whose outcome was inconclusive (timeout / crash) and
+    /// were therefore *excluded* from the memo table — the fault-exclusion
+    /// rule: an inconclusive result proves nothing and must not shadow a
+    /// future conclusive execution.
+    pub memo_excluded: u64,
+    /// Snapshot-forest restores across all workers: a run resumed from a
+    /// prefix checkpoint published by another worker (absent from the
+    /// restoring worker's local LRU).
+    pub forest_hits: u64,
 }
 
 /// Internal atomic counters behind [`ExecStats`].
@@ -282,6 +311,10 @@ struct StatCells {
     vm_restarts: AtomicU64,
     snapshot_hits: AtomicU64,
     snapshot_misses: AtomicU64,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+    memo_excluded: AtomicU64,
+    forest_hits: AtomicU64,
 }
 
 impl StatCells {
@@ -296,6 +329,10 @@ impl StatCells {
             vm_restarts: self.vm_restarts.load(Ordering::SeqCst),
             snapshot_hits: self.snapshot_hits.load(Ordering::SeqCst),
             snapshot_misses: self.snapshot_misses.load(Ordering::SeqCst),
+            memo_hits: self.memo_hits.load(Ordering::SeqCst),
+            memo_misses: self.memo_misses.load(Ordering::SeqCst),
+            memo_excluded: self.memo_excluded.load(Ordering::SeqCst),
+            forest_hits: self.forest_hits.load(Ordering::SeqCst),
         }
     }
 }
@@ -327,6 +364,11 @@ pub struct ExecutorConfig {
     pub os_threads: Option<usize>,
     /// Deterministic VM-fault injection; `None` disables it.
     pub fault: Option<FaultInjection>,
+    /// Whether jobs consult the process-wide result memo table and the
+    /// shared snapshot forest. Off, every job pays full VM execution (the
+    /// A/B baseline for `report --no-memo`); results are bit-identical
+    /// either way.
+    pub memo: bool,
 }
 
 impl Default for ExecutorConfig {
@@ -336,8 +378,107 @@ impl Default for ExecutorConfig {
             snapshot_cache: 8,
             os_threads: None,
             fault: None,
+            memo: true,
         }
     }
+}
+
+/// One finished job's output, pinned to everything its correctness depends
+/// on. The held `Arc<Program>` keeps the program allocation alive, so the
+/// `Arc::ptr_eq` identity check on lookup can never alias a recycled
+/// address; the full `Schedule` (plus step budget) is compared on lookup so
+/// a fingerprint collision degrades to a miss, never a wrong answer.
+struct MemoEntry {
+    program: Arc<Program>,
+    schedule: Schedule,
+    step_budget: usize,
+    output: ExecOutput,
+}
+
+/// The process-wide result memo table (DESIGN.md §6).
+///
+/// Enforcement is a pure function of `(program, schedule, step budget)`:
+/// once any worker of any executor has driven a job to a *conclusive*
+/// outcome, every later job with the same canonical fingerprint can return
+/// the cached [`ExecOutput`] — full trace included, so downstream trace
+/// consumers (causality edge extraction) see exactly what a re-execution
+/// would have shown — at zero simulated cost. Inconclusive outcomes
+/// (timeout, crash) are never inserted, and exec-layer fault placeholders
+/// never reach the table at all (faults are decided *before* the lookup).
+struct MemoTable {
+    cap: usize,
+    /// LRU order: least-recently-used first.
+    entries: Mutex<Vec<(u64, MemoEntry)>>,
+}
+
+impl MemoTable {
+    fn new(cap: usize) -> MemoTable {
+        MemoTable {
+            cap,
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn get(&self, job: &ExecJob, fp: u64) -> Option<ExecOutput> {
+        let mut entries = self.entries.lock().unwrap();
+        let pos = entries.iter().position(|(k, e)| {
+            *k == fp
+                && Arc::ptr_eq(&e.program, &job.program)
+                && e.step_budget == job.enforce.step_budget
+                && e.schedule == job.schedule
+        })?;
+        let entry = entries.remove(pos);
+        let out = entry.1.output.clone();
+        entries.push(entry);
+        Some(out)
+    }
+
+    fn put(&self, fp: u64, job: &ExecJob, output: &ExecOutput) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(pos) = entries.iter().position(|(k, e)| {
+            *k == fp
+                && Arc::ptr_eq(&e.program, &job.program)
+                && e.step_budget == job.enforce.step_budget
+                && e.schedule == job.schedule
+        }) {
+            entries.remove(pos);
+        }
+        entries.push((
+            fp,
+            MemoEntry {
+                program: Arc::clone(&job.program),
+                schedule: job.schedule.clone(),
+                step_budget: job.enforce.step_budget,
+                output: output.clone(),
+            },
+        ));
+        while entries.len() > self.cap {
+            entries.remove(0);
+        }
+    }
+}
+
+/// The process-wide memo table. Global because the manager's slice fan-out
+/// constructs an independent single-worker executor per slice: "any worker"
+/// must span executors, not just slots of one pool.
+/// The capacity must cover a whole diagnosis working set or LRU replay
+/// thrashes: a re-run replays schedules oldest-first, which is exactly the
+/// eviction order, so a table even slightly smaller than one pass yields
+/// zero cross-run hits. A full-calibration Table 2 pass is ~5.1k distinct
+/// schedules; 8192 holds it with headroom.
+fn global_memo() -> &'static MemoTable {
+    static MEMO: OnceLock<MemoTable> = OnceLock::new();
+    MEMO.get_or_init(|| MemoTable::new(8192))
+}
+
+/// The process-wide snapshot forest, shared across executors for the same
+/// reason as [`global_memo`].
+fn global_forest() -> &'static SnapshotForest {
+    static FOREST: OnceLock<SnapshotForest> = OnceLock::new();
+    FOREST.get_or_init(|| SnapshotForest::new(256))
 }
 
 /// A worker's persistent state: the engine it keeps booted and the
@@ -516,6 +657,14 @@ impl Executor {
     /// an intermediate attempt, and fold order / worker-count invariance
     /// are exactly as without fault injection. A job whose every attempt
     /// faults publishes a placeholder output with `vm_faulted` set.
+    ///
+    /// The memo lookup sits strictly *after* the fault decision: an
+    /// attempt that faults burns its retry (and the slot's quarantine
+    /// accounting) exactly as if the memo did not exist, so memoization
+    /// can never mask a fault. Only a fault-free attempt may be served
+    /// from the table, with `retries` set to the locally observed count —
+    /// equal to the cached one by content-keyed determinism, but correct
+    /// by construction.
     fn run_job_ft(&self, si: usize, slot: &mut Option<WorkerVm>, job: &ExecJob) -> ExecOutput {
         let cache_cap = self.config.snapshot_cache;
         let mut retries = 0u32;
@@ -523,7 +672,28 @@ impl Executor {
         loop {
             let injected = self.config.fault.and_then(|f| f.decide(job, retries));
             let Some((kind, k)) = injected else {
-                let out = run_job(slot, job, cache_cap, &self.stats, retries);
+                let memo = self.config.memo.then(global_memo);
+                let fp = schedule_fingerprint(&job.schedule, &job.enforce);
+                if let Some(memo) = memo {
+                    if let Some(mut out) = memo.get(job, fp) {
+                        self.stats.memo_hits.fetch_add(1, Ordering::SeqCst);
+                        out.retries = retries;
+                        out.memo_hit = true;
+                        out.forest_hits = 0;
+                        self.note_slot_result(si, job_faulted);
+                        return out;
+                    }
+                    self.stats.memo_misses.fetch_add(1, Ordering::SeqCst);
+                }
+                let forest = self.config.memo.then(global_forest);
+                let out = run_job(slot, job, cache_cap, forest, &self.stats, retries);
+                if let Some(memo) = memo {
+                    if out.outcome.is_inconclusive() {
+                        self.stats.memo_excluded.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        memo.put(fp, job, &out);
+                    }
+                }
                 self.note_slot_result(si, job_faulted);
                 return out;
             };
@@ -703,6 +873,7 @@ fn run_job(
     slot: &mut Option<WorkerVm>,
     job: &ExecJob,
     cache_cap: usize,
+    forest: Option<&SnapshotForest>,
     stats: &StatCells,
     retries: u32,
 ) -> ExecOutput {
@@ -715,8 +886,14 @@ fn run_job(
             cache: SnapshotCache::new(cache_cap),
         }),
     };
-    let (hits0, misses0) = (vm.cache.hits(), vm.cache.misses());
-    let run = run_cached(&mut vm.engine, &job.schedule, &job.enforce, &mut vm.cache);
+    let (hits0, misses0, forest0) = (vm.cache.hits(), vm.cache.misses(), vm.cache.forest_hits());
+    let run = run_cached_shared(
+        &mut vm.engine,
+        &job.schedule,
+        &job.enforce,
+        &mut vm.cache,
+        forest,
+    );
     stats.runs.fetch_add(1, Ordering::SeqCst);
     stats
         .snapshot_hits
@@ -724,6 +901,8 @@ fn run_job(
     stats
         .snapshot_misses
         .fetch_add(vm.cache.misses() - misses0, Ordering::SeqCst);
+    let forest_hits = vm.cache.forest_hits() - forest0;
+    stats.forest_hits.fetch_add(forest_hits, Ordering::SeqCst);
     let sel_of = vm
         .engine
         .threads()
@@ -745,6 +924,8 @@ fn run_job(
         outcome,
         retries,
         vm_faulted: None,
+        memo_hit: false,
+        forest_hits: u32::try_from(forest_hits).unwrap_or(u32::MAX),
     }
 }
 
@@ -771,6 +952,8 @@ fn faulted_output(job: &ExecJob, kind: FaultKind, retries: u32) -> ExecOutput {
         },
         retries,
         vm_faulted: Some(kind),
+        memo_hit: false,
+        forest_hits: 0,
     }
 }
 
@@ -1138,11 +1321,101 @@ mod tests {
         let exec = threaded_pool(1);
         let _ = exec.run_batch(&jobs, &CancelToken::new());
         let stats = exec.stats();
-        assert_eq!(stats.runs, jobs.len() as u64);
+        // Jobs 0 and 3 share a schedule: the second occurrence is a memo
+        // hit and executes nothing — `runs` counts actual VM executions.
+        assert_eq!(stats.runs, jobs.len() as u64 - 1);
+        assert_eq!(stats.memo_hits, 1);
+        assert_eq!(stats.memo_misses, jobs.len() as u64 - 1);
+        assert_eq!(stats.memo_excluded, 0);
         assert_eq!(stats.crash_faults + stats.hang_faults, 0);
-        // Jobs 0 and 3 share a schedule: the second occurrence hits the
-        // worker's snapshot-prefix cache.
         assert!(stats.snapshot_hits + stats.snapshot_misses > 0);
+    }
+
+    #[test]
+    fn memo_hits_return_bit_identical_outputs_at_zero_runs() {
+        let program = fig1_program();
+        let jobs = fig1_jobs(&program);
+        // Baseline with the memo disabled: every job pays execution.
+        let off = Executor::with_config(ExecutorConfig {
+            vms: 1,
+            memo: false,
+            ..ExecutorConfig::default()
+        });
+        let base = off.run_batch(&jobs, &CancelToken::new());
+        assert_eq!(off.stats().runs, jobs.len() as u64);
+        assert_eq!(off.stats().memo_hits + off.stats().memo_misses, 0);
+
+        // Memo on: a second batch over the same jobs executes nothing.
+        let on = threaded_pool(1);
+        let first = on.run_batch(&jobs, &CancelToken::new());
+        let runs_after_first = on.stats().runs;
+        let second = on.run_batch(&jobs, &CancelToken::new());
+        assert_eq!(on.stats().runs, runs_after_first, "all memo hits");
+        assert_eq!(on.stats().memo_hits, jobs.len() as u64 + 1);
+        for out in [&first, &second] {
+            assert_eq!(digest(&base), digest(out));
+        }
+        for (b, s) in base.iter().flatten().zip(second.iter().flatten()) {
+            assert!(s.memo_hit);
+            assert_eq!(s.retries, b.retries);
+            assert_eq!(s.outcome, b.outcome);
+            assert_eq!(s.run.trace.len(), b.run.trace.len());
+            assert_eq!(s.run.triggered, b.run.triggered);
+            assert_eq!(s.sel_of, b.sel_of);
+        }
+    }
+
+    #[test]
+    fn memo_misses_across_distinct_programs() {
+        // Structurally identical programs in distinct allocations never
+        // share memo entries (identity keying).
+        let jobs_a = fig1_jobs(&fig1_program());
+        let jobs_b = fig1_jobs(&fig1_program());
+        let exec = threaded_pool(1);
+        let _ = exec.run_batch(&jobs_a, &CancelToken::new());
+        let hits_a = exec.stats().memo_hits;
+        let _ = exec.run_batch(&jobs_b, &CancelToken::new());
+        // Only the intra-batch duplicate (jobs 0/3) hit for program B.
+        assert_eq!(exec.stats().memo_hits, hits_a + 1);
+    }
+
+    #[test]
+    fn inconclusive_outcomes_are_never_memoized() {
+        let program = fig1_program();
+        // A one-step budget times out every schedule.
+        let jobs: Vec<ExecJob> = fig1_jobs(&program)
+            .into_iter()
+            .map(|j| ExecJob {
+                enforce: EnforceConfig { step_budget: 1 },
+                ..j
+            })
+            .collect();
+        let exec = threaded_pool(1);
+        let _ = exec.run_batch(&jobs, &CancelToken::new());
+        let _ = exec.run_batch(&jobs, &CancelToken::new());
+        let stats = exec.stats();
+        // Both batches executed everything: timeouts are excluded from the
+        // table, so even the duplicate schedule re-executes every time.
+        assert_eq!(stats.runs, 2 * jobs.len() as u64);
+        assert_eq!(stats.memo_hits, 0);
+        assert_eq!(stats.memo_excluded, 2 * jobs.len() as u64);
+    }
+
+    #[test]
+    fn gave_up_placeholders_are_never_memoized() {
+        let program = fig1_program();
+        let jobs = fig1_jobs(&program);
+        // Exhaust every attempt; placeholders must not poison the memo.
+        let faulty = faulty_pool(1, always_fault());
+        let out = faulty.run_batch(&jobs, &CancelToken::new());
+        assert!(out.iter().flatten().all(|o| o.vm_faulted.is_some()));
+        assert_eq!(faulty.stats().memo_hits + faulty.stats().memo_misses, 0);
+        // A fault-free pool over the same jobs misses the memo (nothing
+        // was inserted) and produces real results.
+        let clean = threaded_pool(1);
+        let out = clean.run_batch(&jobs, &CancelToken::new());
+        assert!(out.iter().flatten().all(|o| o.vm_faulted.is_none()));
+        assert!(clean.stats().runs > 0);
     }
 
     #[test]

@@ -93,7 +93,8 @@ pub use enforce::{
     EnforceConfig,
     RunOutcome,
     RunResult,
-    SnapshotCache, //
+    SnapshotCache,
+    SnapshotForest, //
 };
 pub use exec::{
     CancelToken,

@@ -178,6 +178,16 @@ pub struct LifsStats {
     pub interleaving_count: u32,
     /// Simulated cost (schedule setups, steps, reboots, retry backoff).
     pub sim: SimCost,
+    /// Schedules served from the process-wide result memo table (counted
+    /// in `schedules_executed` and `sim` exactly like executed ones, so
+    /// diagnosis statistics stay memo-invariant; the avoided cost is
+    /// tracked in `sim_time_saved_s` instead).
+    pub memo_hits: usize,
+    /// Snapshot-forest restores consumed by this search's executions.
+    pub forest_hits: usize,
+    /// Simulated seconds of serial execution the memo hits avoided (at
+    /// default cost-model rates; see `CostModel::serial_run_s`).
+    pub sim_time_saved_s: f64,
 }
 
 impl LifsStats {
@@ -190,6 +200,22 @@ impl LifsStats {
         self.faulted += other.faulted;
         self.interleaving_count = self.interleaving_count.max(other.interleaving_count);
         self.sim.merge(&other.sim);
+        self.memo_hits += other.memo_hits;
+        self.forest_hits += other.forest_hits;
+        self.sim_time_saved_s += other.sim_time_saved_s;
+    }
+
+    /// Folds one executor output's memoization accounting into the
+    /// search's counters. The output itself is consumed exactly as if it
+    /// had executed — `schedules_executed` and `sim` are charged by the
+    /// caller either way — so this touches only the hit diagnostics.
+    pub(crate) fn note_exec(&mut self, out: &crate::exec::ExecOutput) {
+        self.memo_hits += usize::from(out.memo_hit);
+        self.forest_hits += out.forest_hits as usize;
+        if out.memo_hit {
+            self.sim_time_saved_s += crate::simtime::CostModel::default()
+                .serial_run_s(out.run.steps, out.run.failure.is_some());
+        }
     }
 }
 
@@ -513,6 +539,7 @@ impl Lifs {
             };
             order += 1;
             stats.sim.add_retries(out.retries as usize);
+            stats.note_exec(&out);
             if out.vm_faulted.is_some() {
                 // The run produced no observation: nothing to absorb, no
                 // failure to check — record the loss and move on.
@@ -594,6 +621,7 @@ impl Lifs {
             };
             order += 1;
             stats.sim.add_retries(out.retries as usize);
+            stats.note_exec(&out);
             if out.vm_faulted.is_some() {
                 stats.faulted += 1;
                 tree.nodes.push(SearchNode {
@@ -682,6 +710,7 @@ impl Lifs {
                     };
                     order += 1;
                     stats.sim.add_retries(out.retries as usize);
+                    stats.note_exec(&out);
                     if out.vm_faulted.is_some() {
                         stats.faulted += 1;
                         tree.nodes.push(SearchNode {

@@ -55,6 +55,11 @@ pub struct ManagerConfig {
     /// Deterministic VM-fault injection, threaded into the pool *and* the
     /// per-slice single-worker executors; `None` disables it.
     pub fault: Option<FaultInjection>,
+    /// Cross-run schedule memoization and the shared snapshot forest
+    /// ([`crate::exec::ExecutorConfig::memo`]), threaded into the pool *and*
+    /// the per-slice single-worker executors. Diagnoses are bit-identical
+    /// either way; disabling is the A/B baseline for the benchmark.
+    pub memo: bool,
 }
 
 impl Default for ManagerConfig {
@@ -64,6 +69,7 @@ impl Default for ManagerConfig {
             lifs: LifsConfig::default(),
             causality: CausalityConfig::default(),
             fault: None,
+            memo: true,
         }
     }
 }
@@ -105,6 +111,7 @@ impl Manager {
         let exec = Arc::new(Executor::with_config(ExecutorConfig {
             vms: config.vms,
             fault: config.fault,
+            memo: config.memo,
             ..ExecutorConfig::default()
         }));
         Manager { config, exec }
@@ -179,6 +186,7 @@ impl Manager {
                 let slice_exec = Arc::new(Executor::with_config(ExecutorConfig {
                     vms: 1,
                     fault: self.config.fault,
+                    memo: self.config.memo,
                     ..ExecutorConfig::default()
                 }));
                 Lifs::with_executor(Arc::clone(&slices[i]), cfg, slice_exec).search()
@@ -368,6 +376,34 @@ mod tests {
             parallel.result.stats.schedules_executed
         );
         assert_eq!(serial.lifs_stats.sim.steps, parallel.lifs_stats.sim.steps);
+    }
+
+    #[test]
+    fn memoization_does_not_change_the_diagnosis() {
+        let run = |memo| {
+            Manager::new(ManagerConfig {
+                memo,
+                ..ManagerConfig::default()
+            })
+            .diagnose_program(fig1_program())
+            .expect("diagnosis")
+        };
+        let off = run(false);
+        let on = run(true);
+        assert_eq!(off.result.chain.to_string(), on.result.chain.to_string());
+        assert_eq!(
+            off.lifs_stats.schedules_executed,
+            on.lifs_stats.schedules_executed
+        );
+        assert_eq!(
+            off.result.stats.schedules_executed,
+            on.result.stats.schedules_executed
+        );
+        assert_eq!(off.lifs_stats.sim.steps, on.lifs_stats.sim.steps);
+        assert_eq!(off.result.stats.sim, on.result.stats.sim);
+        // The baseline never consults the table.
+        assert_eq!(off.lifs_stats.memo_hits, 0);
+        assert_eq!(off.result.stats.memo_hits, 0);
     }
 
     #[test]

@@ -69,6 +69,21 @@ pub struct SimCost {
     pub retries: usize,
 }
 
+impl CostModel {
+    /// Serial simulated seconds one execution of `steps` steps would cost
+    /// under this model (setup, stepping, and — for a failing run — the VM
+    /// reboot). This is what a memo hit *saves*: the cached output is
+    /// returned instead of paying any of these terms. Retry backoff is not
+    /// included — faults are decided before the memo lookup, so a memo hit
+    /// still pays its own retries.
+    #[must_use]
+    pub fn serial_run_s(&self, steps: usize, failed: bool) -> f64 {
+        self.per_schedule_s
+            + steps as f64 * self.per_step_s
+            + if failed { self.reboot_s } else { 0.0 }
+    }
+}
+
 impl SimCost {
     /// Adds one run's contribution.
     pub fn add_run(&mut self, steps: usize, failed: bool) {
@@ -154,6 +169,19 @@ mod tests {
         flaky.add_retries(2);
         let delta = flaky.seconds(&m) - quiet.seconds(&m);
         assert!((delta - 2.0 * m.retry_backoff_s).abs() < 1e-9, "{delta}");
+    }
+
+    #[test]
+    fn serial_run_cost_matches_the_seconds_terms() {
+        let m = CostModel {
+            vms: 1,
+            ..CostModel::default()
+        };
+        let mut c = SimCost::default();
+        c.add_run(300, true);
+        assert!((m.serial_run_s(300, true) - c.seconds(&m)).abs() < 1e-9);
+        // A passing run saves the reboot term.
+        assert!((m.serial_run_s(300, true) - m.serial_run_s(300, false) - m.reboot_s).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_memo.json, the perf artifact for cross-run schedule
+# memoization: `report bench-memo` diagnoses the Table 2 corpus twice with
+# memoization off (the baseline) and twice with it on, checks the diagnoses
+# are bit-identical, and reports VM executions, memo/forest hits, and
+# simulated seconds saved. BENCH_SCALE overrides the noise scale (default
+# 1.0, the full calibration — several minutes; 0.1 runs in seconds), and
+# BENCH_OUT the output path (default BENCH_memo.json — the checked-in
+# artifact; CI's smoke run writes under target/ instead).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SCALE="${BENCH_SCALE:-1.0}"
+OUT="${BENCH_OUT:-BENCH_memo.json}"
+
+cargo build --release -p aitia-bench
+./target/release/report bench-memo --scale "$SCALE" > "$OUT"
+echo "wrote $OUT (scale $SCALE)"
+
+grep -q '"diagnoses_identical": true' "$OUT" \
+    || { echo "FAIL: memoized diagnoses diverged from baseline" >&2; exit 1; }

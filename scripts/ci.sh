@@ -15,4 +15,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> bench-memo smoke (reduced scale)"
+BENCH_SCALE=0.05 BENCH_OUT=target/BENCH_memo_smoke.json scripts/bench.sh
+
 echo "CI OK"

@@ -229,10 +229,18 @@ fn threaded_pool(vms: usize) -> Arc<Executor> {
 
 /// [`threaded_pool`] with deterministic VM-fault injection enabled.
 fn faulty_threaded_pool(vms: usize, fault: Option<FaultInjection>) -> Arc<Executor> {
+    memo_pool(vms, fault, true)
+}
+
+/// [`faulty_threaded_pool`] with the cross-run memo table and snapshot
+/// forest switchable — `memo: false` is the A/B baseline every memoization
+/// property compares against.
+fn memo_pool(vms: usize, fault: Option<FaultInjection>, memo: bool) -> Arc<Executor> {
     Arc::new(Executor::with_config(ExecutorConfig {
         vms,
         os_threads: Some(vms),
         fault,
+        memo,
         ..ExecutorConfig::default()
     }))
 }
@@ -244,7 +252,17 @@ fn diagnose_at(
     vms: usize,
     fault: Option<FaultInjection>,
 ) -> DiagnosisDigest {
-    let exec = faulty_threaded_pool(vms, fault);
+    diagnose_with(program, vms, fault, true)
+}
+
+/// [`diagnose_at`] with memoization switchable.
+fn diagnose_with(
+    program: &Arc<Program>,
+    vms: usize,
+    fault: Option<FaultInjection>,
+    memo: bool,
+) -> DiagnosisDigest {
+    let exec = memo_pool(vms, fault, memo);
     let out = Lifs::with_executor(
         Arc::clone(program),
         LifsConfig {
@@ -320,6 +338,53 @@ proptest! {
     }
 }
 
+proptest! {
+    // Each case diagnoses four times (memo-off baseline plus memo-on at
+    // three worker counts); keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Memoization is invisible to diagnosis: with the memo table and the
+    /// snapshot forest enabled, chains, verdicts, failing schedules, and
+    /// schedule counts match a memo-disabled run at 1, 2, and 8 workers —
+    /// even though the memo side answers repeated schedules from one
+    /// process-wide table shared across all its runs.
+    #[test]
+    fn memoized_diagnosis_is_bit_identical_to_memo_off(threads in gen_program()) {
+        let program = build(&threads);
+        let baseline = diagnose_with(&program, 1, None, false);
+        for vms in [1usize, 2, 8] {
+            let memoized = diagnose_with(&program, vms, None, true);
+            prop_assert_eq!(&baseline, &memoized, "diverged at {} workers", vms);
+        }
+    }
+}
+
+proptest! {
+    // Each case diagnoses four times; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Memoization stays invisible under injected VM faults: fault
+    /// decisions are made strictly before the memo lookup, so a memo hit
+    /// never masks a fault — retry, give-up, and quarantine accounting
+    /// (and every diagnosis output) match the memo-disabled run at any
+    /// worker count.
+    #[test]
+    fn memoized_faulty_diagnosis_is_bit_identical_to_memo_off(threads in gen_program()) {
+        let fault = FaultInjection {
+            seed: 0xA17A,
+            rate_permille: 120,
+            max_retries: 2,
+            quarantine_after: 2,
+        };
+        let program = build(&threads);
+        let baseline = diagnose_with(&program, 1, Some(fault), false);
+        for vms in [1usize, 2, 8] {
+            let memoized = diagnose_with(&program, vms, Some(fault), true);
+            prop_assert_eq!(&baseline, &memoized, "diverged at {} workers", vms);
+        }
+    }
+}
+
 /// True when `out` is a contiguous `Some` prefix: no `Some` after the
 /// first `None`.
 fn contiguous_prefix<T>(out: &[Option<T>]) -> bool {
@@ -371,6 +436,44 @@ proptest! {
                     "cancel-before-first-job still executed a job at {} workers",
                     vms
                 );
+            }
+        }
+    }
+
+    /// Mid-batch cancellation composes with memoization: a memo-on batch
+    /// of identical jobs (so later jobs are memo hits) cancelled after `c`
+    /// completions still yields a contiguous prefix, and every completed
+    /// output — executed or served from the table — is bit-identical to
+    /// the memo-off uncancelled baseline at the same index.
+    #[test]
+    fn cancelled_memoized_batch_matches_memo_off_prefix(
+        threads in gen_program(),
+        c in 0usize..6,
+    ) {
+        let program = build(&threads);
+        let jobs = repeated_jobs(&program, 6);
+        let baseline = memo_pool(1, None, false).run_batch(&jobs, &CancelToken::new());
+        for vms in [1usize, 2, 8] {
+            let exec = memo_pool(vms, None, true);
+            let cancel = CancelToken::new();
+            if c == 0 {
+                cancel.cancel();
+            }
+            let executed = AtomicUsize::new(0);
+            let out = exec.run_until(&jobs, &cancel, |_| {
+                if executed.fetch_add(1, Ordering::SeqCst) + 1 >= c {
+                    cancel.cancel();
+                }
+                false
+            });
+            prop_assert!(contiguous_prefix(&out), "hole in results at {} workers", vms);
+            for (got, want) in out.iter().zip(&baseline) {
+                let Some(got) = got else { break };
+                let want = want.as_ref().expect("uncancelled baseline completes");
+                prop_assert_eq!(&got.run.trace, &want.run.trace);
+                prop_assert_eq!(&got.run.failure, &want.run.failure);
+                prop_assert_eq!(got.run.steps, want.run.steps);
+                prop_assert_eq!(got.retries, want.retries);
             }
         }
     }

@@ -41,6 +41,15 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serializes `value` as pretty-printed JSON (two-space indentation), the
+/// shape checked-in artifacts like `BENCH_memo.json` use so diffs stay
+/// line-per-field.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value_pretty(&value.serialize(), &mut out, 0)?;
+    Ok(out)
+}
+
 /// Deserializes a `T` from a JSON string.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
@@ -89,6 +98,43 @@ fn write_value(v: &Value, out: &mut String) -> Result<(), Error> {
             }
             out.push('}');
         }
+    }
+    Ok(())
+}
+
+fn write_value_pretty(v: &Value, out: &mut String, indent: usize) -> Result<(), Error> {
+    let pad = |out: &mut String, n: usize| out.push_str(&"  ".repeat(n));
+    match v {
+        Value::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                pad(out, indent + 1);
+                write_value_pretty(item, out, indent + 1)?;
+            }
+            out.push('\n');
+            pad(out, indent);
+            out.push(']');
+        }
+        Value::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                pad(out, indent + 1);
+                write_string(k, out);
+                out.push_str(": ");
+                write_value_pretty(val, out, indent + 1)?;
+            }
+            out.push('\n');
+            pad(out, indent);
+            out.push('}');
+        }
+        // Scalars and empty containers render as in compact form.
+        _ => write_value(v, out)?,
     }
     Ok(())
 }
