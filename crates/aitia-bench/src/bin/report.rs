@@ -26,10 +26,12 @@ use aitia::{
         CausalityConfig, //
     },
     exec::{
+        DeadlineBudget,
         Executor,
         ExecutorConfig,
         FaultInjection, //
     },
+    journal::Journal,
     lifs::{
         Lifs,
         LifsConfig, //
@@ -52,6 +54,7 @@ subcommands (default: all):
   fig5 | fig6 | fig7 | fig9
   extensions            beyond-paper scenarios (IRQ, RCU, ABBA)
   bench-memo            memoization A/B over Table 2 (JSON on stdout)
+  bench-resume          kill-and-resume journal benchmark (JSON on stdout)
   all                   everything above
 
 flags:
@@ -63,7 +66,12 @@ flags:
   --no-memo             disable cross-run memoization and the shared
                         snapshot forest (the A/B baseline)
   --fault-rate <int>    injected VM-fault rate in permille (default 0 = off)
-  --fault-seed <int>    fault-injection seed (default 0)";
+  --fault-seed <int>    fault-injection seed (default 0)
+  --journal <path>      append conclusive runs to a durable journal and
+                        replay nothing (tables build fresh programs); the
+                        journal counter block prints at the end
+  --deadline-s <float>  wall-clock budget in seconds, finite and positive;
+                        on expiry tables degrade to best-so-far results";
 
 /// Prints the usage message (prefixed by `msg`) and exits with status 2.
 fn usage_exit(msg: &str) -> ! {
@@ -91,6 +99,8 @@ fn main() {
     let mut memo = true;
     let mut fault_rate = 0u32;
     let mut fault_seed = 0u64;
+    let mut journal_path: Option<String> = None;
+    let mut deadline_s: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -101,6 +111,8 @@ fn main() {
             "--no-memo" => memo = false,
             "--fault-rate" => fault_rate = flag_value(&args, &mut i, "--fault-rate"),
             "--fault-seed" => fault_seed = flag_value(&args, &mut i, "--fault-seed"),
+            "--journal" => journal_path = Some(flag_value(&args, &mut i, "--journal")),
+            "--deadline-s" => deadline_s = Some(flag_value(&args, &mut i, "--deadline-s")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -118,16 +130,40 @@ fn main() {
     if snapshot_cache == 0 {
         usage_exit("--snapshot-cache must be at least 1 (0 would disable the prefix cache; use --no-memo to disable sharing instead)");
     }
+    if let Some(d) = deadline_s {
+        if !(d.is_finite() && d > 0.0) {
+            usage_exit("--deadline-s must be a finite number greater than 0");
+        }
+    }
     let fault = (fault_rate > 0).then(|| FaultInjection {
         seed: fault_seed,
         rate_permille: fault_rate,
         ..FaultInjection::default()
+    });
+    let journal = journal_path.as_ref().and_then(|p| match Journal::open(p) {
+        Ok(j) => Some(Arc::new(j)),
+        Err(e) => {
+            eprintln!("report: cannot open journal {p} ({e}); running without durability");
+            None
+        }
+    });
+    let deadline = deadline_s.map(|d| {
+        Arc::new(DeadlineBudget::new(
+            Some(d),
+            None,
+            CostModel {
+                vms: u32::try_from(vms).unwrap_or(u32::MAX),
+                ..CostModel::default()
+            },
+        ))
     });
     let exec = Arc::new(Executor::with_config(ExecutorConfig {
         vms,
         snapshot_cache,
         fault,
         memo,
+        journal: journal.clone(),
+        deadline,
         ..ExecutorConfig::default()
     }));
     let model = experiments::cost_model_for(&exec);
@@ -171,6 +207,30 @@ fn main() {
             );
             return;
         }
+        "bench-resume" => {
+            // Self-contained like bench-memo: journaled campaigns on fresh
+            // private pools, JSON on stdout, summary on stderr.
+            let b = experiments::bench_resume(scale);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&b).expect("bench result serializes")
+            );
+            for p in &b.points {
+                eprintln!(
+                    "bench-resume: killed at {:>2}% ({}/{} records kept) -> \
+                     {} of {} VM executions re-paid ({:.1}% saved), identical: {}",
+                    p.interrupted_at_percent,
+                    p.journal_records_kept,
+                    p.journal_records_total,
+                    p.resumed_vm_executions,
+                    p.baseline_vm_executions,
+                    p.vm_executions_saved_percent,
+                    p.diagnosis_identical
+                );
+            }
+            eprintln!("bench-resume: gate met: {}", b.meets_resume_gate);
+            return;
+        }
         "all" => {
             table2(scale, &exec, &model);
             let rows = experiments::table3_on(scale, &exec);
@@ -192,6 +252,10 @@ fn main() {
         }
     }
     println!("{}", experiments::render_exec_stats(&exec.stats()));
+    if let Some(journal) = &journal {
+        journal.flush();
+        println!("{}", experiments::render_journal_stats(&journal.stats()));
+    }
 }
 
 fn table2(scale: f64, exec: &Arc<Executor>, model: &CostModel) {

@@ -13,16 +13,23 @@ use aitia::{
         Executor,
         ExecutorConfig, //
     },
+    journal::JournalStats,
     lifs::{
         Lifs,
         LifsStats, //
+    },
+    manager::{
+        Diagnosis,
+        ManagerConfig, //
     },
     report::{
         conciseness,
         Conciseness, //
     },
     simtime::CostModel,
-    CausalityResult, FailingRun,
+    Campaign,
+    CausalityResult,
+    FailingRun, //
 };
 use corpus::{
     noise::NoiseSpec,
@@ -147,7 +154,8 @@ pub fn render_exec_stats(stats: &aitia::ExecStats) -> String {
         \x20 quarantined slots:   {}\n\
         \x20 snapshot cache:      {} hits / {} misses\n\
         \x20 memo table:          {} hits / {} misses / {} excluded\n\
-        \x20 snapshot forest:     {} cross-worker hits\n",
+        \x20 snapshot forest:     {} cross-worker hits\n\
+        \x20 deadline fired:      {}\n",
         stats.runs,
         stats.retries,
         stats.crash_faults,
@@ -161,6 +169,20 @@ pub fn render_exec_stats(stats: &aitia::ExecStats) -> String {
         stats.memo_misses,
         stats.memo_excluded,
         stats.forest_hits,
+        stats.deadline_fired,
+    )
+}
+
+/// Renders the journal counter block, appended to the stats block whenever
+/// a run journal is configured.
+#[must_use]
+pub fn render_journal_stats(stats: &JournalStats) -> String {
+    format!(
+        "Run-journal stats\n\
+        \x20 records replayed:    {}\n\
+        \x20 records appended:    {}\n\
+        \x20 torn-tail truncs:    {}\n",
+        stats.records_replayed, stats.records_appended, stats.torn_tail_truncations,
     )
 }
 
@@ -314,6 +336,135 @@ pub fn bench_memo(scale: f64) -> MemoBench {
         memoized,
         vm_execution_reduction_percent,
         diagnoses_identical,
+    }
+}
+
+/// One interruption point of the kill-and-resume benchmark.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ResumePoint {
+    /// Where the campaign was "killed", as a percent of its journal.
+    pub interrupted_at_percent: u32,
+    /// Conclusive records the uninterrupted campaign journaled.
+    pub journal_records_total: usize,
+    /// Records surviving the simulated kill (the journal prefix replayed
+    /// on resume).
+    pub journal_records_kept: usize,
+    /// VM executions the uninterrupted campaign paid.
+    pub baseline_vm_executions: u64,
+    /// VM executions the resumed campaign paid (journal replay answers the
+    /// rest at zero cost).
+    pub resumed_vm_executions: u64,
+    /// Percent of the baseline's VM executions the resume avoided.
+    pub vm_executions_saved_percent: f64,
+    /// Whether the resumed diagnosis is bit-identical to the
+    /// uninterrupted one (chain, verdicts, schedules, statistics).
+    pub diagnosis_identical: bool,
+}
+
+/// Result of `report bench-resume`: VM executions saved by journal replay
+/// when a campaign is killed at 25/50/75% progress and relaunched.
+///
+/// Each interruption point runs an uninterrupted journaled campaign,
+/// truncates its journal at a record boundary to the given fraction
+/// (exactly what a kill mid-campaign leaves behind, minus the torn tail
+/// the journal would truncate anyway), then resumes with a
+/// content-identical program in a fresh allocation — so the process-wide
+/// memo table (keyed on `Arc` identity) cannot answer, and every saved
+/// execution is attributable to the digest-keyed journal replay alone.
+/// This is the honest single-process model of a process restart.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ResumeBench {
+    /// Noise scale the campaigns ran at.
+    pub scale: f64,
+    /// The corpus bug diagnosed.
+    pub bug_id: String,
+    /// The 25/50/75% interruption points.
+    pub points: Vec<ResumePoint>,
+    /// The acceptance gate: the 50% interruption point saves at least 40%
+    /// of the baseline's VM executions, and every point resumes to a
+    /// bit-identical diagnosis.
+    pub meets_resume_gate: bool,
+}
+
+/// Everything diagnosis-facing in one campaign diagnosis, as a comparable
+/// string (the campaign-level analogue of [`diagnosis_digest`]).
+fn campaign_digest(d: &Diagnosis) -> String {
+    let verdicts: Vec<aitia::Verdict> = d.result.tested.iter().map(|t| t.verdict).collect();
+    format!(
+        "slice={} chain={} verdicts={:?} sched={:?} steps={} lifs={} ca={}",
+        d.slice_index,
+        d.result.chain,
+        verdicts,
+        d.failing.schedule,
+        d.failing.trace.len(),
+        d.lifs_stats.schedules_executed,
+        d.result.stats.schedules_executed,
+    )
+}
+
+/// Runs the kill-and-resume benchmark on a representative Table 2 bug.
+#[must_use]
+pub fn bench_resume(scale: f64) -> ResumeBench {
+    let bugs = corpus::cves();
+    let bug = bugs
+        .iter()
+        .find(|b| b.id == "CVE-2017-15649")
+        .expect("15649 in corpus");
+    let config = || ManagerConfig {
+        vms: 1,
+        lifs: bug.lifs_config(),
+        ..ManagerConfig::default()
+    };
+    let mut points = Vec::new();
+    for pct in [25u32, 50, 75] {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "aitia-bench-resume-{}-{pct}.wal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        // The uninterrupted campaign, journaled from cold.
+        let baseline = Campaign::with_journal_path(config(), &path);
+        let base_outcome = baseline.diagnose_program(bug.program_scaled(scale));
+        let base_digest = base_outcome.diagnosis().map(campaign_digest);
+        let baseline_vm_executions = baseline.manager().exec_stats().runs;
+        // Simulate the kill: keep a prefix of the journal at a record
+        // boundary.
+        let journal_records_total = aitia::journal::record_count(&path).unwrap_or(0);
+        let keep = journal_records_total * pct as usize / 100;
+        let journal_records_kept = aitia::journal::truncate_at_record(&path, keep).unwrap_or(0);
+        // The relaunched campaign: fresh program allocation, same journal.
+        let resumed = Campaign::with_journal_path(config(), &path);
+        let resumed_outcome = resumed.diagnose_program(bug.program_scaled(scale));
+        let resumed_digest = resumed_outcome.diagnosis().map(campaign_digest);
+        let resumed_vm_executions = resumed.manager().exec_stats().runs;
+        let vm_executions_saved_percent = if baseline_vm_executions > 0 {
+            100.0 * baseline_vm_executions.saturating_sub(resumed_vm_executions) as f64
+                / baseline_vm_executions as f64
+        } else {
+            0.0
+        };
+        points.push(ResumePoint {
+            interrupted_at_percent: pct,
+            journal_records_total,
+            journal_records_kept,
+            baseline_vm_executions,
+            resumed_vm_executions,
+            vm_executions_saved_percent,
+            diagnosis_identical: base_digest.is_some() && base_digest == resumed_digest,
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+    let meets_resume_gate = points.iter().all(|p| p.diagnosis_identical)
+        && points
+            .iter()
+            .find(|p| p.interrupted_at_percent == 50)
+            .is_some_and(|p| p.vm_executions_saved_percent >= 40.0);
+    ResumeBench {
+        scale,
+        bug_id: bug.id.to_string(),
+        points,
+        meets_resume_gate,
     }
 }
 

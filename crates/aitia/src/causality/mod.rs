@@ -69,6 +69,12 @@ pub enum Verdict {
     /// crashed, or lost to a VM fault) and its non-failure must not be
     /// read as "the failure was averted".
     Ambiguous,
+    /// The race's flip was never executed — a deadline budget expired (or
+    /// the analysis was cancelled) before its run could start. Distinct
+    /// from [`Verdict::Ambiguous`]: no evidence run exists at all. A
+    /// degraded analysis marks every un-flipped race `Unverified`, never
+    /// `Benign` — absence of a flip is not evidence of harmlessness.
+    Unverified,
 }
 
 /// One tested race with its verdict and the evidence run's key facts.
@@ -86,8 +92,22 @@ pub struct TestedRace {
     /// Whether the flip's window had to grow to a whole critical section.
     pub cs_expanded: bool,
     /// Classification of the flip run (a [`RunOutcome::Timeout`] or
-    /// [`RunOutcome::Crashed`] run forces an ambiguous verdict).
-    pub outcome: RunOutcome,
+    /// [`RunOutcome::Crashed`] run forces an ambiguous verdict). `None`
+    /// when the flip never executed — deadline expiry or cancellation —
+    /// which forces [`Verdict::Unverified`].
+    pub outcome: Option<RunOutcome>,
+}
+
+impl TestedRace {
+    /// Where this verdict came from, for per-link report provenance.
+    #[must_use]
+    pub fn provenance(&self) -> &'static str {
+        match (self.verdict, self.outcome) {
+            (_, None) => "not executed (deadline)",
+            (_, Some(out)) if out.is_inconclusive() => "inconclusive flip",
+            _ => "executed flip",
+        }
+    }
 }
 
 /// Statistics of one analysis (the Causality Analysis columns of Tables 2
@@ -108,6 +128,10 @@ pub struct CaStats {
     pub forest_hits: usize,
     /// Serial simulated seconds the memo hits avoided paying.
     pub sim_time_saved_s: f64,
+    /// Whether a deadline budget fired during the analysis, degrading some
+    /// verdicts to [`Verdict::Unverified`]. Always false without a
+    /// configured [`crate::exec::DeadlineBudget`].
+    pub deadline_fired: bool,
 }
 
 impl CaStats {
@@ -134,6 +158,10 @@ pub struct CausalityConfig {
     /// Flip critical sections as units (§3.4 liveness). Disabling is the
     /// ablation.
     pub cs_as_unit: bool,
+    /// Cancellation root for the analysis's flip batches. The default is a
+    /// fresh, never-cancelled token; the manager subscribes this token to
+    /// its deadline budget so an expired deadline stops in-flight batches.
+    pub cancel: CancelToken,
 }
 
 impl Default for CausalityConfig {
@@ -142,6 +170,7 @@ impl Default for CausalityConfig {
             enforce: EnforceConfig::default(),
             backward: true,
             cs_as_unit: true,
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -178,6 +207,16 @@ impl CausalityResult {
         self.tested
             .iter()
             .filter(|t| t.verdict == Verdict::Ambiguous)
+            .map(|t| &t.race)
+            .collect()
+    }
+
+    /// Races left unverified (their flips never executed).
+    #[must_use]
+    pub fn unverified(&self) -> Vec<&ObservedRace> {
+        self.tested
+            .iter()
+            .filter(|t| t.verdict == Verdict::Unverified)
             .map(|t| &t.race)
             .collect()
     }
@@ -219,7 +258,7 @@ impl CausalityAnalysis {
     #[must_use]
     pub fn analyze(&self, run: &FailingRun) -> CausalityResult {
         let mut stats = CaStats::default();
-        let cancel = CancelToken::new();
+        let cancel = self.config.cancel.clone();
 
         // Test order: backward (last race first) per the paper; forward is
         // the ablation. `run.races` is sorted ascending by backward key.
@@ -245,7 +284,10 @@ impl CausalityAnalysis {
         let results = self.exec.run_batch(&jobs, &cancel);
         let mut outcomes: Vec<Option<FlipOutcome>> = (0..run.races.len()).map(|_| None).collect();
         for ((&i, plan), res) in order.iter().zip(&plans).zip(results) {
-            let out = res.expect("uncancelled batches complete");
+            // A hole means the batch was cut short (deadline or caller
+            // cancellation): this flip and every later one never ran, and
+            // their races stay `None` → Unverified in phase B.
+            let Some(out) = res else { break };
             stats.sim.add_retries(out.retries as usize);
             stats.note_exec(&out);
             if out.vm_faulted.is_none() {
@@ -264,7 +306,14 @@ impl CausalityAnalysis {
                 if verdicts[i].is_some() {
                     continue;
                 }
-                let outcome = outcomes[i].as_ref().expect("phase A ran");
+                let Some(outcome) = outcomes[i].as_ref() else {
+                    // The flip never executed: no evidence either way. Never
+                    // Benign — an un-flipped race must stay in the suspect
+                    // set, not be silently excluded.
+                    verdicts[i] = Some(Verdict::Unverified);
+                    progress = true;
+                    continue;
+                };
                 // An inconclusive run (timeout, crash, VM fault) observed
                 // nothing: its lack of a failure must not read as "averted"
                 // nor its silence as "benign" — the verdict is ambiguous.
@@ -299,7 +348,13 @@ impl CausalityAnalysis {
                 let nested_causal = nested_indices
                     .iter()
                     .any(|&j| verdicts[j] == Some(Verdict::Causal));
-                verdicts[i] = Some(if nested_causal {
+                // A nested race whose own flip never ran might be causal:
+                // claiming this averted flip as Causal would over-attribute,
+                // so the verdict degrades conservatively to Ambiguous.
+                let nested_unknown = nested_indices
+                    .iter()
+                    .any(|&j| verdicts[j] == Some(Verdict::Unverified));
+                verdicts[i] = Some(if nested_causal || nested_unknown {
                     Verdict::Ambiguous
                 } else {
                     Verdict::Causal
@@ -317,7 +372,18 @@ impl CausalityAnalysis {
         let tested: Vec<TestedRace> = order
             .iter()
             .map(|&i| {
-                let outcome = outcomes[i].as_ref().expect("phase A ran");
+                // A race with no flip outcome (deadline cut phase A short)
+                // has no evidence fields — only its Unverified verdict.
+                let Some(outcome) = outcomes[i].as_ref() else {
+                    return TestedRace {
+                        race: run.races[i].clone(),
+                        verdict: verdicts[i].expect("phase B ran"),
+                        flipped_with: Vec::new(),
+                        vanished: Vec::new(),
+                        cs_expanded: false,
+                        outcome: None,
+                    };
+                };
                 let vanished = run
                     .races
                     .iter()
@@ -335,7 +401,7 @@ impl CausalityAnalysis {
                         .collect(),
                     vanished,
                     cs_expanded: outcome.plan.cs_expanded,
-                    outcome: outcome.outcome,
+                    outcome: Some(outcome.outcome),
                 }
             })
             .collect();
@@ -365,7 +431,10 @@ impl CausalityAnalysis {
         let root_results = self.exec.run_batch(&root_jobs, &cancel);
         let mut edges = Vec::new();
         for ((ri, plan), res) in root_plans.iter().enumerate().zip(root_results) {
-            let out = res.expect("uncancelled batches complete");
+            // A hole (deadline mid-pass): no edges from the unexecuted
+            // re-runs — the chain keeps its nodes but loses only ordering
+            // evidence, which is degradation, not invention.
+            let Some(out) = res else { break };
             stats.sim.add_retries(out.retries as usize);
             stats.note_exec(&out);
             if out.vm_faulted.is_none() {
@@ -394,6 +463,7 @@ impl CausalityAnalysis {
 
         let failure_desc = describe_failure(run);
         let chain = build_chain(&root_causes, &edges, &run.program, &failure_desc);
+        stats.deadline_fired = self.exec.deadline_fired();
         CausalityResult {
             chain,
             tested,
@@ -609,7 +679,7 @@ mod tests {
         let result = CausalityAnalysis::new(cfg).analyze(&run);
         assert!(!result.tested.is_empty());
         for t in &result.tested {
-            assert_eq!(t.outcome, RunOutcome::Timeout);
+            assert_eq!(t.outcome, Some(RunOutcome::Timeout));
             assert_eq!(t.verdict, Verdict::Ambiguous, "race {:?}", t.race.key());
         }
         assert!(result.root_causes.is_empty());

@@ -33,6 +33,10 @@ use ksim::{
     ThreadId,
     ThreadStatus, //
 };
+use serde::{
+    Deserialize,
+    Serialize, //
+};
 use std::collections::HashMap;
 use std::sync::{
     Arc,
@@ -55,7 +59,7 @@ impl Default for EnforceConfig {
 }
 
 /// A forced resume of a suspended lock holder (liveness, §3.4).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ForcedResume {
     /// The thread that blocked.
     pub blocked: ThreadSel,
@@ -68,7 +72,7 @@ pub struct ForcedResume {
 }
 
 /// Final state of one thread after a run.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ThreadFinal {
     /// Stable selector of the thread.
     pub sel: ThreadSel,
@@ -87,7 +91,7 @@ pub struct ThreadFinal {
 /// *crashed* — never produced by enforcement itself). Every consumer —
 /// LIFS round folding, causality flip verdicts, the manager's fan-out —
 /// branches on this taxonomy instead of re-deriving it from raw fields.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RunOutcome {
     /// The run completed with no failure and every scheduling point fired.
     Passed,
@@ -130,7 +134,7 @@ impl std::fmt::Display for RunOutcome {
 }
 
 /// The observable outcome of one enforced run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RunResult {
     /// The executed trace (total order).
     pub trace: Vec<StepRecord>,

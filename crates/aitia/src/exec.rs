@@ -31,10 +31,12 @@ use crate::{
         SnapshotCache,
         SnapshotForest, //
     },
+    journal::Journal,
     schedule::{
         Schedule,
         ThreadSel, //
     },
+    simtime::CostModel,
 };
 use ksim::{
     Engine,
@@ -59,6 +61,7 @@ use std::{
         Mutex,
         OnceLock, //
     },
+    time::Instant,
 };
 
 /// A cooperative cancellation flag, checked at schedule boundaries.
@@ -112,6 +115,133 @@ impl CancelToken {
             tok = t.inner.parent.as_ref();
         }
         false
+    }
+}
+
+/// A wall-clock and/or simulated-time budget for a whole campaign, checked
+/// by every executor claim loop at schedule boundaries (DESIGN.md §7).
+///
+/// When either budget runs out the deadline *fires* exactly once: it marks
+/// itself fired and cancels every subscribed [`CancelToken`] (whose children
+/// — per-slice search tokens, flip-batch tokens — observe the cancellation
+/// through the existing token chain). In-flight batches then stop claiming
+/// work, so consumers fold a contiguous best-so-far prefix and degrade
+/// gracefully instead of being killed mid-result: LIFS returns its frontier,
+/// Causality Analysis marks un-flipped races
+/// [`crate::causality::Verdict::Unverified`].
+///
+/// The simulated budget is spent by executed runs only (memo hits are free,
+/// exactly like [`ExecStats`] cost accounting): each run charges its
+/// [`CostModel::serial_run_s`] divided by the model's VM count, each fault
+/// retry charges the model's backoff, so the simulated clock advances the
+/// way the reported campaign seconds do.
+#[derive(Debug)]
+pub struct DeadlineBudget {
+    /// Wall-clock expiry instant, when a wall deadline was configured.
+    wall: Option<Instant>,
+    /// Simulated-seconds budget, in microseconds, when configured.
+    sim_budget_us: Option<u64>,
+    /// Cost model translating executed runs into simulated seconds.
+    model: CostModel,
+    /// Simulated microseconds spent so far.
+    sim_spent_us: AtomicU64,
+    /// Whether the deadline has fired.
+    fired: AtomicBool,
+    /// Tokens cancelled when the deadline fires.
+    subscribers: Mutex<Vec<CancelToken>>,
+}
+
+impl DeadlineBudget {
+    /// A budget expiring after `wall_s` wall-clock seconds and/or `sim_s`
+    /// simulated seconds (under `model`), whichever comes first. With both
+    /// `None` the budget never fires.
+    #[must_use]
+    pub fn new(wall_s: Option<f64>, sim_s: Option<f64>, model: CostModel) -> DeadlineBudget {
+        let wall = wall_s
+            .filter(|s| s.is_finite() && *s >= 0.0)
+            .map(|s| Instant::now() + std::time::Duration::from_secs_f64(s));
+        let sim_budget_us = sim_s
+            .filter(|s| s.is_finite() && *s >= 0.0)
+            .map(|s| (s * 1e6) as u64);
+        DeadlineBudget {
+            wall,
+            sim_budget_us,
+            model,
+            sim_spent_us: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+            subscribers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers a token to be cancelled when the deadline fires. Its
+    /// children (slice tasks, batch tokens) observe the cancellation through
+    /// the normal parent chain.
+    pub fn subscribe(&self, token: &CancelToken) {
+        self.subscribers.lock().unwrap().push(token.clone());
+    }
+
+    /// Whether the deadline has fired.
+    #[must_use]
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Simulated seconds spent against the budget so far.
+    #[must_use]
+    pub fn sim_spent_s(&self) -> f64 {
+        self.sim_spent_us.load(Ordering::SeqCst) as f64 / 1e6
+    }
+
+    /// Evaluates both budgets, firing the deadline if either has run out.
+    /// Returns whether the deadline has fired (now or earlier).
+    pub fn check(&self) -> bool {
+        if self.fired() {
+            return true;
+        }
+        let wall_hit = self.wall.is_some_and(|w| Instant::now() >= w);
+        let sim_hit = self
+            .sim_budget_us
+            .is_some_and(|b| self.sim_spent_us.load(Ordering::SeqCst) >= b);
+        if wall_hit || sim_hit {
+            self.fire(if wall_hit {
+                "wall-clock"
+            } else {
+                "simulated-time"
+            });
+            return true;
+        }
+        false
+    }
+
+    /// Fires exactly once: marks the budget expired and cancels subscribers.
+    fn fire(&self, which: &str) {
+        if self.fired.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for t in self.subscribers.lock().unwrap().iter() {
+            t.cancel();
+        }
+        eprintln!(
+            "aitia-exec: {which} deadline fired after {:.1} simulated seconds; \
+             degrading to best-so-far results",
+            self.sim_spent_s()
+        );
+    }
+
+    /// Charges one executed run's simulated cost.
+    pub(crate) fn charge_run(&self, steps: usize, failed: bool) {
+        let serial = self.model.serial_run_s(steps, failed);
+        self.charge_s(serial / f64::from(self.model.vms.max(1)));
+    }
+
+    /// Charges one fault retry's backoff.
+    pub(crate) fn charge_retry(&self) {
+        self.charge_s(self.model.retry_backoff_s / f64::from(self.model.vms.max(1)));
+    }
+
+    fn charge_s(&self, seconds: f64) {
+        let us = (seconds * 1e6) as u64;
+        self.sim_spent_us.fetch_add(us, Ordering::SeqCst);
     }
 }
 
@@ -297,6 +427,10 @@ pub struct ExecStats {
     /// prefix checkpoint published by another worker (absent from the
     /// restoring worker's local LRU).
     pub forest_hits: u64,
+    /// Whether this executor's deadline budget fired: in-flight batches
+    /// stopped claiming work and consumers folded best-so-far prefixes.
+    /// Always `false` without a configured [`DeadlineBudget`].
+    pub deadline_fired: bool,
 }
 
 /// Internal atomic counters behind [`ExecStats`].
@@ -333,6 +467,7 @@ impl StatCells {
             memo_misses: self.memo_misses.load(Ordering::SeqCst),
             memo_excluded: self.memo_excluded.load(Ordering::SeqCst),
             forest_hits: self.forest_hits.load(Ordering::SeqCst),
+            deadline_fired: false,
         }
     }
 }
@@ -348,7 +483,7 @@ struct SlotHealth {
 }
 
 /// Executor sizing.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExecutorConfig {
     /// Worker ("VM") count. One worker executes jobs inline on the calling
     /// thread — the only serial path. Spawned OS threads are additionally
@@ -369,6 +504,13 @@ pub struct ExecutorConfig {
     /// A/B baseline for `report --no-memo`); results are bit-identical
     /// either way.
     pub memo: bool,
+    /// Durable run journal: every fresh conclusive output (and every memo
+    /// hit, deduplicated by key) is appended so a killed campaign can
+    /// resume at zero VM cost. `None` disables journaling.
+    pub journal: Option<Arc<Journal>>,
+    /// Campaign deadline budget, checked at every job-claim boundary and
+    /// charged by executed runs. `None` disables deadlines.
+    pub deadline: Option<Arc<DeadlineBudget>>,
 }
 
 impl Default for ExecutorConfig {
@@ -379,6 +521,8 @@ impl Default for ExecutorConfig {
             os_threads: None,
             fault: None,
             memo: true,
+            journal: None,
+            deadline: None,
         }
     }
 }
@@ -474,6 +618,16 @@ fn global_memo() -> &'static MemoTable {
     MEMO.get_or_init(|| MemoTable::new(8192))
 }
 
+/// Seeds the process-wide memo table with a replayed journal record, keyed
+/// against the resuming campaign's `Arc<Program>`. Safe against fingerprint
+/// collisions and stale records alike: the memo lookup compares the full
+/// schedule, program identity, and step budget, so a mismatched preload
+/// degrades to a miss, never a wrong answer.
+pub(crate) fn memo_preload(job: &ExecJob, output: &ExecOutput) {
+    let fp = schedule_fingerprint(&job.schedule, &job.enforce);
+    global_memo().put(fp, job, output);
+}
+
 /// The process-wide snapshot forest, shared across executors for the same
 /// reason as [`global_memo`].
 fn global_forest() -> &'static SnapshotForest {
@@ -540,7 +694,23 @@ impl Executor {
     /// A snapshot of the pool's robustness counters.
     #[must_use]
     pub fn stats(&self) -> ExecStats {
-        self.stats.snapshot()
+        ExecStats {
+            deadline_fired: self.deadline_fired(),
+            ..self.stats.snapshot()
+        }
+    }
+
+    /// Whether this executor's configured deadline budget has fired.
+    /// Always `false` without one.
+    #[must_use]
+    pub fn deadline_fired(&self) -> bool {
+        self.config.deadline.as_ref().is_some_and(|d| d.fired())
+    }
+
+    /// Evaluates the deadline budget at a claim boundary, firing it if
+    /// either budget ran out. `false` without a configured deadline.
+    fn deadline_expired(&self) -> bool {
+        self.config.deadline.as_ref().is_some_and(|d| d.check())
     }
 
     /// Indices of slots the breaker has not quarantined. Non-empty by
@@ -594,7 +764,7 @@ impl Executor {
             let mut slot = self.slots[si].lock().unwrap();
             let mut out: Vec<Option<ExecOutput>> = Vec::with_capacity(n);
             for job in jobs {
-                if cancel.is_cancelled() {
+                if cancel.is_cancelled() || self.deadline_expired() {
                     break;
                 }
                 let res = self.run_job_ft(si, &mut slot, job);
@@ -624,7 +794,11 @@ impl Executor {
                         // `stop_at` only decreases, so a stale read can only
                         // make us execute speculatively, never skip an index
                         // at or below the final bound.
-                        if i >= n || i > stop_at.load(Ordering::SeqCst) || cancel.is_cancelled() {
+                        if i >= n
+                            || i > stop_at.load(Ordering::SeqCst)
+                            || cancel.is_cancelled()
+                            || self.deadline_expired()
+                        {
                             return;
                         }
                         let res = self.run_job_ft(si, &mut slot, &jobs[i]);
@@ -680,6 +854,12 @@ impl Executor {
                         out.retries = retries;
                         out.memo_hit = true;
                         out.forest_hits = 0;
+                        // A hit is journaled too (deduplicated inside): the
+                        // table may have been seeded by an executor without
+                        // a journal, and a resume must not re-pay for it.
+                        if let Some(journal) = &self.config.journal {
+                            journal.append(job, &out);
+                        }
                         self.note_slot_result(si, job_faulted);
                         return out;
                     }
@@ -687,11 +867,23 @@ impl Executor {
                 }
                 let forest = self.config.memo.then(global_forest);
                 let out = run_job(slot, job, cache_cap, forest, &self.stats, retries);
+                if let Some(deadline) = &self.config.deadline {
+                    deadline.charge_run(out.run.steps, out.run.failure.is_some());
+                }
                 if let Some(memo) = memo {
                     if out.outcome.is_inconclusive() {
                         self.stats.memo_excluded.fetch_add(1, Ordering::SeqCst);
                     } else {
                         memo.put(fp, job, &out);
+                    }
+                }
+                // Conclusive outputs are made durable; inconclusive ones are
+                // excluded exactly like `memo_excluded` — a timeout or crash
+                // proves nothing and must not shadow a future conclusive
+                // execution on resume.
+                if !out.outcome.is_inconclusive() {
+                    if let Some(journal) = &self.config.journal {
+                        journal.append(job, &out);
                     }
                 }
                 self.note_slot_result(si, job_faulted);
@@ -719,6 +911,9 @@ impl Executor {
             }
             retries += 1;
             self.stats.retries.fetch_add(1, Ordering::SeqCst);
+            if let Some(deadline) = &self.config.deadline {
+                deadline.charge_retry();
+            }
         }
     }
 
@@ -802,7 +997,7 @@ impl Executor {
         if workers <= 1 {
             let mut out: Vec<Option<T>> = Vec::with_capacity(count);
             for (i, token) in tokens.iter().enumerate() {
-                if cancel.is_cancelled() {
+                if cancel.is_cancelled() || self.deadline_expired() {
                     break;
                 }
                 let res = task(i, token.clone());
@@ -825,7 +1020,11 @@ impl Executor {
                     (&results, &next, &stop_at, &task, &stop, &tokens);
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::SeqCst);
-                    if i >= count || i > stop_at.load(Ordering::SeqCst) || cancel.is_cancelled() {
+                    if i >= count
+                        || i > stop_at.load(Ordering::SeqCst)
+                        || cancel.is_cancelled()
+                        || self.deadline_expired()
+                    {
                         return;
                     }
                     let res = task(i, tokens[i].clone());

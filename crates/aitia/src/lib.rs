@@ -19,6 +19,8 @@
 //! * [`simtime`] — the deterministic cost model standing in for the paper's
 //!   wall-clock measurements (32 VMs, reboot-on-failure);
 //! * [`manager`] — parallel reproducer/diagnoser orchestration (§4.1, §4.5);
+//! * [`journal`] — the durable write-ahead run journal backing kill-and-resume;
+//! * [`campaign`] — crash-safe, deadline-budgeted campaign driver;
 //! * [`report`] — human-readable chain and diagnosis reports.
 //!
 //! # Example
@@ -68,9 +70,11 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod causality;
 pub mod enforce;
 pub mod exec;
+pub mod journal;
 pub mod lifs;
 pub mod manager;
 pub mod race;
@@ -78,6 +82,11 @@ pub mod report;
 pub mod schedule;
 pub mod simtime;
 
+pub use campaign::{
+    Campaign,
+    CampaignOutcome,
+    PartialDiagnosis, //
+};
 pub use causality::chain::{
     CausalityChain,
     ChainNode, //
@@ -98,6 +107,7 @@ pub use enforce::{
 };
 pub use exec::{
     CancelToken,
+    DeadlineBudget,
     ExecJob,
     ExecOutput,
     ExecStats,
@@ -105,6 +115,10 @@ pub use exec::{
     ExecutorConfig,
     FaultInjection,
     FaultKind, //
+};
+pub use journal::{
+    Journal,
+    JournalStats, //
 };
 pub use lifs::{
     FailingRun,

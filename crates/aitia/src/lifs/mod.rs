@@ -188,6 +188,10 @@ pub struct LifsStats {
     /// Simulated seconds of serial execution the memo hits avoided (at
     /// default cost-model rates; see `CostModel::serial_run_s`).
     pub sim_time_saved_s: f64,
+    /// Whether a deadline budget fired during the search, making its
+    /// result a best-so-far frontier rather than an exhausted one. Always
+    /// false without a configured [`crate::exec::DeadlineBudget`].
+    pub deadline_fired: bool,
 }
 
 impl LifsStats {
@@ -203,6 +207,7 @@ impl LifsStats {
         self.memo_hits += other.memo_hits;
         self.forest_hits += other.forest_hits;
         self.sim_time_saved_s += other.sim_time_saved_s;
+        self.deadline_fired |= other.deadline_fired;
     }
 
     /// Folds one executor output's memoization accounting into the
@@ -503,6 +508,14 @@ impl Lifs {
     /// Runs the search.
     #[must_use]
     pub fn search(&self) -> LifsOutput {
+        // One stamping point for the deadline flag covers every early
+        // return inside the search body.
+        let mut out = self.search_inner();
+        out.stats.deadline_fired = self.exec.deadline_fired();
+        out
+    }
+
+    fn search_inner(&self) -> LifsOutput {
         let mut stats = LifsStats::default();
         let mut tree = SearchTree::default();
         let mut knowledge = Knowledge::default();

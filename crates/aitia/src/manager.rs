@@ -25,11 +25,13 @@ use crate::{
         CausalityResult, //
     },
     exec::{
+        DeadlineBudget,
         ExecStats,
         Executor,
         ExecutorConfig,
         FaultInjection, //
     },
+    journal::Journal,
     lifs::{
         FailingRun,
         Lifs,
@@ -60,6 +62,20 @@ pub struct ManagerConfig {
     /// the per-slice single-worker executors. Diagnoses are bit-identical
     /// either way; disabling is the A/B baseline for the benchmark.
     pub memo: bool,
+    /// Wall-clock budget for the whole campaign, in seconds. When it
+    /// expires, in-flight batches stop and the diagnosis degrades to
+    /// best-so-far results (un-flipped races become
+    /// [`crate::causality::Verdict::Unverified`]). `None` = unbounded.
+    pub wall_deadline_s: Option<f64>,
+    /// Simulated-time budget, in serial seconds under [`CostModel`] rates
+    /// divided by the pool size — the deterministic analogue of the
+    /// wall-clock budget, charged only by actually-executed runs (memo and
+    /// journal hits are free). `None` = unbounded.
+    pub sim_deadline_s: Option<f64>,
+    /// Durable run journal: every conclusive execution is appended, and a
+    /// resumed campaign replays it into the memo table. `None` disables
+    /// durability.
+    pub journal: Option<Arc<Journal>>,
 }
 
 impl Default for ManagerConfig {
@@ -70,6 +86,9 @@ impl Default for ManagerConfig {
             causality: CausalityConfig::default(),
             fault: None,
             memo: true,
+            wall_deadline_s: None,
+            sim_deadline_s: None,
+            journal: None,
         }
     }
 }
@@ -102,19 +121,55 @@ pub struct Diagnosis {
 pub struct Manager {
     config: ManagerConfig,
     exec: Arc<Executor>,
+    deadline: Option<Arc<DeadlineBudget>>,
 }
 
 impl Manager {
     /// Creates a manager owning a VM pool of `config.vms` workers.
     #[must_use]
     pub fn new(config: ManagerConfig) -> Self {
+        let deadline =
+            (config.wall_deadline_s.is_some() || config.sim_deadline_s.is_some()).then(|| {
+                let d = Arc::new(DeadlineBudget::new(
+                    config.wall_deadline_s,
+                    config.sim_deadline_s,
+                    CostModel {
+                        vms: u32::try_from(config.vms.max(1)).unwrap_or(u32::MAX),
+                        ..CostModel::default()
+                    },
+                ));
+                // When the deadline fires, both stages' cancellation roots
+                // trip, so LIFS rounds and causality flips stop folding at
+                // the first hole.
+                d.subscribe(&config.lifs.cancel);
+                d.subscribe(&config.causality.cancel);
+                d
+            });
         let exec = Arc::new(Executor::with_config(ExecutorConfig {
             vms: config.vms,
             fault: config.fault,
             memo: config.memo,
+            journal: config.journal.clone(),
+            deadline: deadline.clone(),
             ..ExecutorConfig::default()
         }));
-        Manager { config, exec }
+        Manager {
+            config,
+            exec,
+            deadline,
+        }
+    }
+
+    /// Whether a configured deadline budget has fired.
+    #[must_use]
+    pub fn deadline_fired(&self) -> bool {
+        self.deadline.as_ref().is_some_and(|d| d.fired())
+    }
+
+    /// The journal's counters, when one is configured.
+    #[must_use]
+    pub fn journal_stats(&self) -> Option<crate::journal::JournalStats> {
+        self.config.journal.as_ref().map(|j| j.stats())
     }
 
     /// Robustness counters of the manager's shared pool. Multi-slice
@@ -187,6 +242,8 @@ impl Manager {
                     vms: 1,
                     fault: self.config.fault,
                     memo: self.config.memo,
+                    journal: self.config.journal.clone(),
+                    deadline: self.deadline.clone(),
                     ..ExecutorConfig::default()
                 }));
                 Lifs::with_executor(Arc::clone(&slices[i]), cfg, slice_exec).search()

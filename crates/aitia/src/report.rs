@@ -70,13 +70,37 @@ pub fn render(program: &Program, run: &FailingRun, result: &CausalityResult) -> 
         .iter()
         .filter(|t| t.verdict == Verdict::Ambiguous)
         .count();
+    let unverified = result
+        .tested
+        .iter()
+        .filter(|t| t.verdict == Verdict::Unverified)
+        .count();
     out.push_str(&format!(
-        "\ntested races: {} total, {} causal, {} benign (excluded), {} ambiguous\n",
+        "\ntested races: {} total, {} causal, {} benign (excluded), {} ambiguous, \
+         {} unverified\n",
         result.tested.len(),
         result.root_causes.len(),
         benign,
-        ambiguous
+        ambiguous,
+        unverified
     ));
+    if result.stats.deadline_fired || unverified > 0 {
+        out.push_str(
+            "PARTIAL diagnosis: a deadline budget expired before every race was \
+             flipped; unverified races are suspects, not exonerated.\n",
+        );
+        out.push_str("verdict provenance:\n");
+        for t in &result.tested {
+            let (f, s) = t.race.key();
+            out.push_str(&format!(
+                "  {} / {}  {:?} — {}\n",
+                program.instr_name(f),
+                program.instr_name(s),
+                t.verdict,
+                t.provenance()
+            ));
+        }
+    }
     let c = conciseness(run, result);
     out.push_str(&format!(
         "conciseness: {} memory-accessing instructions → {} data races → {} chain races\n",

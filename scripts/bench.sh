@@ -7,12 +7,20 @@
 # 1.0, the full calibration — several minutes; 0.1 runs in seconds), and
 # BENCH_OUT the output path (default BENCH_memo.json — the checked-in
 # artifact; CI's smoke run writes under target/ instead).
+#
+# Also regenerates BENCH_resume.json, the crash-safety artifact: `report
+# bench-resume` runs a journaled campaign, truncates the journal at 25/50/75%
+# of its records (a modeled kill), resumes against a fresh program identity,
+# and reports the VM executions the journal replay saved — gated on
+# bit-identical diagnoses and >= 40% savings at the 50% interruption point.
+# BENCH_RESUME_OUT overrides the output path (default BENCH_resume.json).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SCALE="${BENCH_SCALE:-1.0}"
 OUT="${BENCH_OUT:-BENCH_memo.json}"
+RESUME_OUT="${BENCH_RESUME_OUT:-BENCH_resume.json}"
 
 cargo build --release -p aitia-bench
 ./target/release/report bench-memo --scale "$SCALE" > "$OUT"
@@ -20,3 +28,9 @@ echo "wrote $OUT (scale $SCALE)"
 
 grep -q '"diagnoses_identical": true' "$OUT" \
     || { echo "FAIL: memoized diagnoses diverged from baseline" >&2; exit 1; }
+
+./target/release/report bench-resume --scale "$SCALE" > "$RESUME_OUT"
+echo "wrote $RESUME_OUT (scale $SCALE)"
+
+grep -q '"meets_resume_gate": true' "$RESUME_OUT" \
+    || { echo "FAIL: resume bench missed the gate (divergent diagnosis or < 40% VM executions saved at 50% interruption)" >&2; exit 1; }

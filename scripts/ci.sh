@@ -15,7 +15,33 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
-echo "==> bench-memo smoke (reduced scale)"
-BENCH_SCALE=0.05 BENCH_OUT=target/BENCH_memo_smoke.json scripts/bench.sh
+echo "==> bench smoke (reduced scale)"
+BENCH_SCALE=0.05 BENCH_OUT=target/BENCH_memo_smoke.json \
+    BENCH_RESUME_OUT=target/BENCH_resume_smoke.json scripts/bench.sh
+
+echo "==> kill-and-resume smoke"
+# Start a journaled diagnosis, SIGKILL it partway through, resume it over the
+# surviving journal, and require the resumed report to diff clean against an
+# uninterrupted (journal-free) run. The kill is racy by design: if the run
+# finishes before the signal lands, the resume replays a complete journal and
+# the diff must still be clean. diagnose keeps stats on stderr precisely so
+# stdout is comparable here.
+SMOKE_BUG=CVE-2017-15649
+SMOKE_JOURNAL=target/ci-resume-smoke.wal
+rm -f "$SMOKE_JOURNAL"
+./target/release/diagnose "$SMOKE_BUG" --scale 0.05 --journal "$SMOKE_JOURNAL" \
+    > target/ci-resume-interrupted.txt 2> target/ci-resume-interrupted.err &
+SMOKE_PID=$!
+sleep 0.2
+kill -9 "$SMOKE_PID" 2> /dev/null || true
+wait "$SMOKE_PID" 2> /dev/null || true
+./target/release/diagnose "$SMOKE_BUG" --scale 0.05 --journal "$SMOKE_JOURNAL" \
+    > target/ci-resume-resumed.txt 2> target/ci-resume-resumed.err
+./target/release/diagnose "$SMOKE_BUG" --scale 0.05 \
+    > target/ci-resume-reference.txt 2> target/ci-resume-reference.err
+diff target/ci-resume-resumed.txt target/ci-resume-reference.txt \
+    || { echo "FAIL: resumed diagnosis diverged from the uninterrupted run" >&2; exit 1; }
+grep -q '^journal: ' target/ci-resume-resumed.err \
+    || { echo "FAIL: resumed run did not report journal stats" >&2; exit 1; }
 
 echo "CI OK"
