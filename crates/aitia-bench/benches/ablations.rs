@@ -25,9 +25,13 @@ fn bench_lifs_por(c: &mut Criterion) {
         .expect("11486");
     let mut group = c.benchmark_group("ablation_lifs_por");
     group.sample_size(10);
-    for (name, por) in [("with_por", true), ("without_por", false)] {
+    for (name, prune) in [
+        ("dpor", aitia::lifs::PruneLevel::Dpor),
+        ("with_por", aitia::lifs::PruneLevel::Conflict),
+        ("without_por", aitia::lifs::PruneLevel::Off),
+    ] {
         let cfg = LifsConfig {
-            por,
+            prune,
             ..bug.lifs_config()
         };
         group.bench_function(name, |b| {

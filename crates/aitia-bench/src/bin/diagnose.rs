@@ -31,6 +31,8 @@ flags:
   --scale <float>       benign-race noise scale, finite and positive
                         (default 0.2)
   --vms <int>           VM-pool worker count, at least 1 (default 8)
+  --prune-level <level> LIFS pruning: off, conflict or dpor (default:
+                        the bug's calibrated config, normally conflict)
   --journal <path>      append conclusive runs to a durable journal and
                         replay it on startup (kill-and-resume)
   --deadline-s <float>  wall-clock budget in seconds, finite and positive;
@@ -62,6 +64,7 @@ fn main() {
     let mut id: Option<String> = None;
     let mut scale = 0.2f64;
     let mut vms = 8usize;
+    let mut prune: Option<aitia::lifs::PruneLevel> = None;
     let mut journal: Option<String> = None;
     let mut deadline_s: Option<f64> = None;
     let mut i = 0;
@@ -69,6 +72,7 @@ fn main() {
         match args[i].as_str() {
             "--scale" => scale = flag_value(&args, &mut i, "--scale"),
             "--vms" => vms = flag_value(&args, &mut i, "--vms"),
+            "--prune-level" => prune = Some(flag_value(&args, &mut i, "--prune-level")),
             "--journal" => journal = Some(flag_value(&args, &mut i, "--journal")),
             "--deadline-s" => deadline_s = Some(flag_value(&args, &mut i, "--deadline-s")),
             "--list" => {
@@ -119,9 +123,13 @@ fn main() {
 
     // Reproduce + diagnose through the crash-safe campaign driver.
     let prog = bug.program_scaled(scale);
+    let mut lifs = bug.lifs_config();
+    if let Some(prune) = prune {
+        lifs.prune = prune;
+    }
     let config = ManagerConfig {
         vms,
-        lifs: bug.lifs_config(),
+        lifs,
         wall_deadline_s: deadline_s,
         ..ManagerConfig::default()
     };
@@ -146,11 +154,14 @@ fn main() {
         std::process::exit(1);
     };
     eprintln!(
-        "LIFS: {} schedules, interleaving count {}, pruned {} (non-conflicting) + {} (equivalent)",
+        "LIFS: {} schedules, interleaving count {}, pruned {} (non-conflicting) + \
+         {} (equivalent) + {} (sleep set) + {} (persistent set)",
         d.lifs_stats.schedules_executed,
         d.lifs_stats.interleaving_count,
         d.lifs_stats.pruned_nonconflicting,
-        d.lifs_stats.pruned_equivalent
+        d.lifs_stats.pruned_equivalent,
+        d.lifs_stats.pruned_sleep_set,
+        d.lifs_stats.pruned_persistent
     );
     if let CampaignOutcome::Partial(p) = &outcome {
         eprintln!(

@@ -6,7 +6,8 @@
 //! ```
 //!
 //! Subcommands: `table1`, `table2`, `table3`, `conciseness`, `comparison`,
-//! `ablations`, `fig5`, `fig6`, `fig7`, `fig9`, `bench-memo`, `all`.
+//! `ablations`, `fig5`, `fig6`, `fig7`, `fig9`, `bench-memo`,
+//! `bench-resume`, `bench-prune`, `all`.
 //!
 //! `--scale` multiplies every bug's calibrated benign-race noise (1.0 =
 //! full calibration, matching the magnitudes of the paper's tables; smaller
@@ -55,10 +56,13 @@ subcommands (default: all):
   extensions            beyond-paper scenarios (IRQ, RCU, ABBA)
   bench-memo            memoization A/B over Table 2 (JSON on stdout)
   bench-resume          kill-and-resume journal benchmark (JSON on stdout)
+  bench-prune           prune-level ablation over Table 2 (JSON on stdout)
   all                   everything above
 
 flags:
   --scale <float>       benign-race noise scale (default 1.0)
+  --prune-level <level> LIFS pruning: off, conflict or dpor (default:
+                        each bug's calibrated config, normally conflict)
   --samples <int>       comparison sample count (default 400)
   --vms <int>           VM-pool worker count, at least 1 (default 8)
   --snapshot-cache <n>  per-worker snapshot-prefix cache entries, at
@@ -93,6 +97,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = "all".to_string();
     let mut scale = 1.0f64;
+    let mut prune: Option<aitia::lifs::PruneLevel> = None;
     let mut samples = 400usize;
     let mut vms = 8usize;
     let mut snapshot_cache = ExecutorConfig::default().snapshot_cache;
@@ -105,6 +110,7 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => scale = flag_value(&args, &mut i, "--scale"),
+            "--prune-level" => prune = Some(flag_value(&args, &mut i, "--prune-level")),
             "--samples" => samples = flag_value(&args, &mut i, "--samples"),
             "--vms" => vms = flag_value(&args, &mut i, "--vms"),
             "--snapshot-cache" => snapshot_cache = flag_value(&args, &mut i, "--snapshot-cache"),
@@ -168,10 +174,10 @@ fn main() {
     }));
     let model = experiments::cost_model_for(&exec);
     match cmd.as_str() {
-        "table2" => table2(scale, &exec, &model),
-        "table3" => table3(scale, &exec, &model),
+        "table2" => table2(scale, &exec, &model, prune),
+        "table3" => table3(scale, &exec, &model, prune),
         "conciseness" => {
-            let rows = experiments::table3_on(scale, &exec);
+            let rows = experiments::table3_on_prune(scale, &exec, prune);
             print_conciseness(&rows);
         }
         "comparison" | "table1" => comparison(scale, samples),
@@ -207,6 +213,31 @@ fn main() {
             );
             return;
         }
+        "bench-prune" => {
+            // Self-contained like bench-memo: each prune level runs the
+            // corpus on fresh single-VM pools and fresh programs, so no
+            // memoized state leaks between levels. JSON goes to stdout for
+            // BENCH_prune.json; the human summary goes to stderr.
+            let b = experiments::bench_prune(scale);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&b).expect("bench result serializes")
+            );
+            eprintln!(
+                "bench-prune: off {} / conflict {} / dpor {} schedules \
+                 ({:.1}% dpor-vs-conflict reduction; sleep-set {}, \
+                 persistent-set {}), diagnoses identical: {}, gate met: {}",
+                b.off.schedules_executed,
+                b.conflict.schedules_executed,
+                b.dpor.schedules_executed,
+                b.dpor_vs_conflict_reduction_percent,
+                b.dpor.pruned_sleep_set,
+                b.dpor.pruned_persistent,
+                b.diagnoses_identical,
+                b.meets_prune_gate
+            );
+            return;
+        }
         "bench-resume" => {
             // Self-contained like bench-memo: journaled campaigns on fresh
             // private pools, JSON on stdout, summary on stderr.
@@ -232,8 +263,8 @@ fn main() {
             return;
         }
         "all" => {
-            table2(scale, &exec, &model);
-            let rows = experiments::table3_on(scale, &exec);
+            table2(scale, &exec, &model, prune);
+            let rows = experiments::table3_on_prune(scale, &exec, prune);
             println!("{}", experiments::render_table3(&rows, &model));
             let avg: f64 =
                 rows.iter().map(|r| r.chain_races() as f64).sum::<f64>() / rows.len() as f64;
@@ -258,8 +289,13 @@ fn main() {
     }
 }
 
-fn table2(scale: f64, exec: &Arc<Executor>, model: &CostModel) {
-    let rows = experiments::table2_on(scale, exec);
+fn table2(
+    scale: f64,
+    exec: &Arc<Executor>,
+    model: &CostModel,
+    prune: Option<aitia::lifs::PruneLevel>,
+) {
+    let rows = experiments::table2_on_prune(scale, exec, prune);
     println!("{}", experiments::render_table2(&rows, model));
     let amb: Vec<&str> = rows
         .iter()
@@ -269,8 +305,13 @@ fn table2(scale: f64, exec: &Arc<Executor>, model: &CostModel) {
     println!("ambiguity cases: {amb:?} (paper: [\"CVE-2016-10200\"])\n");
 }
 
-fn table3(scale: f64, exec: &Arc<Executor>, model: &CostModel) {
-    let rows = experiments::table3_on(scale, exec);
+fn table3(
+    scale: f64,
+    exec: &Arc<Executor>,
+    model: &CostModel,
+    prune: Option<aitia::lifs::PruneLevel>,
+) {
+    let rows = experiments::table3_on_prune(scale, exec, prune);
     println!("{}", experiments::render_table3(&rows, model));
     let avg: f64 = rows.iter().map(|r| r.chain_races() as f64).sum::<f64>() / rows.len() as f64;
     println!("average chain length: {avg:.1} (paper: 3.0)\n");

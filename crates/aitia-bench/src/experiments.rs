@@ -108,7 +108,28 @@ pub fn diagnose_program_on(
     prog: Arc<ksim::Program>,
     exec: &Arc<Executor>,
 ) -> BugOutcome {
-    let out = Lifs::with_executor(prog, bug.lifs_config(), Arc::clone(exec)).search();
+    diagnose_program_with_prune(bug, prog, exec, bug.lifs_config().prune)
+}
+
+/// [`diagnose_program_on`] at an explicit LIFS prune level (the
+/// `--prune-level` ablation knob).
+///
+/// # Panics
+///
+/// Panics when the bug fails to reproduce — every corpus bug must, at
+/// every prune level.
+#[must_use]
+pub fn diagnose_program_with_prune(
+    bug: &BugModel,
+    prog: Arc<ksim::Program>,
+    exec: &Arc<Executor>,
+    prune: aitia::lifs::PruneLevel,
+) -> BugOutcome {
+    let cfg = aitia::lifs::LifsConfig {
+        prune,
+        ..bug.lifs_config()
+    };
+    let out = Lifs::with_executor(prog, cfg, Arc::clone(exec)).search();
     let run = out
         .failing
         .unwrap_or_else(|| panic!("{} did not reproduce", bug.id));
@@ -249,6 +270,126 @@ fn diagnosis_digest(rows: &[BugOutcome]) -> Vec<String> {
             )
         })
         .collect()
+}
+
+/// Everything diagnosis-facing *except schedule counts*, which prune
+/// levels change by design. The failing schedule, trace length, chain,
+/// verdicts and Causality Analysis counts (a pure function of the failing
+/// run) must still be bit-identical across prune levels.
+fn prune_digest(rows: &[BugOutcome]) -> Vec<String> {
+    rows.iter()
+        .map(|r| {
+            let verdicts: Vec<aitia::Verdict> = r.result.tested.iter().map(|t| t.verdict).collect();
+            format!(
+                "{} chain={} verdicts={:?} sched={:?} steps={} ca={}",
+                r.id,
+                r.result.chain,
+                verdicts,
+                r.run.schedule,
+                r.run.trace.len(),
+                r.result.stats.schedules_executed,
+            )
+        })
+        .collect()
+}
+
+/// One prune level's aggregate LIFS counters over the Table 2 corpus.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct PruneBenchSide {
+    /// The prune level the side ran at.
+    pub level: String,
+    /// Schedules LIFS executed across the corpus.
+    pub schedules_executed: usize,
+    /// Candidates skipped as statically non-conflicting.
+    pub pruned_nonconflicting: usize,
+    /// Candidates skipped or discounted as equivalent interleavings.
+    pub pruned_equivalent: usize,
+    /// Candidates skipped by the DPOR sleep-set rule.
+    pub pruned_sleep_set: usize,
+    /// Candidates skipped by the DPOR persistent-set rule.
+    pub pruned_persistent: usize,
+}
+
+/// Result of `report bench-prune`: the `--prune-level` ablation over
+/// Table 2 (`BENCH_prune.json`).
+///
+/// Every level must produce a bit-identical diagnosis — the levels differ
+/// only in how much of the schedule space they refuse to execute, never in
+/// what they find. The acceptance gate asserts the `dpor` level executes
+/// at least 30% fewer schedules than `conflict`.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct PruneBench {
+    /// Noise scale every side ran at.
+    pub scale: f64,
+    /// No pruning.
+    pub off: PruneBenchSide,
+    /// Conflict-based pruning (the default level).
+    pub conflict: PruneBenchSide,
+    /// Full DPOR (sleep sets + persistent sets).
+    pub dpor: PruneBenchSide,
+    /// Percent of `conflict`'s executed schedules that `dpor` avoided.
+    pub dpor_vs_conflict_reduction_percent: f64,
+    /// Whether every diagnosis-facing output (chains, verdicts, failing
+    /// schedules, trace lengths) is bit-identical across all three levels.
+    pub diagnoses_identical: bool,
+    /// The acceptance gate: ≥30% fewer schedules at `dpor` than at
+    /// `conflict`, with `diagnoses_identical` true.
+    pub meets_prune_gate: bool,
+}
+
+/// Runs the prune-level ablation over Table 2.
+#[must_use]
+pub fn bench_prune(scale: f64) -> PruneBench {
+    use aitia::lifs::PruneLevel;
+    let run = |level: PruneLevel| {
+        let bugs = corpus::cves();
+        // Each side builds its own programs so the process-wide memo table
+        // (keyed on program identity) never leaks results across levels.
+        let rows: Vec<BugOutcome> = bugs
+            .iter()
+            .map(|b| {
+                let exec = Arc::new(Executor::with_config(ExecutorConfig {
+                    vms: 1,
+                    ..ExecutorConfig::default()
+                }));
+                diagnose_program_with_prune(b, b.program_scaled(scale), &exec, level)
+            })
+            .collect();
+        let sum = |f: fn(&LifsStats) -> usize| rows.iter().map(|r| f(&r.lifs)).sum();
+        let side = PruneBenchSide {
+            level: level.to_string(),
+            schedules_executed: sum(|s| s.schedules_executed),
+            pruned_nonconflicting: sum(|s| s.pruned_nonconflicting),
+            pruned_equivalent: sum(|s| s.pruned_equivalent),
+            pruned_sleep_set: sum(|s| s.pruned_sleep_set),
+            pruned_persistent: sum(|s| s.pruned_persistent),
+        };
+        (rows, side)
+    };
+    let (off_rows, off) = run(PruneLevel::Off);
+    let (conflict_rows, conflict) = run(PruneLevel::Conflict);
+    let (dpor_rows, dpor) = run(PruneLevel::Dpor);
+    let diagnoses_identical = prune_digest(&off_rows) == prune_digest(&conflict_rows)
+        && prune_digest(&conflict_rows) == prune_digest(&dpor_rows);
+    let dpor_vs_conflict_reduction_percent = if conflict.schedules_executed > 0 {
+        100.0
+            * conflict
+                .schedules_executed
+                .saturating_sub(dpor.schedules_executed) as f64
+            / conflict.schedules_executed as f64
+    } else {
+        0.0
+    };
+    let meets_prune_gate = diagnoses_identical && dpor_vs_conflict_reduction_percent >= 30.0;
+    PruneBench {
+        scale,
+        off,
+        conflict,
+        dpor,
+        dpor_vs_conflict_reduction_percent,
+        diagnoses_identical,
+        meets_prune_gate,
+    }
 }
 
 /// Runs the memoization A/B benchmark over Table 2.
@@ -477,9 +618,27 @@ pub fn table2(scale: f64) -> Vec<BugOutcome> {
 /// Table 2 diagnosed over a shared VM pool.
 #[must_use]
 pub fn table2_on(scale: f64, exec: &Arc<Executor>) -> Vec<BugOutcome> {
+    table2_on_prune(scale, exec, None)
+}
+
+/// [`table2_on`] with an optional `--prune-level` override (`None` keeps
+/// each bug's calibrated default).
+#[must_use]
+pub fn table2_on_prune(
+    scale: f64,
+    exec: &Arc<Executor>,
+    prune: Option<aitia::lifs::PruneLevel>,
+) -> Vec<BugOutcome> {
     corpus::cves()
         .iter()
-        .map(|b| diagnose_bug_on(b, scale, exec))
+        .map(|b| {
+            diagnose_program_with_prune(
+                b,
+                b.program_scaled(scale),
+                exec,
+                prune.unwrap_or(b.lifs_config().prune),
+            )
+        })
         .collect()
 }
 
@@ -492,9 +651,27 @@ pub fn table3(scale: f64) -> Vec<BugOutcome> {
 /// Table 3 diagnosed over a shared VM pool.
 #[must_use]
 pub fn table3_on(scale: f64, exec: &Arc<Executor>) -> Vec<BugOutcome> {
+    table3_on_prune(scale, exec, None)
+}
+
+/// [`table3_on`] with an optional `--prune-level` override (`None` keeps
+/// each bug's calibrated default).
+#[must_use]
+pub fn table3_on_prune(
+    scale: f64,
+    exec: &Arc<Executor>,
+    prune: Option<aitia::lifs::PruneLevel>,
+) -> Vec<BugOutcome> {
     corpus::syzkaller()
         .iter()
-        .map(|b| diagnose_bug_on(b, scale, exec))
+        .map(|b| {
+            diagnose_program_with_prune(
+                b,
+                b.program_scaled(scale),
+                exec,
+                prune.unwrap_or(b.lifs_config().prune),
+            )
+        })
         .collect()
 }
 
@@ -889,9 +1066,9 @@ pub fn ablations(scale: f64) -> Vec<Ablation> {
     for bug in &sample {
         let prog = bug.program_scaled(scale);
         let mut cfg = bug.lifs_config();
-        cfg.por = true;
+        cfg.prune = aitia::lifs::PruneLevel::Conflict;
         let a = Lifs::new(Arc::clone(&prog), cfg.clone()).search();
-        cfg.por = false;
+        cfg.prune = aitia::lifs::PruneLevel::Off;
         let b = Lifs::new(prog, cfg).search();
         with += a.stats.schedules_executed;
         without += b.stats.schedules_executed;

@@ -285,6 +285,14 @@ pub struct ExecOutput {
     /// what the execution would have produced (enforcement is a pure
     /// function of program, schedule, and step budget); consumers use the
     /// flag only for cost accounting, never to branch on content.
+    ///
+    /// In particular the full [`RunResult`] — every step record with its
+    /// accesses, lock events, held locks and spawns — rides along on a
+    /// hit, because LIFS feeds it into its knowledge base (footprints,
+    /// conflict index, solo traces). The DPOR sleep-set and persistent-set
+    /// rules derive from that knowledge, so a memo hit grows sleep-set
+    /// state exactly like the execution it stands in for, and pruning
+    /// stays memo- and worker-count-invariant.
     pub memo_hit: bool,
     /// Snapshot-forest restores this job's execution consumed (a prefix
     /// published by *another* worker; 0 on a memo hit — nothing executed).
@@ -1561,6 +1569,39 @@ mod tests {
             assert_eq!(s.run.trace.len(), b.run.trace.len());
             assert_eq!(s.run.triggered, b.run.triggered);
             assert_eq!(s.sel_of, b.sel_of);
+        }
+    }
+
+    #[test]
+    fn memo_hits_carry_the_full_step_records_for_pruning_knowledge() {
+        // LIFS derives its DPOR pruning state (footprints, conflict index,
+        // solo traces) from the step records of every consumed output. A
+        // memo hit must therefore carry the *complete* records — accesses,
+        // lock events, held locks, spawns — not a summary, or pruning
+        // would diverge between memo-on and memo-off searches.
+        let program = fig1_program();
+        let jobs = fig1_jobs(&program);
+        let off = Executor::with_config(ExecutorConfig {
+            vms: 1,
+            memo: false,
+            ..ExecutorConfig::default()
+        });
+        let base = off.run_batch(&jobs, &CancelToken::new());
+        let on = threaded_pool(1);
+        let _ = on.run_batch(&jobs, &CancelToken::new());
+        let second = on.run_batch(&jobs, &CancelToken::new());
+        for (b, s) in base.iter().flatten().zip(second.iter().flatten()) {
+            assert!(s.memo_hit);
+            for (br, sr) in b.run.trace.iter().zip(&s.run.trace) {
+                assert_eq!(br.at, sr.at);
+                assert_eq!(br.tid, sr.tid);
+                assert_eq!(br.accesses, sr.accesses);
+                assert_eq!(br.lock_event, sr.lock_event);
+                assert_eq!(br.locks_held, sr.locks_held);
+                assert_eq!(br.spawned, sr.spawned);
+            }
+            assert_eq!(b.run.trace.len(), s.run.trace.len());
+            assert_eq!(b.run.threads, s.run.threads);
         }
     }
 

@@ -125,10 +125,13 @@ pub use lifs::{
     FailureTarget,
     Lifs,
     LifsConfig,
-    LifsOutput, //
+    LifsOutput,
+    PruneLevel, //
 };
 pub use race::{
     races_in_trace,
+    AccessClass,
+    ConflictIndex,
     ObservedRace,
     RaceEnd, //
 };

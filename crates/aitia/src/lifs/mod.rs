@@ -129,6 +129,59 @@ impl FailureTarget {
     }
 }
 
+/// How aggressively LIFS prunes the schedule space before execution.
+///
+/// The levels are strictly ordered: each one applies every rule of the
+/// level below it, so `Dpor ≥ Conflict ≥ Off` in schedules skipped. All
+/// levels are *diagnosis-preserving*: every pruned plan is Mazurkiewicz-
+/// equivalent to a plan scheduled earlier in the canonical generation
+/// order (or to a serial run), so the first failing schedule — and with it
+/// the entire diagnosis — is identical at every level. The differential
+/// harness in `tests/properties.rs` checks exactly that.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PruneLevel {
+    /// No pruning: every candidate preemption point × target is executed.
+    Off,
+    /// Conflict-based pruning (the seed behaviour, and the default):
+    /// points whose accesses conflict with no other thread are skipped, as
+    /// are preemptions after a thread's final memory access.
+    #[default]
+    Conflict,
+    /// Full dynamic partial-order reduction: conflict pruning plus
+    /// sleep-set pruning (a preemption that re-creates an interleaving
+    /// already explored from an equivalent earlier prefix is never
+    /// regenerated) and persistent-set pruning (plans provably equivalent
+    /// to a serial order are cut), both validated step-by-step against the
+    /// victim's solo trace through the write-aware
+    /// [`crate::race::ConflictIndex`].
+    Dpor,
+}
+
+impl std::str::FromStr for PruneLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(PruneLevel::Off),
+            "conflict" => Ok(PruneLevel::Conflict),
+            "dpor" => Ok(PruneLevel::Dpor),
+            other => Err(format!(
+                "unknown prune level {other:?} (expected off, conflict or dpor)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for PruneLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PruneLevel::Off => "off",
+            PruneLevel::Conflict => "conflict",
+            PruneLevel::Dpor => "dpor",
+        })
+    }
+}
+
 /// LIFS configuration.
 #[derive(Clone, Debug)]
 pub struct LifsConfig {
@@ -136,8 +189,8 @@ pub struct LifsConfig {
     pub max_interleavings: u32,
     /// Enforcement limits per run.
     pub enforce: EnforceConfig,
-    /// Partial-order-reduction pruning (disable for the ablation bench).
-    pub por: bool,
+    /// Schedule-space pruning level (lower it for the ablation bench).
+    pub prune: PruneLevel,
     /// Hard cap on executed schedules.
     pub max_schedules: usize,
     /// The reported failure to reproduce. `None` accepts any failure.
@@ -153,7 +206,7 @@ impl Default for LifsConfig {
         LifsConfig {
             max_interleavings: 4,
             enforce: EnforceConfig::default(),
-            por: true,
+            prune: PruneLevel::default(),
             max_schedules: 200_000,
             target: None,
             cancel: CancelToken::new(),
@@ -171,6 +224,13 @@ pub struct LifsStats {
     pub pruned_nonconflicting: usize,
     /// Candidates skipped or discounted as equivalent interleavings.
     pub pruned_equivalent: usize,
+    /// Candidates skipped by the DPOR sleep-set rule: the preemption
+    /// re-creates an interleaving already explored from an equivalent
+    /// earlier prefix of the same victim.
+    pub pruned_sleep_set: usize,
+    /// Candidates skipped by the DPOR persistent-set rule: the plan is
+    /// provably equivalent to an already-explored serial order.
+    pub pruned_persistent: usize,
     /// Schedules whose every execution attempt hit a VM fault; they
     /// contribute no observation (not counted in `schedules_executed`).
     pub faulted: usize,
@@ -201,6 +261,8 @@ impl LifsStats {
         self.schedules_executed += other.schedules_executed;
         self.pruned_nonconflicting += other.pruned_nonconflicting;
         self.pruned_equivalent += other.pruned_equivalent;
+        self.pruned_sleep_set += other.pruned_sleep_set;
+        self.pruned_persistent += other.pruned_persistent;
         self.faulted += other.faulted;
         self.interleaving_count = self.interleaving_count.max(other.interleaving_count);
         self.sim.merge(&other.sim);
@@ -310,6 +372,20 @@ struct Knowledge {
     signatures: HashSet<u64>,
     /// Latest complete solo-ish trace per thread.
     solo: HashMap<ThreadSel, Vec<StepRecord>>,
+    /// Per-thread projection of a serial run in which the thread ran
+    /// *first* (uninterrupted from the initial state) — the exact
+    /// prediction of a count-1 plan's pre-preemption prefix, which is what
+    /// the DPOR rules validate against. Absent when every serial run with
+    /// the thread first faulted or failed, in which case no DPOR rule may
+    /// fire for that victim (a faulted node must not seed a sleep set).
+    solo_first: HashMap<ThreadSel, Vec<StepRecord>>,
+    /// Write-aware per-thread address sets over every absorbed run; the
+    /// static conflict index the DPOR rules query.
+    conflicts: crate::race::ConflictIndex,
+    /// Whether any serial (count-0) permutation was lost to a VM fault.
+    /// The persistent-set rule compares plans against serial runs, so it
+    /// is disabled when a serial observation is missing.
+    serial_faults: bool,
     /// Knowledge version (bumped per absorbed run) for cache invalidation.
     version: u64,
 }
@@ -329,6 +405,7 @@ impl Knowledge {
         for rec in &run.trace {
             let sel = sel_of[&rec.tid];
             self.note_sel(sel);
+            self.conflicts.add_steps(sel, std::iter::once(rec));
             if rec.accesses.is_empty() {
                 continue;
             }
@@ -389,27 +466,82 @@ impl Knowledge {
             .filter(|(s, _)| **s != sel)
             .any(|(_, fp)| addrs.iter().any(|a| fp.contains(a)))
     }
+
+    /// The observability-refined version of
+    /// [`Knowledge::conflicts_somewhere`], used by [`PruneLevel::Dpor`]:
+    /// commutative unobserved adds ([`crate::race::AccessClass::Add`])
+    /// conflict only with genuine reads or writes of the address, so a
+    /// point whose accesses meet other threads exclusively in add/add
+    /// pairs cannot change any observable order.
+    fn conflicts_somewhere_refined(&self, sel: ThreadSel, at: InstrAddr, nth: u32) -> bool {
+        let Some(addrs) = self.point_addrs.get(&(sel, at, nth)) else {
+            return true; // Unknown: conservatively keep.
+        };
+        addrs
+            .iter()
+            .any(|&a| self.conflicts.addr_conflicts_any_other(a, at, sel))
+    }
 }
 
-/// Records pruned preemption points, deduplicated per point, so the search
-/// tree and statistics count each skipped candidate once.
+/// Identity of a pruned candidate. Point-level rules (non-conflicting,
+/// last-access) prune a whole point and carry no target; the DPOR rules
+/// decide per `(point, target)` pair and carry the target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct PruneKey {
+    victim: ThreadSel,
+    at: InstrAddr,
+    nth: u32,
+    target: Option<ThreadSel>,
+}
+
+/// Records pruned candidates, deduplicated *per knowledge version*, so the
+/// search tree and statistics count each skipped candidate exactly once.
+///
+/// Generation re-examines every candidate each round against the current
+/// knowledge, so the same key is re-noted many times: a same-version
+/// re-note is a no-op and a newer-version re-note updates the recorded
+/// reason in place without double counting. A candidate that *stops* being
+/// pruned under newer knowledge (footprints grew and the point now
+/// conflicts) is [`PruneLog::unnote`]d — it is about to be generated and
+/// executed, and a stale pending entry would count it as both.
 #[derive(Default)]
 struct PruneLog {
-    seen: HashSet<(ThreadSel, InstrAddr, u32)>,
-    entries: Vec<(ThreadSel, InstrAddr, u32, NodeOutcome)>,
+    /// Key → knowledge version of the latest note.
+    seen: HashMap<PruneKey, u64>,
+    /// First-noted order of keys (drives deterministic flush order).
+    order: Vec<PruneKey>,
+    /// Current reason per still-pruned key.
+    reasons: HashMap<PruneKey, NodeOutcome>,
 }
 
 impl PruneLog {
-    fn note(&mut self, victim: ThreadSel, at: InstrAddr, nth: u32, reason: NodeOutcome) {
-        if self.seen.insert((victim, at, nth)) {
-            self.entries.push((victim, at, nth, reason));
+    fn note(&mut self, key: PruneKey, version: u64, reason: NodeOutcome) {
+        if self.seen.get(&key) == Some(&version) {
+            return;
+        }
+        self.seen.insert(key, version);
+        self.reasons.insert(key, reason);
+        if !self.order.contains(&key) {
+            self.order.push(key);
         }
     }
 
+    /// Drops a pending entry: the candidate became generative under newer
+    /// knowledge, so it is no longer pruned.
+    fn unnote(&mut self, key: &PruneKey) {
+        self.seen.remove(key);
+        self.reasons.remove(key);
+    }
+
     fn flush(&mut self, stats: &mut LifsStats, tree: &mut SearchTree, order: &mut usize) {
-        for (victim, at, nth, reason) in self.entries.drain(..) {
+        for key in self.order.drain(..) {
+            let Some(reason) = self.reasons.remove(&key) else {
+                continue; // Unnoted: executed after all, already counted.
+            };
             match reason {
                 NodeOutcome::PrunedNonConflicting => stats.pruned_nonconflicting += 1,
+                NodeOutcome::PrunedSleepSet => stats.pruned_sleep_set += 1,
+                NodeOutcome::PrunedPersistent => stats.pruned_persistent += 1,
                 _ => stats.pruned_equivalent += 1,
             }
             *order += 1;
@@ -417,16 +549,213 @@ impl PruneLog {
                 order: *order,
                 interleavings: 1,
                 plan: vec![PreemptionDesc {
-                    victim,
-                    at,
-                    nth,
-                    target: victim,
+                    victim: key.victim,
+                    at: key.at,
+                    nth: key.nth,
+                    target: key.target.unwrap_or(key.victim),
                 }],
                 serial_order: vec![],
                 outcome: reason,
                 steps: 0,
             });
         }
+        self.seen.clear();
+    }
+}
+
+/// Per-target commutation data computed lazily by [`DporCtx`].
+struct TargetCtx {
+    /// Per solo step: the step is clean (no locks held, no lock event, no
+    /// spawn) and every access is write-aware non-conflicting with the
+    /// target and with every thread the shared set names.
+    ok: Vec<bool>,
+    /// For each step `j` with `ok[j]`: the smallest `m` such that every
+    /// step in `[m, j]` is ok (the start of the contiguous ok-run).
+    run_start: Vec<usize>,
+    /// The smallest `m` such that every step in `[m, len)` is ok.
+    tail_start: usize,
+    /// Whether the persistent-set rule may fire for this target at all:
+    /// the target is an initial thread (its serial permutation exists),
+    /// every serial run was observed (no VM faults), and the target's
+    /// footprint commutes with every background thread's.
+    persist_ok: bool,
+}
+
+/// Per-victim DPOR context for count-1 plan generation.
+///
+/// A count-1 plan `[(v, p) → T]` runs the victim uninterrupted from the
+/// initial state to point `p`, switches to `T`, and then resolves through
+/// the enforcer's deterministic fallback (background threads first, then
+/// the remaining initial order). The victim's pre-preemption prefix is
+/// therefore *exactly* the stored `solo_first` projection, which lets two
+/// rules fire soundly at generation time:
+///
+/// * **Sleep set** — if every victim step between an earlier generated
+///   point `q` and `p` is clean and commutes (write-aware) with the target
+///   and with every thread scheduled between the two possible positions of
+///   that segment, then `[(v, p) → T]` and `[(v, q) → T]` are
+///   Mazurkiewicz-equivalent; the earlier plan already covers the class.
+/// * **Persistent set** — if every victim step *after* `p` commutes the
+///   same way and the target's block commutes with the background threads,
+///   the plan is equivalent to the serial permutation `[v, T, …]` explored
+///   at count 0; the class already has its serial representative.
+///
+/// Victims without a `solo_first` projection (their serial run faulted or
+/// failed) get no context and no DPOR pruning — a faulted node never seeds
+/// a sleep set.
+struct DporCtx<'a> {
+    solo: &'a [StepRecord],
+    /// Candidate point `(at, nth)` → index into the solo trace.
+    pos: HashMap<(InstrAddr, u32), usize>,
+    /// Clean and commuting with the target-independent shared set
+    /// (background threads + initial threads resumed before the victim).
+    base_ok: Vec<bool>,
+    /// Observed background (spawned) threads.
+    bg: Vec<ThreadSel>,
+    conflicts: &'a crate::race::ConflictIndex,
+    /// Whether every serial permutation executed (no VM faults).
+    serial_ok: bool,
+    initial: &'a [ThreadSel],
+    /// Lazily computed per-target data.
+    targets: HashMap<ThreadSel, TargetCtx>,
+}
+
+impl<'a> DporCtx<'a> {
+    fn new(
+        program: &Program,
+        k: &'a Knowledge,
+        victim: ThreadSel,
+        initial: &'a [ThreadSel],
+    ) -> Option<Self> {
+        let solo = k.solo_first.get(&victim)?.as_slice();
+        let vpos = initial.iter().position(|&s| s == victim)?;
+        let mut pos = HashMap::new();
+        let mut counts: HashMap<InstrAddr, u32> = HashMap::new();
+        for (i, rec) in solo.iter().enumerate() {
+            if rec.accesses.is_empty() {
+                continue;
+            }
+            let nth = *counts.entry(rec.at).and_modify(|c| *c += 1).or_insert(0);
+            pos.insert((rec.at, nth), i);
+        }
+        // Threads whose blocks sit between a moved segment's two possible
+        // positions regardless of target: spawned background threads (they
+        // run first at the post-target boundary) and initial threads the
+        // fallback resumes before the victim. IRQ handlers only run when
+        // targeted, so they are excluded here and checked per target.
+        let irqs: HashSet<ThreadSel> = program
+            .irq_handlers
+            .iter()
+            .map(|&i| ThreadSel::first(i))
+            .collect();
+        let bg: Vec<ThreadSel> = k
+            .sels
+            .iter()
+            .copied()
+            .filter(|s| !initial.contains(s) && !irqs.contains(s))
+            .collect();
+        let shared: Vec<ThreadSel> = bg
+            .iter()
+            .copied()
+            .chain(initial[..vpos].iter().copied())
+            .collect();
+        let base_ok: Vec<bool> = solo
+            .iter()
+            .map(|rec| {
+                rec.locks_held.is_empty()
+                    && rec.lock_event.is_none()
+                    && rec.spawned.is_none()
+                    && rec.accesses.iter().all(|a| {
+                        shared
+                            .iter()
+                            .all(|&s| !k.conflicts.may_conflict(a.addr, a.kind, rec.at, s))
+                    })
+            })
+            .collect();
+        Some(DporCtx {
+            solo,
+            pos,
+            base_ok,
+            bg,
+            conflicts: &k.conflicts,
+            serial_ok: !k.serial_faults,
+            initial,
+            targets: HashMap::new(),
+        })
+    }
+
+    fn target_ctx(&mut self, target: ThreadSel) -> &TargetCtx {
+        if !self.targets.contains_key(&target) {
+            let ok: Vec<bool> = self
+                .solo
+                .iter()
+                .zip(&self.base_ok)
+                .map(|(rec, &base)| {
+                    base && rec
+                        .accesses
+                        .iter()
+                        .all(|a| !self.conflicts.may_conflict(a.addr, a.kind, rec.at, target))
+                })
+                .collect();
+            let mut run_start = vec![0usize; ok.len()];
+            for j in 0..ok.len() {
+                if ok[j] {
+                    run_start[j] = if j > 0 && ok[j - 1] {
+                        run_start[j - 1]
+                    } else {
+                        j
+                    };
+                }
+            }
+            let mut tail_start = ok.len();
+            for j in (0..ok.len()).rev() {
+                if ok[j] {
+                    tail_start = j;
+                } else {
+                    break;
+                }
+            }
+            let persist_ok = self.serial_ok
+                && self.initial.contains(&target)
+                && self
+                    .bg
+                    .iter()
+                    .all(|&b| !self.conflicts.sels_may_conflict(target, b));
+            self.targets.insert(
+                target,
+                TargetCtx {
+                    ok,
+                    run_start,
+                    tail_start,
+                    persist_ok,
+                },
+            );
+        }
+        &self.targets[&target]
+    }
+
+    /// Decides whether the count-1 candidate `[(victim, point at solo
+    /// index `s_p`) → target]` is pruned, given the solo positions of the
+    /// victim's already-generated points (`surv`, ascending).
+    fn prune(&mut self, s_p: usize, surv: &[usize], target: ThreadSel) -> Option<NodeOutcome> {
+        let tc = self.target_ctx(target);
+        // Sleep set: the segment (q, s_p] commutes across everything that
+        // separates the two preemption positions, so the plan re-creates
+        // the interleaving already explored from the earlier point q.
+        if tc.ok[s_p] {
+            let lowest = tc.run_start[s_p];
+            if let Some(&q) = surv.iter().rev().find(|&&q| q < s_p) {
+                if q + 1 >= lowest {
+                    return Some(NodeOutcome::PrunedSleepSet);
+                }
+            }
+        }
+        // Persistent set: everything after the point commutes away — the
+        // plan collapses to the serial permutation [victim, target, …].
+        if tc.persist_ok && s_p + 1 >= tc.tail_start {
+            return Some(NodeOutcome::PrunedPersistent);
+        }
+        None
     }
 }
 
@@ -518,7 +847,10 @@ impl Lifs {
     fn search_inner(&self) -> LifsOutput {
         let mut stats = LifsStats::default();
         let mut tree = SearchTree::default();
-        let mut knowledge = Knowledge::default();
+        let mut knowledge = Knowledge {
+            conflicts: crate::race::ConflictIndex::for_program(&self.program),
+            ..Knowledge::default()
+        };
         let mut order = 0usize;
 
         let initial_sels = initial_sels(&self.program);
@@ -555,7 +887,10 @@ impl Lifs {
             stats.note_exec(&out);
             if out.vm_faulted.is_some() {
                 // The run produced no observation: nothing to absorb, no
-                // failure to check — record the loss and move on.
+                // failure to check — record the loss and move on. A missing
+                // serial observation also disables the persistent-set rule
+                // (it compares plans against serial runs).
+                knowledge.serial_faults = true;
                 stats.faulted += 1;
                 tree.nodes.push(SearchNode {
                     order,
@@ -587,9 +922,13 @@ impl Lifs {
                 steps: out.run.steps,
             });
             // Remember solo traces (per-thread projections) from successful
-            // serial runs.
+            // serial runs. The permutation's first thread ran uninterrupted
+            // from the initial state: its projection is the exact prediction
+            // of a count-1 plan's pre-preemption prefix, which the DPOR
+            // rules validate against.
             if out.run.failure.is_none() {
                 store_solo(&mut knowledge, &out.run, &out.sel_of);
+                store_solo_first(&mut knowledge, perm[0], &out.run, &out.sel_of);
             }
             if failed {
                 stats.interleaving_count = 0;
@@ -837,7 +1176,7 @@ impl Lifs {
             }
             // Extend the prefix: enumerate next preemptions in reverse so
             // the stack pops them front-to-back.
-            let exts = self.extensions(knowledge, &prefix, prune_log);
+            let exts = self.extensions(knowledge, c, &prefix, prune_log);
             for ext in exts.into_iter().rev() {
                 let mut next = prefix.clone();
                 next.push(ext);
@@ -858,19 +1197,42 @@ impl Lifs {
 
     /// Candidate next preemptions given a plan prefix.
     ///
-    /// Pruning happens here, at generation time: a point whose accesses
+    /// Pruning happens here, at generation time, and every rule preserves
+    /// the first failing schedule: a pruned candidate is always
+    /// Mazurkiewicz-equivalent to a plan *earlier* in the canonical
+    /// generation order (or to a count-0 serial run), so its failure — if
+    /// any — is discovered at the equivalent plan's slot instead.
+    ///
+    /// At [`PruneLevel::Conflict`] and above: a point whose accesses
     /// conflict with no other thread cannot change any conflict order
     /// (grey nodes of Figure 5), and a preemption after a thread's final
-    /// memory access is equivalent to a serial order ("skip (eqv.)" nodes).
-    /// Each pruned point is counted once per knowledge version.
+    /// memory access is equivalent to a serial order ("skip (eqv.)"
+    /// nodes).
+    ///
+    /// At [`PruneLevel::Dpor`], count-1 plans additionally pass the
+    /// sleep-set and persistent-set rules ([`DporCtx`]), validated against
+    /// the victim's exact solo prediction. Each pruned candidate is
+    /// counted once per knowledge version, and un-noted again if newer
+    /// knowledge makes it generative.
     fn extensions(
         &self,
         k: &Knowledge,
+        c: usize,
         prefix: &[Preemption],
         pruned: &mut PruneLog,
     ) -> Vec<Preemption> {
         let mut out = Vec::new();
         let sels = k.sels.clone();
+        let conflict = self.config.prune >= PruneLevel::Conflict;
+        // The refined point filter (commutative adds) is depth-independent.
+        let dpor_static = self.config.prune >= PruneLevel::Dpor;
+        // The sleep-set / persistent-set rules predict a plan's
+        // pre-preemption prefix from the victim's solo trace. That
+        // prediction is exact only for the first preemption of a count-1
+        // plan (the victim runs uninterrupted from the initial state);
+        // deeper plans race-steer the victim, so the rules stay off there.
+        let dpor = dpor_static && c == 1;
+        let initial = initial_sels(&self.program);
         for &victim in &sels {
             let Some(points) = k.mem_points.get(&victim) else {
                 continue;
@@ -884,20 +1246,66 @@ impl Lifs {
                 .max()
                 .unwrap_or(0);
             let last = points.last().copied();
+            let mut dpor_ctx = if dpor {
+                DporCtx::new(&self.program, k, victim, &initial)
+            } else {
+                None
+            };
+            // Solo positions of conflict-surviving points already emitted
+            // for this victim — the sleep-set rule's backtrack anchors.
+            let mut surv: Vec<usize> = Vec::new();
             for &(at, nth) in points.iter().skip(min_pos) {
-                if self.config.por {
+                let point_key = PruneKey {
+                    victim,
+                    at,
+                    nth,
+                    target: None,
+                };
+                if conflict {
                     if !k.conflicts_somewhere(victim, at, nth) {
-                        pruned.note(victim, at, nth, NodeOutcome::PrunedNonConflicting);
+                        pruned.note(point_key, k.version, NodeOutcome::PrunedNonConflicting);
                         continue;
                     }
                     if last == Some((at, nth)) {
-                        pruned.note(victim, at, nth, NodeOutcome::PrunedEquivalent);
+                        pruned.note(point_key, k.version, NodeOutcome::PrunedEquivalent);
                         continue;
                     }
                 }
+                // The refined filter is as static and depth-independent as
+                // the footprint test above — it merely sees through
+                // commutative add/add meetings — so it applies at every
+                // plan depth, not just count 1.
+                if dpor_static && !k.conflicts_somewhere_refined(victim, at, nth) {
+                    pruned.note(point_key, k.version, NodeOutcome::PrunedNonConflicting);
+                    continue;
+                }
+                pruned.unnote(&point_key);
+                let solo_pos = dpor_ctx
+                    .as_ref()
+                    .and_then(|ctx| ctx.pos.get(&(at, nth)).copied());
                 for &target in &sels {
                     if target == victim {
                         continue;
+                    }
+                    let pair_key = PruneKey {
+                        victim,
+                        at,
+                        nth,
+                        target: Some(target),
+                    };
+                    if dpor {
+                        if let (Some(ctx), Some(p)) = (dpor_ctx.as_mut(), solo_pos) {
+                            if let Some(reason) = ctx.prune(p, &surv, target) {
+                                pruned.note(pair_key, k.version, reason);
+                                continue;
+                            }
+                        }
+                        // Generative this round: drop any sleep/persistent
+                        // note recorded under older knowledge. Deeper
+                        // rounds reuse the same pair as an extension of a
+                        // prefix and must NOT unnote — the standalone
+                        // count-1 plan stays pruned regardless.
+                        pruned.unnote(&pair_key);
                     }
                     out.push(Preemption {
                         victim,
@@ -905,6 +1313,13 @@ impl Lifs {
                         nth,
                         target,
                     });
+                }
+                if let Some(p) = solo_pos {
+                    // Generation order is the points-list order; only
+                    // already-emitted points may anchor a sleep-set prune,
+                    // so positions are recorded after the point is done.
+                    let idx = surv.partition_point(|&q| q < p);
+                    surv.insert(idx, p);
                 }
             }
         }
@@ -1111,6 +1526,29 @@ fn plan_schedule(plan: &[Preemption], initial: &[ThreadSel]) -> Schedule {
     }
 }
 
+/// Stores the first-running thread's projection of a serial run: `first`
+/// executed uninterrupted from the initial state, so its projection
+/// predicts a count-1 plan prefix exactly. The projection is identical in
+/// every permutation that starts with `first`, so the first observation
+/// sticks.
+fn store_solo_first(
+    k: &mut Knowledge,
+    first: ThreadSel,
+    run: &RunResult,
+    sel_of: &HashMap<ThreadId, ThreadSel>,
+) {
+    if k.solo_first.contains_key(&first) {
+        return;
+    }
+    let steps: Vec<StepRecord> = run
+        .trace
+        .iter()
+        .filter(|rec| sel_of[&rec.tid] == first)
+        .cloned()
+        .collect();
+    k.solo_first.insert(first, steps);
+}
+
 /// Stores per-thread projections of a serial run as solo traces.
 fn store_solo(k: &mut Knowledge, run: &RunResult, sel_of: &HashMap<ThreadId, ThreadSel>) {
     let mut per: HashMap<ThreadSel, Vec<StepRecord>> = HashMap::new();
@@ -1197,11 +1635,11 @@ mod tests {
     #[test]
     fn por_prunes_candidates() {
         let mut cfg = LifsConfig {
-            por: true,
+            prune: PruneLevel::Conflict,
             ..LifsConfig::default()
         };
         let with_por = Lifs::new(fig1_program(), cfg.clone()).search();
-        cfg.por = false;
+        cfg.prune = PruneLevel::Off;
         let without = Lifs::new(fig1_program(), cfg).search();
         assert!(with_por.failing.is_some());
         assert!(without.failing.is_some());
@@ -1209,6 +1647,39 @@ mod tests {
             with_por.stats.schedules_executed <= without.stats.schedules_executed,
             "POR must not increase executed schedules"
         );
+    }
+
+    #[test]
+    fn prune_levels_preserve_the_failing_schedule() {
+        let mut found = Vec::new();
+        for level in [PruneLevel::Off, PruneLevel::Conflict, PruneLevel::Dpor] {
+            let cfg = LifsConfig {
+                prune: level,
+                ..LifsConfig::default()
+            };
+            let out = Lifs::new(fig1_program(), cfg).search();
+            let failing = out.failing.expect("every level must reproduce");
+            found.push((failing.schedule, failing.trace.len()));
+        }
+        assert_eq!(found[0], found[1], "off vs conflict diverged");
+        assert_eq!(found[1], found[2], "conflict vs dpor diverged");
+    }
+
+    #[test]
+    fn prune_level_parses_and_displays() {
+        use std::str::FromStr;
+        for (s, l) in [
+            ("off", PruneLevel::Off),
+            ("conflict", PruneLevel::Conflict),
+            ("dpor", PruneLevel::Dpor),
+        ] {
+            assert_eq!(PruneLevel::from_str(s).unwrap(), l);
+            assert_eq!(l.to_string(), s);
+        }
+        assert!(PruneLevel::from_str("banana").is_err());
+        assert_eq!(PruneLevel::default(), PruneLevel::Conflict);
+        assert!(PruneLevel::Dpor > PruneLevel::Conflict);
+        assert!(PruneLevel::Conflict > PruneLevel::Off);
     }
 
     /// A failure requiring a kernel background thread (Figure 4-(c) shape):
@@ -1425,5 +1896,182 @@ mod target_tests {
         };
         let out = Lifs::new(prog, cfg).search();
         assert!(out.failing.is_none());
+    }
+
+    fn prune_key(nth: u32) -> PruneKey {
+        PruneKey {
+            victim: ThreadSel::first(ksim::ThreadProgId(0)),
+            at: ksim::InstrAddr {
+                prog: ksim::ThreadProgId(0),
+                index: 0,
+            },
+            nth,
+            target: None,
+        }
+    }
+
+    /// A flushed log counts each key once even when generation re-notes it
+    /// every round at the same knowledge version.
+    #[test]
+    fn prune_log_dedups_same_version_renotes() {
+        let mut log = PruneLog::default();
+        for _ in 0..5 {
+            log.note(prune_key(0), 1, NodeOutcome::PrunedNonConflicting);
+        }
+        let mut stats = LifsStats::default();
+        let mut tree = SearchTree::default();
+        let mut order = 0;
+        log.flush(&mut stats, &mut tree, &mut order);
+        assert_eq!(stats.pruned_nonconflicting, 1);
+        assert_eq!(tree.nodes.len(), 1);
+    }
+
+    /// A re-note at a newer knowledge version updates the recorded reason
+    /// in place — one tree node, counted under the latest reason only.
+    #[test]
+    fn prune_log_newer_version_updates_reason_in_place() {
+        let mut log = PruneLog::default();
+        log.note(prune_key(0), 1, NodeOutcome::PrunedNonConflicting);
+        log.note(prune_key(0), 2, NodeOutcome::PrunedSleepSet);
+        let mut stats = LifsStats::default();
+        let mut tree = SearchTree::default();
+        let mut order = 0;
+        log.flush(&mut stats, &mut tree, &mut order);
+        assert_eq!(stats.pruned_nonconflicting, 0);
+        assert_eq!(stats.pruned_sleep_set, 1);
+        assert_eq!(tree.nodes.len(), 1);
+        assert_eq!(tree.nodes[0].outcome, NodeOutcome::PrunedSleepSet);
+    }
+
+    /// An unnoted key (the candidate became generative under newer
+    /// knowledge) leaves no trace: not counted, no tree node — the
+    /// executed schedule accounts for it instead. Other keys still flush,
+    /// and flushing resets the log for the next round.
+    #[test]
+    fn prune_log_unnote_drops_the_pending_entry() {
+        let mut log = PruneLog::default();
+        log.note(prune_key(0), 1, NodeOutcome::PrunedNonConflicting);
+        log.note(prune_key(1), 1, NodeOutcome::PrunedPersistent);
+        log.unnote(&prune_key(0));
+        let mut stats = LifsStats::default();
+        let mut tree = SearchTree::default();
+        let mut order = 0;
+        log.flush(&mut stats, &mut tree, &mut order);
+        assert_eq!(stats.pruned_nonconflicting, 0);
+        assert_eq!(stats.pruned_persistent, 1);
+        assert_eq!(tree.nodes.len(), 1);
+        // The log is reusable after a flush: an unnoted key can be noted
+        // again at a later version without being deduplicated away.
+        log.note(prune_key(0), 3, NodeOutcome::PrunedSleepSet);
+        log.flush(&mut stats, &mut tree, &mut order);
+        assert_eq!(stats.pruned_sleep_set, 1);
+        assert_eq!(tree.nodes.len(), 2);
+    }
+
+    /// Three threads shaped so both DPOR rules have something to prune:
+    /// preempting A at `A2` toward B commutes with the already-emitted
+    /// preemption at `A1` toward B (the step between them touches only
+    /// `y`, which B never accesses) — the sleep-set rule's shape — while
+    /// B's tail after `B1` is private, so preempting B at `B1` reproduces
+    /// a serial order — the persistent-set rule's shape.
+    fn sleepy_program() -> Arc<Program> {
+        let mut p = ProgramBuilder::new("sleepy");
+        let x = p.global("x", 0);
+        let y = p.global("y", 0);
+        let w = p.global("w", 0);
+        {
+            let mut a = p.syscall_thread("A", "writer");
+            a.n("A1").store_global(x, 1u64);
+            a.n("A2").store_global(y, 1u64);
+            a.n("A3").store_global(x, 2u64);
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "reader_x");
+            b.n("B1").load_global("r0", x);
+            b.n("B2").store_global(w, 1u64);
+            b.ret();
+        }
+        {
+            let mut c = p.syscall_thread("C", "reader_y");
+            c.n("C1").load_global("r0", y);
+            c.ret();
+        }
+        Arc::new(p.build().unwrap())
+    }
+
+    /// The sleep-set and persistent-set rules fire at `dpor` and only at
+    /// `dpor`, and strictly reduce the executed-schedule count without
+    /// changing the (non-)failure outcome.
+    #[test]
+    fn dpor_sleep_and_persistent_rules_fire() {
+        let run = |prune| {
+            Lifs::new(
+                sleepy_program(),
+                LifsConfig {
+                    prune,
+                    ..LifsConfig::default()
+                },
+            )
+            .search()
+        };
+        let conflict = run(PruneLevel::Conflict);
+        let dpor = run(PruneLevel::Dpor);
+        assert_eq!(conflict.stats.pruned_sleep_set, 0);
+        assert_eq!(conflict.stats.pruned_persistent, 0);
+        assert!(
+            dpor.stats.pruned_sleep_set + dpor.stats.pruned_persistent > 0,
+            "dpor rules never fired: {:?}",
+            dpor.stats
+        );
+        assert!(dpor.stats.schedules_executed < conflict.stats.schedules_executed);
+        assert_eq!(conflict.failing.is_none(), dpor.failing.is_none());
+    }
+
+    /// Sleep-set state survives `SnapshotForest` prefix restores: with the
+    /// memo table and forest enabled, a `dpor` search is bit-identical at
+    /// 1, 2, and 8 workers — same schedule count, same per-rule prune
+    /// counters, same search-tree outcomes — even though batch fan-out
+    /// executes victims' prefixes from restored snapshots in parallel.
+    #[test]
+    fn dpor_pruning_is_identical_across_forest_worker_counts() {
+        let digest = |vms: usize| {
+            let exec = Arc::new(crate::exec::Executor::with_config(
+                crate::exec::ExecutorConfig {
+                    vms,
+                    os_threads: Some(vms),
+                    memo: true,
+                    ..crate::exec::ExecutorConfig::default()
+                },
+            ));
+            let out = Lifs::with_executor(
+                sleepy_program(),
+                LifsConfig {
+                    prune: PruneLevel::Dpor,
+                    ..LifsConfig::default()
+                },
+                exec,
+            )
+            .search();
+            let outcomes: Vec<NodeOutcome> =
+                out.tree.nodes.iter().map(|n| n.outcome.clone()).collect();
+            (
+                out.stats.schedules_executed,
+                out.stats.pruned_nonconflicting,
+                out.stats.pruned_equivalent,
+                out.stats.pruned_sleep_set,
+                out.stats.pruned_persistent,
+                out.failing.map(|r| r.schedule),
+                outcomes,
+            )
+        };
+        let serial = digest(1);
+        assert!(
+            serial.3 + serial.4 > 0,
+            "dpor rules never fired under the forest executor"
+        );
+        for vms in [2usize, 8] {
+            assert_eq!(serial, digest(vms), "diverged at {vms} workers");
+        }
     }
 }

@@ -21,6 +21,16 @@ pub enum NodeOutcome {
     /// Skipped before execution: equivalent to an already-explored
     /// interleaving (partial-order reduction).
     PrunedEquivalent,
+    /// Skipped before execution by the DPOR sleep-set rule: the preemption
+    /// re-creates an interleaving already explored-and-backtracked from an
+    /// equivalent prefix (an earlier preemption point of the same victim
+    /// commutes across the segment separating them).
+    PrunedSleepSet,
+    /// Skipped before execution by the DPOR persistent-set rule: the
+    /// preemption's Mazurkiewicz class already has a scheduled
+    /// representative (here: it is equivalent to a serial order because
+    /// everything after the point commutes).
+    PrunedPersistent,
     /// Submitted for execution but every attempt hit a VM fault and the
     /// executor gave up; the run produced no observation.
     Faulted,
@@ -82,7 +92,10 @@ impl SearchTree {
             .filter(|n| {
                 matches!(
                     n.outcome,
-                    NodeOutcome::PrunedNonConflicting | NodeOutcome::PrunedEquivalent
+                    NodeOutcome::PrunedNonConflicting
+                        | NodeOutcome::PrunedEquivalent
+                        | NodeOutcome::PrunedSleepSet
+                        | NodeOutcome::PrunedPersistent
                 )
             })
             .count()
@@ -128,6 +141,8 @@ impl SearchTree {
                 NodeOutcome::Failure => "FAILURE",
                 NodeOutcome::PrunedNonConflicting => "skip (non-conflicting)",
                 NodeOutcome::PrunedEquivalent => "skip (equivalent)",
+                NodeOutcome::PrunedSleepSet => "skip (sleep set)",
+                NodeOutcome::PrunedPersistent => "skip (persistent set)",
                 NodeOutcome::Faulted => "VM FAULT (gave up)",
             };
             out.push_str(&format!(
@@ -162,10 +177,12 @@ mod tests {
                 mk(3, NodeOutcome::Failure),
                 mk(4, NodeOutcome::PrunedNonConflicting),
                 mk(5, NodeOutcome::Faulted),
+                mk(6, NodeOutcome::PrunedSleepSet),
+                mk(7, NodeOutcome::PrunedPersistent),
             ],
         };
         assert_eq!(tree.executed(), 2);
-        assert_eq!(tree.pruned(), 2);
+        assert_eq!(tree.pruned(), 4);
         assert_eq!(tree.faulted(), 1);
     }
 }

@@ -463,6 +463,62 @@ mod tests {
         assert_eq!(off.result.stats.memo_hits, 0);
     }
 
+    /// End-to-end prune-level agreement at the manager layer: every level
+    /// produces the same chain and failing schedule at every pool size,
+    /// and `dpor` never executes more schedules than `conflict`, which
+    /// never executes more than `off`.
+    #[test]
+    fn prune_levels_agree_across_pool_sizes() {
+        use crate::lifs::PruneLevel;
+        let run = |prune, vms| {
+            Manager::new(ManagerConfig {
+                vms,
+                lifs: LifsConfig {
+                    prune,
+                    ..LifsConfig::default()
+                },
+                ..ManagerConfig::default()
+            })
+            .diagnose_program(fig1_program())
+            .expect("diagnosis")
+        };
+        let baseline = run(PruneLevel::Off, 1);
+        let mut executed = vec![baseline.lifs_stats.schedules_executed];
+        for level in [PruneLevel::Conflict, PruneLevel::Dpor] {
+            let serial = run(level, 1);
+            for vms in [2usize, 8] {
+                let pooled = run(level, vms);
+                assert_eq!(
+                    serial.result.chain.to_string(),
+                    pooled.result.chain.to_string(),
+                    "{level} chain diverged at {vms} workers"
+                );
+                assert_eq!(
+                    serial.failing.schedule, pooled.failing.schedule,
+                    "{level} failing schedule diverged at {vms} workers"
+                );
+                assert_eq!(
+                    serial.lifs_stats.schedules_executed, pooled.lifs_stats.schedules_executed,
+                    "{level} schedule count diverged at {vms} workers"
+                );
+            }
+            assert_eq!(
+                baseline.result.chain.to_string(),
+                serial.result.chain.to_string(),
+                "{level} chain diverged from the unpruned baseline"
+            );
+            assert_eq!(
+                baseline.failing.schedule, serial.failing.schedule,
+                "{level} failing schedule diverged from the unpruned baseline"
+            );
+            executed.push(serial.lifs_stats.schedules_executed);
+        }
+        assert!(
+            executed[2] <= executed[1] && executed[1] <= executed[0],
+            "pruning increased the schedule count: {executed:?}"
+        );
+    }
+
     #[test]
     fn multi_slice_stats_are_deterministic_across_pool_sizes() {
         let slices = vec![benign_program(), fig1_program(), fig1_program()];

@@ -14,14 +14,20 @@
 //! with a [`RaceEnd::Pending`] second end, ordered after the executed first
 //! end.
 
+use crate::schedule::ThreadSel;
 use ksim::{
     events::LockEvent,
+    AccessKind,
     Addr,
     InstrAddr,
     StepRecord,
     ThreadId, //
 };
-use std::collections::HashMap;
+use std::collections::{
+    BTreeSet,
+    HashMap,
+    HashSet, //
+};
 
 /// A vector clock, indexed by `ThreadId.0`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -368,6 +374,213 @@ pub fn critical_section_span(trace: &[StepRecord], seq: usize) -> Option<(usize,
     Some((start, end))
 }
 
+/// How an observed access participates in conflicts.
+///
+/// Plain reads and writes follow the usual write-aware rule. The third
+/// class, [`AccessClass::Add`], is the observability refinement: an
+/// unobserved `fetch_add` (no destination register, so the loaded value is
+/// discarded) is a commutative update — two of them against the same
+/// address produce the same memory, the same registers, and the same
+/// per-thread projections in either order, so they never conflict with
+/// each other. They still conflict with any read (which observes the
+/// running sum) and any write (which clobbers it). This is what lets DPOR
+/// see through the kernel's benign statistics-counter traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessClass {
+    /// Pure load.
+    Read,
+    /// Store, or a read-modify-write whose result is observed.
+    Write,
+    /// Commutative unobserved read-modify-write (`fetch_add` into nowhere).
+    Add,
+}
+
+/// Static, write-aware conflict index over the per-thread address sets
+/// observed in executed traces.
+///
+/// Built once per program from the serial (count-0) runs of the same
+/// vector-clock analysis that feeds race detection, then consulted by LIFS
+/// plan generation: two accesses *may conflict* only when they touch a
+/// common address, at least one writes, and they are not both commutative
+/// unobserved adds ([`AccessClass`]). Pairs that can never conflict under
+/// that test are filtered before plan generation — the DPOR sleep-set and
+/// persistent-set rules both reduce to queries against this index.
+///
+/// The index is deliberately conservative in one direction only: an
+/// address never observed for a thread is assumed absent (the thread's
+/// traces are complete projections of its serial runs), while a thread
+/// with *no* recorded trace reports conflicts everywhere.
+#[derive(Clone, Debug, Default)]
+pub struct ConflictIndex {
+    reads: HashMap<ThreadSel, BTreeSet<Addr>>,
+    writes: HashMap<ThreadSel, BTreeSet<Addr>>,
+    adds: HashMap<ThreadSel, BTreeSet<Addr>>,
+    /// Instructions that are commutative unobserved adds, determined
+    /// statically from the program text.
+    commutative: HashSet<InstrAddr>,
+}
+
+impl ConflictIndex {
+    /// An index primed with the program's commutative instructions
+    /// (`fetch_add` with no destination register).
+    #[must_use]
+    pub fn for_program(program: &ksim::Program) -> ConflictIndex {
+        let mut commutative = HashSet::new();
+        for (p, prog) in program.progs.iter().enumerate() {
+            for (index, instr) in prog.instrs.iter().enumerate() {
+                if matches!(instr, ksim::instr::Instr::FetchAdd { dst: None, .. }) {
+                    commutative.insert(InstrAddr {
+                        prog: ksim::ThreadProgId(p as u16),
+                        index,
+                    });
+                }
+            }
+        }
+        ConflictIndex {
+            commutative,
+            ..ConflictIndex::default()
+        }
+    }
+
+    /// Classifies one observed access by kind and originating instruction.
+    #[must_use]
+    pub fn classify(&self, at: InstrAddr, kind: AccessKind) -> AccessClass {
+        match kind {
+            AccessKind::Read => AccessClass::Read,
+            AccessKind::Rmw if self.commutative.contains(&at) => AccessClass::Add,
+            // An observed RMW both reads and writes; Write is the class
+            // that conflicts with every other touch, which covers it.
+            AccessKind::Write | AccessKind::Rmw => AccessClass::Write,
+        }
+    }
+
+    /// Folds one thread's executed steps into the index.
+    pub fn add_steps<'a>(
+        &mut self,
+        sel: ThreadSel,
+        steps: impl IntoIterator<Item = &'a StepRecord>,
+    ) {
+        for rec in steps {
+            for acc in &rec.accesses {
+                let class = self.classify(rec.at, acc.kind);
+                let set = match class {
+                    AccessClass::Read => self.reads.entry(sel).or_default(),
+                    AccessClass::Write => self.writes.entry(sel).or_default(),
+                    AccessClass::Add => self.adds.entry(sel).or_default(),
+                };
+                set.insert(acc.addr);
+            }
+        }
+        // A thread with an empty trace still counts as known.
+        self.reads.entry(sel).or_default();
+    }
+
+    /// Whether the index has any observation for `sel`.
+    #[must_use]
+    pub fn knows(&self, sel: ThreadSel) -> bool {
+        self.reads.contains_key(&sel)
+            || self.writes.contains_key(&sel)
+            || self.adds.contains_key(&sel)
+    }
+
+    fn has(&self, map: &HashMap<ThreadSel, BTreeSet<Addr>>, sel: ThreadSel, addr: Addr) -> bool {
+        map.get(&sel).is_some_and(|s| s.contains(&addr))
+    }
+
+    /// Whether an access (by the instruction at `at`, of `kind`) may
+    /// conflict with *any* access of `sel`: a write conflicts with any
+    /// touch of the address, a read with any update, and a commutative add
+    /// with anything except another commutative add. Unknown threads
+    /// conservatively conflict.
+    #[must_use]
+    pub fn may_conflict(
+        &self,
+        addr: Addr,
+        kind: AccessKind,
+        at: InstrAddr,
+        sel: ThreadSel,
+    ) -> bool {
+        if !self.knows(sel) {
+            return true;
+        }
+        let read = self.has(&self.reads, sel, addr);
+        let written = self.has(&self.writes, sel, addr);
+        let added = self.has(&self.adds, sel, addr);
+        match self.classify(at, kind) {
+            AccessClass::Read => written || added,
+            AccessClass::Write => read || written || added,
+            AccessClass::Add => read || written,
+        }
+    }
+
+    /// Whether an access may conflict with any thread in `sels` other than
+    /// `own` (the accessing thread never conflicts with itself).
+    #[must_use]
+    pub fn may_conflict_any(
+        &self,
+        addr: Addr,
+        kind: AccessKind,
+        at: InstrAddr,
+        own: ThreadSel,
+        sels: &[ThreadSel],
+    ) -> bool {
+        sels.iter()
+            .filter(|&&s| s != own)
+            .any(|&s| self.may_conflict(addr, kind, at, s))
+    }
+
+    /// Whether an address touched by the instruction at `at` (executed by
+    /// `own`) may conflict with any *other* thread the index knows. Used as
+    /// the refined point-level filter: a commutative add conflicts only
+    /// with genuine reads or writes of the address; any other access
+    /// conservatively conflicts with every touch (the footprint test).
+    #[must_use]
+    pub fn addr_conflicts_any_other(&self, addr: Addr, at: InstrAddr, own: ThreadSel) -> bool {
+        let commutative = self.commutative.contains(&at);
+        let sels: HashSet<&ThreadSel> = self
+            .reads
+            .keys()
+            .chain(self.writes.keys())
+            .chain(self.adds.keys())
+            .collect();
+        sels.into_iter().filter(|&&s| s != own).any(|&s| {
+            let touched = self.has(&self.reads, s, addr)
+                || self.has(&self.writes, s, addr)
+                || self.has(&self.adds, s, addr);
+            if commutative {
+                self.has(&self.reads, s, addr) || self.has(&self.writes, s, addr)
+            } else {
+                touched
+            }
+        })
+    }
+
+    /// Whether the two threads' footprints can conflict at all: some
+    /// address is updated by one and touched by the other, commutative
+    /// add/add pairs excepted. Unknown threads conservatively conflict.
+    #[must_use]
+    pub fn sels_may_conflict(&self, a: ThreadSel, b: ThreadSel) -> bool {
+        if !self.knows(a) || !self.knows(b) {
+            return true;
+        }
+        let one_way = |x: ThreadSel, y: ThreadSel| {
+            let writes_hit = self.writes.get(&x).is_some_and(|w| {
+                w.iter().any(|&addr| {
+                    self.has(&self.writes, y, addr)
+                        || self.has(&self.reads, y, addr)
+                        || self.has(&self.adds, y, addr)
+                })
+            });
+            let adds_hit = self.adds.get(&x).is_some_and(|w| {
+                w.iter()
+                    .any(|&addr| self.has(&self.writes, y, addr) || self.has(&self.reads, y, addr))
+            });
+            writes_hit || adds_hit
+        };
+        one_way(a, b) || one_way(b, a)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -615,6 +828,139 @@ mod tests {
         assert!(!b.le(&a));
         assert!(a.concurrent(&c));
         assert!(!a.concurrent(&b));
+    }
+}
+
+#[cfg(test)]
+mod conflict_index_tests {
+    use super::*;
+    use ksim::builder::ProgramBuilder;
+    use ksim::{Engine, MemAccess, ThreadProgId};
+    use std::sync::Arc;
+
+    fn sel(n: u16) -> ThreadSel {
+        ThreadSel::first(ThreadProgId(n))
+    }
+
+    /// Builds an index from a two-thread program: A writes x and bumps a
+    /// counter c, B reads x, writes y, and bumps c.
+    fn built_index() -> (ConflictIndex, Arc<ksim::Program>, Addr, Addr, Addr) {
+        let mut p = ProgramBuilder::new("ci");
+        let x = p.global("x", 0);
+        let y = p.global("y", 0);
+        let c = p.global("c", 0);
+        {
+            let mut a = p.syscall_thread("A", "w");
+            a.store_global(x, 1u64);
+            a.fetch_add_global(c, 1u64);
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "r");
+            b.load_global("r0", x);
+            b.store_global(y, 2u64);
+            b.fetch_add_global(c, 1u64);
+            b.ret();
+        }
+        let prog = Arc::new(p.build().unwrap());
+        let mut e = Engine::new(Arc::clone(&prog));
+        e.run_all_serial();
+        let mut idx = ConflictIndex::for_program(&prog);
+        let trace = e.trace().to_vec();
+        for (i, s) in [sel(0), sel(1)].into_iter().enumerate() {
+            idx.add_steps(s, trace.iter().filter(|r| r.tid == ThreadId(i as u32)));
+        }
+        let addr_of = |tid: u32, pred: fn(&MemAccess) -> bool| {
+            trace
+                .iter()
+                .filter(|r| r.tid == ThreadId(tid))
+                .flat_map(|r| r.accesses.iter())
+                .find(|a| pred(a))
+                .unwrap()
+                .addr
+        };
+        let xa = addr_of(0, |a| a.kind == AccessKind::Write);
+        let ya = addr_of(1, |a| a.kind == AccessKind::Write);
+        let ca = addr_of(0, |a| a.kind == AccessKind::Rmw);
+        (idx, prog, xa, ya, ca)
+    }
+
+    /// The instruction address of thread `prog`'s first access of `kind`.
+    fn at_of(program: &ksim::Program, prog: u16, kind: AccessKind) -> InstrAddr {
+        let index = program.progs[prog as usize]
+            .instrs
+            .iter()
+            .position(|i| match kind {
+                AccessKind::Read => matches!(i, ksim::Instr::Load { .. }),
+                AccessKind::Write => matches!(i, ksim::Instr::Store { .. }),
+                AccessKind::Rmw => matches!(i, ksim::Instr::FetchAdd { .. }),
+            })
+            .unwrap();
+        InstrAddr {
+            prog: ThreadProgId(prog),
+            index,
+        }
+    }
+
+    #[test]
+    fn write_conflicts_with_read_and_write() {
+        let (idx, prog, x, y, _) = built_index();
+        let a_store = at_of(&prog, 0, AccessKind::Write);
+        let b_load = at_of(&prog, 1, AccessKind::Read);
+        // A write of x conflicts with B (B reads x).
+        assert!(idx.may_conflict(x, AccessKind::Write, a_store, sel(1)));
+        // A read of x does NOT conflict with B (B only reads x).
+        assert!(!idx.may_conflict(x, AccessKind::Read, b_load, sel(1)));
+        // A read of y conflicts with B (B writes y).
+        assert!(idx.may_conflict(y, AccessKind::Read, b_load, sel(1)));
+        // y is private to B as far as A goes.
+        assert!(!idx.may_conflict(y, AccessKind::Write, a_store, sel(0)));
+    }
+
+    #[test]
+    fn commutative_adds_do_not_conflict_with_each_other() {
+        let (idx, prog, _, _, c) = built_index();
+        let a_add = at_of(&prog, 0, AccessKind::Rmw);
+        assert_eq!(idx.classify(a_add, AccessKind::Rmw), AccessClass::Add);
+        // Both threads only fetch_add the counter → no conflict either way.
+        assert!(!idx.may_conflict(c, AccessKind::Rmw, a_add, sel(1)));
+        assert!(!idx.addr_conflicts_any_other(c, a_add, sel(0)));
+        // A *write* of the counter would conflict with B's add...
+        let a_store = at_of(&prog, 0, AccessKind::Write);
+        assert!(idx.may_conflict(c, AccessKind::Write, a_store, sel(1)));
+        // ...and an Rmw from a non-commutative instruction (the store's
+        // address classifies it as Write) conflicts too.
+        assert_eq!(idx.classify(a_store, AccessKind::Rmw), AccessClass::Write);
+    }
+
+    #[test]
+    fn unknown_thread_conservatively_conflicts() {
+        let (idx, prog, x, _, _) = built_index();
+        let b_load = at_of(&prog, 1, AccessKind::Read);
+        assert!(!idx.knows(sel(9)));
+        assert!(idx.may_conflict(x, AccessKind::Read, b_load, sel(9)));
+        assert!(idx.sels_may_conflict(sel(0), sel(9)));
+    }
+
+    #[test]
+    fn sels_may_conflict_is_write_aware() {
+        let (idx, _, _, _, _) = built_index();
+        // A writes x, B reads x → they conflict (the shared counter's
+        // add/add meeting alone would not).
+        assert!(idx.sels_may_conflict(sel(0), sel(1)));
+        assert!(idx.sels_may_conflict(sel(1), sel(0)));
+    }
+
+    #[test]
+    fn may_conflict_any_skips_own_thread() {
+        let (idx, prog, _, y, _) = built_index();
+        let b_store = at_of(&prog, 1, AccessKind::Write);
+        let sels = [sel(0), sel(1)];
+        // B's write of y conflicts with nobody else.
+        assert!(!idx.may_conflict_any(y, AccessKind::Write, b_store, sel(1), &sels));
+        // But an unknown third thread would see it.
+        let sels3 = [sel(0), sel(1), sel(9)];
+        assert!(idx.may_conflict_any(y, AccessKind::Write, b_store, sel(1), &sels3));
     }
 }
 

@@ -11,7 +11,8 @@
 
 use aitia_repro::aitia::{
     Lifs,
-    LifsConfig, //
+    LifsConfig,
+    PruneLevel, //
 };
 use aitia_repro::corpus::figures;
 use std::sync::Arc;
@@ -43,11 +44,12 @@ fn main() {
         .collect();
     println!("  {}", named.join(" ⇒ "));
 
-    // Ablation: the same search without DPOR-style pruning.
+    // Ablations: the same search without any pruning, and with the full
+    // DPOR sleep-set / persistent-set rules.
     let no_por = Lifs::new(
         Arc::clone(&program),
         LifsConfig {
-            por: false,
+            prune: PruneLevel::Off,
             ..LifsConfig::default()
         },
     )
@@ -62,4 +64,19 @@ fn main() {
     );
     assert!(no_por.failing.is_some());
     assert!(no_por.stats.schedules_executed >= with_por.stats.schedules_executed);
+
+    let dpor = Lifs::new(
+        Arc::clone(&program),
+        LifsConfig {
+            prune: PruneLevel::Dpor,
+            ..LifsConfig::default()
+        },
+    )
+    .search();
+    println!(
+        "with full DPOR: {} schedules (sleep-set skips: {}, persistent-set skips: {})",
+        dpor.stats.schedules_executed, dpor.stats.pruned_sleep_set, dpor.stats.pruned_persistent
+    );
+    assert!(dpor.failing.is_some());
+    assert!(dpor.stats.schedules_executed <= with_por.stats.schedules_executed);
 }

@@ -14,6 +14,15 @@
 # and reports the VM executions the journal replay saved — gated on
 # bit-identical diagnoses and >= 40% savings at the 50% interruption point.
 # BENCH_RESUME_OUT overrides the output path (default BENCH_resume.json).
+#
+# Also regenerates BENCH_prune.json, the DPOR-pruning artifact: `report
+# bench-prune` diagnoses the Table 2 corpus at every prune level (off,
+# conflict, dpor) and reports per-level schedule counts — gated on
+# bit-identical diagnoses across all three levels and dpor executing
+# >= 30% fewer schedules than conflict. The unpruned off level is
+# exponential in the noise scale, so the prune bench runs at its own
+# (small) scale: BENCH_PRUNE_SCALE overrides it (default 0.02), and
+# BENCH_PRUNE_OUT the output path (default BENCH_prune.json).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,6 +30,8 @@ cd "$(dirname "$0")/.."
 SCALE="${BENCH_SCALE:-1.0}"
 OUT="${BENCH_OUT:-BENCH_memo.json}"
 RESUME_OUT="${BENCH_RESUME_OUT:-BENCH_resume.json}"
+PRUNE_SCALE="${BENCH_PRUNE_SCALE:-0.02}"
+PRUNE_OUT="${BENCH_PRUNE_OUT:-BENCH_prune.json}"
 
 cargo build --release -p aitia-bench
 ./target/release/report bench-memo --scale "$SCALE" > "$OUT"
@@ -34,3 +45,9 @@ echo "wrote $RESUME_OUT (scale $SCALE)"
 
 grep -q '"meets_resume_gate": true' "$RESUME_OUT" \
     || { echo "FAIL: resume bench missed the gate (divergent diagnosis or < 40% VM executions saved at 50% interruption)" >&2; exit 1; }
+
+./target/release/report bench-prune --scale "$PRUNE_SCALE" > "$PRUNE_OUT"
+echo "wrote $PRUNE_OUT (scale $PRUNE_SCALE)"
+
+grep -q '"meets_prune_gate": true' "$PRUNE_OUT" \
+    || { echo "FAIL: prune bench missed the gate (divergent diagnosis across prune levels or < 30% schedule reduction dpor vs conflict)" >&2; exit 1; }

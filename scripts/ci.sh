@@ -17,7 +17,21 @@ cargo test --workspace -q
 
 echo "==> bench smoke (reduced scale)"
 BENCH_SCALE=0.05 BENCH_OUT=target/BENCH_memo_smoke.json \
-    BENCH_RESUME_OUT=target/BENCH_resume_smoke.json scripts/bench.sh
+    BENCH_RESUME_OUT=target/BENCH_resume_smoke.json \
+    BENCH_PRUNE_OUT=target/BENCH_prune_smoke.json scripts/bench.sh
+
+echo "==> prune ablation smoke"
+# The same bug diagnosed with pruning fully off and with full DPOR pruning
+# must print byte-identical reports: pruning only skips equivalent
+# schedules, never changes what is diagnosed. diagnose keeps stats on
+# stderr precisely so stdout is comparable here.
+ABLATE_BUG=CVE-2017-10661
+./target/release/diagnose "$ABLATE_BUG" --scale 0.05 --prune-level off \
+    > target/ci-ablate-off.txt 2> target/ci-ablate-off.err
+./target/release/diagnose "$ABLATE_BUG" --scale 0.05 --prune-level dpor \
+    > target/ci-ablate-dpor.txt 2> target/ci-ablate-dpor.err
+diff target/ci-ablate-off.txt target/ci-ablate-dpor.txt \
+    || { echo "FAIL: dpor pruning changed the diagnosis" >&2; exit 1; }
 
 echo "==> kill-and-resume smoke"
 # Start a journaled diagnosis, SIGKILL it partway through, resume it over the

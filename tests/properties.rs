@@ -19,7 +19,7 @@ use aitia_repro::aitia::{
         EnforceConfig, //
     },
     races_in_trace, CancelToken, CausalityAnalysis, CausalityConfig, ExecJob, Executor,
-    ExecutorConfig, FaultInjection, Lifs, LifsConfig, Schedule, ThreadSel, Verdict,
+    ExecutorConfig, FaultInjection, Lifs, LifsConfig, PruneLevel, Schedule, ThreadSel, Verdict,
 };
 use aitia_repro::ksim::{
     builder::{
@@ -381,6 +381,135 @@ proptest! {
         for vms in [1usize, 2, 8] {
             let memoized = diagnose_with(&program, vms, Some(fault), true);
             prop_assert_eq!(&baseline, &memoized, "diverged at {} workers", vms);
+        }
+    }
+}
+
+/// What DPOR pruning must keep invariant across levels: the first failing
+/// schedule and the full downstream diagnosis (chain, verdicts, Causality
+/// Analysis schedule count). LIFS schedule counts are deliberately
+/// excluded — executing fewer schedules is the point of pruning.
+type PruneDigest = (Option<Schedule>, Option<(String, Vec<Verdict>, usize)>);
+
+/// [`diagnose_with`] at an explicit prune level, reduced to the
+/// count-free digest.
+fn diagnose_pruned(
+    program: &Arc<Program>,
+    vms: usize,
+    fault: Option<FaultInjection>,
+    memo: bool,
+    prune: PruneLevel,
+) -> PruneDigest {
+    let exec = memo_pool(vms, fault, memo);
+    let out = Lifs::with_executor(
+        Arc::clone(program),
+        LifsConfig {
+            max_interleavings: 2,
+            max_schedules: 2_000,
+            prune,
+            ..LifsConfig::default()
+        },
+        Arc::clone(&exec),
+    )
+    .search();
+    let schedule = out.failing.as_ref().map(|r| r.schedule.clone());
+    let analysis = out.failing.map(|run| {
+        let result =
+            CausalityAnalysis::with_executor(CausalityConfig::default(), exec).analyze(&run);
+        let verdicts: Vec<Verdict> = result.tested.iter().map(|t| t.verdict).collect();
+        (
+            result.chain.to_string(),
+            verdicts,
+            result.stats.schedules_executed,
+        )
+    });
+    (schedule, analysis)
+}
+
+proptest! {
+    // Each case diagnoses seven times (off baseline plus two levels at
+    // three worker counts); keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// DPOR pruning is invisible to diagnosis: `conflict` and `dpor` yield
+    /// the same first failing schedule and a bit-identical chain, verdict
+    /// list, and Causality Analysis schedule count as the unpruned `off`
+    /// search, at 1, 2, and 8 workers. Every pruned plan is equivalent to
+    /// one explored earlier in canonical order, so the first survivor is
+    /// the first failure.
+    #[test]
+    fn prune_levels_agree_on_diagnosis(threads in gen_program()) {
+        let program = build(&threads);
+        let baseline = diagnose_pruned(&program, 1, None, true, PruneLevel::Off);
+        for level in [PruneLevel::Conflict, PruneLevel::Dpor] {
+            for vms in [1usize, 2, 8] {
+                let pruned = diagnose_pruned(&program, vms, None, true, level);
+                prop_assert_eq!(
+                    &baseline,
+                    &pruned,
+                    "diverged at {:?} / {} workers",
+                    level,
+                    vms
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case diagnoses five times; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Prune-level agreement survives deterministic VM-fault injection: a
+    /// faulted serial run disables the sleep/persistent rules (a faulted
+    /// node may not seed a sleep set), so injected faults never make
+    /// `dpor` skip a schedule `off` would have found first.
+    #[test]
+    fn prune_levels_agree_under_fault_injection(threads in gen_program()) {
+        let fault = FaultInjection {
+            seed: 0xA17A,
+            rate_permille: 120,
+            max_retries: 2,
+            quarantine_after: 2,
+        };
+        let program = build(&threads);
+        let baseline = diagnose_pruned(&program, 1, Some(fault), true, PruneLevel::Off);
+        for (vms, level) in [
+            (1usize, PruneLevel::Conflict),
+            (1, PruneLevel::Dpor),
+            (2, PruneLevel::Dpor),
+            (8, PruneLevel::Dpor),
+        ] {
+            let pruned = diagnose_pruned(&program, vms, Some(fault), true, level);
+            prop_assert_eq!(
+                &baseline,
+                &pruned,
+                "diverged at {:?} / {} workers",
+                level,
+                vms
+            );
+        }
+    }
+
+    /// Prune-level agreement holds without the memo table and snapshot
+    /// forest too — and mixing memo-off `off` against memo-on `dpor`
+    /// proves a memo hit feeds the sleep-set machinery the same step
+    /// records a real execution would.
+    #[test]
+    fn prune_levels_agree_without_memoization(threads in gen_program()) {
+        let program = build(&threads);
+        let baseline = diagnose_pruned(&program, 1, None, false, PruneLevel::Off);
+        for memo in [false, true] {
+            for vms in [1usize, 2, 8] {
+                let pruned = diagnose_pruned(&program, vms, None, memo, PruneLevel::Dpor);
+                prop_assert_eq!(
+                    &baseline,
+                    &pruned,
+                    "diverged at memo={} / {} workers",
+                    memo,
+                    vms
+                );
+            }
         }
     }
 }

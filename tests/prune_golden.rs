@@ -1,0 +1,78 @@
+//! Golden-corpus regression for DPOR pruning: the exact number of
+//! schedules LIFS executes per Table 2 bug, at every prune level.
+//!
+//! These numbers are a behavioural snapshot, not a performance budget:
+//! any change to plan generation, the conflict relation, or the
+//! sleep/persistent rules shows up here as a precise per-bug diff instead
+//! of a silent search-order drift. Update the table deliberately when the
+//! pruning semantics change — and only after the differential properties
+//! in `properties.rs` confirm diagnoses are still identical across levels.
+//!
+//! The noise scale is small so the unpruned `off` search stays tractable
+//! in debug builds; `BENCH_prune.json` covers the performance claim at
+//! benchmark scale.
+
+use aitia_repro::aitia::{Lifs, LifsConfig, PruneLevel};
+use aitia_repro::corpus;
+
+const SCALE: f64 = 0.02;
+
+/// `(bug id, [schedules_executed at off, conflict, dpor])`.
+const GOLDEN: &[(&str, [usize; 3])] = &[
+    ("CVE-2019-11486", [35, 4, 3]),
+    ("CVE-2019-6974", [60, 7, 3]),
+    ("CVE-2018-12232", [51, 6, 3]),
+    ("CVE-2017-15649", [13446, 66, 36]),
+    ("CVE-2017-10661", [17, 4, 3]),
+    ("CVE-2017-7533", [185, 12, 4]),
+    ("CVE-2017-2671", [21, 4, 3]),
+    ("CVE-2017-2636", [25, 6, 4]),
+    ("CVE-2016-10200", [38, 7, 4]),
+    ("CVE-2016-8655", [21, 4, 3]),
+];
+
+#[test]
+fn schedules_executed_per_bug_and_level_match_golden() {
+    let bugs = corpus::cves();
+    assert_eq!(bugs.len(), GOLDEN.len(), "corpus and golden table differ");
+    let mut actual = Vec::new();
+    let mut diffs = Vec::new();
+    for (bug, (gid, golden)) in bugs.iter().zip(GOLDEN) {
+        assert_eq!(&bug.id, gid, "corpus order changed; regenerate the table");
+        let mut got = [0usize; 3];
+        for (slot, prune) in [PruneLevel::Off, PruneLevel::Conflict, PruneLevel::Dpor]
+            .into_iter()
+            .enumerate()
+        {
+            let out = Lifs::new(
+                bug.program_scaled(SCALE),
+                LifsConfig {
+                    prune,
+                    ..bug.lifs_config()
+                },
+            )
+            .search();
+            assert!(
+                out.failing.is_some(),
+                "{} did not reproduce at {prune} (scale {SCALE})",
+                bug.id
+            );
+            got[slot] = out.stats.schedules_executed;
+        }
+        assert!(
+            got[2] <= got[1] && got[1] <= got[0],
+            "{}: pruning increased the schedule count: {got:?}",
+            bug.id
+        );
+        if &got != golden {
+            diffs.push(format!("{}: golden {golden:?}, actual {got:?}", bug.id));
+        }
+        actual.push(format!("    ({:?}, {got:?}),", bug.id));
+    }
+    assert!(
+        diffs.is_empty(),
+        "schedule counts drifted:\n{}\n\nfull regenerated table:\n{}",
+        diffs.join("\n"),
+        actual.join("\n")
+    );
+}
