@@ -56,6 +56,22 @@ fn bench_engine(c: &mut Criterion) {
     c.bench_function("substrate/races_in_trace_4k_steps", |b| {
         b.iter(|| aitia::races_in_trace(e.trace()).len());
     });
+
+    // Enforcement overhead: the same 4k steps driven through enforce::run
+    // with an empty schedule. The delta against engine_steps_4k is pure
+    // drive()-loop bookkeeping (point matching, exec counts, trace
+    // publication).
+    c.bench_function("substrate/enforced_steps_4k", |b| {
+        let mut e = Engine::new(Arc::clone(&prog));
+        let schedule = aitia::Schedule::default();
+        let cfg = aitia::EnforceConfig {
+            step_budget: 100_000,
+        };
+        b.iter(|| {
+            e.reboot();
+            aitia::enforce_run(&mut e, &schedule, &cfg).steps
+        });
+    });
 }
 
 criterion_group!(benches, bench_engine);

@@ -7,7 +7,7 @@
 //!
 //! Subcommands: `table1`, `table2`, `table3`, `conciseness`, `comparison`,
 //! `ablations`, `fig5`, `fig6`, `fig7`, `fig9`, `bench-memo`,
-//! `bench-resume`, `bench-prune`, `all`.
+//! `bench-resume`, `bench-prune`, `bench-throughput`, `all`.
 //!
 //! `--scale` multiplies every bug's calibrated benign-race noise (1.0 =
 //! full calibration, matching the magnitudes of the paper's tables; smaller
@@ -57,6 +57,7 @@ subcommands (default: all):
   bench-memo            memoization A/B over Table 2 (JSON on stdout)
   bench-resume          kill-and-resume journal benchmark (JSON on stdout)
   bench-prune           prune-level ablation over Table 2 (JSON on stdout)
+  bench-throughput      substrate throughput A/B over Table 2 (JSON on stdout)
   all                   everything above
 
 flags:
@@ -64,6 +65,8 @@ flags:
   --prune-level <level> LIFS pruning: off, conflict or dpor (default:
                         each bug's calibrated config, normally conflict)
   --samples <int>       comparison sample count (default 400)
+  --repeats <int>       bench-throughput passes per cell, at least 1; the
+                        least-busy pass is reported (default 2)
   --vms <int>           VM-pool worker count, at least 1 (default 8)
   --snapshot-cache <n>  per-worker snapshot-prefix cache entries, at
                         least 1 (default 8)
@@ -99,6 +102,7 @@ fn main() {
     let mut scale = 1.0f64;
     let mut prune: Option<aitia::lifs::PruneLevel> = None;
     let mut samples = 400usize;
+    let mut repeats = 2usize;
     let mut vms = 8usize;
     let mut snapshot_cache = ExecutorConfig::default().snapshot_cache;
     let mut memo = true;
@@ -112,6 +116,7 @@ fn main() {
             "--scale" => scale = flag_value(&args, &mut i, "--scale"),
             "--prune-level" => prune = Some(flag_value(&args, &mut i, "--prune-level")),
             "--samples" => samples = flag_value(&args, &mut i, "--samples"),
+            "--repeats" => repeats = flag_value(&args, &mut i, "--repeats"),
             "--vms" => vms = flag_value(&args, &mut i, "--vms"),
             "--snapshot-cache" => snapshot_cache = flag_value(&args, &mut i, "--snapshot-cache"),
             "--no-memo" => memo = false,
@@ -235,6 +240,32 @@ fn main() {
                 b.dpor.pruned_persistent,
                 b.diagnoses_identical,
                 b.meets_prune_gate
+            );
+            return;
+        }
+        "bench-throughput" => {
+            // Self-contained like bench-memo: each cell runs the corpus on
+            // fresh pools and fresh programs with memoization off, so
+            // every cell pays full VM execution. JSON goes to stdout for
+            // BENCH_throughput.json; the human summary goes to stderr.
+            let b = experiments::bench_throughput(scale, repeats);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&b).expect("bench result serializes")
+            );
+            for (side, tag) in [(&b.before, "before"), (&b.after, "after")] {
+                for p in &side.points {
+                    eprintln!(
+                        "bench-throughput: {tag} ({}) @ {} workers -> \
+                         {:.0} schedules/s, {:.0} instrs/s ({:.2}s wall)",
+                        side.label, p.workers, p.schedules_per_sec, p.instrs_per_sec, p.wall_s
+                    );
+                }
+            }
+            eprintln!(
+                "bench-throughput: speedup at 8 workers: {:.2}x, \
+                 diagnoses identical: {}, gate met: {}",
+                b.speedup_at_8, b.diagnoses_identical, b.meets_throughput_gate
             );
             return;
         }

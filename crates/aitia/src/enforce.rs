@@ -29,9 +29,9 @@ use ksim::{
     InstrAddr,
     LockId,
     StepOutcome,
-    StepRecord,
     ThreadId,
-    ThreadStatus, //
+    ThreadStatus,
+    Trace, //
 };
 use serde::{
     Deserialize,
@@ -136,8 +136,10 @@ impl std::fmt::Display for RunOutcome {
 /// The observable outcome of one enforced run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RunResult {
-    /// The executed trace (total order).
-    pub trace: Vec<StepRecord>,
+    /// The executed trace (total order), structurally shared with the
+    /// engine that produced it — cloning a [`RunResult`] bumps reference
+    /// counts instead of copying records.
+    pub trace: Trace,
     /// The manifested failure, if any.
     pub failure: Option<Failure>,
     /// `triggered[i]` — whether scheduling point `i` fired.
@@ -846,8 +848,14 @@ fn drive(
         })
         .collect();
 
+    // The pre-refactor substrate materialized an owned Vec<StepRecord>
+    // here (one deep copy of every record per run); the Deep A/B baseline
+    // re-enacts that cost so bench-throughput measures the full delta.
+    if engine.snapshot_mode() == ksim::SnapshotMode::Deep {
+        std::hint::black_box(engine.trace().to_vec());
+    }
     RunResult {
-        trace: engine.trace().to_vec(),
+        trace: engine.trace().clone(),
         failure: engine.failure().cloned().or(watchdog),
         triggered: std::mem::take(&mut state.triggered),
         forced: std::mem::take(&mut state.forced),
@@ -980,7 +988,7 @@ mod outcome_tests {
 
     fn result(failure: Option<ksim::Failure>, triggered: Vec<bool>, exhausted: bool) -> RunResult {
         RunResult {
-            trace: Vec::new(),
+            trace: Trace::new(),
             failure,
             triggered,
             forced: Vec::new(),

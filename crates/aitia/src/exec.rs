@@ -44,7 +44,11 @@ use ksim::{
     ThreadId, //
 };
 use std::{
-    collections::HashMap,
+    collections::{
+        BTreeMap,
+        HashMap,
+        VecDeque, //
+    },
     hash::{
         Hash,
         Hasher, //
@@ -439,6 +443,38 @@ pub struct ExecStats {
     /// stopped claiming work and consumers folded best-so-far prefixes.
     /// Always `false` without a configured [`DeadlineBudget`].
     pub deadline_fired: bool,
+    /// Engine steps executed across all workers (memo hits execute none).
+    pub steps_executed: u64,
+    /// Wall-clock nanoseconds workers spent inside VM execution, summed
+    /// across workers — so `runs / (busy_ns / 1e9)` is per-worker-second
+    /// throughput, not wall-clock throughput. Timing, hence host-dependent:
+    /// a diagnostic, never folded into results.
+    pub busy_ns: u64,
+}
+
+impl ExecStats {
+    /// Enforced schedules per worker-busy second (0 when nothing ran).
+    #[must_use]
+    pub fn schedules_per_sec(&self) -> f64 {
+        per_second(self.runs, self.busy_ns)
+    }
+
+    /// Engine instructions per worker-busy second (0 when nothing ran).
+    #[must_use]
+    pub fn instrs_per_sec(&self) -> f64 {
+        per_second(self.steps_executed, self.busy_ns)
+    }
+}
+
+/// `count / (ns / 1e9)`, guarding the nothing-ran case.
+fn per_second(count: u64, ns: u64) -> f64 {
+    if ns == 0 {
+        return 0.0;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    {
+        count as f64 / (ns as f64 / 1e9)
+    }
 }
 
 /// Internal atomic counters behind [`ExecStats`].
@@ -457,6 +493,8 @@ struct StatCells {
     memo_misses: AtomicU64,
     memo_excluded: AtomicU64,
     forest_hits: AtomicU64,
+    steps_executed: AtomicU64,
+    busy_ns: AtomicU64,
 }
 
 impl StatCells {
@@ -476,8 +514,30 @@ impl StatCells {
             memo_excluded: self.memo_excluded.load(Ordering::SeqCst),
             forest_hits: self.forest_hits.load(Ordering::SeqCst),
             deadline_fired: false,
+            steps_executed: self.steps_executed.load(Ordering::SeqCst),
+            busy_ns: self.busy_ns.load(Ordering::SeqCst),
         }
     }
+}
+
+/// How workers claim job indices inside a batch.
+///
+/// Either mode yields bit-identical batch results: jobs are pure functions
+/// of `(program, schedule, step budget)` and results are folded in
+/// submission order behind the canonical stop bound, so the claim order
+/// can only move wall-clock time around.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ClaimMode {
+    /// All workers pull from one monotone `fetch_add` counter — the
+    /// pre-refactor scheme, kept as the A/B throughput baseline. Every
+    /// claim is a contended RMW on one cache line.
+    Counter,
+    /// Work stealing: indices are strided across per-worker deques up
+    /// front; owners pop from the front, and a worker whose deque drains
+    /// steals from the back of a peer's. Claims are contention-free until
+    /// the tail of a batch.
+    #[default]
+    Steal,
 }
 
 /// Per-slot circuit-breaker state.
@@ -519,6 +579,14 @@ pub struct ExecutorConfig {
     /// Campaign deadline budget, checked at every job-claim boundary and
     /// charged by executed runs. `None` disables deadlines.
     pub deadline: Option<Arc<DeadlineBudget>>,
+    /// How workers claim batch indices (results are identical either way;
+    /// see [`ClaimMode`]).
+    pub claim: ClaimMode,
+    /// Force every worker engine into [`ksim::SnapshotMode::Deep`] — the
+    /// pre-refactor deep-clone snapshot cost, kept as the A/B baseline for
+    /// `report bench-throughput`. Off, engines use structurally-shared
+    /// copy-on-write snapshots. Observable state is identical either way.
+    pub deep_snapshots: bool,
 }
 
 impl Default for ExecutorConfig {
@@ -531,6 +599,8 @@ impl Default for ExecutorConfig {
             memo: true,
             journal: None,
             deadline: None,
+            claim: ClaimMode::default(),
+            deep_snapshots: false,
         }
     }
 }
@@ -547,6 +617,63 @@ struct MemoEntry {
     output: ExecOutput,
 }
 
+impl MemoEntry {
+    /// Whether this entry's full key matches `job` (fingerprint equality is
+    /// only the bucket index; this is the collision-proof comparison).
+    fn matches(&self, job: &ExecJob) -> bool {
+        Arc::ptr_eq(&self.program, &job.program)
+            && self.step_budget == job.enforce.step_budget
+            && self.schedule == job.schedule
+    }
+}
+
+/// One lock-striped shard of the memo table: entries bucketed by
+/// fingerprint for O(bucket) lookup, with a tick-ordered recency index for
+/// O(log n) LRU maintenance — replacing the pre-refactor single
+/// `Mutex<Vec<_>>` whose every `get` paid a linear scan of the whole table
+/// under one process-wide lock.
+#[derive(Default)]
+struct MemoShard {
+    /// Buckets by fingerprint; each entry carries its recency tick.
+    entries: HashMap<u64, Vec<(u64, MemoEntry)>>,
+    /// Recency order: tick → fingerprint (ticks are unique per shard, so
+    /// the smallest tick is always the least-recently-used entry).
+    recency: BTreeMap<u64, u64>,
+    /// Monotone tick source for this shard.
+    tick: u64,
+    /// Live entry count across all buckets.
+    len: usize,
+}
+
+impl MemoShard {
+    fn touch(&mut self, fp: u64, old_tick: u64) -> u64 {
+        self.recency.remove(&old_tick);
+        self.tick += 1;
+        self.recency.insert(self.tick, fp);
+        self.tick
+    }
+
+    fn evict_lru(&mut self) {
+        let Some((&tick, &fp)) = self.recency.iter().next() else {
+            return;
+        };
+        self.recency.remove(&tick);
+        if let Some(bucket) = self.entries.get_mut(&fp) {
+            bucket.retain(|(t, _)| *t != tick);
+            if bucket.is_empty() {
+                self.entries.remove(&fp);
+            }
+        }
+        self.len -= 1;
+    }
+}
+
+/// Number of lock stripes in the memo table. Sixteen shards keep the
+/// workers of an 8-wide pool (plus the manager's per-slice executors) from
+/// convoying on one mutex while staying small enough that per-shard LRU
+/// capacity (`cap / 16`) still covers a diagnosis working set.
+const MEMO_SHARDS: usize = 16;
+
 /// The process-wide result memo table (DESIGN.md §6).
 ///
 /// Enforcement is a pure function of `(program, schedule, step budget)`:
@@ -557,58 +684,72 @@ struct MemoEntry {
 /// would have shown — at zero simulated cost. Inconclusive outcomes
 /// (timeout, crash) are never inserted, and exec-layer fault placeholders
 /// never reach the table at all (faults are decided *before* the lookup).
+///
+/// Concurrency: the table is striped into [`MEMO_SHARDS`] independently
+/// locked shards keyed by `fingerprint % MEMO_SHARDS`, so lookups for
+/// different schedules contend only when they land on the same stripe.
+/// Capacity is split evenly across shards; eviction is per-shard LRU,
+/// which bounds total occupancy by the same global cap while keeping every
+/// operation free of cross-shard coordination.
 struct MemoTable {
-    cap: usize,
-    /// LRU order: least-recently-used first.
-    entries: Mutex<Vec<(u64, MemoEntry)>>,
+    /// Per-shard capacity (`ceil(cap / MEMO_SHARDS)`; 0 disables writes).
+    shard_cap: usize,
+    shards: Vec<Mutex<MemoShard>>,
 }
 
 impl MemoTable {
     fn new(cap: usize) -> MemoTable {
         MemoTable {
-            cap,
-            entries: Mutex::new(Vec::new()),
+            shard_cap: cap.div_ceil(MEMO_SHARDS),
+            shards: (0..MEMO_SHARDS).map(|_| Mutex::default()).collect(),
         }
+    }
+
+    fn shard(&self, fp: u64) -> &Mutex<MemoShard> {
+        &self.shards[(fp % MEMO_SHARDS as u64) as usize]
     }
 
     fn get(&self, job: &ExecJob, fp: u64) -> Option<ExecOutput> {
-        let mut entries = self.entries.lock().unwrap();
-        let pos = entries.iter().position(|(k, e)| {
-            *k == fp
-                && Arc::ptr_eq(&e.program, &job.program)
-                && e.step_budget == job.enforce.step_budget
-                && e.schedule == job.schedule
-        })?;
-        let entry = entries.remove(pos);
-        let out = entry.1.output.clone();
-        entries.push(entry);
-        Some(out)
+        let mut shard = self.shard(fp).lock().unwrap();
+        let bucket = shard.entries.get(&fp)?;
+        let pos = bucket.iter().position(|(_, e)| e.matches(job))?;
+        let old_tick = bucket[pos].0;
+        let tick = shard.touch(fp, old_tick);
+        let bucket = shard.entries.get_mut(&fp).expect("bucket exists");
+        bucket[pos].0 = tick;
+        Some(bucket[pos].1.output.clone())
     }
 
     fn put(&self, fp: u64, job: &ExecJob, output: &ExecOutput) {
-        if self.cap == 0 {
+        if self.shard_cap == 0 {
             return;
         }
-        let mut entries = self.entries.lock().unwrap();
-        if let Some(pos) = entries.iter().position(|(k, e)| {
-            *k == fp
-                && Arc::ptr_eq(&e.program, &job.program)
-                && e.step_budget == job.enforce.step_budget
-                && e.schedule == job.schedule
-        }) {
-            entries.remove(pos);
+        let mut shard = self.shard(fp).lock().unwrap();
+        let bucket = shard.entries.entry(fp).or_default();
+        let entry = MemoEntry {
+            program: Arc::clone(&job.program),
+            schedule: job.schedule.clone(),
+            step_budget: job.enforce.step_budget,
+            output: output.clone(),
+        };
+        if let Some(pos) = bucket.iter().position(|(_, e)| e.matches(job)) {
+            let old_tick = bucket[pos].0;
+            bucket[pos].1 = entry;
+            let tick = shard.touch(fp, old_tick);
+            shard.entries.get_mut(&fp).expect("bucket exists")[pos].0 = tick;
+            return;
         }
-        entries.push((
-            fp,
-            MemoEntry {
-                program: Arc::clone(&job.program),
-                schedule: job.schedule.clone(),
-                step_budget: job.enforce.step_budget,
-                output: output.clone(),
-            },
-        ));
-        while entries.len() > self.cap {
-            entries.remove(0);
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard
+            .entries
+            .get_mut(&fp)
+            .expect("bucket exists")
+            .push((tick, entry));
+        shard.recency.insert(tick, fp);
+        shard.len += 1;
+        while shard.len > self.shard_cap {
+            shard.evict_lru();
         }
     }
 }
@@ -788,27 +929,26 @@ impl Executor {
             return out;
         }
 
-        let next = AtomicUsize::new(0);
+        let queue = ClaimQueue::new(self.config.claim, n, workers);
         let stop_at = AtomicUsize::new(usize::MAX);
         let results: Vec<Mutex<Option<ExecOutput>>> = (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
-            for &si in &active[..workers] {
-                let (results, next, stop_at, stop) = (&results, &next, &stop_at, &stop);
+            for (w, &si) in active[..workers].iter().enumerate() {
+                let (results, queue, stop_at, stop) = (&results, &queue, &stop_at, &stop);
                 let slot = &self.slots[si];
                 scope.spawn(move || {
                     let mut slot = slot.lock().unwrap();
                     loop {
-                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if cancel.is_cancelled() || self.deadline_expired() {
+                            return;
+                        }
                         // `stop_at` only decreases, so a stale read can only
                         // make us execute speculatively, never skip an index
                         // at or below the final bound.
-                        if i >= n
-                            || i > stop_at.load(Ordering::SeqCst)
-                            || cancel.is_cancelled()
-                            || self.deadline_expired()
-                        {
+                        let bound = stop_at.load(Ordering::SeqCst);
+                        let Some(i) = queue.claim(w, n, bound) else {
                             return;
-                        }
+                        };
                         let res = self.run_job_ft(si, &mut slot, &jobs[i]);
                         if stop(&res) {
                             stop_at.fetch_min(i, Ordering::SeqCst);
@@ -874,7 +1014,15 @@ impl Executor {
                     self.stats.memo_misses.fetch_add(1, Ordering::SeqCst);
                 }
                 let forest = self.config.memo.then(global_forest);
-                let out = run_job(slot, job, cache_cap, forest, &self.stats, retries);
+                let out = run_job(
+                    slot,
+                    job,
+                    cache_cap,
+                    forest,
+                    &self.stats,
+                    retries,
+                    self.config.deep_snapshots,
+                );
                 if let Some(deadline) = &self.config.deadline {
                     deadline.charge_run(out.run.steps, out.run.failure.is_some());
                 }
@@ -1019,6 +1167,10 @@ impl Executor {
             return out;
         }
 
+        // Tasks are coarse (each is a whole per-slice search), so the
+        // shared counter's claim contention is immaterial here — the
+        // work-stealing deques are reserved for the per-schedule hot path
+        // in [`Executor::run_until`].
         let next = AtomicUsize::new(0);
         let stop_at = AtomicUsize::new(usize::MAX);
         let results: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
@@ -1064,6 +1216,64 @@ impl Executor {
     }
 }
 
+/// A batch's index source, per [`ClaimMode`].
+///
+/// Both variants uphold the canonical-prefix invariant the fold relies on:
+/// every index at or below the final stop bound is claimed and executed by
+/// some worker before any worker sees "drained" (absent cancellation).
+enum ClaimQueue {
+    /// One shared monotone counter.
+    Counter(AtomicUsize),
+    /// One deque per worker, pre-filled with strided indices: worker `w`
+    /// of `k` owns `w, w+k, w+2k, …` in ascending order. Owners pop from
+    /// the front; thieves pop from the back (the indices least likely to
+    /// matter under an early stop).
+    Steal(Vec<Mutex<VecDeque<usize>>>),
+}
+
+impl ClaimQueue {
+    fn new(mode: ClaimMode, n: usize, workers: usize) -> ClaimQueue {
+        match mode {
+            ClaimMode::Counter => ClaimQueue::Counter(AtomicUsize::new(0)),
+            ClaimMode::Steal => ClaimQueue::Steal(
+                (0..workers)
+                    .map(|w| Mutex::new((w..n).step_by(workers.max(1)).collect()))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Claims the next index for worker `w`, never returning one above
+    /// `bound`. `None` means this worker is done: past the end/bound for
+    /// the counter, all deques drained for stealing (emptiness is monotone
+    /// — nothing is ever pushed back — so an all-empty scan is final).
+    fn claim(&self, w: usize, n: usize, bound: usize) -> Option<usize> {
+        match self {
+            ClaimQueue::Counter(next) => {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                (i < n && i <= bound).then_some(i)
+            }
+            ClaimQueue::Steal(deques) => {
+                let k = deques.len();
+                loop {
+                    let own = deques[w].lock().unwrap().pop_front();
+                    let claimed = own.or_else(|| {
+                        (1..k).find_map(|d| deques[(w + d) % k].lock().unwrap().pop_back())
+                    });
+                    match claimed {
+                        // Indices above the bound are dead speculation:
+                        // discard and keep draining. The bound only ever
+                        // decreases, so a discard is never premature.
+                        Some(i) if i > bound => continue,
+                        Some(i) => return Some(i),
+                        None => return None,
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// OS threads available to the process (cgroup-quota aware). By default the
 /// pool never spawns more threads than this: `vms` is the *semantic* pool
 /// width (it sizes the slots and the simulated cost model), while the OS
@@ -1076,6 +1286,7 @@ fn hardware_threads() -> usize {
 
 /// Executes one job on a worker's persistent VM, rebooting (and dropping
 /// the snapshot cache) when the job's program differs from the VM's.
+#[allow(clippy::too_many_arguments)]
 fn run_job(
     slot: &mut Option<WorkerVm>,
     job: &ExecJob,
@@ -1083,17 +1294,25 @@ fn run_job(
     forest: Option<&SnapshotForest>,
     stats: &StatCells,
     retries: u32,
+    deep_snapshots: bool,
 ) -> ExecOutput {
     let key = Arc::as_ptr(&job.program) as usize;
     let vm = match slot {
         Some(vm) if vm.prog == key => vm,
-        _ => slot.insert(WorkerVm {
-            prog: key,
-            engine: Engine::new(Arc::clone(&job.program)),
-            cache: SnapshotCache::new(cache_cap),
-        }),
+        _ => {
+            let mut engine = Engine::new(Arc::clone(&job.program));
+            if deep_snapshots {
+                engine.set_snapshot_mode(ksim::SnapshotMode::Deep);
+            }
+            slot.insert(WorkerVm {
+                prog: key,
+                engine,
+                cache: SnapshotCache::new(cache_cap),
+            })
+        }
     };
     let (hits0, misses0, forest0) = (vm.cache.hits(), vm.cache.misses(), vm.cache.forest_hits());
+    let started = Instant::now();
     let run = run_cached_shared(
         &mut vm.engine,
         &job.schedule,
@@ -1101,7 +1320,16 @@ fn run_job(
         &mut vm.cache,
         forest,
     );
+    let busy = started.elapsed();
     stats.runs.fetch_add(1, Ordering::SeqCst);
+    stats.steps_executed.fetch_add(
+        u64::try_from(run.steps).unwrap_or(u64::MAX),
+        Ordering::SeqCst,
+    );
+    stats.busy_ns.fetch_add(
+        u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX),
+        Ordering::SeqCst,
+    );
     stats
         .snapshot_hits
         .fetch_add(vm.cache.hits() - hits0, Ordering::SeqCst);
@@ -1142,7 +1370,7 @@ fn run_job(
 /// fault's flavour.
 fn faulted_output(job: &ExecJob, kind: FaultKind, retries: u32) -> ExecOutput {
     let run = RunResult {
-        trace: Vec::new(),
+        trace: ksim::Trace::new(),
         failure: None,
         triggered: vec![false; job.schedule.points.len()],
         forced: Vec::new(),
@@ -1265,6 +1493,132 @@ mod tests {
                     .map(|o| (o.run.failure.as_ref().map(|f| f.kind), o.run.steps))
             })
             .collect()
+    }
+
+    type FullDigest = Vec<Option<(Vec<ksim::StepRecord>, Option<FailureKind>, usize)>>;
+
+    /// Full observable content of a batch result, trace included.
+    fn full_digest(out: &[Option<ExecOutput>]) -> FullDigest {
+        out.iter()
+            .map(|o| {
+                o.as_ref().map(|o| {
+                    (
+                        o.run.trace.to_vec(),
+                        o.run.failure.as_ref().map(|f| f.kind),
+                        o.run.steps,
+                    )
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn claim_and_snapshot_modes_are_bit_identical() {
+        // The differential pin for the throughput refactor: the seed
+        // semantics (deep-clone snapshots, shared-counter claiming, one
+        // worker) must match every combination of COW snapshots,
+        // work-stealing deques, and worker count, trace for trace.
+        let program = fig1_program();
+        let jobs = fig1_jobs(&program);
+        let reference = Executor::with_config(ExecutorConfig {
+            vms: 1,
+            memo: false,
+            claim: ClaimMode::Counter,
+            deep_snapshots: true,
+            ..ExecutorConfig::default()
+        })
+        .run_batch(&jobs, &CancelToken::new());
+        assert!(reference.iter().all(Option::is_some));
+        for vms in [1, 2, 8] {
+            for claim in [ClaimMode::Counter, ClaimMode::Steal] {
+                for deep in [false, true] {
+                    let got = Executor::with_config(ExecutorConfig {
+                        vms,
+                        os_threads: Some(vms),
+                        memo: false,
+                        claim,
+                        deep_snapshots: deep,
+                        ..ExecutorConfig::default()
+                    })
+                    .run_batch(&jobs, &CancelToken::new());
+                    assert_eq!(
+                        full_digest(&reference),
+                        full_digest(&got),
+                        "vms={vms} claim={claim:?} deep={deep}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn claim_modes_agree_under_fault_injection_and_memo() {
+        // Fault decisions are content-keyed and the memo serves full
+        // records, so neither may perturb the counter-vs-steal identity.
+        let program = fig1_program();
+        let jobs = fig1_jobs(&program);
+        let fault = Some(recovering_fault(&jobs));
+        for memo in [false, true] {
+            let mut digests = Vec::new();
+            for claim in [ClaimMode::Counter, ClaimMode::Steal] {
+                for vms in [1, 2, 8] {
+                    let out = Executor::with_config(ExecutorConfig {
+                        vms,
+                        os_threads: Some(vms),
+                        memo,
+                        fault,
+                        claim,
+                        ..ExecutorConfig::default()
+                    })
+                    .run_batch(&jobs, &CancelToken::new());
+                    digests.push((claim, vms, full_digest(&out)));
+                }
+            }
+            for (claim, vms, d) in &digests[1..] {
+                assert_eq!(&digests[0].2, d, "memo={memo} claim={claim:?} vms={vms}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_until_early_stop_is_claim_mode_invariant() {
+        // The canonical stop bound must cut the same prefix whether the
+        // accepted index was claimed from the counter or stolen.
+        let program = fig1_program();
+        let jobs = fig1_jobs(&program);
+        let stop = |o: &ExecOutput| o.run.failure.is_some();
+        for claim in [ClaimMode::Counter, ClaimMode::Steal] {
+            for vms in [1, 2, 8] {
+                let out = Executor::with_config(ExecutorConfig {
+                    vms,
+                    os_threads: Some(vms),
+                    memo: false,
+                    claim,
+                    ..ExecutorConfig::default()
+                })
+                .run_until(&jobs, &CancelToken::new(), stop);
+                assert!(out[2].as_ref().is_some_and(|o| o.run.failure.is_some()));
+                assert!(out[3].is_none(), "claim={claim:?} vms={vms}");
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_counters_accumulate() {
+        let program = fig1_program();
+        let jobs = fig1_jobs(&program);
+        let exec = Executor::with_config(ExecutorConfig {
+            vms: 1,
+            memo: false,
+            ..ExecutorConfig::default()
+        });
+        let out = exec.run_batch(&jobs, &CancelToken::new());
+        let total_steps: usize = out.iter().flatten().map(|o| o.run.steps).sum();
+        let stats = exec.stats();
+        assert_eq!(stats.steps_executed, total_steps as u64);
+        assert!(stats.busy_ns > 0);
+        assert!(stats.schedules_per_sec() > 0.0);
+        assert!(stats.instrs_per_sec() > 0.0);
     }
 
     #[test]

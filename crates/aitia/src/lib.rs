@@ -107,6 +107,7 @@ pub use enforce::{
 };
 pub use exec::{
     CancelToken,
+    ClaimMode,
     DeadlineBudget,
     ExecJob,
     ExecOutput,

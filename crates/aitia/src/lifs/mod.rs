@@ -64,7 +64,8 @@ use ksim::{
     InstrAddr,
     Program,
     StepRecord,
-    ThreadId, //
+    ThreadId,
+    Trace, //
 };
 use std::{
     collections::{
@@ -295,7 +296,8 @@ pub struct FailingRun {
     /// The schedule that reproduced the failure.
     pub schedule: Schedule,
     /// The executed trace — the totally ordered failure-causing sequence.
-    pub trace: Vec<StepRecord>,
+    /// Structurally shared (cloning bumps reference counts).
+    pub trace: Trace,
     /// The manifested failure.
     pub failure: Failure,
     /// Data races in the failing sequence (backward-sorted), including
@@ -761,7 +763,7 @@ impl<'a> DporCtx<'a> {
 
 /// Hashes the order of conflicting access pairs of a trace (the
 /// Mazurkiewicz-trace equivalence class over conflicting operations).
-fn conflict_signature(trace: &[StepRecord], sel_of: &HashMap<ThreadId, ThreadSel>) -> u64 {
+fn conflict_signature(trace: &Trace, sel_of: &HashMap<ThreadId, ThreadSel>) -> u64 {
     let evts = crate::race::accesses(trace);
     let mut by_addr: HashMap<Addr, Vec<usize>> = HashMap::new();
     for (i, e) in evts.iter().enumerate() {

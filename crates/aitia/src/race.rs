@@ -21,7 +21,8 @@ use ksim::{
     Addr,
     InstrAddr,
     StepRecord,
-    ThreadId, //
+    ThreadId,
+    Trace, //
 };
 use std::collections::{
     BTreeSet,
@@ -170,7 +171,7 @@ impl ObservedRace {
 
 /// Extracts all memory accesses from a trace.
 #[must_use]
-pub fn accesses(trace: &[StepRecord]) -> Vec<AccessEvt> {
+pub fn accesses(trace: &Trace) -> Vec<AccessEvt> {
     let mut out = Vec::new();
     for rec in trace {
         for acc in &rec.accesses {
@@ -190,7 +191,7 @@ pub fn accesses(trace: &[StepRecord]) -> Vec<AccessEvt> {
 /// Computes one vector clock per trace step, over program order, spawn
 /// edges, and lock release→acquire edges.
 #[must_use]
-pub fn step_clocks(trace: &[StepRecord]) -> Vec<VClock> {
+pub fn step_clocks(trace: &Trace) -> Vec<VClock> {
     let mut thread_clocks: HashMap<ThreadId, VClock> = HashMap::new();
     let mut lock_clocks: HashMap<ksim::LockId, VClock> = HashMap::new();
     let mut out = Vec::with_capacity(trace.len());
@@ -222,7 +223,7 @@ pub fn step_clocks(trace: &[StepRecord]) -> Vec<VClock> {
 /// Two accesses race when they touch the same address from different
 /// threads, at least one writes, and their step clocks are concurrent.
 #[must_use]
-pub fn races_in_trace(trace: &[StepRecord]) -> Vec<ObservedRace> {
+pub fn races_in_trace(trace: &Trace) -> Vec<ObservedRace> {
     let evts = accesses(trace);
     let clocks = step_clocks(trace);
     // Group accesses by address to avoid the full quadratic sweep.
@@ -273,7 +274,7 @@ pub fn races_in_trace(trace: &[StepRecord]) -> Vec<ObservedRace> {
 /// is why [`races_in_trace`] excludes them and this function exists
 /// separately.
 #[must_use]
-pub fn cs_order_races(trace: &[StepRecord]) -> Vec<ObservedRace> {
+pub fn cs_order_races(trace: &Trace) -> Vec<ObservedRace> {
     let evts = accesses(trace);
     let clocks = step_clocks(trace);
     let mut by_addr: HashMap<Addr, Vec<usize>> = HashMap::new();
@@ -345,13 +346,13 @@ pub fn surrounds(outer: &ObservedRace, inner: &ObservedRace) -> bool {
 /// `seq` to its `Unlock` (or the thread's last step when never released) —
 /// the unit Causality Analysis flips to preserve liveness (§3.4).
 #[must_use]
-pub fn critical_section_span(trace: &[StepRecord], seq: usize) -> Option<(usize, usize)> {
+pub fn critical_section_span(trace: &Trace, seq: usize) -> Option<(usize, usize)> {
     let rec = trace.get(seq)?;
     let outer = *rec.locks_held.first()?;
     let tid = rec.tid;
     // Scan backward for the acquisition of `outer` by this thread.
     let mut start = seq;
-    for r in trace[..=seq].iter().rev() {
+    for r in (0..=seq).rev().map(|i| &trace[i]) {
         if r.tid != tid {
             continue;
         }
@@ -362,7 +363,7 @@ pub fn critical_section_span(trace: &[StepRecord], seq: usize) -> Option<(usize,
     }
     // Scan forward for the release.
     let mut end = seq;
-    for r in &trace[seq..] {
+    for r in trace.iter().skip(seq) {
         if r.tid != tid {
             continue;
         }

@@ -20,7 +20,7 @@ use crate::sampler::SampledRun;
 use ksim::{
     Addr,
     InstrAddr,
-    StepRecord, //
+    Trace, //
 };
 use std::collections::{
     HashMap,
@@ -73,7 +73,7 @@ pub struct RankedPattern {
     pub score: f64,
 }
 
-fn patterns_in(trace: &[StepRecord]) -> HashSet<Pattern> {
+fn patterns_in(trace: &Trace) -> HashSet<Pattern> {
     // Accesses grouped per address, in execution order.
     let mut per_addr: HashMap<Addr, Vec<(usize, ksim::ThreadId, InstrAddr, bool)>> = HashMap::new();
     for rec in trace {

@@ -14,7 +14,7 @@
 use crate::sampler::SampledRun;
 use ksim::{
     InstrAddr,
-    StepRecord, //
+    Trace, //
 };
 
 /// The reported inflection point.
@@ -27,7 +27,7 @@ pub struct InflectionPoint {
     pub position: usize,
 }
 
-fn projection(trace: &[StepRecord]) -> Vec<InstrAddr> {
+fn projection(trace: &Trace) -> Vec<InstrAddr> {
     trace.iter().map(|r| r.at).collect()
 }
 
@@ -41,7 +41,7 @@ fn lcp(a: &[InstrAddr], b: &[InstrAddr]) -> usize {
 /// (no deviation exists) or when there are no passing runs to compare
 /// against.
 #[must_use]
-pub fn inflection_point(failing: &[StepRecord], passing: &[SampledRun]) -> Option<InflectionPoint> {
+pub fn inflection_point(failing: &Trace, passing: &[SampledRun]) -> Option<InflectionPoint> {
     if passing.is_empty() {
         return None;
     }
@@ -118,6 +118,6 @@ mod tests {
 
     #[test]
     fn no_passing_runs_means_no_point() {
-        assert!(inflection_point(&[], &[]).is_none());
+        assert!(inflection_point(&Trace::new(), &[]).is_none());
     }
 }

@@ -10,8 +10,8 @@ use ksim::{
     Engine,
     Program,
     StepOutcome,
-    StepRecord,
-    ThreadId, //
+    ThreadId,
+    Trace, //
 };
 use rand::{
     Rng,
@@ -23,8 +23,8 @@ use std::sync::Arc;
 /// One sampled execution.
 #[derive(Clone, Debug)]
 pub struct SampledRun {
-    /// The executed trace.
-    pub trace: Vec<StepRecord>,
+    /// The executed trace (structurally shared).
+    pub trace: Trace,
     /// Whether the run failed.
     pub failed: bool,
 }
@@ -82,7 +82,7 @@ pub fn sample_runs(
             }
         }
         out.push(SampledRun {
-            trace: engine.trace().to_vec(),
+            trace: engine.trace().clone(),
             failed: engine.failure().is_some(),
         });
     }

@@ -51,10 +51,14 @@ use crate::{
         ThreadId,
         ThreadStatus, //
     },
+    trace::Trace,
 };
 use std::{
     collections::HashMap,
-    sync::Arc, //
+    sync::{
+        Arc,
+        Weak, //
+    },
 };
 
 /// Errors returned by [`Engine::step`] for invalid scheduling requests.
@@ -80,13 +84,31 @@ impl core::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// How [`Engine::snapshot`] and [`Engine::restore`] represent captured
+/// state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SnapshotMode {
+    /// Copy-on-write (the default): snapshots share immutable pages, trace
+    /// chunks, and side tables with the live engine, so capture and restore
+    /// cost O(dirty state), not O(total state).
+    #[default]
+    Cow,
+    /// Deep-clone: every snapshot and restore materializes fully-unshared
+    /// copies of memory pages, the trace, and the list table — the
+    /// pre-refactor representation's cost, kept as the honest "before"
+    /// side of throughput A/B measurements (`report bench-throughput`).
+    Deep,
+}
+
 /// A restorable engine checkpoint — the simulator's equivalent of reverting
 /// a virtual machine's memory contents after a run of LIFS (§4.3).
 ///
 /// The captured state lives behind an [`Arc`], so cloning a snapshot is a
 /// reference-count bump. Schedule-prefix caches (the executor layer) hold
 /// many snapshots and shuffle them through LRU order; cheap clones keep
-/// that bookkeeping free of deep memory copies.
+/// that bookkeeping free of deep memory copies. Under
+/// [`SnapshotMode::Cow`] the captured fields themselves structurally share
+/// pages/chunks with the engine that took the snapshot.
 #[derive(Clone, Debug)]
 pub struct Snapshot(Arc<SnapshotData>);
 
@@ -97,7 +119,7 @@ struct SnapshotData {
     threads: Vec<Thread>,
     lock_owner: HashMap<LockId, ThreadId>,
     failure: Option<Failure>,
-    trace: Vec<StepRecord>,
+    trace: Trace,
     spawn_counts: HashMap<ThreadProgId, u32>,
     grace_waiters: Vec<(ThreadId, Vec<ThreadId>)>,
     halted: bool,
@@ -112,7 +134,7 @@ pub struct Engine {
     threads: Vec<Thread>,
     lock_owner: HashMap<LockId, ThreadId>,
     failure: Option<Failure>,
-    trace: Vec<StepRecord>,
+    trace: Trace,
     spawn_counts: HashMap<ThreadProgId, u32>,
     static_obj_addrs: Vec<Addr>,
     /// RCU callbacks waiting for a grace period, with the read-side
@@ -123,14 +145,21 @@ pub struct Engine {
     /// is deliberately not part of snapshots: restoring a checkpoint
     /// rewinds execution state, not the machine's service history.
     reboots: u64,
-    /// The snapshot the engine currently *is* — set by [`Engine::restore`],
-    /// cleared by any mutation ([`Engine::step`], [`Engine::reboot`],
-    /// [`Engine::inject_irq`]). While set, restoring the same snapshot
-    /// again is a no-op instead of a deep copy of every field.
-    last_restored: Option<Snapshot>,
-    /// Restores that actually deep-copied state. Like `reboots`, survives
-    /// reboot and is not part of snapshots (service history, not state).
+    /// Identity of the snapshot the engine currently *is* — set by
+    /// [`Engine::restore`], cleared by any mutation ([`Engine::step`],
+    /// [`Engine::reboot`], [`Engine::inject_irq`]). While set, restoring
+    /// the same snapshot again is a no-op instead of a copy of every
+    /// field. A [`Weak`] keeps the identity without pinning the snapshot
+    /// payload alive (it pins only the `ArcInner` slot, which is exactly
+    /// what makes the pointer comparison ABA-safe).
+    last_restored: Option<Weak<SnapshotData>>,
+    /// Restores that actually copied state back in. Like `reboots`,
+    /// survives reboot and is not part of snapshots (service history, not
+    /// state).
     deep_restores: u64,
+    /// Snapshot representation; survives [`Engine::reboot`] like the other
+    /// machine-level (non-state) configuration.
+    snapshot_mode: SnapshotMode,
 }
 
 impl Engine {
@@ -171,7 +200,7 @@ impl Engine {
             threads,
             lock_owner: HashMap::new(),
             failure: None,
-            trace: Vec::new(),
+            trace: Trace::new(),
             spawn_counts,
             static_obj_addrs,
             grace_waiters: Vec::new(),
@@ -179,6 +208,7 @@ impl Engine {
             reboots: 0,
             last_restored: None,
             deep_restores: 0,
+            snapshot_mode: SnapshotMode::default(),
         }
     }
 
@@ -187,9 +217,23 @@ impl Engine {
     pub fn reboot(&mut self) {
         let reboots = self.reboots + 1;
         let deep_restores = self.deep_restores;
+        let snapshot_mode = self.snapshot_mode;
         *self = Engine::new(Arc::clone(&self.program));
         self.reboots = reboots;
         self.deep_restores = deep_restores;
+        self.snapshot_mode = snapshot_mode;
+    }
+
+    /// Selects the snapshot representation (see [`SnapshotMode`]). Machine
+    /// configuration, not execution state: it survives [`Engine::reboot`].
+    pub fn set_snapshot_mode(&mut self, mode: SnapshotMode) {
+        self.snapshot_mode = mode;
+    }
+
+    /// The current snapshot representation.
+    #[must_use]
+    pub fn snapshot_mode(&self) -> SnapshotMode {
+        self.snapshot_mode
     }
 
     /// How many times this engine has been rebooted since boot.
@@ -221,7 +265,7 @@ impl Engine {
 
     /// The execution trace so far (total order of executed instructions).
     #[must_use]
-    pub fn trace(&self) -> &[StepRecord] {
+    pub fn trace(&self) -> &Trace {
         &self.trace
     }
 
@@ -349,15 +393,29 @@ impl Engine {
     }
 
     /// Captures a restorable checkpoint.
+    ///
+    /// Under [`SnapshotMode::Cow`] (the default) every large field is
+    /// structurally shared with the live engine — a reference-count bump
+    /// per memory page and trace chunk — so capture is O(dirty state).
+    /// [`SnapshotMode::Deep`] materializes fully-unshared copies, the
+    /// pre-refactor cost model.
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
+        let (mem, lists, trace) = match self.snapshot_mode {
+            SnapshotMode::Cow => (self.mem.clone(), self.lists.clone(), self.trace.clone()),
+            SnapshotMode::Deep => (
+                self.mem.deep_unshared(),
+                self.lists.deep_unshared(),
+                self.trace.deep_unshared(),
+            ),
+        };
         Snapshot(Arc::new(SnapshotData {
-            mem: self.mem.clone(),
-            lists: self.lists.clone(),
+            mem,
+            lists,
             threads: self.threads.clone(),
             lock_owner: self.lock_owner.clone(),
             failure: self.failure.clone(),
-            trace: self.trace.clone(),
+            trace,
             spawn_counts: self.spawn_counts.clone(),
             grace_waiters: self.grace_waiters.clone(),
             halted: self.halted,
@@ -369,25 +427,34 @@ impl Engine {
     /// Restoring the snapshot the engine is *already at* — same `Arc`, no
     /// mutation since the previous restore — is a no-op: shared prefix
     /// caches frequently hand a worker the checkpoint it just resumed
-    /// from, and deep-cloning every field again would be pure waste.
+    /// from, and copying every field again would be pure waste.
     pub fn restore(&mut self, s: &Snapshot) {
         if let Some(prev) = &self.last_restored {
-            if Arc::ptr_eq(&prev.0, &s.0) {
+            if std::ptr::eq(prev.as_ptr(), Arc::as_ptr(&s.0)) {
                 return;
             }
         }
         let d = &*s.0;
-        self.mem = d.mem.clone();
-        self.lists = d.lists.clone();
+        match self.snapshot_mode {
+            SnapshotMode::Cow => {
+                self.mem = d.mem.clone();
+                self.lists = d.lists.clone();
+                self.trace = d.trace.clone();
+            }
+            SnapshotMode::Deep => {
+                self.mem = d.mem.deep_unshared();
+                self.lists = d.lists.deep_unshared();
+                self.trace = d.trace.deep_unshared();
+            }
+        }
         self.threads = d.threads.clone();
         self.lock_owner = d.lock_owner.clone();
         self.failure = d.failure.clone();
-        self.trace = d.trace.clone();
         self.spawn_counts = d.spawn_counts.clone();
         self.grace_waiters = d.grace_waiters.clone();
         self.halted = d.halted;
         self.deep_restores += 1;
-        self.last_restored = Some(s.clone());
+        self.last_restored = Some(Arc::downgrade(&s.0));
     }
 
     fn reg(&self, tid: ThreadId, r: crate::instr::Reg) -> u64 {
@@ -436,8 +503,23 @@ impl Engine {
         self.halted = true;
     }
 
-    fn raise(&mut self, tid: ThreadId, at: InstrAddr, fault: MemFault, record: &mut StepRecord) {
-        self.fail(tid, at, fault.kind, Some(fault.addr), String::new(), record);
+    fn raise(&mut self, tid: ThreadId, at: InstrAddr, fault: MemFault) {
+        self.fail(tid, at, fault.kind, Some(fault.addr), String::new());
+    }
+
+    /// Re-enacts the pre-refactor per-step allocation cost when the engine
+    /// runs in [`SnapshotMode::Deep`]: the seed engine cloned the fetched
+    /// instruction on every step and deep-cloned every record into the
+    /// trace. Deep mode pays the same allocations (`black_box` keeps them
+    /// from being optimized away), so the `bench-throughput` "before" side
+    /// measures the whole substrate delta — stepping *and* snapshotting —
+    /// not just the snapshot representation.
+    #[inline]
+    fn reenact_deep_step_cost(&self, instr: &Instr, record: &StepRecord) {
+        if self.snapshot_mode == SnapshotMode::Deep {
+            std::hint::black_box(instr.clone());
+            std::hint::black_box(record.clone());
+        }
     }
 
     fn fail(
@@ -447,7 +529,6 @@ impl Engine {
         kind: FailureKind,
         addr: Option<Addr>,
         message: String,
-        _record: &mut StepRecord,
     ) {
         self.failure = Some(Failure {
             kind,
@@ -523,7 +604,11 @@ impl Engine {
             prog: prog_id,
             index: pc,
         };
-        let instr = self.program.prog(prog_id).instrs[pc].clone();
+        // Fetch by reference: cloning the `Arc<Program>` (one refcount
+        // bump) keeps the borrow checker happy across `&mut self` calls
+        // without copying the fetched instruction itself.
+        let program = Arc::clone(&self.program);
+        let instr = &program.prog(prog_id).instrs[pc];
 
         let mut record = StepRecord {
             seq: self.trace.len(),
@@ -539,14 +624,24 @@ impl Engine {
         let mut next_pc = pc + 1;
         let mut exited = false;
 
+        // The record is pushed to the trace exactly once, behind an `Arc`
+        // shared with the returned outcome — never deep-cloned.
+        macro_rules! fail_step {
+            () => {{
+                self.reenact_deep_step_cost(instr, &record);
+                let rec = Arc::new(record);
+                self.trace.push(Arc::clone(&rec));
+                return Ok(StepOutcome::Failed(rec));
+            }};
+        }
+
         macro_rules! check {
             ($res:expr) => {
                 match $res {
                     Ok(v) => v,
                     Err(fault) => {
-                        self.raise(tid, at, fault, &mut record);
-                        self.trace.push(record.clone());
-                        return Ok(StepOutcome::Failed(record));
+                        self.raise(tid, at, fault);
+                        fail_step!();
                     }
                 }
             };
@@ -554,17 +649,17 @@ impl Engine {
 
         match instr {
             Instr::Load { dst, addr } => {
-                let a = self.addr_of(tid, addr);
+                let a = self.addr_of(tid, *addr);
                 record.accesses.push(MemAccess {
                     addr: a,
                     kind: AccessKind::Read,
                 });
                 let v = check!(self.mem.read(a));
-                self.set_reg(tid, dst, v);
+                self.set_reg(tid, *dst, v);
             }
             Instr::Store { addr, src } => {
-                let a = self.addr_of(tid, addr);
-                let v = self.operand(tid, src);
+                let a = self.addr_of(tid, *addr);
+                let v = self.operand(tid, *src);
                 record.accesses.push(MemAccess {
                     addr: a,
                     kind: AccessKind::Write,
@@ -572,8 +667,8 @@ impl Engine {
                 check!(self.mem.write(a, v));
             }
             Instr::FetchAdd { dst, addr, val } => {
-                let a = self.addr_of(tid, addr);
-                let inc = self.operand(tid, val);
+                let a = self.addr_of(tid, *addr);
+                let inc = self.operand(tid, *val);
                 record.accesses.push(MemAccess {
                     addr: a,
                     kind: AccessKind::Rmw,
@@ -581,20 +676,20 @@ impl Engine {
                 let old = check!(self.mem.read(a));
                 check!(self.mem.write(a, old.wrapping_add(inc)));
                 if let Some(d) = dst {
-                    self.set_reg(tid, d, old);
+                    self.set_reg(tid, *d, old);
                 }
             }
             Instr::Mov { dst, src } => {
-                let v = self.operand(tid, src);
-                self.set_reg(tid, dst, v);
+                let v = self.operand(tid, *src);
+                self.set_reg(tid, *dst, v);
             }
             Instr::Op { dst, op, lhs, rhs } => {
-                let l = self.operand(tid, lhs);
-                let r = self.operand(tid, rhs);
-                self.set_reg(tid, dst, op.apply(l, r));
+                let l = self.operand(tid, *lhs);
+                let r = self.operand(tid, *rhs);
+                self.set_reg(tid, *dst, op.apply(l, r));
             }
             Instr::Jmp { target } => {
-                next_pc = target;
+                next_pc = *target;
             }
             Instr::JmpIf { cond, target } => {
                 let l = self.operand(tid, cond.lhs);
@@ -602,7 +697,7 @@ impl Engine {
                 let taken = cond.eval(l, r);
                 record.branch_taken = Some(taken);
                 if taken {
-                    next_pc = target;
+                    next_pc = *target;
                 }
             }
             Instr::Alloc {
@@ -610,11 +705,11 @@ impl Engine {
                 size,
                 must_free,
             } => {
-                let base = self.mem.alloc(size, must_free, "");
-                self.set_reg(tid, dst, base.0);
+                let base = self.mem.alloc(*size, *must_free, "");
+                self.set_reg(tid, *dst, base.0);
             }
             Instr::Free { ptr } => {
-                let base = Addr(self.operand(tid, ptr));
+                let base = Addr(self.operand(tid, *ptr));
                 // Freeing invalidates the whole object: report a write to
                 // every word so races against any field are observable (the
                 // kfree/store race of Figure 9).
@@ -638,6 +733,7 @@ impl Engine {
                 check!(self.mem.free(base));
             }
             Instr::Lock { lock } => {
+                let lock = *lock;
                 match self.lock_owner.get(&lock).copied() {
                     None => {
                         self.lock_owner.insert(lock, tid);
@@ -655,10 +751,8 @@ impl Engine {
                             FailureKind::HungTask,
                             None,
                             format!("recursive acquisition of lock {lock:?}"),
-                            &mut record,
                         );
-                        self.trace.push(record.clone());
-                        return Ok(StepOutcome::Failed(record));
+                        fail_step!();
                     }
                     Some(_) => {
                         self.threads[tid.0 as usize].status = ThreadStatus::Blocked { on: lock };
@@ -667,6 +761,7 @@ impl Engine {
                 }
             }
             Instr::Unlock { lock } => {
+                let lock = *lock;
                 if self.lock_owner.get(&lock) != Some(&tid) {
                     self.fail(
                         tid,
@@ -674,10 +769,8 @@ impl Engine {
                         FailureKind::AssertionViolation,
                         None,
                         format!("unlock of lock {lock:?} not held by {tid:?}"),
-                        &mut record,
                     );
-                    self.trace.push(record.clone());
-                    return Ok(StepOutcome::Failed(record));
+                    fail_step!();
                 }
                 self.lock_owner.remove(&lock);
                 let th = &mut self.threads[tid.0 as usize];
@@ -691,8 +784,8 @@ impl Engine {
                 }
             }
             Instr::ListAdd { list, item } => {
-                let head = self.addr_of(tid, list);
-                let it = self.operand(tid, item);
+                let head = self.addr_of(tid, *list);
+                let it = self.operand(tid, *item);
                 record.accesses.push(MemAccess {
                     addr: head,
                     kind: AccessKind::Rmw,
@@ -701,8 +794,8 @@ impl Engine {
                 check!(self.lists.add(head, it));
             }
             Instr::ListDel { list, item } => {
-                let head = self.addr_of(tid, list);
-                let it = self.operand(tid, item);
+                let head = self.addr_of(tid, *list);
+                let it = self.operand(tid, *item);
                 record.accesses.push(MemAccess {
                     addr: head,
                     kind: AccessKind::Rmw,
@@ -711,28 +804,28 @@ impl Engine {
                 check!(self.lists.del(head, it));
             }
             Instr::ListContains { dst, list, item } => {
-                let head = self.addr_of(tid, list);
-                let it = self.operand(tid, item);
+                let head = self.addr_of(tid, *list);
+                let it = self.operand(tid, *item);
                 record.accesses.push(MemAccess {
                     addr: head,
                     kind: AccessKind::Read,
                 });
                 check!(self.mem.check_access(head));
                 let v = u64::from(self.lists.contains(head, it));
-                self.set_reg(tid, dst, v);
+                self.set_reg(tid, *dst, v);
             }
             Instr::ListFirst { dst, list } => {
-                let head = self.addr_of(tid, list);
+                let head = self.addr_of(tid, *list);
                 record.accesses.push(MemAccess {
                     addr: head,
                     kind: AccessKind::Read,
                 });
                 check!(self.mem.check_access(head));
                 let v = self.lists.first(head).unwrap_or(0);
-                self.set_reg(tid, dst, v);
+                self.set_reg(tid, *dst, v);
             }
             Instr::RefGet { addr } => {
-                let a = self.addr_of(tid, addr);
+                let a = self.addr_of(tid, *addr);
                 record.accesses.push(MemAccess {
                     addr: a,
                     kind: AccessKind::Rmw,
@@ -745,15 +838,13 @@ impl Engine {
                         FailureKind::RefcountWarning,
                         Some(a),
                         "refcount_inc on zero".into(),
-                        &mut record,
                     );
-                    self.trace.push(record.clone());
-                    return Ok(StepOutcome::Failed(record));
+                    fail_step!();
                 }
                 check!(self.mem.write(a, old + 1));
             }
             Instr::RefPut { dst, addr } => {
-                let a = self.addr_of(tid, addr);
+                let a = self.addr_of(tid, *addr);
                 record.accesses.push(MemAccess {
                     addr: a,
                     kind: AccessKind::Rmw,
@@ -766,14 +857,12 @@ impl Engine {
                         FailureKind::RefcountWarning,
                         Some(a),
                         "refcount underflow".into(),
-                        &mut record,
                     );
-                    self.trace.push(record.clone());
-                    return Ok(StepOutcome::Failed(record));
+                    fail_step!();
                 }
                 check!(self.mem.write(a, old - 1));
                 if let Some(d) = dst {
-                    self.set_reg(tid, d, u64::from(old - 1 == 0));
+                    self.set_reg(tid, *d, u64::from(old - 1 == 0));
                 }
             }
             Instr::BugOn { cond, msg } => {
@@ -785,21 +874,19 @@ impl Engine {
                         at,
                         FailureKind::AssertionViolation,
                         None,
-                        msg.to_string(),
-                        &mut record,
+                        (*msg).to_string(),
                     );
-                    self.trace.push(record.clone());
-                    return Ok(StepOutcome::Failed(record));
+                    fail_step!();
                 }
             }
             Instr::QueueWork { prog, arg } => {
                 let a = arg.map(|op| self.operand(tid, op));
-                let id = self.spawn(prog, a, tid);
+                let id = self.spawn(*prog, a, tid);
                 record.spawned = Some(id);
             }
             Instr::CallRcu { prog, arg } => {
                 let a = arg.map(|op| self.operand(tid, op));
-                let id = self.spawn(prog, a, tid);
+                let id = self.spawn(*prog, a, tid);
                 record.spawned = Some(id);
                 // The callback waits for the grace period: it may only run
                 // once every read-side section active right now has ended.
@@ -826,10 +913,8 @@ impl Engine {
                         FailureKind::AssertionViolation,
                         None,
                         "rcu_read_unlock without rcu_read_lock".into(),
-                        &mut record,
                     );
-                    self.trace.push(record.clone());
-                    return Ok(StepOutcome::Failed(record));
+                    fail_step!();
                 }
                 th.rcu_depth -= 1;
                 if th.rcu_depth == 0 {
@@ -854,29 +939,29 @@ impl Engine {
             th.pc = next_pc;
             record.next_pc = Some(next_pc);
         }
-        self.trace.push(record.clone());
+        self.reenact_deep_step_cost(instr, &record);
+        let rec = Arc::new(record);
+        self.trace.push(Arc::clone(&rec));
 
         if exited {
             // End-of-run leak check once every thread has finished.
             if self.program.check_leaks && self.all_done() && self.failure.is_none() {
-                let leaked = self.mem.leaked();
-                if let Some(l) = leaked.first() {
-                    let base = l.base;
+                let leaked_base = self.mem.leaked().first().map(|l| l.base);
+                if let Some(base) = leaked_base {
                     self.fail(
                         tid,
                         at,
                         FailureKind::MemoryLeak,
                         Some(base),
                         "object never freed".into(),
-                        &mut record,
                     );
-                    self.trace.push(record.clone());
-                    return Ok(StepOutcome::Failed(record));
+                    self.trace.push(Arc::clone(&rec));
+                    return Ok(StepOutcome::Failed(rec));
                 }
             }
-            return Ok(StepOutcome::Exited(record));
+            return Ok(StepOutcome::Exited(rec));
         }
-        Ok(StepOutcome::Executed(record))
+        Ok(StepOutcome::Executed(rec))
     }
 
     /// Runs `tid` until it exits, blocks, or the engine halts. Returns the
@@ -1039,6 +1124,49 @@ mod tests {
         assert_eq!(e.deep_restores(), 4);
         e.restore(&snap);
         assert_eq!(e.deep_restores(), 5);
+    }
+
+    #[test]
+    fn mutation_after_snapshot_does_not_leak_into_it() {
+        // The COW representation shares pages/chunks between the engine
+        // and its snapshots; running on must never show through.
+        let prog = two_thread_program();
+        let mut e = Engine::new(prog);
+        e.step(ThreadId(0)).unwrap(); // A: x = 1
+        let snap = e.snapshot();
+        let trace_at_snap = e.trace().to_vec();
+        e.run_all_serial(); // mutates memory, trace, threads
+        assert!(e.all_done());
+        e.restore(&snap);
+        assert_eq!(e.trace().to_vec(), trace_at_snap);
+        assert_eq!(e.trace().len(), 1);
+        assert!(!e.all_done());
+        // Replays identically from the checkpoint.
+        assert!(e.run_all_serial().is_none());
+        assert_eq!(e.threads()[1].regs[0], 1);
+    }
+
+    #[test]
+    fn deep_snapshot_mode_is_observationally_identical() {
+        let prog = two_thread_program();
+        let mut cow = Engine::new(Arc::clone(&prog));
+        let mut deep = Engine::new(prog);
+        deep.set_snapshot_mode(SnapshotMode::Deep);
+        assert_eq!(deep.snapshot_mode(), SnapshotMode::Deep);
+        let (sc, sd) = (cow.snapshot(), deep.snapshot());
+        cow.run_all_serial();
+        deep.run_all_serial();
+        assert_eq!(cow.trace().to_vec(), deep.trace().to_vec());
+        cow.restore(&sc);
+        deep.restore(&sd);
+        assert_eq!(cow.trace().len(), 0);
+        assert_eq!(deep.trace().len(), 0);
+        cow.run_all_serial();
+        deep.run_all_serial();
+        assert_eq!(cow.trace().to_vec(), deep.trace().to_vec());
+        // Mode survives reboot, like the other machine configuration.
+        deep.reboot();
+        assert_eq!(deep.snapshot_mode(), SnapshotMode::Deep);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use serde::{
     Deserialize,
     Serialize, //
 };
+use std::sync::Arc;
 
 /// How an instruction accessed a memory location.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -83,11 +84,17 @@ pub struct StepRecord {
 }
 
 /// The immediate outcome of a single engine step.
+///
+/// Outcomes carry their record behind an [`Arc`] *shared with the engine
+/// trace*: [`crate::Engine::step`] stores each record exactly once and
+/// hands the caller another handle to it, instead of deep-cloning every
+/// record a second time (field access still reads naturally through
+/// `Deref`).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StepOutcome {
     /// The instruction executed normally; the record was appended to the
     /// engine trace.
-    Executed(StepRecord),
+    Executed(Arc<StepRecord>),
     /// The thread could not acquire a lock and is now blocked; no
     /// instruction was executed.
     Blocked {
@@ -96,10 +103,10 @@ pub enum StepOutcome {
     },
     /// The thread executed its final instruction and exited. The record of
     /// that final instruction is included.
-    Exited(StepRecord),
+    Exited(Arc<StepRecord>),
     /// The instruction raised a kernel failure; the engine has halted. The
     /// record of the faulting instruction is included.
-    Failed(StepRecord),
+    Failed(Arc<StepRecord>),
 }
 
 impl StepOutcome {
@@ -107,7 +114,9 @@ impl StepOutcome {
     #[must_use]
     pub fn record(&self) -> Option<&StepRecord> {
         match self {
-            StepOutcome::Executed(r) | StepOutcome::Exited(r) | StepOutcome::Failed(r) => Some(r),
+            StepOutcome::Executed(r) | StepOutcome::Exited(r) | StepOutcome::Failed(r) => {
+                Some(r.as_ref())
+            }
             StepOutcome::Blocked { .. } => None,
         }
     }
@@ -140,8 +149,10 @@ mod tests {
             spawned: None,
             next_pc: Some(0),
         };
-        assert!(StepOutcome::Executed(rec.clone()).record().is_some());
+        assert!(StepOutcome::Executed(Arc::new(rec.clone()))
+            .record()
+            .is_some());
         assert!(StepOutcome::Blocked { on: LockId(0) }.record().is_none());
-        assert!(StepOutcome::Failed(rec).record().is_some());
+        assert!(StepOutcome::Failed(Arc::new(rec)).record().is_some());
     }
 }

@@ -64,6 +64,7 @@ pub mod list;
 pub mod memory;
 pub mod program;
 pub mod thread;
+pub mod trace;
 
 pub use addr::{
     Addr,
@@ -73,7 +74,8 @@ pub use builder::ProgramBuilder;
 pub use engine::{
     Engine,
     EngineError,
-    Snapshot, //
+    Snapshot,
+    SnapshotMode, //
 };
 pub use events::{
     AccessKind,
@@ -101,3 +103,4 @@ pub use thread::{
     ThreadId,
     ThreadStatus, //
 };
+pub use trace::Trace;

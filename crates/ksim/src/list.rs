@@ -17,17 +17,18 @@ use crate::{
     failure::FailureKind,
     memory::MemFault, //
 };
-use serde::{
-    Deserialize,
-    Serialize, //
-};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Side table holding the contents of every kernel list, keyed by the
 /// address of the list head.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+///
+/// The table sits behind an [`Arc`], so cloning it (what
+/// [`crate::Engine::snapshot`] does) is a reference-count bump; the first
+/// mutation after a snapshot copies the map once ([`Arc::make_mut`]).
+#[derive(Clone, Debug, Default)]
 pub struct Lists {
-    lists: BTreeMap<u64, Vec<u64>>,
+    lists: Arc<BTreeMap<u64, Vec<u64>>>,
 }
 
 impl Lists {
@@ -37,20 +38,32 @@ impl Lists {
         Lists::default()
     }
 
+    /// A deep, fully-unshared copy (the pre-refactor snapshot cost, kept
+    /// for the [`crate::SnapshotMode::Deep`] A/B baseline).
+    #[must_use]
+    pub fn deep_unshared(&self) -> Self {
+        Lists {
+            lists: Arc::new((*self.lists).clone()),
+        }
+    }
+
     /// `list_add(item, head)`.
     ///
     /// # Errors
     ///
     /// [`FailureKind::ListCorruption`] if `item` is already on the list.
     pub fn add(&mut self, head: Addr, item: u64) -> Result<(), MemFault> {
-        let l = self.lists.entry(head.0).or_default();
-        if l.contains(&item) {
+        // Probe before unsharing: a failing add must not copy the table.
+        if self.contains(head, item) {
             return Err(MemFault {
                 kind: FailureKind::ListCorruption,
                 addr: head,
             });
         }
-        l.push(item);
+        Arc::make_mut(&mut self.lists)
+            .entry(head.0)
+            .or_default()
+            .push(item);
         Ok(())
     }
 
@@ -60,10 +73,16 @@ impl Lists {
     ///
     /// [`FailureKind::ListCorruption`] if `item` is not on the list.
     pub fn del(&mut self, head: Addr, item: u64) -> Result<(), MemFault> {
-        let l = self.lists.entry(head.0).or_default();
-        match l.iter().position(|&x| x == item) {
+        let pos = self
+            .lists
+            .get(&head.0)
+            .and_then(|l| l.iter().position(|&x| x == item));
+        match pos {
             Some(i) => {
-                l.remove(i);
+                Arc::make_mut(&mut self.lists)
+                    .get_mut(&head.0)
+                    .expect("probed above")
+                    .remove(i);
                 Ok(())
             }
             None => Err(MemFault {

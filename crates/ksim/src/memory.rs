@@ -32,6 +32,7 @@ use std::collections::{
     BTreeMap,
     HashMap, //
 };
+use std::sync::Arc;
 
 /// Lifecycle state of a heap allocation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -82,14 +83,48 @@ pub struct MemFault {
     pub addr: Addr,
 }
 
+/// log2 of the address span one copy-on-write page covers (512 bytes).
+const PAGE_SHIFT: u64 = 9;
+
+/// One copy-on-write memory page: the cells whose addresses fall in the
+/// same 512-byte span, sorted by their *exact* (possibly unaligned)
+/// address. Two cells at distinct raw addresses are distinct even when
+/// they overlap byte-wise — the simulator's cell model is keyed on the
+/// address the instruction used, and the page preserves that exactly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Page(Vec<(u64, u64)>);
+
+impl Page {
+    fn get(&self, addr: u64) -> Option<u64> {
+        self.0
+            .binary_search_by_key(&addr, |&(a, _)| a)
+            .ok()
+            .map(|i| self.0[i].1)
+    }
+
+    fn set(&mut self, addr: u64, val: u64) {
+        match self.0.binary_search_by_key(&addr, |&(a, _)| a) {
+            Ok(i) => self.0[i].1 = val,
+            Err(i) => self.0.insert(i, (addr, val)),
+        }
+    }
+}
+
 /// Simulated kernel memory: value cells plus allocator shadow state.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+///
+/// The representation is structurally shared: cells live in immutable
+/// [`Arc`]-backed pages and the allocator shadow map sits behind its own
+/// `Arc`, so `Memory::clone` (what [`crate::Engine::snapshot`] does) is a
+/// reference-count bump per page rather than a copy of every cell. Writes
+/// go through [`Arc::make_mut`] and copy only the one dirty page — O(dirty)
+/// snapshots, the copy-on-write discipline a hypervisor gets from its MMU.
+#[derive(Clone, Debug, Default)]
 pub struct Memory {
-    cells: HashMap<u64, u64>,
+    pages: HashMap<u64, Arc<Page>>,
     /// Allocations ordered by base address; bases strictly increase and are
     /// never reused, so a range query finds the allocation nearest an
     /// address.
-    allocs: BTreeMap<u64, Allocation>,
+    allocs: Arc<BTreeMap<u64, Allocation>>,
     next_heap: u64,
     n_globals: u32,
 }
@@ -99,10 +134,39 @@ impl Memory {
     #[must_use]
     pub fn new(n_globals: u32) -> Self {
         Memory {
-            cells: HashMap::new(),
-            allocs: BTreeMap::new(),
+            pages: HashMap::new(),
+            allocs: Arc::new(BTreeMap::new()),
             next_heap: HEAP_BASE + REDZONE,
             n_globals,
+        }
+    }
+
+    fn cell(&self, addr: u64) -> u64 {
+        self.pages
+            .get(&(addr >> PAGE_SHIFT))
+            .and_then(|p| p.get(addr))
+            .unwrap_or(0)
+    }
+
+    fn set_cell(&mut self, addr: u64, val: u64) {
+        let page = self.pages.entry(addr >> PAGE_SHIFT).or_default();
+        Arc::make_mut(page).set(addr, val);
+    }
+
+    /// A deep, fully-unshared copy: fresh pages and a fresh allocator map.
+    /// This is the pre-refactor snapshot cost, kept for the
+    /// [`crate::SnapshotMode::Deep`] A/B baseline.
+    #[must_use]
+    pub fn deep_unshared(&self) -> Self {
+        Memory {
+            pages: self
+                .pages
+                .iter()
+                .map(|(k, p)| (*k, Arc::new((**p).clone())))
+                .collect(),
+            allocs: Arc::new((*self.allocs).clone()),
+            next_heap: self.next_heap,
+            n_globals: self.n_globals,
         }
     }
 
@@ -112,7 +176,7 @@ impl Memory {
         let size = size.max(8).div_ceil(8) * 8;
         let base = Addr(self.next_heap);
         self.next_heap += size + 2 * REDZONE;
-        self.allocs.insert(
+        Arc::make_mut(&mut self.allocs).insert(
             base.0,
             Allocation {
                 base,
@@ -133,12 +197,16 @@ impl Memory {
     /// * [`FailureKind::GeneralProtectionFault`] when `ptr` is not the base
     ///   of any allocation (invalid free).
     pub fn free(&mut self, ptr: Addr) -> Result<(), MemFault> {
-        match self.allocs.get_mut(&ptr.0) {
-            Some(a) if a.state == AllocState::Live => {
-                a.state = AllocState::Freed;
+        // Probe before unsharing: a failing free must not copy the map.
+        match self.allocs.get(&ptr.0).map(|a| a.state) {
+            Some(AllocState::Live) => {
+                Arc::make_mut(&mut self.allocs)
+                    .get_mut(&ptr.0)
+                    .expect("probed above")
+                    .state = AllocState::Freed;
                 Ok(())
             }
-            Some(_) => Err(MemFault {
+            Some(AllocState::Freed) => Err(MemFault {
                 kind: FailureKind::DoubleFree,
                 addr: ptr,
             }),
@@ -227,7 +295,7 @@ impl Memory {
     /// Propagates [`Self::check_access`] faults.
     pub fn read(&self, addr: Addr) -> Result<u64, MemFault> {
         self.check_access(addr)?;
-        Ok(self.cells.get(&addr.0).copied().unwrap_or(0))
+        Ok(self.cell(addr.0))
     }
 
     /// Writes 8 bytes after access validation.
@@ -237,19 +305,19 @@ impl Memory {
     /// Propagates [`Self::check_access`] faults.
     pub fn write(&mut self, addr: Addr, val: u64) -> Result<(), MemFault> {
         self.check_access(addr)?;
-        self.cells.insert(addr.0, val);
+        self.set_cell(addr.0, val);
         Ok(())
     }
 
     /// Reads without validation (engine-internal, e.g. leak bookkeeping).
     #[must_use]
     pub fn read_raw(&self, addr: Addr) -> u64 {
-        self.cells.get(&addr.0).copied().unwrap_or(0)
+        self.cell(addr.0)
     }
 
     /// Writes without validation (engine-internal initialization).
     pub fn write_raw(&mut self, addr: Addr, val: u64) {
-        self.cells.insert(addr.0, val);
+        self.set_cell(addr.0, val);
     }
 
     /// Live `must_free` allocations — non-empty means a memory leak.
@@ -373,6 +441,63 @@ mod tests {
         m.free(p).unwrap();
         let e = m.read(p.offset(8)).unwrap_err();
         assert_eq!(e.kind, FailureKind::UseAfterFree);
+    }
+
+    #[test]
+    fn clone_shares_pages_until_written() {
+        let mut m = Memory::new(1);
+        let p = m.alloc(16, false, "obj");
+        m.write(p, 1).unwrap();
+        m.write_raw(Addr(GLOBALS_BASE), 10);
+        let snap = m.clone();
+        // Same page Arc — the clone copied nothing.
+        assert!(Arc::ptr_eq(
+            &m.pages[&(p.0 >> PAGE_SHIFT)],
+            &snap.pages[&(p.0 >> PAGE_SHIFT)]
+        ));
+        // Mutating the original must not leak through the shared pages.
+        m.write(p, 2).unwrap();
+        m.write(p.offset(8), 3).unwrap();
+        m.write_raw(Addr(GLOBALS_BASE), 11);
+        m.free(p).unwrap();
+        assert_eq!(snap.read(p).unwrap(), 1);
+        assert_eq!(snap.read(p.offset(8)).unwrap(), 0);
+        assert_eq!(snap.read_raw(Addr(GLOBALS_BASE)), 10);
+        assert!(snap.allocations().all(|a| a.state == AllocState::Live));
+        // And the original really did change.
+        assert_eq!(m.read_raw(p), 2);
+        assert_eq!(
+            m.read(p.offset(8)).unwrap_err().kind,
+            FailureKind::UseAfterFree
+        );
+    }
+
+    #[test]
+    fn unaligned_addresses_stay_distinct_cells() {
+        // Cells are keyed by the exact address used: overlapping unaligned
+        // writes never clobber each other (the seed's HashMap semantics).
+        let mut m = Memory::new(0);
+        let p = m.alloc(16, false, "");
+        m.write(p, 1).unwrap();
+        m.write(p.offset(1), 2).unwrap();
+        m.write(p.offset(8), 3).unwrap();
+        assert_eq!(m.read(p).unwrap(), 1);
+        assert_eq!(m.read(p.offset(1)).unwrap(), 2);
+        assert_eq!(m.read(p.offset(8)).unwrap(), 3);
+    }
+
+    #[test]
+    fn deep_unshared_matches_but_shares_nothing() {
+        let mut m = Memory::new(0);
+        let p = m.alloc(8, false, "x");
+        m.write(p, 9).unwrap();
+        let d = m.deep_unshared();
+        assert_eq!(d.read(p).unwrap(), 9);
+        assert!(!Arc::ptr_eq(
+            &m.pages[&(p.0 >> PAGE_SHIFT)],
+            &d.pages[&(p.0 >> PAGE_SHIFT)]
+        ));
+        assert!(!Arc::ptr_eq(&m.allocs, &d.allocs));
     }
 
     #[test]

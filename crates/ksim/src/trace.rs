@@ -1,0 +1,288 @@
+//! The execution trace as a structurally-shared chunked sequence.
+//!
+//! Snapshots capture the whole trace-so-far, and a diagnosis takes
+//! thousands of snapshots: storing the trace as a plain `Vec<StepRecord>`
+//! made every [`crate::Engine::snapshot`] / [`crate::Engine::restore`] pair
+//! copy every record ever executed. [`Trace`] instead keeps records behind
+//! [`Arc`]s and groups full records into sealed immutable chunks, so
+//! cloning a trace costs one reference-count bump per chunk (plus the
+//! unsealed tail) instead of a deep copy per record — O(len / CHUNK), not
+//! O(total record bytes).
+//!
+//! Sealed chunks are never mutated, which is what makes sharing them
+//! between an engine and any number of live snapshots sound: appending
+//! only ever touches the tail, and the tail is never shared (cloning
+//! copies its `Arc`s, and those point at immutable records).
+
+use crate::events::StepRecord;
+use serde::{
+    Deserialize,
+    Serialize, //
+};
+use std::sync::Arc;
+
+/// Records per sealed chunk. Chosen so typical schedule prefixes (tens to
+/// a few hundred steps) seal a handful of chunks while the clone cost of
+/// the unsealed tail stays bounded.
+const CHUNK: usize = 64;
+
+/// A structurally-shared, append-only sequence of [`StepRecord`]s.
+///
+/// Cloning is cheap (reference-count bumps); records themselves are
+/// immutable once appended.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Full chunks of exactly [`CHUNK`] records, immutable once sealed.
+    sealed: Vec<Arc<[Arc<StepRecord>]>>,
+    /// The unsealed suffix, at most [`CHUNK`] - 1 records after `push`.
+    tail: Vec<Arc<StepRecord>>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sealed.len() * CHUNK + self.tail.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sealed.is_empty() && self.tail.is_empty()
+    }
+
+    /// Appends a record. The record is stored exactly once; callers that
+    /// also need it keep their own `Arc` clone.
+    pub fn push(&mut self, rec: Arc<StepRecord>) {
+        self.tail.push(rec);
+        if self.tail.len() == CHUNK {
+            self.sealed.push(std::mem::take(&mut self.tail).into());
+        }
+    }
+
+    /// The `i`-th record, if present.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<&StepRecord> {
+        let chunk = i / CHUNK;
+        if chunk < self.sealed.len() {
+            Some(&self.sealed[chunk][i % CHUNK])
+        } else {
+            self.tail.get(i - self.sealed.len() * CHUNK).map(|r| &**r)
+        }
+    }
+
+    /// The first record, if any.
+    #[must_use]
+    pub fn first(&self) -> Option<&StepRecord> {
+        self.get(0)
+    }
+
+    /// The last record, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<&StepRecord> {
+        match self.tail.last() {
+            Some(r) => Some(r),
+            None => self.sealed.last().and_then(|c| c.last()).map(|r| &**r),
+        }
+    }
+
+    /// Iterates the records in execution order.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = &StepRecord> {
+        self.sealed
+            .iter()
+            .flat_map(|c| c.iter())
+            .chain(self.tail.iter())
+            .map(|r| &**r)
+    }
+
+    /// Materializes the trace as a flat owned vector (one deep copy —
+    /// consumers that persist a `RunResult` need owned records).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<StepRecord> {
+        self.iter().cloned().collect()
+    }
+
+    /// A deep, fully-unshared copy: every chunk and record gets a fresh
+    /// allocation. This is the pre-refactor snapshot cost, kept for the
+    /// [`crate::SnapshotMode::Deep`] A/B baseline.
+    #[must_use]
+    pub fn deep_unshared(&self) -> Self {
+        Trace {
+            sealed: self
+                .sealed
+                .iter()
+                .map(|c| {
+                    c.iter()
+                        .map(|r| Arc::new((**r).clone()))
+                        .collect::<Vec<_>>()
+                        .into()
+                })
+                .collect(),
+            tail: self.tail.iter().map(|r| Arc::new((**r).clone())).collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a StepRecord;
+    type IntoIter = Box<dyn Iterator<Item = &'a StepRecord> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl std::ops::Index<usize> for Trace {
+    type Output = StepRecord;
+
+    fn index(&self, i: usize) -> &StepRecord {
+        self.get(i).expect("trace index out of bounds")
+    }
+}
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Trace {}
+
+impl FromIterator<StepRecord> for Trace {
+    fn from_iter<I: IntoIterator<Item = StepRecord>>(iter: I) -> Self {
+        let mut t = Trace::new();
+        for rec in iter {
+            t.push(Arc::new(rec));
+        }
+        t
+    }
+}
+
+impl From<Vec<StepRecord>> for Trace {
+    fn from(records: Vec<StepRecord>) -> Self {
+        records.into_iter().collect()
+    }
+}
+
+/// Serializes as a flat sequence of records — the same wire format as the
+/// `Vec<StepRecord>` it replaced, so persisted journals stay readable
+/// across the representation change.
+impl Serialize for Trace {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl Deserialize for Trace {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let mut t = Trace::new();
+        for item in v.seq()? {
+            t.push(Arc::new(StepRecord::deserialize(item)?));
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::ThreadProgId;
+    use crate::program::InstrAddr;
+    use crate::thread::ThreadId;
+
+    fn rec(seq: usize) -> Arc<StepRecord> {
+        Arc::new(StepRecord {
+            seq,
+            tid: ThreadId(0),
+            at: InstrAddr {
+                prog: ThreadProgId(0),
+                index: seq,
+            },
+            accesses: vec![],
+            branch_taken: None,
+            lock_event: None,
+            locks_held: vec![],
+            spawned: None,
+            next_pc: Some(seq + 1),
+        })
+    }
+
+    #[test]
+    fn push_len_get_roundtrip_across_chunk_boundaries() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        let n = CHUNK * 2 + 7;
+        for i in 0..n {
+            t.push(rec(i));
+            assert_eq!(t.len(), i + 1);
+            assert_eq!(t.last().unwrap().seq, i);
+        }
+        for i in 0..n {
+            assert_eq!(t.get(i).unwrap().seq, i);
+        }
+        assert!(t.get(n).is_none());
+        let seqs: Vec<usize> = t.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..n).collect::<Vec<_>>());
+        assert_eq!(t.to_vec().len(), n);
+    }
+
+    #[test]
+    fn clone_shares_chunks_and_stays_isolated() {
+        let mut t = Trace::new();
+        for i in 0..CHUNK + 3 {
+            t.push(rec(i));
+        }
+        let snap = t.clone();
+        // The sealed chunk is shared, not copied.
+        assert!(Arc::ptr_eq(&t.sealed[0], &snap.sealed[0]));
+        // Appending to the original never shows through the clone.
+        for i in 0..CHUNK {
+            t.push(rec(1000 + i));
+        }
+        assert_eq!(snap.len(), CHUNK + 3);
+        assert_eq!(snap.last().unwrap().seq, CHUNK + 2);
+    }
+
+    #[test]
+    fn serde_roundtrip_matches_flat_vec_wire_format() {
+        let mut t = Trace::new();
+        for i in 0..CHUNK + 5 {
+            t.push(rec(i));
+        }
+        let json = serde_json::to_string(&t).unwrap();
+        // Wire-compatible with the Vec<StepRecord> representation it
+        // replaced: old journals parse as Trace and vice versa.
+        let as_vec: Vec<StepRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(json, serde_json::to_string(&as_vec).unwrap());
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.len(), CHUNK + 5);
+    }
+
+    #[test]
+    fn index_first_and_from_vec_agree_with_get() {
+        let t: Trace = (0..3).map(|i| (*rec(i)).clone()).collect();
+        assert_eq!(t.first().unwrap().seq, 0);
+        assert_eq!(t[2].seq, 2);
+        let v = t.to_vec();
+        assert_eq!(Trace::from(v), t);
+    }
+
+    #[test]
+    fn deep_unshared_is_equal_but_disjoint() {
+        let mut t = Trace::new();
+        for i in 0..CHUNK + 1 {
+            t.push(rec(i));
+        }
+        let d = t.deep_unshared();
+        assert_eq!(d.to_vec(), t.to_vec());
+        assert!(!Arc::ptr_eq(&d.sealed[0], &t.sealed[0]));
+        assert!(!Arc::ptr_eq(&d.tail[0], &t.tail[0]));
+    }
+}

@@ -23,6 +23,19 @@
 # exponential in the noise scale, so the prune bench runs at its own
 # (small) scale: BENCH_PRUNE_SCALE overrides it (default 0.02), and
 # BENCH_PRUNE_OUT the output path (default BENCH_prune.json).
+#
+# Also regenerates BENCH_throughput.json, the substrate-throughput
+# artifact: `report bench-throughput` diagnoses the Table 2 corpus on both
+# substrate configurations (pre-refactor deep-clone snapshots + counter
+# claiming vs copy-on-write snapshots + work stealing) at 1/2/8 workers —
+# gated on bit-identical diagnoses across all cells and >= 2x schedules
+# per busy second at 8 workers. BENCH_THROUGHPUT_SCALE overrides its noise
+# scale (default 1.0; the structural-sharing win grows with trace length,
+# so small smoke scales will not clear the 2x gate),
+# BENCH_THROUGHPUT_REPEATS the passes per cell (default 2, least-busy pass
+# reported), BENCH_THROUGHPUT_OUT the output path (default
+# BENCH_throughput.json), and BENCH_THROUGHPUT_GATE=identity relaxes the
+# gate to the bit-identity check alone (CI's smoke mode).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,6 +45,10 @@ OUT="${BENCH_OUT:-BENCH_memo.json}"
 RESUME_OUT="${BENCH_RESUME_OUT:-BENCH_resume.json}"
 PRUNE_SCALE="${BENCH_PRUNE_SCALE:-0.02}"
 PRUNE_OUT="${BENCH_PRUNE_OUT:-BENCH_prune.json}"
+THROUGHPUT_SCALE="${BENCH_THROUGHPUT_SCALE:-1.0}"
+THROUGHPUT_REPEATS="${BENCH_THROUGHPUT_REPEATS:-2}"
+THROUGHPUT_OUT="${BENCH_THROUGHPUT_OUT:-BENCH_throughput.json}"
+THROUGHPUT_GATE="${BENCH_THROUGHPUT_GATE:-full}"
 
 cargo build --release -p aitia-bench
 ./target/release/report bench-memo --scale "$SCALE" > "$OUT"
@@ -51,3 +68,15 @@ echo "wrote $PRUNE_OUT (scale $PRUNE_SCALE)"
 
 grep -q '"meets_prune_gate": true' "$PRUNE_OUT" \
     || { echo "FAIL: prune bench missed the gate (divergent diagnosis across prune levels or < 30% schedule reduction dpor vs conflict)" >&2; exit 1; }
+
+./target/release/report bench-throughput --scale "$THROUGHPUT_SCALE" \
+    --repeats "$THROUGHPUT_REPEATS" > "$THROUGHPUT_OUT"
+echo "wrote $THROUGHPUT_OUT (scale $THROUGHPUT_SCALE, $THROUGHPUT_REPEATS repeats)"
+
+if [ "$THROUGHPUT_GATE" = identity ]; then
+    grep -q '"diagnoses_identical": true' "$THROUGHPUT_OUT" \
+        || { echo "FAIL: substrate configurations produced divergent diagnoses" >&2; exit 1; }
+else
+    grep -q '"meets_throughput_gate": true' "$THROUGHPUT_OUT" \
+        || { echo "FAIL: throughput bench missed the gate (divergent diagnoses or < 2x schedules/s at 8 workers)" >&2; exit 1; }
+fi

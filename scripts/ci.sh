@@ -16,9 +16,16 @@ echo "==> cargo test"
 cargo test --workspace -q
 
 echo "==> bench smoke (reduced scale)"
+# The throughput cell runs in identity mode: at smoke scale the traces are
+# too short for structural sharing to clear the 2x speed gate, but the
+# bit-identity of diagnoses across substrate configurations must hold at
+# every scale.
 BENCH_SCALE=0.05 BENCH_OUT=target/BENCH_memo_smoke.json \
     BENCH_RESUME_OUT=target/BENCH_resume_smoke.json \
-    BENCH_PRUNE_OUT=target/BENCH_prune_smoke.json scripts/bench.sh
+    BENCH_PRUNE_OUT=target/BENCH_prune_smoke.json \
+    BENCH_THROUGHPUT_SCALE=0.05 BENCH_THROUGHPUT_REPEATS=1 \
+    BENCH_THROUGHPUT_OUT=target/BENCH_throughput_smoke.json \
+    BENCH_THROUGHPUT_GATE=identity scripts/bench.sh
 
 echo "==> prune ablation smoke"
 # The same bug diagnosed with pruning fully off and with full DPOR pruning
