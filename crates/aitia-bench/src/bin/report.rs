@@ -58,6 +58,8 @@ subcommands (default: all):
   bench-resume          kill-and-resume journal benchmark (JSON on stdout)
   bench-prune           prune-level ablation over Table 2 (JSON on stdout)
   bench-throughput      substrate throughput A/B over Table 2 (JSON on stdout)
+  fuzz                  differential fuzz of generated bugs over the
+                        full executor config matrix (JSON on stdout)
   all                   everything above
 
 flags:
@@ -78,7 +80,11 @@ flags:
                         replay nothing (tables build fresh programs); the
                         journal counter block prints at the end
   --deadline-s <float>  wall-clock budget in seconds, finite and positive;
-                        on expiry tables degrade to best-so-far results";
+                        on expiry tables degrade to best-so-far results
+  --seeds <int>         fuzz: consecutive generator seeds to run (default 200)
+  --seed-start <int>    fuzz: first generator seed (default 0)
+  --repro-dir <path>    fuzz: where divergence reproducers are written
+                        (default target/corpus-repro)";
 
 /// Prints the usage message (prefixed by `msg`) and exits with status 2.
 fn usage_exit(msg: &str) -> ! {
@@ -110,6 +116,9 @@ fn main() {
     let mut fault_seed = 0u64;
     let mut journal_path: Option<String> = None;
     let mut deadline_s: Option<f64> = None;
+    let mut seeds = 200usize;
+    let mut seed_start = 0u64;
+    let mut repro_dir = "target/corpus-repro".to_string();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -124,6 +133,9 @@ fn main() {
             "--fault-seed" => fault_seed = flag_value(&args, &mut i, "--fault-seed"),
             "--journal" => journal_path = Some(flag_value(&args, &mut i, "--journal")),
             "--deadline-s" => deadline_s = Some(flag_value(&args, &mut i, "--deadline-s")),
+            "--seeds" => seeds = flag_value(&args, &mut i, "--seeds"),
+            "--seed-start" => seed_start = flag_value(&args, &mut i, "--seed-start"),
+            "--repro-dir" => repro_dir = flag_value(&args, &mut i, "--repro-dir"),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -291,6 +303,47 @@ fn main() {
                 );
             }
             eprintln!("bench-resume: gate met: {}", b.meets_resume_gate);
+            return;
+        }
+        "fuzz" => {
+            // Self-contained like bench-memo: every matrix cell runs on its
+            // own fresh pool, so the main pool above stays cold and the
+            // memo axis really is cold-vs-warm. JSON goes to stdout for
+            // BENCH_corpus.json; the human summary goes to stderr.
+            let b = experiments::bench_corpus(seed_start, seeds, Some(&repro_dir));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&b).expect("bench result serializes")
+            );
+            eprintln!(
+                "fuzz: {} seeds x {} cells, {} reproduced, recall {:.1}% \
+                 ({} hits), {} digest agreements, {} divergences, \
+                 agreement gate: {}, recall gate: {}, gate met: {}",
+                b.seeds,
+                b.cells,
+                b.reproduced,
+                b.recall * 100.0,
+                b.recall_hits,
+                b.digest_agreements,
+                b.divergences.len(),
+                b.meets_agreement_gate,
+                b.meets_recall_gate,
+                b.meets_corpus_gate
+            );
+            for d in &b.divergences {
+                eprintln!(
+                    "fuzz: divergence seed {} ({}, {}): shrunk to noise {:.2} filler {}{}",
+                    d.seed,
+                    d.name,
+                    d.kind,
+                    d.shrunk.noise_scale,
+                    d.shrunk.max_filler,
+                    d.reproducer_path
+                        .as_deref()
+                        .map(|p| format!(" -> {p}"))
+                        .unwrap_or_default()
+                );
+            }
             return;
         }
         "all" => {

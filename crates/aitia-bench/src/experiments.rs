@@ -206,8 +206,16 @@ pub fn render_journal_stats(stats: &JournalStats) -> String {
         "Run-journal stats\n\
         \x20 records replayed:    {}\n\
         \x20 records appended:    {}\n\
-        \x20 torn-tail truncs:    {}\n",
-        stats.records_replayed, stats.records_appended, stats.torn_tail_truncations,
+        \x20 torn-tail truncs:    {}\n\
+        \x20 fsync failed:        {}\n",
+        stats.records_replayed,
+        stats.records_appended,
+        stats.torn_tail_truncations,
+        if stats.fsync_failed {
+            "yes (journal disabled; campaign ran without crash-safety)"
+        } else {
+            "no"
+        },
     )
 }
 
@@ -1325,4 +1333,354 @@ pub fn render_ablations(rows: &[Ablation]) -> String {
         ));
     }
     s
+}
+
+// ---------------------------------------------------------------------------
+// Generated corpus — differential fuzzing over the executor config matrix.
+
+/// One executor configuration in the differential fuzz matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct MatrixCell {
+    /// LIFS prune level.
+    pub prune: aitia::lifs::PruneLevel,
+    /// Cross-run memoization + shared snapshot forest on/off.
+    pub memo: bool,
+    /// Batch-claim strategy.
+    pub claim: ClaimMode,
+    /// Deep-clone snapshots instead of copy-on-write.
+    pub deep_snapshots: bool,
+    /// Worker count.
+    pub vms: usize,
+}
+
+impl MatrixCell {
+    /// Short label, e.g. `dpor/memo/steal/cow/8vm`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{:?}/{}/{:?}/{}/{}vm",
+            self.prune,
+            if self.memo { "memo" } else { "nomemo" },
+            self.claim,
+            if self.deep_snapshots { "deep" } else { "cow" },
+            self.vms
+        )
+        .to_lowercase()
+    }
+
+    /// A fresh pool configured for this cell.
+    #[must_use]
+    pub fn executor(&self) -> Arc<Executor> {
+        Arc::new(Executor::with_config(ExecutorConfig {
+            vms: self.vms,
+            memo: self.memo,
+            claim: self.claim,
+            deep_snapshots: self.deep_snapshots,
+            ..ExecutorConfig::default()
+        }))
+    }
+}
+
+/// The full differential matrix: prune {off, conflict, dpor} × memo
+/// {on, off} × claim {counter, steal} × snapshots {cow, deep} × workers
+/// {1, 2, 8} — 72 cells. Cell 0 (off/memo/counter/cow/1vm) is the
+/// reference the recall gate is measured on.
+#[must_use]
+pub fn corpus_matrix() -> Vec<MatrixCell> {
+    use aitia::lifs::PruneLevel;
+    let mut cells = Vec::new();
+    for prune in [PruneLevel::Off, PruneLevel::Conflict, PruneLevel::Dpor] {
+        for memo in [true, false] {
+            for claim in [ClaimMode::Counter, ClaimMode::Steal] {
+                for deep_snapshots in [false, true] {
+                    for vms in [1usize, 2, 8] {
+                        cells.push(MatrixCell {
+                            prune,
+                            memo,
+                            claim,
+                            deep_snapshots,
+                            vms,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Diagnoses a generated bug on one pool at one prune level. `None` means
+/// the planted failure did not reproduce — a generator or substrate bug
+/// the caller records rather than panics on (unlike the hand-built corpus,
+/// generated programs are hostile input by design).
+#[must_use]
+pub fn diagnose_generated(
+    bug: &corpus::generate::GeneratedBug,
+    exec: &Arc<Executor>,
+    prune: aitia::lifs::PruneLevel,
+) -> Option<(FailingRun, CausalityResult)> {
+    let cfg = aitia::lifs::LifsConfig {
+        prune,
+        ..bug.lifs_config()
+    };
+    let out = Lifs::with_executor(Arc::clone(&bug.program), cfg, Arc::clone(exec)).search();
+    let run = out.failing?;
+    let result = CausalityAnalysis::with_executor(CausalityConfig::default(), Arc::clone(exec))
+        .analyze(&run);
+    Some((run, result))
+}
+
+/// The diagnosis digest one cell must agree on: the same fields as the
+/// prune-ablation digest (failing schedule, trace length, chain, verdicts,
+/// Causality Analysis schedule count — everything except LIFS search
+/// counters, which the prune axis changes by design), or the distinguished
+/// string `no-repro` so cells must also agree on *not* reproducing.
+#[must_use]
+pub fn generated_digest(name: &str, outcome: Option<&(FailingRun, CausalityResult)>) -> String {
+    match outcome {
+        None => format!("{name} no-repro"),
+        Some((run, result)) => {
+            let verdicts: Vec<aitia::Verdict> = result.tested.iter().map(|t| t.verdict).collect();
+            format!(
+                "{} chain={} verdicts={:?} sched={:?} steps={} ca={}",
+                name,
+                result.chain,
+                verdicts,
+                run.schedule,
+                run.trace.len(),
+                result.stats.schedules_executed,
+            )
+        }
+    }
+}
+
+/// The shrunk reproducer knobs for one divergence.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ShrunkConfig {
+    /// The generator seed (the program's identity).
+    pub seed: u64,
+    /// Shrunk noise scale.
+    pub noise_scale: f64,
+    /// Shrunk filler budget.
+    pub max_filler: usize,
+}
+
+impl From<corpus::generate::GenConfig> for ShrunkConfig {
+    fn from(c: corpus::generate::GenConfig) -> Self {
+        ShrunkConfig {
+            seed: c.seed,
+            noise_scale: c.noise_scale,
+            max_filler: c.max_filler,
+        }
+    }
+}
+
+/// One confirmed divergence: a seed where the matrix disagreed on the
+/// diagnosis digest, or where the reference cell's root-cause chain missed
+/// the planted race.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct CorpusDivergence {
+    /// The generator seed.
+    pub seed: u64,
+    /// Generated program name.
+    pub name: String,
+    /// Structural family tag.
+    pub family: String,
+    /// `digest-mismatch` or `recall-miss`.
+    pub kind: String,
+    /// For mismatches: the first disagreeing cell's label.
+    pub cell: Option<String>,
+    /// That cell's digest (mismatches only).
+    pub digest: Option<String>,
+    /// The reference cell's digest.
+    pub reference_digest: String,
+    /// The smallest same-seed generator config still showing the
+    /// divergence.
+    pub shrunk: ShrunkConfig,
+    /// Where the reproducer JSON was written, if a directory was given.
+    pub reproducer_path: Option<String>,
+}
+
+/// Seeds-per-family count in the fuzz report.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct FamilyCount {
+    /// Structural family tag.
+    pub family: String,
+    /// Seeds that drew this family.
+    pub seeds: usize,
+}
+
+/// Aggregate result of one differential fuzz run (`report fuzz`).
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct CorpusBench {
+    /// First seed fuzzed.
+    pub seed_start: u64,
+    /// Number of consecutive seeds fuzzed.
+    pub seeds: usize,
+    /// Matrix width (executor configurations per seed).
+    pub cells: usize,
+    /// Seeds per structural family.
+    pub families: Vec<FamilyCount>,
+    /// Seeds whose planted failure reproduced on the reference cell.
+    pub reproduced: usize,
+    /// Seeds whose root-cause chain contained a planted racing pair.
+    pub recall_hits: usize,
+    /// `recall_hits / seeds`.
+    pub recall: f64,
+    /// Seeds on which every cell produced a bit-identical digest.
+    pub digest_agreements: usize,
+    /// Every confirmed divergence, shrunk.
+    pub divergences: Vec<CorpusDivergence>,
+    /// No digest mismatch anywhere in the matrix.
+    pub meets_agreement_gate: bool,
+    /// Planted-race recall at least 95%.
+    pub meets_recall_gate: bool,
+    /// Both gates.
+    pub meets_corpus_gate: bool,
+}
+
+/// Runs one seed's program through every cell and returns the digests,
+/// plus the reference cell's outcome for the recall check.
+fn fuzz_one(
+    bug: &corpus::generate::GeneratedBug,
+    cells: &[MatrixCell],
+    execs: &[Arc<Executor>],
+) -> (Vec<String>, Option<(FailingRun, CausalityResult)>) {
+    let mut digests = Vec::with_capacity(cells.len());
+    let mut reference = None;
+    for (i, (cell, exec)) in cells.iter().zip(execs).enumerate() {
+        let outcome = diagnose_generated(bug, exec, cell.prune);
+        digests.push(generated_digest(&bug.name, outcome.as_ref()));
+        if i == 0 {
+            reference = outcome;
+        }
+    }
+    (digests, reference)
+}
+
+/// Differential fuzz over `seeds` consecutive generated programs starting
+/// at `seed_start`: every program runs through the full 72-cell executor
+/// matrix; digests must agree bit-for-bit and the reference cell's chain
+/// must contain a planted racing pair. Divergences are shrunk (same seed,
+/// simpler noise/filler knobs) and, when `repro_dir` is given, written as
+/// JSON reproducers.
+#[must_use]
+pub fn bench_corpus(seed_start: u64, seeds: usize, repro_dir: Option<&str>) -> CorpusBench {
+    use corpus::generate::{generate, generate_with, GenConfig};
+
+    let cells = corpus_matrix();
+    let execs: Vec<Arc<Executor>> = cells.iter().map(MatrixCell::executor).collect();
+    let mut families: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    let mut reproduced = 0usize;
+    let mut recall_hits = 0usize;
+    let mut digest_agreements = 0usize;
+    let mut divergences: Vec<CorpusDivergence> = Vec::new();
+
+    for seed in seed_start..seed_start + seeds as u64 {
+        let bug = generate(seed);
+        *families.entry(bug.family.tag().to_string()).or_insert(0) += 1;
+        let (digests, reference) = fuzz_one(&bug, &cells, &execs);
+        let mismatch = digests.iter().position(|d| *d != digests[0]);
+        if mismatch.is_none() {
+            digest_agreements += 1;
+        }
+        if reference.is_some() {
+            reproduced += 1;
+        }
+        let recalled = reference
+            .as_ref()
+            .is_some_and(|(_, result)| bug.planted_in_chain(&result.chain));
+        if recalled {
+            recall_hits += 1;
+        }
+
+        if let Some(cell_idx) = mismatch {
+            // Shrink while the matrix still disagrees anywhere.
+            let shrunk = corpus::generate::shrink(&bug.config, |c: &GenConfig| {
+                let candidate = generate_with(*c);
+                let (ds, _) = fuzz_one(&candidate, &cells, &execs);
+                ds.iter().any(|d| *d != ds[0])
+            });
+            divergences.push(CorpusDivergence {
+                seed,
+                name: bug.name.clone(),
+                family: bug.family.tag().to_string(),
+                kind: "digest-mismatch".to_string(),
+                cell: Some(cells[cell_idx].label()),
+                digest: Some(digests[cell_idx].clone()),
+                reference_digest: digests[0].clone(),
+                shrunk: shrunk.into(),
+                reproducer_path: None,
+            });
+        } else if !recalled {
+            // Shrink while the reference cell still misses the planted
+            // race (or fails to reproduce at all).
+            let shrunk = corpus::generate::shrink(&bug.config, |c: &GenConfig| {
+                let candidate = generate_with(*c);
+                let outcome = diagnose_generated(&candidate, &execs[0], cells[0].prune);
+                !outcome
+                    .as_ref()
+                    .is_some_and(|(_, result)| candidate.planted_in_chain(&result.chain))
+            });
+            divergences.push(CorpusDivergence {
+                seed,
+                name: bug.name.clone(),
+                family: bug.family.tag().to_string(),
+                kind: "recall-miss".to_string(),
+                cell: None,
+                digest: None,
+                reference_digest: digests[0].clone(),
+                shrunk: shrunk.into(),
+                reproducer_path: None,
+            });
+        }
+    }
+
+    if let Some(dir) = repro_dir {
+        if !divergences.is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("fuzz: cannot create reproducer dir {dir} ({e}); skipping files");
+            } else {
+                for d in &mut divergences {
+                    let path = format!("{dir}/seed-{}-{}.json", d.seed, d.kind);
+                    match std::fs::write(
+                        &path,
+                        serde_json::to_string_pretty(&*d).expect("divergence serializes"),
+                    ) {
+                        Ok(()) => d.reproducer_path = Some(path),
+                        Err(e) => eprintln!("fuzz: cannot write {path} ({e})"),
+                    }
+                }
+            }
+        }
+    }
+
+    let mismatches = divergences
+        .iter()
+        .filter(|d| d.kind == "digest-mismatch")
+        .count();
+    let recall = if seeds == 0 {
+        1.0
+    } else {
+        recall_hits as f64 / seeds as f64
+    };
+    let meets_agreement_gate = mismatches == 0;
+    let meets_recall_gate = recall >= 0.95;
+    CorpusBench {
+        seed_start,
+        seeds,
+        cells: cells.len(),
+        families: families
+            .into_iter()
+            .map(|(family, seeds)| FamilyCount { family, seeds })
+            .collect(),
+        reproduced,
+        recall_hits,
+        recall,
+        digest_agreements,
+        divergences,
+        meets_agreement_gate,
+        meets_recall_gate,
+        meets_corpus_gate: meets_agreement_gate && meets_recall_gate,
+    }
 }

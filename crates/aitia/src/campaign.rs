@@ -163,6 +163,18 @@ impl Campaign {
         let diagnosis = self.manager.diagnose(slices);
         if let Some(journal) = &self.journal {
             journal.flush();
+            // A failed fsync disabled the journal mid-campaign (the Journal
+            // itself stops appending — every holder shares the Arc, so the
+            // executor's appends stop too). Surface the degradation here:
+            // the diagnosis is still correct, but this campaign is NOT
+            // resumable past the last durable record.
+            if journal.fsync_failed() {
+                eprintln!(
+                    "aitia-campaign: journal {} was disabled after an fsync \
+                     failure; the campaign completed without crash-safety",
+                    journal.path().display()
+                );
+            }
         }
         self.classify(diagnosis)
     }
@@ -358,6 +370,31 @@ mod tests {
             stats.records_appended, 0,
             "a full resume re-executes nothing new"
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn campaign_degrades_to_journal_disabled_on_fsync_failure() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "aitia-campaign-fsync-test-{}.wal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let campaign = Campaign::with_journal_path(serial_config(), &path);
+        // The journal's temp dir goes bad before any record lands: every
+        // fsync fails, so the very first flush disables the journal.
+        campaign
+            .journal
+            .as_ref()
+            .expect("journal configured")
+            .poison_fsync();
+        let outcome = campaign.diagnose_program(fig1_program());
+        // The diagnosis itself is unaffected — durability degrades,
+        // correctness does not.
+        assert!(matches!(outcome, CampaignOutcome::Complete(_)));
+        let stats = campaign.journal_stats().expect("journal configured");
+        assert!(stats.fsync_failed, "durability loss must be surfaced");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -63,7 +63,8 @@ use std::{
         },
         Arc,
         Mutex,
-        OnceLock, //
+        OnceLock,
+        Weak, //
     },
     time::Instant,
 };
@@ -151,8 +152,11 @@ pub struct DeadlineBudget {
     sim_spent_us: AtomicU64,
     /// Whether the deadline has fired.
     fired: AtomicBool,
-    /// Tokens cancelled when the deadline fires.
-    subscribers: Mutex<Vec<CancelToken>>,
+    /// Tokens cancelled when the deadline fires, held weakly: a budget
+    /// outliving its campaigns (or subscribed to repeatedly) must not pin
+    /// dead tokens forever, so dropped subscribers are pruned on
+    /// [`DeadlineBudget::subscribe`] and [`DeadlineBudget::check`].
+    subscribers: Mutex<Vec<Weak<CancelInner>>>,
 }
 
 impl DeadlineBudget {
@@ -179,9 +183,25 @@ impl DeadlineBudget {
 
     /// Registers a token to be cancelled when the deadline fires. Its
     /// children (slice tasks, batch tokens) observe the cancellation through
-    /// the normal parent chain.
+    /// the normal parent chain. The registration is weak: once every strong
+    /// clone of the token is dropped its slot is reclaimed, so subscriber
+    /// count is bounded by *live* tokens, not by subscription history.
     pub fn subscribe(&self, token: &CancelToken) {
-        self.subscribers.lock().unwrap().push(token.clone());
+        let mut subs = self.subscribers.lock().unwrap();
+        subs.retain(|w| w.strong_count() > 0);
+        subs.push(Arc::downgrade(&token.inner));
+    }
+
+    /// Live subscriber count (dead weak registrations excluded). Exposed so
+    /// long-running processes can assert the subscriber list stays bounded.
+    #[must_use]
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|w| w.strong_count() > 0)
+            .count()
     }
 
     /// Whether the deadline has fired.
@@ -202,6 +222,11 @@ impl DeadlineBudget {
         if self.fired() {
             return true;
         }
+        // Opportunistic pruning keeps the weak list bounded even on budgets
+        // that never fire; try_lock so claim loops never convoy here.
+        if let Ok(mut subs) = self.subscribers.try_lock() {
+            subs.retain(|w| w.strong_count() > 0);
+        }
         let wall_hit = self.wall.is_some_and(|w| Instant::now() >= w);
         let sim_hit = self
             .sim_budget_us
@@ -218,12 +243,19 @@ impl DeadlineBudget {
     }
 
     /// Fires exactly once: marks the budget expired and cancels subscribers.
+    /// The subscriber list is snapshotted before any `cancel` runs: cancel
+    /// observers may re-enter the budget (subscribe a cleanup token, query
+    /// counts), which would deadlock against a lock held across the loop.
     fn fire(&self, which: &str) {
         if self.fired.swap(true, Ordering::SeqCst) {
             return;
         }
-        for t in self.subscribers.lock().unwrap().iter() {
-            t.cancel();
+        let live: Vec<Arc<CancelInner>> = {
+            let subs = self.subscribers.lock().unwrap();
+            subs.iter().filter_map(Weak::upgrade).collect()
+        };
+        for inner in live {
+            inner.flag.store(true, Ordering::SeqCst);
         }
         eprintln!(
             "aitia-exec: {which} deadline fired after {:.1} simulated seconds; \
@@ -658,13 +690,34 @@ impl MemoShard {
             return;
         };
         self.recency.remove(&tick);
+        let mut removed = false;
         if let Some(bucket) = self.entries.get_mut(&fp) {
+            let before = bucket.len();
             bucket.retain(|(t, _)| *t != tick);
+            removed = bucket.len() < before;
+            // An emptied bucket must leave the map with its key: fingerprint
+            // churn otherwise grows `entries` without bound — every evicted
+            // singleton fingerprint would stay behind as a permanent
+            // zero-length bucket.
             if bucket.is_empty() {
                 self.entries.remove(&fp);
             }
         }
-        self.len -= 1;
+        if removed {
+            self.len -= 1;
+        }
+    }
+
+    /// `(bucket keys, live entries, recency entries)` — test diagnostics
+    /// for the bounded-occupancy invariant: bucket keys and recency
+    /// entries may never outgrow live entries.
+    #[cfg(test)]
+    fn diag(&self) -> (usize, usize, usize) {
+        (
+            self.entries.len(),
+            self.entries.values().map(Vec::len).sum(),
+            self.recency.len(),
+        )
     }
 }
 
@@ -710,6 +763,11 @@ impl MemoTable {
     }
 
     fn get(&self, job: &ExecJob, fp: u64) -> Option<ExecOutput> {
+        // A 0-capacity table holds nothing (`put` refuses writes); skip the
+        // shard lock and recency churn entirely to match.
+        if self.shard_cap == 0 {
+            return None;
+        }
         let mut shard = self.shard(fp).lock().unwrap();
         let bucket = shard.entries.get(&fp)?;
         let pos = bucket.iter().position(|(_, e)| e.matches(job))?;
@@ -748,7 +806,7 @@ impl MemoTable {
             .push((tick, entry));
         shard.recency.insert(tick, fp);
         shard.len += 1;
-        while shard.len > self.shard_cap {
+        while shard.len > self.shard_cap && !shard.recency.is_empty() {
             shard.evict_lru();
         }
     }
@@ -2028,5 +2086,87 @@ mod tests {
             ..always_fault()
         };
         assert!(jobs.iter().all(|j| off.decide(j, 0).is_none()));
+    }
+
+    #[test]
+    fn deadline_subscribers_stay_bounded_across_repeated_campaigns() {
+        // A long-lived budget subscribed to by many short-lived campaigns
+        // (each dropping its tokens when it finishes) must not accumulate
+        // dead registrations: subscribe prunes, so the raw list length is
+        // bounded by live tokens plus the one just pushed.
+        let budget = DeadlineBudget::new(Some(3600.0), None, CostModel::default());
+        for _ in 0..1000 {
+            let token = CancelToken::new();
+            budget.subscribe(&token);
+            assert!(budget.subscribers.lock().unwrap().len() <= 2);
+            drop(token);
+        }
+        assert_eq!(budget.subscriber_count(), 0);
+        // check() also prunes dead weak slots.
+        budget.check();
+        assert!(budget.subscribers.lock().unwrap().is_empty());
+        // Live tokens still get cancelled when the budget fires, and a
+        // subscribe from inside the post-fire world must not deadlock.
+        let live = CancelToken::new();
+        budget.subscribe(&live);
+        budget.fire("test");
+        assert!(live.is_cancelled());
+        budget.subscribe(&CancelToken::new());
+    }
+
+    #[test]
+    fn memo_shard_entries_stay_bounded_under_fingerprint_churn() {
+        let program = fig1_program();
+        // One real conclusive output to cache (content is irrelevant to
+        // the occupancy invariant; only the keys matter).
+        let pool = threaded_pool(1);
+        let jobs = fig1_jobs(&program);
+        let out = pool.run_batch(&jobs, &CancelToken::new());
+        let sample = out[0].clone().expect("serial run completes");
+
+        let table = MemoTable::new(8); // shard_cap = 1
+        for budget in 1..=1000usize {
+            // Distinct step budgets give distinct fingerprints: pure churn.
+            let job = ExecJob {
+                program: Arc::clone(&program),
+                schedule: jobs[0].schedule.clone(),
+                enforce: EnforceConfig {
+                    step_budget: budget,
+                },
+            };
+            let fp = schedule_fingerprint(&job.schedule, &job.enforce);
+            table.put(fp, &job, &sample);
+        }
+        for shard in &table.shards {
+            let (buckets, entries, recency) = shard.lock().unwrap().diag();
+            assert!(
+                entries <= table.shard_cap,
+                "shard overflows its LRU capacity: {entries} > {}",
+                table.shard_cap
+            );
+            assert!(
+                buckets <= entries,
+                "evicted fingerprints left {buckets} bucket keys for \
+                 {entries} live entries"
+            );
+            assert_eq!(recency, entries, "recency index out of sync");
+        }
+    }
+
+    #[test]
+    fn zero_capacity_memo_is_inert_on_get_and_put() {
+        let program = fig1_program();
+        let jobs = fig1_jobs(&program);
+        let pool = threaded_pool(1);
+        let out = pool.run_batch(&jobs, &CancelToken::new());
+        let sample = out[0].clone().expect("serial run completes");
+
+        let table = MemoTable::new(0);
+        let fp = schedule_fingerprint(&jobs[0].schedule, &jobs[0].enforce);
+        table.put(fp, &jobs[0], &sample);
+        assert!(table.get(&jobs[0], fp).is_none());
+        for shard in &table.shards {
+            assert_eq!(shard.lock().unwrap().diag(), (0, 0, 0));
+        }
     }
 }

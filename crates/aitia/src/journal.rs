@@ -92,6 +92,7 @@ use std::{
     },
     sync::{
         atomic::{
+            AtomicBool,
             AtomicU64,
             Ordering, //
         },
@@ -125,6 +126,11 @@ pub struct JournalStats {
     /// Truncations performed on open because of a torn tail, a CRC or JSON
     /// mismatch, or an unrecognized header.
     pub torn_tail_truncations: u64,
+    /// Sticky: an fsync failed at some point this process lifetime. The
+    /// journal disabled itself when this flipped (records that cannot be
+    /// made durable are worse than no records: a resume would trust them),
+    /// so the campaign ran on without crash-safety from that point.
+    pub fsync_failed: bool,
 }
 
 /// One journaled execution, carrying its memo key and its full output.
@@ -170,6 +176,14 @@ pub struct Journal {
     replayed: AtomicU64,
     appended: AtomicU64,
     truncations: AtomicU64,
+    /// Sticky fsync-failure flag: once set, `append` and `flush` are
+    /// no-ops (the journal is disabled) and [`JournalStats::fsync_failed`]
+    /// reports the durability loss instead of silently claiming
+    /// crash-safety.
+    fsync_failed: AtomicBool,
+    /// Test seam: forces every subsequent fsync to fail, modeling the
+    /// journal's directory going away under it (a poisoned temp dir).
+    fsync_poisoned: AtomicBool,
 }
 
 impl std::fmt::Debug for Journal {
@@ -256,6 +270,8 @@ impl Journal {
             replayed: AtomicU64::new(0),
             appended: AtomicU64::new(0),
             truncations: AtomicU64::new(truncations),
+            fsync_failed: AtomicBool::new(false),
+            fsync_poisoned: AtomicBool::new(false),
         })
     }
 
@@ -278,6 +294,45 @@ impl Journal {
             records_replayed: self.replayed.load(Ordering::SeqCst),
             records_appended: self.appended.load(Ordering::SeqCst),
             torn_tail_truncations: self.truncations.load(Ordering::SeqCst),
+            fsync_failed: self.fsync_failed.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Whether an fsync has failed (sticky): the journal is disabled and
+    /// the campaign is running without crash-safety.
+    #[must_use]
+    pub fn fsync_failed(&self) -> bool {
+        self.fsync_failed.load(Ordering::SeqCst)
+    }
+
+    /// Test seam: makes every subsequent fsync fail, as if the temp dir
+    /// holding the journal were poisoned (device gone, quota exhausted).
+    #[doc(hidden)]
+    pub fn poison_fsync(&self) {
+        self.fsync_poisoned.store(true, Ordering::SeqCst);
+    }
+
+    /// Syncs the file, honoring the poison seam.
+    fn sync_data(&self, inner: &mut Inner) -> std::io::Result<()> {
+        if self.fsync_poisoned.load(Ordering::SeqCst) {
+            return Err(std::io::Error::other(
+                "poisoned temp-dir path: fsync injection",
+            ));
+        }
+        inner.file.sync_data()
+    }
+
+    /// Records a failed fsync: warns once, flips the sticky flag, and
+    /// thereby disables the journal — a record that cannot be made durable
+    /// must not be trusted by a future resume, so degrading to a
+    /// journal-less campaign is strictly safer than journaling on.
+    fn note_fsync_failure(&self, e: &std::io::Error) {
+        if !self.fsync_failed.swap(true, Ordering::SeqCst) {
+            eprintln!(
+                "aitia-journal: fsync of {} failed ({e}); disabling the \
+                 journal — this campaign continues WITHOUT crash-safety",
+                self.path.display()
+            );
         }
     }
 
@@ -286,6 +341,11 @@ impl Journal {
     /// (a failing journal degrades durability, never the campaign).
     pub fn append(&self, job: &ExecJob, out: &ExecOutput) {
         if out.outcome.is_inconclusive() {
+            return;
+        }
+        // A journal whose fsync failed is disabled: appending records that
+        // may be torn would hand a future resume corrupt durability.
+        if self.fsync_failed() {
             return;
         }
         let fp = schedule_fingerprint(&job.schedule, &job.enforce);
@@ -331,25 +391,24 @@ impl Journal {
         inner.unsynced += 1;
         if inner.unsynced >= FSYNC_EVERY {
             inner.unsynced = 0;
-            if let Err(e) = inner.file.sync_data() {
-                eprintln!(
-                    "aitia-journal: fsync of {} failed: {e}",
-                    self.path.display()
-                );
+            if let Err(e) = self.sync_data(&mut inner) {
+                self.note_fsync_failure(&e);
+                return;
             }
         }
         self.appended.fetch_add(1, Ordering::SeqCst);
     }
 
-    /// Syncs buffered appends to disk.
+    /// Syncs buffered appends to disk. A failed sync flips the sticky
+    /// [`JournalStats::fsync_failed`] flag and disables the journal.
     pub fn flush(&self) {
+        if self.fsync_failed() {
+            return;
+        }
         let mut inner = self.inner.lock().unwrap();
         inner.unsynced = 0;
-        if let Err(e) = inner.file.sync_data() {
-            eprintln!(
-                "aitia-journal: fsync of {} failed: {e}",
-                self.path.display()
-            );
+        if let Err(e) = self.sync_data(&mut inner) {
+            self.note_fsync_failure(&e);
         }
     }
 
@@ -808,5 +867,46 @@ mod tests {
         // IEEE CRC-32 of "123456789" is the classic check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fsync_failure_is_sticky_and_disables_the_journal() {
+        let path = tmp_path("fsync-poison");
+        let program = fig1_program();
+        let jobs = fig1_jobs(&program);
+        let journal = Arc::new(Journal::open(&path).unwrap());
+        let pool = journaling_pool(&journal);
+        let out = pool.run_batch(&jobs, &CancelToken::new());
+        assert!(out.iter().all(Option::is_some));
+        let appended_before = journal.stats().records_appended;
+        assert!(appended_before > 0, "healthy journal appends");
+        assert!(!journal.stats().fsync_failed);
+
+        // The temp dir goes bad under the journal: every fsync now fails.
+        journal.poison_fsync();
+        journal.flush();
+        assert!(journal.stats().fsync_failed, "failure is surfaced");
+
+        // Disabled: no further appends land, in memory or on disk.
+        let more = ExecJob {
+            program: Arc::clone(&program),
+            schedule: Schedule::serial(vec![sel(1), sel(0), sel(1)]),
+            enforce: EnforceConfig { step_budget: 77 },
+        };
+        let one = pool.run_batch(std::slice::from_ref(&more), &CancelToken::new());
+        assert!(one[0].is_some());
+        assert_eq!(journal.stats().records_appended, appended_before);
+        // Sticky across flushes; the flag never clears.
+        journal.flush();
+        assert!(journal.stats().fsync_failed);
+        drop(pool);
+        drop(journal);
+
+        // The surviving prefix is still a valid journal: reopening reads
+        // exactly the records appended while fsync was healthy.
+        let reopened = Journal::open(&path).unwrap();
+        assert_eq!(reopened.loaded_records() as u64, appended_before);
+        assert!(!reopened.stats().fsync_failed, "flag is per-process");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,676 @@
+//! Seeded random program generation with planted races — the
+//! "syzkaller-for-ksim" corpus (ROADMAP item 4(b)).
+//!
+//! [`generate`] deterministically synthesizes a small kernel scenario from
+//! a seed: two (sometimes three) threads racing on lock-guarded state, a
+//! refcount, a linked list, or an RCU-published pointer, with calibrated
+//! benign noise injected through [`crate::noise`]. Unlike the hand-built
+//! Table 2/3 models, every generated program carries machine-readable
+//! *ground truth*: the [`GeneratedBug`] manifest records the planted
+//! racing instruction pairs (as [`InstrAddr`]s captured at emission time
+//! via [`ksim::builder::ThreadBuilder::next_addr`]), the correlation
+//! class, and the failure class the race manifests. That turns the whole
+//! pipeline into a closed loop a differential fuzzer can grade:
+//!
+//! * **agreement** — the diagnosis digest must be bit-identical across
+//!   every executor configuration (prune level × memo × claim mode ×
+//!   snapshot mode × worker count), and
+//! * **recall** — a planted racing pair must appear in the root-cause
+//!   chain.
+//!
+//! # Planted-race invariants
+//!
+//! Every family is generated so that
+//!
+//! 1. both serial orders of the racing threads pass (the defect is a
+//!    *concurrency* bug, not a sequential one),
+//! 2. a single preemption of the victim inside its racy window manifests
+//!    the manifest's [`FailureKind`] (interleaving count 1, within the
+//!    default LIFS budget), and
+//! 3. the failing instruction executes inside
+//!    [`GeneratedBug::target_func`], so the standard
+//!    [`FailureTarget::in_func`] report matching applies.
+//!
+//! Benign noise keeps the geometric independence discipline documented in
+//! [`crate::noise`]: bursts run strictly before the first and after the
+//! last racing instruction of each thread, so noise races never correlate
+//! with the planted ones.
+//!
+//! # Shrinking
+//!
+//! A divergence found by the fuzz driver is shrunk with [`shrink`]: the
+//! generator is re-invoked with the same seed but a simpler
+//! [`GenConfig`] (noise scale laddered toward silent, filler budget
+//! toward zero) as long as the caller's predicate still observes the
+//! divergence. The result is the smallest program that still reproduces
+//! it — the seed and shrunk knobs together are the whole reproducer.
+
+use crate::noise::{
+    Noise,
+    NoiseSpec, //
+};
+use crate::MultiVar;
+use aitia::causality::chain::CausalityChain;
+use aitia::lifs::{
+    FailureTarget,
+    LifsConfig, //
+};
+use ksim::builder::{
+    cond_reg,
+    ProgramBuilder,
+    ThreadBuilder, //
+};
+use ksim::{
+    CmpOp,
+    FailureKind,
+    InstrAddr,
+    Program, //
+};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// The structural family a generated bug belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Flag-guarded teardown missing the reader-side lock: check-then-use
+    /// vs clear-then-free (the CVE-2019-11486 shape).
+    Lock,
+    /// Non-atomic check-then-get on a refcount: `refcount_inc` races a
+    /// final `refcount_dec_and_test` and increments from zero.
+    Refcount,
+    /// Publish-then-initialize on a shared list vs a concurrent reaper
+    /// (the Figure 9 irqfd shape).
+    List,
+    /// RCU-published pointer read outside (or with a too-short) read-side
+    /// critical section vs unpublish + `call_rcu` free.
+    Rcu,
+}
+
+impl Family {
+    /// All families, in generation order.
+    pub const ALL: [Family; 4] = [Family::Lock, Family::Refcount, Family::List, Family::Rcu];
+
+    /// Short lowercase tag (used in program names and reports).
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Family::Lock => "lock",
+            Family::Refcount => "refcount",
+            Family::List => "list",
+            Family::Rcu => "rcu",
+        }
+    }
+}
+
+/// Generator knobs. [`generate`] uses the defaults; [`shrink`] ladders
+/// `noise_scale` and `max_filler` down while a divergence persists.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GenConfig {
+    /// The seed — the program's entire identity. Same seed (plus same
+    /// knobs) always yields a byte-identical program and manifest.
+    pub seed: u64,
+    /// Multiplier on the family's calibrated noise (0.0 = silent).
+    pub noise_scale: f64,
+    /// Upper bound on benign filler instructions inside racy windows.
+    pub max_filler: usize,
+}
+
+impl GenConfig {
+    /// The default configuration for `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> GenConfig {
+        GenConfig {
+            seed,
+            noise_scale: 1.0,
+            max_filler: 3,
+        }
+    }
+}
+
+/// The manifest of one generated bug: the program plus its ground truth.
+#[derive(Debug)]
+pub struct GeneratedBug {
+    /// The configuration that generated this bug.
+    pub config: GenConfig,
+    /// Program name (`gen-<family>-<seed>`).
+    pub name: String,
+    /// Structural family.
+    pub family: Family,
+    /// Correlation class of the racing variables (the MUVI axis).
+    pub correlation: MultiVar,
+    /// The failure class the planted race manifests.
+    pub kind: FailureKind,
+    /// The function the crash report points at (the victim's racy path).
+    pub target_func: &'static str,
+    /// Ground-truth racing instruction pairs, in failing-schedule order
+    /// (victim-first for the window-opening race, killer-first for the
+    /// failure-adjacent one). Recall holds when any of these appears in
+    /// the root-cause chain, in either order.
+    pub planted: Vec<(InstrAddr, InstrAddr)>,
+    /// Names of the racing shared variables.
+    pub racing_vars: Vec<String>,
+    /// The noise actually injected.
+    pub noise: NoiseSpec,
+    /// The program itself.
+    pub program: Arc<Program>,
+}
+
+impl GeneratedBug {
+    /// The LIFS configuration for reproducing this bug: the manifest's
+    /// failure class, reported in the victim's racy function. Every
+    /// planted race manifests with a single preemption, so the search is
+    /// bounded at two interleavings — a seed that fails to reproduce then
+    /// exhausts in seconds instead of exploring depth-4 plans, which keeps
+    /// the 72-cell differential matrix tractable even on hostile seeds.
+    #[must_use]
+    pub fn lifs_config(&self) -> LifsConfig {
+        LifsConfig {
+            target: Some(FailureTarget::in_func(self.kind, self.target_func)),
+            max_interleavings: 2,
+            max_schedules: 20_000,
+            ..LifsConfig::default()
+        }
+    }
+
+    /// Whether any planted racing pair appears in the chain (either
+    /// order) — the fuzz driver's recall predicate.
+    #[must_use]
+    pub fn planted_in_chain(&self, chain: &CausalityChain) -> bool {
+        self.planted
+            .iter()
+            .any(|&(a, b)| chain.contains(a, b) || chain.contains(b, a))
+    }
+}
+
+/// Generates the bug for `seed` with default knobs.
+#[must_use]
+pub fn generate(seed: u64) -> GeneratedBug {
+    generate_with(GenConfig::new(seed))
+}
+
+/// Generates the bug for `config` — fully deterministic: every random
+/// choice is drawn from a ChaCha8 stream keyed only by `config.seed`, so
+/// shrinking knobs never perturbs the structural choices.
+#[must_use]
+pub fn generate_with(config: GenConfig) -> GeneratedBug {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let family = Family::ALL[rng.gen_range(0..Family::ALL.len())];
+    match family {
+        Family::Lock => gen_lock(config, &mut rng),
+        Family::Refcount => gen_refcount(config, &mut rng),
+        Family::List => gen_list(config, &mut rng),
+        Family::Rcu => gen_rcu(config, &mut rng),
+    }
+}
+
+/// Shrinks a divergence: returns the simplest `GenConfig` (same seed)
+/// for which `still_diverges` holds, laddering the noise scale toward
+/// silent first, then the filler budget toward zero. The predicate is
+/// re-evaluated on every candidate, so the result is always a confirmed
+/// reproducer.
+pub fn shrink(base: &GenConfig, still_diverges: impl Fn(&GenConfig) -> bool) -> GenConfig {
+    let mut best = *base;
+    loop {
+        let mut candidates: Vec<GenConfig> = Vec::new();
+        if best.noise_scale > 0.0 {
+            let lower = if best.noise_scale <= 0.26 {
+                0.0
+            } else {
+                best.noise_scale / 2.0
+            };
+            candidates.push(GenConfig {
+                noise_scale: lower,
+                ..best
+            });
+        }
+        if best.max_filler > 0 {
+            candidates.push(GenConfig {
+                max_filler: best.max_filler / 2,
+                ..best
+            });
+        }
+        let Some(next) = candidates.into_iter().find(|c| still_diverges(c)) else {
+            return best;
+        };
+        best = next;
+    }
+}
+
+/// Syscall names the racing threads are attributed to.
+const SYSCALLS: &[&str] = &["write", "ioctl", "read", "sendmsg", "close", "bpf", "mmap"];
+
+/// Draws a noise spec calibrated for generated programs: small enough
+/// that the *unpruned* LIFS search stays tractable across the whole fuzz
+/// matrix, non-trivial enough that benign races really surround the
+/// planted ones.
+fn draw_noise(config: GenConfig, rng: &mut ChaCha8Rng) -> NoiseSpec {
+    // Draw before checking the scale so the structural stream is
+    // identical at every shrink level.
+    let spec = NoiseSpec {
+        shared_counters: rng.gen_range(2..=4),
+        burst: rng.gen_range(2..=5),
+        private_work: rng.gen_range(8..=24),
+        seed: config.seed ^ 0x6e6f_6973,
+    };
+    if config.noise_scale <= 0.0 {
+        NoiseSpec::silent()
+    } else {
+        spec.scaled(config.noise_scale)
+    }
+}
+
+/// Emits `0..=max_filler` benign register-only filler instructions (drawn
+/// deterministically), widening the racy window without adding memory
+/// accesses the search would have to consider.
+fn fillers(t: &mut ThreadBuilder<'_>, config: GenConfig, rng: &mut ChaCha8Rng) {
+    // Fixed draw bound keeps the structural stream knob-independent.
+    let drawn = rng.gen_range(0..=3usize);
+    for i in 0..drawn.min(config.max_filler) {
+        t.mov("r7", i as u64);
+    }
+}
+
+/// Flag-guarded teardown: A checks `ready` then dereferences the object;
+/// B (holding the teardown lock A never takes) clears `ready` and frees.
+fn gen_lock(config: GenConfig, rng: &mut ChaCha8Rng) -> GeneratedBug {
+    let name = format!("gen-lock-{}", config.seed);
+    let mut p = ProgramBuilder::new(&name);
+    let noise_spec = draw_noise(config, rng);
+    let mut noise = Noise::setup(&mut p, noise_spec);
+
+    let size = 8 * rng.gen_range(1..=3u64);
+    let off = 8 * rng.gen_range(0..size / 8);
+    let writes = rng.gen_bool(0.5);
+    let locked_teardown = rng.gen_bool(0.5);
+    let sys_a = SYSCALLS[rng.gen_range(0..SYSCALLS.len())];
+    let sys_b = SYSCALLS[rng.gen_range(0..SYSCALLS.len())];
+    let target_func: &'static str = if writes {
+        "gen_guarded_write"
+    } else {
+        "gen_guarded_read"
+    };
+
+    let obj = p.static_obj("gen_obj", size);
+    let ready = p.global("gen->ready", 1);
+    let ptr = p.global_ptr("gen->obj", obj);
+    let lock = p.lock("gen->teardown_lock");
+
+    let (check, usage);
+    {
+        let mut a = p.syscall_thread("A", sys_a);
+        a.func(target_func).line(100);
+        noise.private_work(&mut a);
+        noise.burst_pre(&mut a);
+        let out = a.new_label();
+        check = a.next_addr();
+        a.n("A1").load_global("r0", ready);
+        a.jmp_if(cond_reg("r0", CmpOp::Eq, 0), out);
+        a.n("A2").load_global("r1", ptr);
+        fillers(&mut a, config, rng);
+        usage = a.next_addr();
+        if writes {
+            a.n("A3").store_ind("r1", off, 1u64);
+        } else {
+            a.n("A3").load_ind("r2", "r1", off);
+        }
+        a.place(out);
+        noise.burst_post(&mut a);
+        a.ret();
+    }
+    let (clear, free);
+    {
+        let mut b = p.syscall_thread("B", sys_b);
+        b.func("gen_teardown").line(200);
+        noise.private_work(&mut b);
+        noise.burst_pre(&mut b);
+        if locked_teardown {
+            b.lock(lock);
+        }
+        clear = b.next_addr();
+        b.n("B1").store_global(ready, 0u64);
+        b.n("B2").load_global("r0", ptr);
+        free = b.next_addr();
+        b.n("B3").free("r0");
+        if locked_teardown {
+            b.unlock(lock);
+        }
+        noise.burst_post(&mut b);
+        b.ret();
+    }
+
+    GeneratedBug {
+        config,
+        name: name.clone(),
+        family: Family::Lock,
+        correlation: MultiVar::Loose,
+        kind: FailureKind::UseAfterFree,
+        target_func,
+        planted: vec![(check, clear), (free, usage)],
+        racing_vars: vec!["gen->ready".into()],
+        noise: noise_spec,
+        program: Arc::new(p.build().expect("generated lock program builds")),
+    }
+}
+
+/// Non-atomic check-then-get: A reads the refcount, then increments it;
+/// B's final `refcount_dec_and_test` lands between the two, so A
+/// increments from zero (the kref get-after-zero WARNING).
+fn gen_refcount(config: GenConfig, rng: &mut ChaCha8Rng) -> GeneratedBug {
+    let name = format!("gen-refcount-{}", config.seed);
+    let mut p = ProgramBuilder::new(&name);
+    let noise_spec = draw_noise(config, rng);
+    let mut noise = Noise::setup(&mut p, noise_spec);
+
+    let sys_a = SYSCALLS[rng.gen_range(0..SYSCALLS.len())];
+    let sys_b = SYSCALLS[rng.gen_range(0..SYSCALLS.len())];
+    let target_func: &'static str = "gen_kref_get_path";
+
+    let refs = p.global("gen->refs", 1);
+
+    let (check, get);
+    {
+        let mut a = p.syscall_thread("A", sys_a);
+        a.func(target_func).line(100);
+        noise.private_work(&mut a);
+        noise.burst_pre(&mut a);
+        let out = a.new_label();
+        check = a.next_addr();
+        a.n("A1").load_global("r0", refs);
+        a.jmp_if(cond_reg("r0", CmpOp::Eq, 0), out);
+        fillers(&mut a, config, rng);
+        get = a.next_addr();
+        a.n("A2").ref_get(refs);
+        a.place(out);
+        noise.burst_post(&mut a);
+        a.ret();
+    }
+    let put;
+    {
+        let mut b = p.syscall_thread("B", sys_b);
+        b.func("gen_kref_put_path").line(200);
+        noise.private_work(&mut b);
+        noise.burst_pre(&mut b);
+        put = b.next_addr();
+        b.n("B1").ref_put_test("r0", refs);
+        noise.burst_post(&mut b);
+        b.ret();
+    }
+
+    GeneratedBug {
+        config,
+        name: name.clone(),
+        family: Family::Refcount,
+        correlation: MultiVar::No,
+        kind: FailureKind::RefcountWarning,
+        target_func,
+        planted: vec![(check, put), (put, get)],
+        racing_vars: vec!["gen->refs".into()],
+        noise: noise_spec,
+        program: Arc::new(p.build().expect("generated refcount program builds")),
+    }
+}
+
+/// Publish-then-initialize: A adds a fresh object to a shared list before
+/// finishing its initialization; B (sometimes via a kworker) reaps the
+/// list concurrently and frees the half-initialized object.
+fn gen_list(config: GenConfig, rng: &mut ChaCha8Rng) -> GeneratedBug {
+    let name = format!("gen-list-{}", config.seed);
+    let mut p = ProgramBuilder::new(&name);
+    let noise_spec = draw_noise(config, rng);
+    let mut noise = Noise::setup(&mut p, noise_spec);
+
+    let size = 8 * rng.gen_range(2..=3u64);
+    let off = 8 * rng.gen_range(0..size / 8);
+    let via_kworker = rng.gen_bool(0.5);
+    let sys_a = SYSCALLS[rng.gen_range(0..SYSCALLS.len())];
+    let sys_b = SYSCALLS[rng.gen_range(0..SYSCALLS.len())];
+    let target_func: &'static str = "gen_publish_path";
+
+    let list = p.global("gen_list", 0);
+
+    let kworker = if via_kworker {
+        let mut k = p.kworker_thread("kworker");
+        k.func("gen_reap_work").line(300);
+        let f = k.next_addr();
+        k.n("K1").free("r0");
+        k.ret();
+        Some((k.id(), f))
+    } else {
+        None
+    };
+
+    let (publish, init);
+    {
+        let mut a = p.syscall_thread("A", sys_a);
+        a.func(target_func).line(100);
+        noise.private_work(&mut a);
+        noise.burst_pre(&mut a);
+        a.alloc("r0", size);
+        publish = a.next_addr();
+        a.n("A1").list_add(list, "r0");
+        fillers(&mut a, config, rng);
+        init = a.next_addr();
+        a.n("A2").store_ind("r0", off, 7u64);
+        noise.burst_post(&mut a);
+        a.ret();
+    }
+    let (take, free);
+    {
+        let mut b = p.syscall_thread("B", sys_b);
+        b.func("gen_reap_path").line(200);
+        noise.private_work(&mut b);
+        noise.burst_pre(&mut b);
+        let out = b.new_label();
+        take = b.next_addr();
+        b.n("B1").list_first("r1", list);
+        b.jmp_if(cond_reg("r1", CmpOp::Eq, 0), out);
+        b.n("B2").list_del(list, "r1");
+        if let Some((k, reap_free)) = kworker {
+            b.queue_work_arg(k, "r1");
+            free = reap_free;
+        } else {
+            b.mov("r0", 0u64); // keep shapes aligned across the variant
+            free = b.next_addr();
+            b.n("B3").free("r1");
+        }
+        b.place(out);
+        noise.burst_post(&mut b);
+        b.ret();
+    }
+
+    GeneratedBug {
+        config,
+        name: name.clone(),
+        family: Family::List,
+        correlation: MultiVar::Loose,
+        kind: FailureKind::UseAfterFree,
+        target_func,
+        planted: vec![(publish, take), (free, init)],
+        racing_vars: vec!["gen_list".into()],
+        noise: noise_spec,
+        program: Arc::new(p.build().expect("generated list program builds")),
+    }
+}
+
+/// RCU misuse: A reads the published pointer and dereferences it without
+/// a (long enough) read-side critical section; B unpublishes and hands
+/// the object to `call_rcu`, whose callback frees it inside A's window.
+fn gen_rcu(config: GenConfig, rng: &mut ChaCha8Rng) -> GeneratedBug {
+    let name = format!("gen-rcu-{}", config.seed);
+    let mut p = ProgramBuilder::new(&name);
+    let noise_spec = draw_noise(config, rng);
+    let mut noise = Noise::setup(&mut p, noise_spec);
+
+    let size = 8 * rng.gen_range(1..=3u64);
+    let off = 8 * rng.gen_range(0..size / 8);
+    // The two ways real readers get this wrong: no critical section at
+    // all, or a correctly-locked first read followed by a racy *re-read*
+    // after the unlock (the double-check bug). Either way the decisive
+    // pointer load happens outside any read-side critical section, so the
+    // grace period cannot protect the dereference window — and the load
+    // is a conflicting memory access, i.e. a preemption anchor LIFS's
+    // observable-point model can actually schedule after.
+    let short_cs = rng.gen_bool(0.5);
+    let sys_a = SYSCALLS[rng.gen_range(0..SYSCALLS.len())];
+    let sys_b = SYSCALLS[rng.gen_range(0..SYSCALLS.len())];
+    let target_func: &'static str = "gen_rcu_reader";
+
+    let obj = p.static_obj("gen_rcu_obj", size);
+    let ptr = p.global_ptr("gen->rcu_ptr", obj);
+
+    let cb_free;
+    let cb = {
+        let mut r = p.rcu_thread("rcu_cb");
+        r.func("gen_rcu_free_cb").line(300);
+        cb_free = r.next_addr();
+        r.n("R1").free("r0");
+        r.ret();
+        r.id()
+    };
+
+    let (read, deref);
+    {
+        let mut a = p.syscall_thread("A", sys_a);
+        a.func(target_func).line(100);
+        noise.private_work(&mut a);
+        noise.burst_pre(&mut a);
+        let out = a.new_label();
+        if short_cs {
+            // The locked first read is correct but useless: the reader
+            // re-reads the pointer after leaving the critical section.
+            a.rcu_read_lock();
+            a.load_global("r1", ptr);
+            a.rcu_read_unlock();
+        }
+        read = a.next_addr();
+        a.n("A1").load_global("r1", ptr);
+        a.jmp_if(cond_reg("r1", CmpOp::Eq, 0), out);
+        fillers(&mut a, config, rng);
+        deref = a.next_addr();
+        a.n("A2").load_ind("r2", "r1", off);
+        a.place(out);
+        noise.burst_post(&mut a);
+        a.ret();
+    }
+    let unpublish;
+    {
+        let mut b = p.syscall_thread("B", sys_b);
+        b.func("gen_rcu_updater").line(200);
+        noise.private_work(&mut b);
+        noise.burst_pre(&mut b);
+        b.n("B1").load_global("r0", ptr);
+        unpublish = b.next_addr();
+        b.n("B2").store_global(ptr, 0u64);
+        b.n("B3").call_rcu(cb, Some("r0"));
+        noise.burst_post(&mut b);
+        b.ret();
+    }
+
+    GeneratedBug {
+        config,
+        name: name.clone(),
+        family: Family::Rcu,
+        correlation: MultiVar::No,
+        kind: FailureKind::UseAfterFree,
+        target_func,
+        planted: vec![(read, unpublish), (cb_free, deref)],
+        racing_vars: vec!["gen->rcu_ptr".into()],
+        noise: noise_spec,
+        program: Arc::new(p.build().expect("generated rcu program builds")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..16 {
+            let a = generate(seed);
+            let b = generate(seed);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.family, b.family);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.planted, b.planted);
+            assert_eq!(a.noise, b.noise);
+            assert_eq!(format!("{:?}", a.program), format!("{:?}", b.program));
+        }
+    }
+
+    #[test]
+    fn knobs_do_not_perturb_structure() {
+        // Shrinking noise/filler must keep the family, planted variables,
+        // and failure class stable — only the program size may change.
+        for seed in 0..16 {
+            let full = generate(seed);
+            let bare = generate_with(GenConfig {
+                noise_scale: 0.0,
+                max_filler: 0,
+                ..GenConfig::new(seed)
+            });
+            assert_eq!(full.family, bare.family);
+            assert_eq!(full.kind, bare.kind);
+            assert_eq!(full.racing_vars, bare.racing_vars);
+            assert!(
+                full.program.progs[0].instrs.len() >= bare.program.progs[0].instrs.len(),
+                "shrunk programs never grow"
+            );
+        }
+    }
+
+    #[test]
+    fn every_family_is_reachable() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64 {
+            seen.insert(generate(seed).family);
+        }
+        assert_eq!(seen.len(), Family::ALL.len(), "all families generated");
+    }
+
+    #[test]
+    fn both_serial_orders_pass() {
+        // Planted-race invariant 1: the defect needs a preemption; either
+        // serial order of the initial threads runs to completion cleanly.
+        use ksim::engine::Engine;
+        use ksim::thread::ThreadId;
+        for seed in 0..48 {
+            let bug = generate_with(GenConfig {
+                noise_scale: 0.0,
+                ..GenConfig::new(seed)
+            });
+            for order in [[0u32, 1u32], [1, 0]] {
+                let mut e = Engine::new(Arc::clone(&bug.program));
+                for &t in &order {
+                    e.run_to_completion(ThreadId(t));
+                }
+                // Background threads (kworker, RCU callbacks) spawned by
+                // the second thread still need to drain.
+                let failure = e.run_all_serial();
+                assert!(
+                    failure.is_none(),
+                    "seed {seed} ({}) fails serially in order {order:?}: {failure:?}",
+                    bug.name,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_converges_to_the_simplest_still_failing_config() {
+        let base = GenConfig::new(42);
+        // A divergence that persists at every size: shrink bottoms out.
+        let min = shrink(&base, |_| true);
+        assert_eq!(min.noise_scale, 0.0);
+        assert_eq!(min.max_filler, 0);
+        // A divergence that needs the noise: noise survives, filler goes.
+        let noisy = shrink(&base, |c| c.noise_scale >= 1.0);
+        assert!((noisy.noise_scale - 1.0).abs() < f64::EPSILON);
+        assert_eq!(noisy.max_filler, 0);
+        // No shrinking possible: the base comes back unchanged.
+        let stuck = shrink(&base, |c| *c == base);
+        assert_eq!(stuck, base);
+    }
+}

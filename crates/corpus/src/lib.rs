@@ -39,6 +39,7 @@
 
 pub mod cve;
 pub mod figures;
+pub mod generate;
 pub mod noise;
 pub mod syz;
 

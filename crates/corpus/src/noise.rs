@@ -34,7 +34,7 @@ use rand::{
 use rand_chacha::ChaCha8Rng;
 
 /// Noise sizing for one bug model.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NoiseSpec {
     /// Number of shared statistics counters declared.
     pub shared_counters: usize,

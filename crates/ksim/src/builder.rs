@@ -33,6 +33,7 @@ use crate::{
     program::{
         GlobalDecl,
         GlobalInit,
+        InstrAddr,
         Program,
         StaticObj,
         ThreadKind,
@@ -326,6 +327,32 @@ impl ThreadBuilder<'_> {
     pub fn n(&mut self, name: &str) -> &mut Self {
         self.pending_name = Some(name.to_string());
         self
+    }
+
+    /// The address the *next* emitted instruction will occupy. Program
+    /// generators use this to record planted racing instructions as
+    /// ground truth before emitting them.
+    #[must_use]
+    pub fn next_addr(&self) -> InstrAddr {
+        InstrAddr {
+            prog: self.id(),
+            index: self.pb.progs[self.idx].instrs.len(),
+        }
+    }
+
+    /// The address of the most recently emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when nothing has been emitted in this thread yet.
+    #[must_use]
+    pub fn last_addr(&self) -> InstrAddr {
+        let len = self.pb.progs[self.idx].instrs.len();
+        assert!(len > 0, "thread {} has no instructions yet", self.idx);
+        InstrAddr {
+            prog: self.id(),
+            index: len - 1,
+        }
     }
 
     /// Sets the enclosing function recorded on subsequent instructions.
@@ -883,5 +910,25 @@ mod tests {
         let prog = p.build().unwrap();
         assert_eq!(prog.static_objs.len(), 1);
         assert_eq!(prog.globals[g.0 as usize].init, GlobalInit::StaticPtr(0));
+    }
+
+    #[test]
+    fn addr_hooks_report_planted_instruction_positions() {
+        let mut p = ProgramBuilder::new("hooks");
+        let g = p.global("x", 0);
+        let mut a = p.syscall_thread("A", "s");
+        let planted = a.next_addr();
+        assert_eq!(
+            planted,
+            InstrAddr {
+                prog: a.id(),
+                index: 0
+            }
+        );
+        a.store_global(g, 1u64);
+        assert_eq!(a.last_addr(), planted);
+        a.load_global("r0", g);
+        assert_eq!(a.last_addr().index, 1);
+        assert_eq!(a.next_addr().index, 2);
     }
 }

@@ -36,6 +36,16 @@
 # reported), BENCH_THROUGHPUT_OUT the output path (default
 # BENCH_throughput.json), and BENCH_THROUGHPUT_GATE=identity relaxes the
 # gate to the bit-identity check alone (CI's smoke mode).
+#
+# Also regenerates BENCH_corpus.json, the generative-corpus artifact:
+# `report fuzz` synthesizes BENCH_CORPUS_SEEDS programs with planted
+# races (default 200) and runs every one through the full 72-cell
+# executor configuration matrix (prune x memo x claim x snapshots x
+# workers) — gated on bit-identical diagnosis digests across every cell
+# and >= 95% planted-race recall on the reference cell.
+# BENCH_CORPUS_SEEDS overrides the seed count, BENCH_CORPUS_SEED_START
+# the first seed (default 0), and BENCH_CORPUS_OUT the output path
+# (default BENCH_corpus.json).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -49,6 +59,9 @@ THROUGHPUT_SCALE="${BENCH_THROUGHPUT_SCALE:-1.0}"
 THROUGHPUT_REPEATS="${BENCH_THROUGHPUT_REPEATS:-2}"
 THROUGHPUT_OUT="${BENCH_THROUGHPUT_OUT:-BENCH_throughput.json}"
 THROUGHPUT_GATE="${BENCH_THROUGHPUT_GATE:-full}"
+CORPUS_SEEDS="${BENCH_CORPUS_SEEDS:-200}"
+CORPUS_SEED_START="${BENCH_CORPUS_SEED_START:-0}"
+CORPUS_OUT="${BENCH_CORPUS_OUT:-BENCH_corpus.json}"
 
 cargo build --release -p aitia-bench
 ./target/release/report bench-memo --scale "$SCALE" > "$OUT"
@@ -80,3 +93,10 @@ else
     grep -q '"meets_throughput_gate": true' "$THROUGHPUT_OUT" \
         || { echo "FAIL: throughput bench missed the gate (divergent diagnoses or < 2x schedules/s at 8 workers)" >&2; exit 1; }
 fi
+
+./target/release/report fuzz --seeds "$CORPUS_SEEDS" \
+    --seed-start "$CORPUS_SEED_START" > "$CORPUS_OUT"
+echo "wrote $CORPUS_OUT ($CORPUS_SEEDS seeds from $CORPUS_SEED_START)"
+
+grep -q '"meets_corpus_gate": true' "$CORPUS_OUT" \
+    || { echo "FAIL: corpus fuzz missed the gate (digest mismatch across the executor matrix or < 95% planted-race recall)" >&2; exit 1; }

@@ -20,12 +20,17 @@ echo "==> bench smoke (reduced scale)"
 # too short for structural sharing to clear the 2x speed gate, but the
 # bit-identity of diagnoses across substrate configurations must hold at
 # every scale.
+# The fuzz smoke runs a small fixed seed range through the full 72-cell
+# executor matrix; the gate grep inside bench.sh asserts both bit-identical
+# digests across every cell and planted-race recall.
 BENCH_SCALE=0.05 BENCH_OUT=target/BENCH_memo_smoke.json \
     BENCH_RESUME_OUT=target/BENCH_resume_smoke.json \
     BENCH_PRUNE_OUT=target/BENCH_prune_smoke.json \
     BENCH_THROUGHPUT_SCALE=0.05 BENCH_THROUGHPUT_REPEATS=1 \
     BENCH_THROUGHPUT_OUT=target/BENCH_throughput_smoke.json \
-    BENCH_THROUGHPUT_GATE=identity scripts/bench.sh
+    BENCH_THROUGHPUT_GATE=identity \
+    BENCH_CORPUS_SEEDS=8 BENCH_CORPUS_OUT=target/BENCH_corpus_smoke.json \
+    scripts/bench.sh
 
 echo "==> prune ablation smoke"
 # The same bug diagnosed with pruning fully off and with full DPOR pruning
