@@ -33,6 +33,12 @@ flags:
   --vms <int>           VM-pool worker count, at least 1 (default 8)
   --prune-level <level> LIFS pruning: off, conflict or dpor (default:
                         the bug's calibrated config, normally conflict)
+  --causality-level <level>
+                        causal intervention strategy: exhaustive (flip
+                        every race) or adaptive (static benign proofs +
+                        information-gain flip ordering); verdicts and
+                        chains are identical at both levels (default
+                        exhaustive)
   --journal <path>      append conclusive runs to a durable journal and
                         replay it on startup (kill-and-resume)
   --deadline-s <float>  wall-clock budget in seconds, finite and positive;
@@ -65,6 +71,7 @@ fn main() {
     let mut scale = 0.2f64;
     let mut vms = 8usize;
     let mut prune: Option<aitia::lifs::PruneLevel> = None;
+    let mut causality_level: Option<aitia::CausalityLevel> = None;
     let mut journal: Option<String> = None;
     let mut deadline_s: Option<f64> = None;
     let mut i = 0;
@@ -73,6 +80,9 @@ fn main() {
             "--scale" => scale = flag_value(&args, &mut i, "--scale"),
             "--vms" => vms = flag_value(&args, &mut i, "--vms"),
             "--prune-level" => prune = Some(flag_value(&args, &mut i, "--prune-level")),
+            "--causality-level" => {
+                causality_level = Some(flag_value(&args, &mut i, "--causality-level"));
+            }
             "--journal" => journal = Some(flag_value(&args, &mut i, "--journal")),
             "--deadline-s" => deadline_s = Some(flag_value(&args, &mut i, "--deadline-s")),
             "--list" => {
@@ -127,12 +137,15 @@ fn main() {
     if let Some(prune) = prune {
         lifs.prune = prune;
     }
-    let config = ManagerConfig {
+    let mut config = ManagerConfig {
         vms,
         lifs,
         wall_deadline_s: deadline_s,
         ..ManagerConfig::default()
     };
+    if let Some(level) = causality_level {
+        config.causality.level = level;
+    }
     let campaign = match &journal {
         Some(path) => Campaign::with_journal_path(config, path),
         None => Campaign::new(config),
@@ -162,6 +175,14 @@ fn main() {
         d.lifs_stats.pruned_equivalent,
         d.lifs_stats.pruned_sleep_set,
         d.lifs_stats.pruned_persistent
+    );
+    eprintln!(
+        "causality: {} flip schedules, {} skipped by static proof, \
+         {} submitted out of canonical order, {:.1}s simulated time saved",
+        d.result.stats.schedules_executed,
+        d.result.stats.flips_skipped_static,
+        d.result.stats.flips_reordered,
+        d.result.stats.sim_time_saved_s
     );
     if let CampaignOutcome::Partial(p) = &outcome {
         eprintln!(

@@ -7,7 +7,8 @@
 //!
 //! Subcommands: `table1`, `table2`, `table3`, `conciseness`, `comparison`,
 //! `ablations`, `fig5`, `fig6`, `fig7`, `fig9`, `bench-memo`,
-//! `bench-resume`, `bench-prune`, `bench-throughput`, `all`.
+//! `bench-resume`, `bench-prune`, `bench-causality`, `bench-throughput`,
+//! `all`.
 //!
 //! `--scale` multiplies every bug's calibrated benign-race noise (1.0 =
 //! full calibration, matching the magnitudes of the paper's tables; smaller
@@ -57,6 +58,7 @@ subcommands (default: all):
   bench-memo            memoization A/B over Table 2 (JSON on stdout)
   bench-resume          kill-and-resume journal benchmark (JSON on stdout)
   bench-prune           prune-level ablation over Table 2 (JSON on stdout)
+  bench-causality       causality-level A/B over Table 2 (JSON on stdout)
   bench-throughput      substrate throughput A/B over Table 2 (JSON on stdout)
   fuzz                  differential fuzz of generated bugs over the
                         full executor config matrix (JSON on stdout)
@@ -66,6 +68,11 @@ flags:
   --scale <float>       benign-race noise scale (default 1.0)
   --prune-level <level> LIFS pruning: off, conflict or dpor (default:
                         each bug's calibrated config, normally conflict)
+  --causality-level <level>
+                        causal intervention strategy: exhaustive or
+                        adaptive (static benign proofs + information-gain
+                        flip ordering); identical diagnoses at both
+                        levels (default exhaustive)
   --samples <int>       comparison sample count (default 400)
   --repeats <int>       bench-throughput passes per cell, at least 1; the
                         least-busy pass is reported (default 2)
@@ -107,6 +114,7 @@ fn main() {
     let mut cmd = "all".to_string();
     let mut scale = 1.0f64;
     let mut prune: Option<aitia::lifs::PruneLevel> = None;
+    let mut causality = aitia::CausalityLevel::default();
     let mut samples = 400usize;
     let mut repeats = 2usize;
     let mut vms = 8usize;
@@ -124,6 +132,7 @@ fn main() {
         match args[i].as_str() {
             "--scale" => scale = flag_value(&args, &mut i, "--scale"),
             "--prune-level" => prune = Some(flag_value(&args, &mut i, "--prune-level")),
+            "--causality-level" => causality = flag_value(&args, &mut i, "--causality-level"),
             "--samples" => samples = flag_value(&args, &mut i, "--samples"),
             "--repeats" => repeats = flag_value(&args, &mut i, "--repeats"),
             "--vms" => vms = flag_value(&args, &mut i, "--vms"),
@@ -191,10 +200,10 @@ fn main() {
     }));
     let model = experiments::cost_model_for(&exec);
     match cmd.as_str() {
-        "table2" => table2(scale, &exec, &model, prune),
-        "table3" => table3(scale, &exec, &model, prune),
+        "table2" => table2(scale, &exec, &model, prune, causality),
+        "table3" => table3(scale, &exec, &model, prune, causality),
         "conciseness" => {
-            let rows = experiments::table3_on_prune(scale, &exec, prune);
+            let rows = experiments::table3_on_levels(scale, &exec, prune, causality);
             print_conciseness(&rows);
         }
         "comparison" | "table1" => comparison(scale, samples),
@@ -252,6 +261,33 @@ fn main() {
                 b.dpor.pruned_persistent,
                 b.diagnoses_identical,
                 b.meets_prune_gate
+            );
+            return;
+        }
+        "bench-causality" => {
+            // Self-contained like bench-prune: each causality level runs
+            // the corpus on fresh single-VM pools and fresh programs, so no
+            // memoized flip results leak between levels. JSON goes to
+            // stdout for BENCH_causality.json; the human summary goes to
+            // stderr.
+            let b = experiments::bench_causality(scale);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&b).expect("bench result serializes")
+            );
+            eprintln!(
+                "bench-causality: exhaustive {} / adaptive {} flip VM executions \
+                 ({:.1}% reduction; {} static skips, {} reordered, {:.1}s sim saved), \
+                 agreement audit: {} disagreements, diagnoses identical: {}, gate met: {}",
+                b.exhaustive.flip_vm_executions,
+                b.adaptive.flip_vm_executions,
+                b.flip_execution_reduction_percent,
+                b.adaptive.flips_skipped_static,
+                b.adaptive.flips_reordered,
+                b.adaptive.sim_time_saved_s,
+                b.static_disagreements,
+                b.diagnoses_identical,
+                b.meets_causality_gate
             );
             return;
         }
@@ -317,17 +353,22 @@ fn main() {
             );
             eprintln!(
                 "fuzz: {} seeds x {} cells, {} reproduced, recall {:.1}% \
-                 ({} hits), {} digest agreements, {} divergences, \
-                 agreement gate: {}, recall gate: {}, gate met: {}",
+                 ({} hits), adaptive recall {:.1}% ({} hits), \
+                 {} digest agreements, {} divergences, \
+                 agreement gate: {}, recall gate: {}, adaptive recall gate: {}, \
+                 gate met: {}",
                 b.seeds,
                 b.cells,
                 b.reproduced,
                 b.recall * 100.0,
                 b.recall_hits,
+                b.adaptive_recall * 100.0,
+                b.adaptive_recall_hits,
                 b.digest_agreements,
                 b.divergences.len(),
                 b.meets_agreement_gate,
                 b.meets_recall_gate,
+                b.meets_adaptive_recall_gate,
                 b.meets_corpus_gate
             );
             for d in &b.divergences {
@@ -347,8 +388,8 @@ fn main() {
             return;
         }
         "all" => {
-            table2(scale, &exec, &model, prune);
-            let rows = experiments::table3_on_prune(scale, &exec, prune);
+            table2(scale, &exec, &model, prune, causality);
+            let rows = experiments::table3_on_levels(scale, &exec, prune, causality);
             println!("{}", experiments::render_table3(&rows, &model));
             let avg: f64 =
                 rows.iter().map(|r| r.chain_races() as f64).sum::<f64>() / rows.len() as f64;
@@ -378,8 +419,9 @@ fn table2(
     exec: &Arc<Executor>,
     model: &CostModel,
     prune: Option<aitia::lifs::PruneLevel>,
+    causality: aitia::CausalityLevel,
 ) {
-    let rows = experiments::table2_on_prune(scale, exec, prune);
+    let rows = experiments::table2_on_levels(scale, exec, prune, causality);
     println!("{}", experiments::render_table2(&rows, model));
     let amb: Vec<&str> = rows
         .iter()
@@ -387,6 +429,7 @@ fn table2(
         .map(|r| r.id)
         .collect();
     println!("ambiguity cases: {amb:?} (paper: [\"CVE-2016-10200\"])\n");
+    println!("{}", experiments::render_ca_stats(&rows));
 }
 
 fn table3(
@@ -394,11 +437,13 @@ fn table3(
     exec: &Arc<Executor>,
     model: &CostModel,
     prune: Option<aitia::lifs::PruneLevel>,
+    causality: aitia::CausalityLevel,
 ) {
-    let rows = experiments::table3_on_prune(scale, exec, prune);
+    let rows = experiments::table3_on_levels(scale, exec, prune, causality);
     println!("{}", experiments::render_table3(&rows, model));
     let avg: f64 = rows.iter().map(|r| r.chain_races() as f64).sum::<f64>() / rows.len() as f64;
     println!("average chain length: {avg:.1} (paper: 3.0)\n");
+    println!("{}", experiments::render_ca_stats(&rows));
 }
 
 fn print_conciseness(rows: &[aitia_bench::experiments::BugOutcome]) {

@@ -126,6 +126,24 @@ pub fn diagnose_program_with_prune(
     exec: &Arc<Executor>,
     prune: aitia::lifs::PruneLevel,
 ) -> BugOutcome {
+    diagnose_program_with_levels(bug, prog, exec, prune, CausalityConfig::default())
+}
+
+/// [`diagnose_program_with_prune`] with an explicit Causality Analysis
+/// configuration (the `--causality-level` knob).
+///
+/// # Panics
+///
+/// Panics when the bug fails to reproduce — every corpus bug must, at
+/// every level combination.
+#[must_use]
+pub fn diagnose_program_with_levels(
+    bug: &BugModel,
+    prog: Arc<ksim::Program>,
+    exec: &Arc<Executor>,
+    prune: aitia::lifs::PruneLevel,
+    causality: CausalityConfig,
+) -> BugOutcome {
     let cfg = aitia::lifs::LifsConfig {
         prune,
         ..bug.lifs_config()
@@ -134,8 +152,7 @@ pub fn diagnose_program_with_prune(
     let run = out
         .failing
         .unwrap_or_else(|| panic!("{} did not reproduce", bug.id));
-    let result = CausalityAnalysis::with_executor(CausalityConfig::default(), Arc::clone(exec))
-        .analyze(&run);
+    let result = CausalityAnalysis::with_executor(causality, Arc::clone(exec)).analyze(&run);
     let c = conciseness(&run, &result);
     BugOutcome {
         id: bug.id,
@@ -195,6 +212,30 @@ pub fn render_exec_stats(stats: &aitia::ExecStats) -> String {
         stats.schedules_per_sec(),
         stats.instrs_per_sec(),
         stats.deadline_fired,
+    )
+}
+
+/// Renders the Causality Analysis intervention counter block summed over a
+/// set of diagnosed bugs — the `report` binary prints this under the
+/// evaluation tables so the adaptive level's savings are visible next to
+/// the pool stats.
+#[must_use]
+pub fn render_ca_stats(rows: &[BugOutcome]) -> String {
+    let sum = |f: fn(&aitia::causality::CaStats) -> usize| -> usize {
+        rows.iter().map(|r| f(&r.result.stats)).sum()
+    };
+    format!(
+        "Causality-intervention stats\n\
+        \x20 flip schedules:      {}\n\
+        \x20 skipped (static):    {}\n\
+        \x20 reordered (gain):    {}\n\
+        \x20 sim time saved:      {:.1}s\n",
+        sum(|s| s.schedules_executed),
+        sum(|s| s.flips_skipped_static),
+        sum(|s| s.flips_reordered),
+        rows.iter()
+            .map(|r| r.result.stats.sim_time_saved_s)
+            .sum::<f64>(),
     )
 }
 
@@ -401,6 +442,157 @@ pub fn bench_prune(scale: f64) -> PruneBench {
         dpor_vs_conflict_reduction_percent,
         diagnoses_identical,
         meets_prune_gate,
+    }
+}
+
+/// One causality level's aggregate intervention counters over the Table 2
+/// corpus.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct CausalityBenchSide {
+    /// The causality level (plus `+verify` for the agreement audit side).
+    pub level: String,
+    /// Actual VM executions ([`aitia::ExecStats::runs`]) attributable to
+    /// Causality Analysis: pool runs after LIFS handed over each failing
+    /// run. Statically skipped flips never execute, so they are absent
+    /// here.
+    pub flip_vm_executions: u64,
+    /// Schedules charged to the diagnosis statistics
+    /// ([`aitia::causality::CaStats::schedules_executed`]).
+    pub flip_schedules: usize,
+    /// Flips the static prover discharged without execution.
+    pub flips_skipped_static: usize,
+    /// Flips submitted out of canonical order by the gain ranking.
+    pub flips_reordered: usize,
+    /// Serial simulated seconds avoided (static skips plus memo hits).
+    pub sim_time_saved_s: f64,
+}
+
+/// Result of `report bench-causality`: the `--causality-level` A/B over
+/// Table 2 (`BENCH_causality.json`).
+///
+/// Both levels must produce a bit-identical diagnosis — adaptivity changes
+/// *which* and *how many* flips execute, never what the diagnosis says.
+/// The third side re-runs adaptive in `verify_static` agreement mode:
+/// every statically proved flip still executes and the run must agree
+/// (failure manifested ⇒ Benign); any disagreement is a soundness bug and
+/// fails the gate. The acceptance gate additionally asserts the adaptive
+/// level pays at least 30% fewer flip VM executions than exhaustive.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct CausalityBench {
+    /// Noise scale every side ran at.
+    pub scale: f64,
+    /// Flip every race (the paper's §3.4 procedure).
+    pub exhaustive: CausalityBenchSide,
+    /// Static benign proofs + information-gain ordering.
+    pub adaptive: CausalityBenchSide,
+    /// Adaptive with the agreement audit: proved flips still execute.
+    pub verified: CausalityBenchSide,
+    /// Agreement-audit failures across the verified side (must be 0).
+    pub static_disagreements: usize,
+    /// Percent of exhaustive's flip VM executions adaptive avoided.
+    pub flip_execution_reduction_percent: f64,
+    /// Whether chains, verdicts, failing schedules, trace lengths and LIFS
+    /// counters are bit-identical across all three sides.
+    pub diagnoses_identical: bool,
+    /// The acceptance gate: `diagnoses_identical`, zero disagreements, and
+    /// ≥ 30% flip-execution reduction.
+    pub meets_causality_gate: bool,
+}
+
+/// Runs the `--causality-level` A/B over Table 2.
+///
+/// # Panics
+///
+/// Panics when a corpus bug fails to reproduce — every corpus bug must,
+/// at every causality level.
+#[must_use]
+pub fn bench_causality(scale: f64) -> CausalityBench {
+    use aitia::CausalityLevel;
+    let run = |level: CausalityLevel, verify_static: bool| {
+        let bugs = corpus::cves();
+        // Each side builds its own programs and pools so the process-wide
+        // memo table (keyed on program identity) never leaks flip results
+        // across sides.
+        let mut digests: Vec<String> = Vec::new();
+        let mut side = CausalityBenchSide {
+            level: format!("{level}{}", if verify_static { "+verify" } else { "" }),
+            flip_vm_executions: 0,
+            flip_schedules: 0,
+            flips_skipped_static: 0,
+            flips_reordered: 0,
+            sim_time_saved_s: 0.0,
+        };
+        let mut disagreements = 0usize;
+        for b in &bugs {
+            let exec = Arc::new(Executor::with_config(ExecutorConfig {
+                vms: 1,
+                ..ExecutorConfig::default()
+            }));
+            let out =
+                Lifs::with_executor(b.program_scaled(scale), b.lifs_config(), Arc::clone(&exec))
+                    .search();
+            let run = out
+                .failing
+                .unwrap_or_else(|| panic!("{} did not reproduce", b.id));
+            // LIFS ran first on the same pool, so the delta in pool runs is
+            // exactly the flip executions Causality Analysis paid for.
+            let lifs_runs = exec.stats().runs;
+            let result = CausalityAnalysis::with_executor(
+                CausalityConfig {
+                    level,
+                    verify_static,
+                    ..CausalityConfig::default()
+                },
+                Arc::clone(&exec),
+            )
+            .analyze(&run);
+            side.flip_vm_executions += exec.stats().runs - lifs_runs;
+            side.flip_schedules += result.stats.schedules_executed;
+            side.flips_skipped_static += result.stats.flips_skipped_static;
+            side.flips_reordered += result.stats.flips_reordered;
+            side.sim_time_saved_s += result.stats.sim_time_saved_s;
+            disagreements += result.stats.static_disagreements;
+            let verdicts: Vec<aitia::Verdict> = result.tested.iter().map(|t| t.verdict).collect();
+            digests.push(format!(
+                "{} chain={} verdicts={:?} sched={:?} steps={} lifs={}",
+                b.id,
+                result.chain,
+                verdicts,
+                run.schedule,
+                run.trace.len(),
+                out.stats.schedules_executed,
+            ));
+        }
+        (digests, side, disagreements)
+    };
+    let (ex_digests, exhaustive, _) = run(CausalityLevel::Exhaustive, false);
+    let (ad_digests, adaptive, _) = run(CausalityLevel::Adaptive, false);
+    let (ve_digests, verified, static_disagreements) = run(CausalityLevel::Adaptive, true);
+    // The digest pins everything diagnosis-facing except CA schedule
+    // counts, which the levels change by design; LIFS counters stay in so
+    // the causality knob provably never perturbs the search.
+    let diagnoses_identical = ex_digests == ad_digests && ad_digests == ve_digests;
+    let flip_execution_reduction_percent = if exhaustive.flip_vm_executions > 0 {
+        100.0
+            * exhaustive
+                .flip_vm_executions
+                .saturating_sub(adaptive.flip_vm_executions) as f64
+            / exhaustive.flip_vm_executions as f64
+    } else {
+        0.0
+    };
+    let meets_causality_gate = diagnoses_identical
+        && static_disagreements == 0
+        && flip_execution_reduction_percent >= 30.0;
+    CausalityBench {
+        scale,
+        exhaustive,
+        adaptive,
+        verified,
+        static_disagreements,
+        flip_execution_reduction_percent,
+        diagnoses_identical,
+        meets_causality_gate,
     }
 }
 
@@ -808,14 +1000,29 @@ pub fn table2_on_prune(
     exec: &Arc<Executor>,
     prune: Option<aitia::lifs::PruneLevel>,
 ) -> Vec<BugOutcome> {
+    table2_on_levels(scale, exec, prune, aitia::CausalityLevel::default())
+}
+
+/// [`table2_on_prune`] with an explicit `--causality-level`.
+#[must_use]
+pub fn table2_on_levels(
+    scale: f64,
+    exec: &Arc<Executor>,
+    prune: Option<aitia::lifs::PruneLevel>,
+    causality: aitia::CausalityLevel,
+) -> Vec<BugOutcome> {
     corpus::cves()
         .iter()
         .map(|b| {
-            diagnose_program_with_prune(
+            diagnose_program_with_levels(
                 b,
                 b.program_scaled(scale),
                 exec,
                 prune.unwrap_or(b.lifs_config().prune),
+                CausalityConfig {
+                    level: causality,
+                    ..CausalityConfig::default()
+                },
             )
         })
         .collect()
@@ -841,14 +1048,29 @@ pub fn table3_on_prune(
     exec: &Arc<Executor>,
     prune: Option<aitia::lifs::PruneLevel>,
 ) -> Vec<BugOutcome> {
+    table3_on_levels(scale, exec, prune, aitia::CausalityLevel::default())
+}
+
+/// [`table3_on_prune`] with an explicit `--causality-level`.
+#[must_use]
+pub fn table3_on_levels(
+    scale: f64,
+    exec: &Arc<Executor>,
+    prune: Option<aitia::lifs::PruneLevel>,
+    causality: aitia::CausalityLevel,
+) -> Vec<BugOutcome> {
     corpus::syzkaller()
         .iter()
         .map(|b| {
-            diagnose_program_with_prune(
+            diagnose_program_with_levels(
                 b,
                 b.program_scaled(scale),
                 exec,
                 prune.unwrap_or(b.lifs_config().prune),
+                CausalityConfig {
+                    level: causality,
+                    ..CausalityConfig::default()
+                },
             )
         })
         .collect()
@@ -1343,6 +1565,8 @@ pub fn render_ablations(rows: &[Ablation]) -> String {
 pub struct MatrixCell {
     /// LIFS prune level.
     pub prune: aitia::lifs::PruneLevel,
+    /// Causality Analysis intervention level.
+    pub causality: aitia::CausalityLevel,
     /// Cross-run memoization + shared snapshot forest on/off.
     pub memo: bool,
     /// Batch-claim strategy.
@@ -1354,16 +1578,17 @@ pub struct MatrixCell {
 }
 
 impl MatrixCell {
-    /// Short label, e.g. `dpor/memo/steal/cow/8vm`.
+    /// Short label, e.g. `dpor/memo/steal/cow/8vm/adaptive`.
     #[must_use]
     pub fn label(&self) -> String {
         format!(
-            "{:?}/{}/{:?}/{}/{}vm",
+            "{:?}/{}/{:?}/{}/{}vm/{}",
             self.prune,
             if self.memo { "memo" } else { "nomemo" },
             self.claim,
             if self.deep_snapshots { "deep" } else { "cow" },
-            self.vms
+            self.vms,
+            self.causality
         )
         .to_lowercase()
     }
@@ -1383,8 +1608,12 @@ impl MatrixCell {
 
 /// The full differential matrix: prune {off, conflict, dpor} × memo
 /// {on, off} × claim {counter, steal} × snapshots {cow, deep} × workers
-/// {1, 2, 8} — 72 cells. Cell 0 (off/memo/counter/cow/1vm) is the
-/// reference the recall gate is measured on.
+/// {1, 2, 8} at the exhaustive causality level — 72 cells — plus an
+/// adaptive-causality axis: prune {off, conflict, dpor} × workers {1, 8}
+/// with the default memo/claim/snapshot knobs — 6 more cells. Cell 0
+/// (off/memo/counter/cow/1vm/exhaustive) is the reference the recall gate
+/// is measured on; the first adaptive cell is the reference for the
+/// adaptive recall gate.
 #[must_use]
 pub fn corpus_matrix() -> Vec<MatrixCell> {
     use aitia::lifs::PruneLevel;
@@ -1396,6 +1625,7 @@ pub fn corpus_matrix() -> Vec<MatrixCell> {
                     for vms in [1usize, 2, 8] {
                         cells.push(MatrixCell {
                             prune,
+                            causality: aitia::CausalityLevel::Exhaustive,
                             memo,
                             claim,
                             deep_snapshots,
@@ -1406,18 +1636,32 @@ pub fn corpus_matrix() -> Vec<MatrixCell> {
             }
         }
     }
+    for prune in [PruneLevel::Off, PruneLevel::Conflict, PruneLevel::Dpor] {
+        for vms in [1usize, 8] {
+            cells.push(MatrixCell {
+                prune,
+                causality: aitia::CausalityLevel::Adaptive,
+                memo: true,
+                claim: ClaimMode::Counter,
+                deep_snapshots: false,
+                vms,
+            });
+        }
+    }
     cells
 }
 
-/// Diagnoses a generated bug on one pool at one prune level. `None` means
-/// the planted failure did not reproduce — a generator or substrate bug
-/// the caller records rather than panics on (unlike the hand-built corpus,
-/// generated programs are hostile input by design).
+/// Diagnoses a generated bug on one pool at one prune level and one
+/// causality level. `None` means the planted failure did not reproduce — a
+/// generator or substrate bug the caller records rather than panics on
+/// (unlike the hand-built corpus, generated programs are hostile input by
+/// design).
 #[must_use]
 pub fn diagnose_generated(
     bug: &corpus::generate::GeneratedBug,
     exec: &Arc<Executor>,
     prune: aitia::lifs::PruneLevel,
+    causality: aitia::CausalityLevel,
 ) -> Option<(FailingRun, CausalityResult)> {
     let cfg = aitia::lifs::LifsConfig {
         prune,
@@ -1425,8 +1669,14 @@ pub fn diagnose_generated(
     };
     let out = Lifs::with_executor(Arc::clone(&bug.program), cfg, Arc::clone(exec)).search();
     let run = out.failing?;
-    let result = CausalityAnalysis::with_executor(CausalityConfig::default(), Arc::clone(exec))
-        .analyze(&run);
+    let result = CausalityAnalysis::with_executor(
+        CausalityConfig {
+            level: causality,
+            ..CausalityConfig::default()
+        },
+        Arc::clone(exec),
+    )
+    .analyze(&run);
     Some((run, result))
 }
 
@@ -1434,21 +1684,43 @@ pub fn diagnose_generated(
 /// prune-ablation digest (failing schedule, trace length, chain, verdicts,
 /// Causality Analysis schedule count — everything except LIFS search
 /// counters, which the prune axis changes by design), or the distinguished
-/// string `no-repro` so cells must also agree on *not* reproducing.
+/// string `no-repro` so cells must also agree on *not* reproducing. Cells
+/// at the same causality level must agree on this digest bit-for-bit.
 #[must_use]
 pub fn generated_digest(name: &str, outcome: Option<&(FailingRun, CausalityResult)>) -> String {
+    match outcome {
+        None => format!("{name} no-repro"),
+        Some((_, result)) => {
+            format!(
+                "{} ca={}",
+                generated_digest_base(name, outcome),
+                result.stats.schedules_executed,
+            )
+        }
+    }
+}
+
+/// [`generated_digest`] minus the Causality Analysis schedule count — the
+/// cross-causality-level digest. Adaptive skips statically proved flips,
+/// so its schedule count is lower by design, but everything the diagnosis
+/// *says* (chain, verdicts, failing schedule, trace length) must be
+/// bit-identical to the exhaustive level.
+#[must_use]
+pub fn generated_digest_base(
+    name: &str,
+    outcome: Option<&(FailingRun, CausalityResult)>,
+) -> String {
     match outcome {
         None => format!("{name} no-repro"),
         Some((run, result)) => {
             let verdicts: Vec<aitia::Verdict> = result.tested.iter().map(|t| t.verdict).collect();
             format!(
-                "{} chain={} verdicts={:?} sched={:?} steps={} ca={}",
+                "{} chain={} verdicts={:?} sched={:?} steps={}",
                 name,
                 result.chain,
                 verdicts,
                 run.schedule,
                 run.trace.len(),
-                result.stats.schedules_executed,
             )
         }
     }
@@ -1527,6 +1799,11 @@ pub struct CorpusBench {
     pub recall_hits: usize,
     /// `recall_hits / seeds`.
     pub recall: f64,
+    /// Seeds whose adaptive-reference chain contained a planted racing
+    /// pair.
+    pub adaptive_recall_hits: usize,
+    /// `adaptive_recall_hits / seeds`.
+    pub adaptive_recall: f64,
     /// Seeds on which every cell produced a bit-identical digest.
     pub digest_agreements: usize,
     /// Every confirmed divergence, shrunk.
@@ -1535,35 +1812,83 @@ pub struct CorpusBench {
     pub meets_agreement_gate: bool,
     /// Planted-race recall at least 95%.
     pub meets_recall_gate: bool,
-    /// Both gates.
+    /// Planted-race recall at least 95% under adaptive causality too.
+    pub meets_adaptive_recall_gate: bool,
+    /// All three gates.
     pub meets_corpus_gate: bool,
 }
 
-/// Runs one seed's program through every cell and returns the digests,
-/// plus the reference cell's outcome for the recall check.
+/// One seed's outcomes across the matrix: per-cell digests plus the
+/// reference cells' diagnoses for the recall checks.
+struct FuzzOutcomes {
+    /// Per-cell same-level digests (with the CA schedule count).
+    full: Vec<String>,
+    /// Per-cell cross-level digests (without it).
+    base: Vec<String>,
+    /// Cell 0's (exhaustive reference) diagnosis.
+    reference: Option<(FailingRun, CausalityResult)>,
+    /// The first adaptive cell's diagnosis.
+    adaptive: Option<(FailingRun, CausalityResult)>,
+}
+
+/// Runs one seed's program through every cell.
 fn fuzz_one(
     bug: &corpus::generate::GeneratedBug,
     cells: &[MatrixCell],
     execs: &[Arc<Executor>],
-) -> (Vec<String>, Option<(FailingRun, CausalityResult)>) {
-    let mut digests = Vec::with_capacity(cells.len());
-    let mut reference = None;
+) -> FuzzOutcomes {
+    let mut out = FuzzOutcomes {
+        full: Vec::with_capacity(cells.len()),
+        base: Vec::with_capacity(cells.len()),
+        reference: None,
+        adaptive: None,
+    };
+    let first_adaptive = cells
+        .iter()
+        .position(|c| c.causality == aitia::CausalityLevel::Adaptive);
     for (i, (cell, exec)) in cells.iter().zip(execs).enumerate() {
-        let outcome = diagnose_generated(bug, exec, cell.prune);
-        digests.push(generated_digest(&bug.name, outcome.as_ref()));
+        let outcome = diagnose_generated(bug, exec, cell.prune, cell.causality);
+        out.full.push(generated_digest(&bug.name, outcome.as_ref()));
+        out.base
+            .push(generated_digest_base(&bug.name, outcome.as_ref()));
         if i == 0 {
-            reference = outcome;
+            out.reference = outcome;
+        } else if Some(i) == first_adaptive {
+            out.adaptive = outcome;
         }
     }
-    (digests, reference)
+    out
+}
+
+/// The first cell disagreeing with its reference: the cross-level digest
+/// must agree across the entire matrix, and the full digest (which pins
+/// the CA schedule count) across every cell of the same causality level.
+fn fuzz_mismatch(cells: &[MatrixCell], out: &FuzzOutcomes) -> Option<usize> {
+    let mut level_ref: Vec<(aitia::CausalityLevel, usize)> = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        if out.base[i] != out.base[0] {
+            return Some(i);
+        }
+        match level_ref.iter().find(|(l, _)| *l == cell.causality) {
+            Some(&(_, r)) => {
+                if out.full[i] != out.full[r] {
+                    return Some(i);
+                }
+            }
+            None => level_ref.push((cell.causality, i)),
+        }
+    }
+    None
 }
 
 /// Differential fuzz over `seeds` consecutive generated programs starting
-/// at `seed_start`: every program runs through the full 72-cell executor
-/// matrix; digests must agree bit-for-bit and the reference cell's chain
-/// must contain a planted racing pair. Divergences are shrunk (same seed,
-/// simpler noise/filler knobs) and, when `repro_dir` is given, written as
-/// JSON reproducers.
+/// at `seed_start`: every program runs through the full executor matrix
+/// (72 exhaustive cells plus the adaptive-causality axis); cross-level
+/// digests must agree bit-for-bit, same-level digests must also agree on
+/// CA schedule counts, and both reference cells' chains must contain a
+/// planted racing pair. Divergences are shrunk (same seed, simpler
+/// noise/filler knobs) and, when `repro_dir` is given, written as JSON
+/// reproducers.
 #[must_use]
 pub fn bench_corpus(seed_start: u64, seeds: usize, repro_dir: Option<&str>) -> CorpusBench {
     use corpus::generate::{generate, generate_with, GenConfig};
@@ -1573,33 +1898,42 @@ pub fn bench_corpus(seed_start: u64, seeds: usize, repro_dir: Option<&str>) -> C
     let mut families: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
     let mut reproduced = 0usize;
     let mut recall_hits = 0usize;
+    let mut adaptive_recall_hits = 0usize;
     let mut digest_agreements = 0usize;
     let mut divergences: Vec<CorpusDivergence> = Vec::new();
 
     for seed in seed_start..seed_start + seeds as u64 {
         let bug = generate(seed);
         *families.entry(bug.family.tag().to_string()).or_insert(0) += 1;
-        let (digests, reference) = fuzz_one(&bug, &cells, &execs);
-        let mismatch = digests.iter().position(|d| *d != digests[0]);
+        let outcomes = fuzz_one(&bug, &cells, &execs);
+        let mismatch = fuzz_mismatch(&cells, &outcomes);
         if mismatch.is_none() {
             digest_agreements += 1;
         }
-        if reference.is_some() {
+        if outcomes.reference.is_some() {
             reproduced += 1;
         }
-        let recalled = reference
+        let recalled = outcomes
+            .reference
             .as_ref()
             .is_some_and(|(_, result)| bug.planted_in_chain(&result.chain));
         if recalled {
             recall_hits += 1;
+        }
+        if outcomes
+            .adaptive
+            .as_ref()
+            .is_some_and(|(_, result)| bug.planted_in_chain(&result.chain))
+        {
+            adaptive_recall_hits += 1;
         }
 
         if let Some(cell_idx) = mismatch {
             // Shrink while the matrix still disagrees anywhere.
             let shrunk = corpus::generate::shrink(&bug.config, |c: &GenConfig| {
                 let candidate = generate_with(*c);
-                let (ds, _) = fuzz_one(&candidate, &cells, &execs);
-                ds.iter().any(|d| *d != ds[0])
+                let out = fuzz_one(&candidate, &cells, &execs);
+                fuzz_mismatch(&cells, &out).is_some()
             });
             divergences.push(CorpusDivergence {
                 seed,
@@ -1607,8 +1941,8 @@ pub fn bench_corpus(seed_start: u64, seeds: usize, repro_dir: Option<&str>) -> C
                 family: bug.family.tag().to_string(),
                 kind: "digest-mismatch".to_string(),
                 cell: Some(cells[cell_idx].label()),
-                digest: Some(digests[cell_idx].clone()),
-                reference_digest: digests[0].clone(),
+                digest: Some(outcomes.full[cell_idx].clone()),
+                reference_digest: outcomes.full[0].clone(),
                 shrunk: shrunk.into(),
                 reproducer_path: None,
             });
@@ -1617,7 +1951,8 @@ pub fn bench_corpus(seed_start: u64, seeds: usize, repro_dir: Option<&str>) -> C
             // race (or fails to reproduce at all).
             let shrunk = corpus::generate::shrink(&bug.config, |c: &GenConfig| {
                 let candidate = generate_with(*c);
-                let outcome = diagnose_generated(&candidate, &execs[0], cells[0].prune);
+                let outcome =
+                    diagnose_generated(&candidate, &execs[0], cells[0].prune, cells[0].causality);
                 !outcome
                     .as_ref()
                     .is_some_and(|(_, result)| candidate.planted_in_chain(&result.chain))
@@ -1629,7 +1964,7 @@ pub fn bench_corpus(seed_start: u64, seeds: usize, repro_dir: Option<&str>) -> C
                 kind: "recall-miss".to_string(),
                 cell: None,
                 digest: None,
-                reference_digest: digests[0].clone(),
+                reference_digest: outcomes.full[0].clone(),
                 shrunk: shrunk.into(),
                 reproducer_path: None,
             });
@@ -1664,8 +1999,14 @@ pub fn bench_corpus(seed_start: u64, seeds: usize, repro_dir: Option<&str>) -> C
     } else {
         recall_hits as f64 / seeds as f64
     };
+    let adaptive_recall = if seeds == 0 {
+        1.0
+    } else {
+        adaptive_recall_hits as f64 / seeds as f64
+    };
     let meets_agreement_gate = mismatches == 0;
     let meets_recall_gate = recall >= 0.95;
+    let meets_adaptive_recall_gate = adaptive_recall >= 0.95;
     CorpusBench {
         seed_start,
         seeds,
@@ -1677,10 +2018,13 @@ pub fn bench_corpus(seed_start: u64, seeds: usize, repro_dir: Option<&str>) -> C
         reproduced,
         recall_hits,
         recall,
+        adaptive_recall_hits,
+        adaptive_recall,
         digest_agreements,
         divergences,
         meets_agreement_gate,
         meets_recall_gate,
-        meets_corpus_gate: meets_agreement_gate && meets_recall_gate,
+        meets_adaptive_recall_gate,
+        meets_corpus_gate: meets_agreement_gate && meets_recall_gate && meets_adaptive_recall_gate,
     }
 }

@@ -49,6 +49,43 @@ pub fn failure_averted(original: &ksim::Failure, res: &RunResult) -> bool {
     }
 }
 
+/// The sequence window `[start..=end]` over which flipping `race` delays
+/// the first end's thread, plus whether a critical section grew it. This is
+/// the exact geometry [`plan_flip`] realizes for executed-second races; the
+/// static benign prover ([`super::invariants`]) reasons over the same
+/// window, so the two can never disagree about what a flip reorders.
+/// `None` when the second end is pending — those flips extend to the end of
+/// the trace and append a projected tail, geometry the prover does not
+/// model.
+#[must_use]
+pub fn flip_window(
+    trace: &ksim::Trace,
+    race: &ObservedRace,
+    cs_as_unit: bool,
+) -> Option<(usize, usize, bool)> {
+    let second_seq = race.second.seq()?;
+    let mut cs_expanded = false;
+    let mut start = race.first.seq;
+    if cs_as_unit {
+        if let Some((cs_start, _)) = critical_section_span(trace, race.first.seq) {
+            if cs_start < start {
+                start = cs_start;
+                cs_expanded = true;
+            }
+        }
+    }
+    let mut end = second_seq;
+    if cs_as_unit {
+        if let Some((_, cs_end)) = critical_section_span(trace, second_seq) {
+            if cs_end > end {
+                end = cs_end;
+                cs_expanded = true;
+            }
+        }
+    }
+    Some((start, end, cs_expanded))
+}
+
 /// A planned flip: the schedule plus what else the flip necessarily moves.
 #[derive(Clone, Debug)]
 pub struct FlipPlan {
@@ -83,40 +120,33 @@ pub fn plan_flip(
 ) -> FlipPlan {
     let trace = &run.trace;
     let first_tid = race.first.tid;
-    let mut cs_expanded = false;
 
     // The window of the first thread's steps to delay starts at the first
-    // access — or at the enclosing critical section's start.
-    let mut window_start = race.first.seq;
-    if cs_as_unit {
-        if let Some((cs_start, _)) = critical_section_span(trace, race.first.seq) {
-            if cs_start < window_start {
-                window_start = cs_start;
-                cs_expanded = true;
-            }
+    // access — or at the enclosing critical section's start — and re-enters
+    // after the second access (and past its critical section, when
+    // applicable). Pending-second races extend to the end of the trace and
+    // append the pending thread's projected continuation.
+    let (window_start, resume_after, pending_tail, cs_expanded) = match &race.second {
+        RaceEnd::Executed(_) => {
+            let (start, end, grew) =
+                flip_window(trace, race, cs_as_unit).expect("executed second end has a window");
+            (start, end, Vec::new(), grew)
         }
-    }
-
-    // Where the delayed window re-enters: after the second access (and past
-    // its critical section, when applicable).
-    let (resume_after, pending_tail) = match &race.second {
-        RaceEnd::Executed(acc) => {
-            let mut after = acc.seq;
+        RaceEnd::Pending { tid, at } => {
+            let mut start = race.first.seq;
+            let mut grew = false;
             if cs_as_unit {
-                if let Some((_, cs_end)) = critical_section_span(trace, acc.seq) {
-                    if cs_end > after {
-                        after = cs_end;
-                        cs_expanded = true;
+                if let Some((cs_start, _)) = critical_section_span(trace, race.first.seq) {
+                    if cs_start < start {
+                        start = cs_start;
+                        grew = true;
                     }
                 }
             }
-            (after, Vec::new())
-        }
-        RaceEnd::Pending { tid, at } => {
             // Project the pending thread's continuation from its solo trace.
             let sel = run.sel(*tid);
             let tail = project_tail(run, sel, *at);
-            (trace.len().saturating_sub(1), tail)
+            (start, trace.len().saturating_sub(1), tail, grew)
         }
     };
 

@@ -27,6 +27,8 @@
 
 pub mod chain;
 pub mod flip;
+pub mod gain;
+pub mod invariants;
 
 use crate::{
     enforce::{
@@ -52,9 +54,52 @@ use flip::{
     plan_flip,
     FlipPlan, //
 };
+use invariants::StaticProver;
 use ksim::InstrAddr;
 use std::collections::HashSet;
 use std::sync::Arc;
+
+/// How much intervention the analysis performs (`--causality-level`).
+///
+/// The level changes *which* and *how many* flips run, never the verdicts:
+/// on a completed (deadline-free) analysis, chains, verdicts, and edges are
+/// bit-identical across levels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CausalityLevel {
+    /// Flip every observed race, submitted in canonical (backward) test
+    /// order — the paper's §3.4 procedure, verbatim.
+    #[default]
+    Exhaustive,
+    /// Skip flips the static prover ([`invariants`]) discharges — their
+    /// races are Benign with a `"static-invariant"` provenance — and submit
+    /// the remaining flips in descending information-gain order ([`gain`]),
+    /// so a deadline leaves [`Verdict::Unverified`] only on the
+    /// lowest-value races.
+    Adaptive,
+}
+
+impl std::fmt::Display for CausalityLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CausalityLevel::Exhaustive => "exhaustive",
+            CausalityLevel::Adaptive => "adaptive",
+        })
+    }
+}
+
+impl std::str::FromStr for CausalityLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exhaustive" => Ok(CausalityLevel::Exhaustive),
+            "adaptive" => Ok(CausalityLevel::Adaptive),
+            other => Err(format!(
+                "unknown causality level `{other}` (expected `exhaustive` or `adaptive`)"
+            )),
+        }
+    }
+}
 
 /// The verdict on one tested data race.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,15 +138,23 @@ pub struct TestedRace {
     pub cs_expanded: bool,
     /// Classification of the flip run (a [`RunOutcome::Timeout`] or
     /// [`RunOutcome::Crashed`] run forces an ambiguous verdict). `None`
-    /// when the flip never executed — deadline expiry or cancellation —
-    /// which forces [`Verdict::Unverified`].
+    /// when the flip never executed — deadline expiry, cancellation, or a
+    /// static benign proof — which forces [`Verdict::Unverified`] unless
+    /// [`TestedRace::static_proof`] holds.
     pub outcome: Option<RunOutcome>,
+    /// Whether the verdict rests on a static invariant proof
+    /// ([`invariants`]) instead of a flip run. Only ever true for
+    /// [`Verdict::Benign`] at [`CausalityLevel::Adaptive`].
+    pub static_proof: bool,
 }
 
 impl TestedRace {
     /// Where this verdict came from, for per-link report provenance.
     #[must_use]
     pub fn provenance(&self) -> &'static str {
+        if self.static_proof {
+            return "static-invariant";
+        }
         match (self.verdict, self.outcome) {
             (_, None) => "not executed (deadline)",
             (_, Some(out)) if out.is_inconclusive() => "inconclusive flip",
@@ -126,8 +179,22 @@ pub struct CaStats {
     /// Snapshot-prefix restores served by the shared snapshot forest
     /// (published by another worker) rather than the VM's own cache.
     pub forest_hits: usize,
-    /// Serial simulated seconds the memo hits avoided paying.
+    /// Serial simulated seconds the memo hits and statically skipped flips
+    /// avoided paying.
     pub sim_time_saved_s: f64,
+    /// Flip runs skipped outright because the static prover
+    /// ([`invariants`]) discharged the race as Benign. Unlike memo hits,
+    /// skipped flips are *not* counted in [`CaStats::schedules_executed`]:
+    /// no schedule (new or cached) was consulted at all.
+    pub flips_skipped_static: usize,
+    /// Flip jobs submitted out of canonical (backward) order by the
+    /// information-gain scheduler ([`gain`]). Zero at
+    /// [`CausalityLevel::Exhaustive`].
+    pub flips_reordered: usize,
+    /// Static proofs contradicted by their verification flip run — only
+    /// countable under [`CausalityConfig::verify_static`], and always zero
+    /// if the prover is sound.
+    pub static_disagreements: usize,
     /// Whether a deadline budget fired during the analysis, degrading some
     /// verdicts to [`Verdict::Unverified`]. Always false without a
     /// configured [`crate::exec::DeadlineBudget`].
@@ -158,6 +225,15 @@ pub struct CausalityConfig {
     /// Flip critical sections as units (§3.4 liveness). Disabling is the
     /// ablation.
     pub cs_as_unit: bool,
+    /// How much intervention to run (static proofs + gain ordering at
+    /// [`CausalityLevel::Adaptive`]; the default is the exhaustive paper
+    /// procedure).
+    pub level: CausalityLevel,
+    /// Debug agreement mode: still execute flips the static prover
+    /// discharged and assert the run agrees (failure manifested). Costs the
+    /// executions adaptivity saves — for soundness audits and the
+    /// bench-causality agreement gate, not production use.
+    pub verify_static: bool,
     /// Cancellation root for the analysis's flip batches. The default is a
     /// fresh, never-cancelled token; the manager subscribes this token to
     /// its deadline budget so an expired deadline stops in-flight batches.
@@ -170,6 +246,8 @@ impl Default for CausalityConfig {
             enforce: EnforceConfig::default(),
             backward: true,
             cs_as_unit: true,
+            level: CausalityLevel::default(),
+            verify_static: false,
             cancel: CancelToken::new(),
         }
     }
@@ -226,9 +304,12 @@ impl CausalityResult {
 ///
 /// Flip runs execute through the shared VM-pool executor ([`crate::exec`]):
 /// each backward pass submits its flips as one batch and folds the results
-/// in canonical submission order, so verdicts — including Figure 7's
+/// back into canonical test-order slots, so verdicts — including Figure 7's
 /// nested-race ambiguity resolution, which depends on the order verdicts
-/// settle — are identical at any worker count.
+/// settle — are identical at any worker count *and* at any submission
+/// order. The [`CausalityLevel::Adaptive`] level exploits exactly that
+/// split: submission follows information gain while folding, verdicts, and
+/// chains stay canonical.
 pub struct CausalityAnalysis {
     config: CausalityConfig,
     exec: Arc<Executor>,
@@ -254,6 +335,27 @@ impl CausalityAnalysis {
         CausalityAnalysis { config, exec }
     }
 
+    /// Submission permutation for one batch: identity (canonical order) at
+    /// the exhaustive level, descending gain at the adaptive level (ties
+    /// keep canonical order). `positions[k]` is batch job `k`'s position in
+    /// `order`, which maps positions to race indices — the shape both
+    /// phase A and phase C share. Counts out-of-order submissions.
+    fn submission(
+        &self,
+        positions: &[usize],
+        order: &[usize],
+        scores: Option<&[u64]>,
+        stats: &mut CaStats,
+    ) -> Vec<usize> {
+        let Some(scores) = scores else {
+            return (0..positions.len()).collect();
+        };
+        let by_job: Vec<u64> = positions.iter().map(|&p| scores[order[p]]).collect();
+        let submit = gain::submission_order(&by_job);
+        stats.flips_reordered += submit.iter().enumerate().filter(|&(k, &j)| k != j).count();
+        submit
+    }
+
     /// Runs the full analysis on a failing run.
     #[must_use]
     pub fn analyze(&self, run: &FailingRun) -> CausalityResult {
@@ -262,43 +364,90 @@ impl CausalityAnalysis {
 
         // Test order: backward (last race first) per the paper; forward is
         // the ablation. `run.races` is sorted ascending by backward key.
-        let mut order: Vec<usize> = (0..run.races.len()).collect();
+        let n = run.races.len();
+        let mut order: Vec<usize> = (0..n).collect();
         if self.config.backward {
             order.reverse();
         }
+        let adaptive = self.config.level == CausalityLevel::Adaptive;
 
-        // Phase A: flip each race once — one batch over the pass, folded in
-        // test order.
-        let plans: Vec<FlipPlan> = order
-            .iter()
-            .map(|&i| plan_flip(run, &run.races[i], &run.races, self.config.cs_as_unit))
+        // Plans are pure per race; index by race so the static prover, the
+        // gain scorer, and both phases can share one set.
+        let plans_by_race: Vec<FlipPlan> = (0..n)
+            .map(|i| plan_flip(run, &run.races[i], &run.races, self.config.cs_as_unit))
             .collect();
-        let jobs: Vec<ExecJob> = plans
+
+        // Static benign proofs (adaptive only): a race whose flip provably
+        // still manifests the failure is Benign without a run — the proof
+        // is the evidence, preserving the never-Benign-without-proof rule.
+        let mut static_benign = vec![false; n];
+        if adaptive {
+            let prover = StaticProver::new(run);
+            for (i, race) in run.races.iter().enumerate() {
+                static_benign[i] = prover.prove_benign(race, self.config.cs_as_unit);
+            }
+            stats.flips_skipped_static = static_benign.iter().filter(|&&p| p).count();
+            // A skipped flip would have re-enforced (roughly) the failing
+            // interleaving; credit its estimated serial cost as saved.
+            stats.sim_time_saved_s += stats.flips_skipped_static as f64
+                * crate::simtime::CostModel::default().serial_run_s(run.trace.len(), true);
+        }
+
+        // Gain scores decide batch submission order at the adaptive level.
+        let scores = adaptive.then(|| gain::gain_scores(run, &plans_by_race));
+
+        // Phase A: flip each race once — one batch over the pass, folded
+        // back into test-order slots regardless of submission order.
+        // verify_static keeps proved flips in the batch so their runs can
+        // be audited against the proofs.
+        let positions: Vec<usize> = (0..order.len())
+            .filter(|&p| !static_benign[order[p]] || self.config.verify_static)
+            .collect();
+        let jobs: Vec<ExecJob> = positions
             .iter()
-            .map(|plan| ExecJob {
+            .map(|&p| ExecJob {
                 program: Arc::clone(&run.program),
-                schedule: plan.schedule.clone(),
+                schedule: plans_by_race[order[p]].schedule.clone(),
                 enforce: self.config.enforce,
             })
             .collect();
-        let results = self.exec.run_batch(&jobs, &cancel);
-        let mut outcomes: Vec<Option<FlipOutcome>> = (0..run.races.len()).map(|_| None).collect();
-        for ((&i, plan), res) in order.iter().zip(&plans).zip(results) {
+        let submit = self.submission(&positions, &order, scores.as_deref(), &mut stats);
+        let results = self.exec.run_batch_permuted(&jobs, &submit, &cancel);
+        let mut outcomes: Vec<Option<FlipOutcome>> = (0..n).map(|_| None).collect();
+        for (&p, res) in positions.iter().zip(results) {
+            let i = order[p];
             // A hole means the batch was cut short (deadline or caller
-            // cancellation): this flip and every later one never ran, and
-            // their races stay `None` → Unverified in phase B.
-            let Some(out) = res else { break };
+            // cancellation) before this flip's turn came: its race stays
+            // `None` → Unverified in phase B (unless statically proved).
+            let Some(out) = res else { continue };
             stats.sim.add_retries(out.retries as usize);
             stats.note_exec(&out);
             if out.vm_faulted.is_none() {
                 stats.schedules_executed += 1;
                 stats.sim.add_run(out.run.steps, out.run.failure.is_some());
             }
-            outcomes[i] = Some(flip_outcome(run, plan, &out));
+            let outcome = flip_outcome(run, &plans_by_race[i], &out);
+            // Agreement audit: a proved flip's conclusive run must still
+            // manifest the failure, exactly as the invariant promised.
+            if static_benign[i] && !outcome.outcome.is_inconclusive() && outcome.averted {
+                stats.static_disagreements += 1;
+                debug_assert!(
+                    false,
+                    "static proof disagreed with the flip run for {:?}",
+                    run.races[i].key()
+                );
+            }
+            outcomes[i] = Some(outcome);
         }
 
         // Phase B: verdicts, resolving nested-race dependencies first.
+        // Statically proved races enter settled: Benign by invariant proof.
         let mut verdicts: Vec<Option<Verdict>> = vec![None; run.races.len()];
+        for (i, &proved) in static_benign.iter().enumerate() {
+            if proved {
+                verdicts[i] = Some(Verdict::Benign);
+            }
+        }
         let mut progress = true;
         while progress {
             progress = false;
@@ -372,8 +521,9 @@ impl CausalityAnalysis {
         let tested: Vec<TestedRace> = order
             .iter()
             .map(|&i| {
-                // A race with no flip outcome (deadline cut phase A short)
-                // has no evidence fields — only its Unverified verdict.
+                // A race with no flip outcome — deadline cut phase A short,
+                // or a static proof skipped the run — has no run-evidence
+                // fields, only its verdict (and its proof, when one exists).
                 let Some(outcome) = outcomes[i].as_ref() else {
                     return TestedRace {
                         race: run.races[i].clone(),
@@ -382,6 +532,7 @@ impl CausalityAnalysis {
                         vanished: Vec::new(),
                         cs_expanded: false,
                         outcome: None,
+                        static_proof: static_benign[i],
                     };
                 };
                 let vanished = run
@@ -402,6 +553,7 @@ impl CausalityAnalysis {
                     vanished,
                     cs_expanded: outcome.plan.cs_expanded,
                     outcome: Some(outcome.outcome),
+                    static_proof: static_benign[i],
                 }
             })
             .collect();
@@ -416,25 +568,29 @@ impl CausalityAnalysis {
             .collect();
         let root_causes: Vec<ObservedRace> =
             root_idx.iter().map(|&i| run.races[i].clone()).collect();
-        let root_plans: Vec<FlipPlan> = root_idx
+        let root_jobs: Vec<ExecJob> = root_idx
             .iter()
-            .map(|&i| plan_flip(run, &run.races[i], &run.races, self.config.cs_as_unit))
-            .collect();
-        let root_jobs: Vec<ExecJob> = root_plans
-            .iter()
-            .map(|plan| ExecJob {
+            .map(|&i| ExecJob {
                 program: Arc::clone(&run.program),
-                schedule: plan.schedule.clone(),
+                schedule: plans_by_race[i].schedule.clone(),
                 enforce: self.config.enforce,
             })
             .collect();
-        let root_results = self.exec.run_batch(&root_jobs, &cancel);
+        // Phase C reuses the same gain ordering for the re-runs; edges are
+        // still extracted in canonical root order.
+        let root_positions: Vec<usize> = (0..root_idx.len()).collect();
+        let root_submit =
+            self.submission(&root_positions, &root_idx, scores.as_deref(), &mut stats);
+        let root_results = self
+            .exec
+            .run_batch_permuted(&root_jobs, &root_submit, &cancel);
         let mut edges = Vec::new();
-        for ((ri, plan), res) in root_plans.iter().enumerate().zip(root_results) {
+        for (ri, res) in root_results.into_iter().enumerate() {
             // A hole (deadline mid-pass): no edges from the unexecuted
             // re-runs — the chain keeps its nodes but loses only ordering
             // evidence, which is degradation, not invention.
-            let Some(out) = res else { break };
+            let Some(out) = res else { continue };
+            let plan = &plans_by_race[root_idx[ri]];
             stats.sim.add_retries(out.retries as usize);
             stats.note_exec(&out);
             if out.vm_faulted.is_none() {
@@ -715,6 +871,136 @@ mod tests {
         assert!(result.root_causes.is_empty());
         assert_eq!(result.stats.schedules_executed, 0);
         assert!(result.stats.sim.retries > 0, "retry backoff was charged");
+    }
+
+    /// Fig1 plus prologue noise counters both threads bump — the shape the
+    /// static prover is built for.
+    fn fig1_noise_run() -> FailingRun {
+        let mut p = ProgramBuilder::new("fig1-noise");
+        let obj = p.static_obj("obj", 8);
+        let ptr_valid = p.global("ptr_valid", 0);
+        let ptr = p.global_ptr("ptr", obj);
+        let c0 = p.global("stats[0]", 0);
+        let c1 = p.global("stats[1]", 0);
+        {
+            let mut a = p.syscall_thread("A", "writer");
+            a.fetch_add_global(c0, 1u64);
+            a.fetch_add_global(c1, 4u64);
+            a.n("A1").store_global(ptr_valid, 1u64);
+            a.n("A2").load_global("r0", ptr);
+            a.load_ind("r1", "r0", 0);
+            a.ret();
+        }
+        {
+            let mut b = p.syscall_thread("B", "clearer");
+            let out = b.new_label();
+            b.fetch_add_global(c0, 1u64);
+            b.fetch_add_global(c1, 2u64);
+            b.n("B1").load_global("r0", ptr_valid);
+            b.jmp_if(ksim::builder::cond_reg("r0", ksim::CmpOp::Eq, 0), out);
+            b.n("B2").store_global(ptr, 0u64);
+            b.place(out);
+            b.ret();
+        }
+        let prog = Arc::new(p.build().unwrap());
+        Lifs::new(prog, LifsConfig::default())
+            .search()
+            .failing
+            .expect("reproduces")
+    }
+
+    fn analyze_at(run: &FailingRun, level: CausalityLevel, verify: bool) -> CausalityResult {
+        let cfg = CausalityConfig {
+            level,
+            verify_static: verify,
+            ..CausalityConfig::default()
+        };
+        CausalityAnalysis::new(cfg).analyze(run)
+    }
+
+    #[test]
+    fn adaptive_skips_flips_but_verdicts_and_chain_are_identical() {
+        let run = fig1_noise_run();
+        let ex = analyze_at(&run, CausalityLevel::Exhaustive, false);
+        let ad = analyze_at(&run, CausalityLevel::Adaptive, false);
+        // Identical diagnosis...
+        assert_eq!(ex.chain.to_string(), ad.chain.to_string());
+        assert_eq!(ex.root_causes, ad.root_causes);
+        assert_eq!(ex.edges, ad.edges);
+        let verdicts = |r: &CausalityResult| {
+            r.tested
+                .iter()
+                .map(|t| (t.race.key(), t.verdict))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(verdicts(&ex), verdicts(&ad));
+        // ...from strictly fewer executions.
+        assert!(ad.stats.flips_skipped_static > 0, "noise flips should skip");
+        assert_eq!(
+            ad.stats.schedules_executed + ad.stats.flips_skipped_static,
+            ex.stats.schedules_executed,
+        );
+        assert_eq!(ex.stats.flips_skipped_static, 0);
+        assert_eq!(ex.stats.flips_reordered, 0);
+        assert!(ad.stats.sim_time_saved_s > 0.0);
+    }
+
+    #[test]
+    fn static_proof_provenance_and_agreement_mode() {
+        let run = fig1_noise_run();
+        let ad = analyze_at(&run, CausalityLevel::Adaptive, false);
+        let proved: Vec<_> = ad.tested.iter().filter(|t| t.static_proof).collect();
+        assert!(!proved.is_empty());
+        for t in &proved {
+            assert_eq!(t.verdict, Verdict::Benign);
+            assert_eq!(t.outcome, None, "skipped flips never ran");
+            assert_eq!(t.provenance(), "static-invariant");
+        }
+        // Debug agreement mode executes every proved flip and audits it.
+        let verified = analyze_at(&run, CausalityLevel::Adaptive, true);
+        assert_eq!(verified.stats.static_disagreements, 0);
+        assert_eq!(
+            verified.stats.schedules_executed,
+            analyze_at(&run, CausalityLevel::Exhaustive, false)
+                .stats
+                .schedules_executed,
+            "verify mode runs the full exhaustive batch"
+        );
+        for t in verified.tested.iter().filter(|t| t.static_proof) {
+            assert_eq!(t.verdict, Verdict::Benign);
+            assert!(t.outcome.is_some(), "verify mode executed the flip");
+            assert_eq!(t.provenance(), "static-invariant");
+        }
+    }
+
+    #[test]
+    fn adaptive_reorders_submission_without_changing_fig1() {
+        // Plain fig1 has no provable noise: adaptivity must degrade to the
+        // same executions, possibly reordered, with the identical chain.
+        let run = Lifs::new(fig1_program(), LifsConfig::default())
+            .search()
+            .failing
+            .expect("reproduces");
+        let ex = analyze_at(&run, CausalityLevel::Exhaustive, false);
+        let ad = analyze_at(&run, CausalityLevel::Adaptive, false);
+        assert_eq!(ex.chain.to_string(), ad.chain.to_string());
+        assert_eq!(ex.stats.schedules_executed, ad.stats.schedules_executed);
+    }
+
+    #[test]
+    fn causality_level_parses_and_rejects() {
+        use std::str::FromStr;
+        assert_eq!(
+            CausalityLevel::from_str("exhaustive").unwrap(),
+            CausalityLevel::Exhaustive
+        );
+        assert_eq!(
+            CausalityLevel::from_str("adaptive").unwrap(),
+            CausalityLevel::Adaptive
+        );
+        assert!(CausalityLevel::from_str("eager").is_err());
+        assert_eq!(CausalityLevel::Adaptive.to_string(), "adaptive");
+        assert_eq!(CausalityLevel::default(), CausalityLevel::Exhaustive);
     }
 
     #[test]

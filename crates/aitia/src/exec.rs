@@ -944,6 +944,36 @@ impl Executor {
         self.run_until(jobs, cancel, |_| false)
     }
 
+    /// Runs `jobs` in the caller's priority order while reporting results
+    /// in canonical order: job `submit[k]` is the `k`-th submitted, and the
+    /// returned `results[i]` is job `i`'s outcome. `submit` must hold
+    /// distinct indices into `jobs`; jobs it omits never execute and stay
+    /// `None`. Cancellation (deadline expiry) truncates the *submission*
+    /// sequence — with a gain-sorted `submit`, the unexecuted tail lands on
+    /// the lowest-priority jobs, not on whichever happened to be last in
+    /// canonical order.
+    #[must_use]
+    pub fn run_batch_permuted(
+        &self,
+        jobs: &[ExecJob],
+        submit: &[usize],
+        cancel: &CancelToken,
+    ) -> Vec<Option<ExecOutput>> {
+        debug_assert!({
+            let mut seen = vec![false; jobs.len()];
+            submit
+                .iter()
+                .all(|&i| !std::mem::replace(&mut seen[i], true))
+        });
+        let permuted: Vec<ExecJob> = submit.iter().map(|&i| jobs[i].clone()).collect();
+        let permuted_results = self.run_batch(&permuted, cancel);
+        let mut results: Vec<Option<ExecOutput>> = (0..jobs.len()).map(|_| None).collect();
+        for (&i, res) in submit.iter().zip(permuted_results) {
+            results[i] = res;
+        }
+        results
+    }
+
     /// Runs jobs until `stop` accepts one, in *canonical* terms: the
     /// returned vector holds `Some` for a contiguous prefix of submission
     /// indices ending at the first accepted job (all of them executed), and

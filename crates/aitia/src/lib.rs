@@ -94,6 +94,7 @@ pub use causality::chain::{
 pub use causality::{
     CausalityAnalysis,
     CausalityConfig,
+    CausalityLevel,
     CausalityResult,
     Verdict, //
 };

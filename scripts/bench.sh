@@ -24,6 +24,16 @@
 # (small) scale: BENCH_PRUNE_SCALE overrides it (default 0.02), and
 # BENCH_PRUNE_OUT the output path (default BENCH_prune.json).
 #
+# Also regenerates BENCH_causality.json, the adaptive-intervention
+# artifact: `report bench-causality` diagnoses the Table 2 corpus at both
+# causality levels (exhaustive, adaptive) plus an adaptive agreement-audit
+# pass in which statically proved flips still execute — gated on
+# bit-identical diagnoses across all three sides, zero static-proof
+# disagreements, and adaptive paying >= 30% fewer flip VM executions than
+# exhaustive. BENCH_CAUSALITY_SCALE overrides its noise scale (default
+# 1.0), and BENCH_CAUSALITY_OUT the output path (default
+# BENCH_causality.json).
+#
 # Also regenerates BENCH_throughput.json, the substrate-throughput
 # artifact: `report bench-throughput` diagnoses the Table 2 corpus on both
 # substrate configurations (pre-refactor deep-clone snapshots + counter
@@ -39,10 +49,11 @@
 #
 # Also regenerates BENCH_corpus.json, the generative-corpus artifact:
 # `report fuzz` synthesizes BENCH_CORPUS_SEEDS programs with planted
-# races (default 200) and runs every one through the full 72-cell
+# races (default 200) and runs every one through the full 78-cell
 # executor configuration matrix (prune x memo x claim x snapshots x
-# workers) — gated on bit-identical diagnosis digests across every cell
-# and >= 95% planted-race recall on the reference cell.
+# workers, plus adaptive-causality cells) — gated on bit-identical
+# diagnosis digests across every cell and >= 95% planted-race recall at
+# both causality levels.
 # BENCH_CORPUS_SEEDS overrides the seed count, BENCH_CORPUS_SEED_START
 # the first seed (default 0), and BENCH_CORPUS_OUT the output path
 # (default BENCH_corpus.json).
@@ -55,6 +66,8 @@ OUT="${BENCH_OUT:-BENCH_memo.json}"
 RESUME_OUT="${BENCH_RESUME_OUT:-BENCH_resume.json}"
 PRUNE_SCALE="${BENCH_PRUNE_SCALE:-0.02}"
 PRUNE_OUT="${BENCH_PRUNE_OUT:-BENCH_prune.json}"
+CAUSALITY_SCALE="${BENCH_CAUSALITY_SCALE:-1.0}"
+CAUSALITY_OUT="${BENCH_CAUSALITY_OUT:-BENCH_causality.json}"
 THROUGHPUT_SCALE="${BENCH_THROUGHPUT_SCALE:-1.0}"
 THROUGHPUT_REPEATS="${BENCH_THROUGHPUT_REPEATS:-2}"
 THROUGHPUT_OUT="${BENCH_THROUGHPUT_OUT:-BENCH_throughput.json}"
@@ -81,6 +94,12 @@ echo "wrote $PRUNE_OUT (scale $PRUNE_SCALE)"
 
 grep -q '"meets_prune_gate": true' "$PRUNE_OUT" \
     || { echo "FAIL: prune bench missed the gate (divergent diagnosis across prune levels or < 30% schedule reduction dpor vs conflict)" >&2; exit 1; }
+
+./target/release/report bench-causality --scale "$CAUSALITY_SCALE" > "$CAUSALITY_OUT"
+echo "wrote $CAUSALITY_OUT (scale $CAUSALITY_SCALE)"
+
+grep -q '"meets_causality_gate": true' "$CAUSALITY_OUT" \
+    || { echo "FAIL: causality bench missed the gate (divergent diagnosis across causality levels, a static-proof disagreement, or < 30% flip-execution reduction)" >&2; exit 1; }
 
 ./target/release/report bench-throughput --scale "$THROUGHPUT_SCALE" \
     --repeats "$THROUGHPUT_REPEATS" > "$THROUGHPUT_OUT"

@@ -20,12 +20,14 @@ echo "==> bench smoke (reduced scale)"
 # too short for structural sharing to clear the 2x speed gate, but the
 # bit-identity of diagnoses across substrate configurations must hold at
 # every scale.
-# The fuzz smoke runs a small fixed seed range through the full 72-cell
+# The fuzz smoke runs a small fixed seed range through the full 78-cell
 # executor matrix; the gate grep inside bench.sh asserts both bit-identical
 # digests across every cell and planted-race recall.
 BENCH_SCALE=0.05 BENCH_OUT=target/BENCH_memo_smoke.json \
     BENCH_RESUME_OUT=target/BENCH_resume_smoke.json \
     BENCH_PRUNE_OUT=target/BENCH_prune_smoke.json \
+    BENCH_CAUSALITY_SCALE=0.05 \
+    BENCH_CAUSALITY_OUT=target/BENCH_causality_smoke.json \
     BENCH_THROUGHPUT_SCALE=0.05 BENCH_THROUGHPUT_REPEATS=1 \
     BENCH_THROUGHPUT_OUT=target/BENCH_throughput_smoke.json \
     BENCH_THROUGHPUT_GATE=identity \
@@ -44,6 +46,21 @@ ABLATE_BUG=CVE-2017-10661
     > target/ci-ablate-dpor.txt 2> target/ci-ablate-dpor.err
 diff target/ci-ablate-off.txt target/ci-ablate-dpor.txt \
     || { echo "FAIL: dpor pruning changed the diagnosis" >&2; exit 1; }
+
+echo "==> causality ablation smoke"
+# The same bug diagnosed at both causality levels must print byte-identical
+# reports: the adaptive level skips statically proved flips and reorders
+# submission by information gain, but never changes what is diagnosed. The
+# adaptive-level stats (static skips, reordered flips) land on stderr with
+# the rest of the counters.
+./target/release/diagnose "$ABLATE_BUG" --scale 0.05 --causality-level exhaustive \
+    > target/ci-ablate-exhaustive.txt 2> target/ci-ablate-exhaustive.err
+./target/release/diagnose "$ABLATE_BUG" --scale 0.05 --causality-level adaptive \
+    > target/ci-ablate-adaptive.txt 2> target/ci-ablate-adaptive.err
+diff target/ci-ablate-exhaustive.txt target/ci-ablate-adaptive.txt \
+    || { echo "FAIL: adaptive causality changed the diagnosis" >&2; exit 1; }
+grep -q 'skipped by static proof' target/ci-ablate-adaptive.err \
+    || { echo "FAIL: adaptive run did not report causality stats" >&2; exit 1; }
 
 echo "==> kill-and-resume smoke"
 # Start a journaled diagnosis, SIGKILL it partway through, resume it over the

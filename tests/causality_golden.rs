@@ -1,0 +1,89 @@
+//! Golden-corpus regression for adaptive causal intervention: the exact
+//! number of flip schedules Causality Analysis charges per Table 2 bug, at
+//! both causality levels, plus the number of flips the static prover
+//! discharged without execution.
+//!
+//! These numbers are a behavioural snapshot, not a performance budget: any
+//! change to the flip geometry, the static proof obligations, or the gain
+//! ordering shows up here as a precise per-bug diff instead of a silent
+//! drift. Update the table deliberately when the intervention semantics
+//! change — and only after the differential properties in `properties.rs`
+//! confirm diagnoses are still identical across levels.
+//!
+//! The noise scale is small so debug-build flip batches stay fast;
+//! `BENCH_causality.json` covers the performance claim at benchmark scale.
+
+use aitia_repro::aitia::{CausalityAnalysis, CausalityConfig, CausalityLevel, Lifs};
+use aitia_repro::corpus;
+
+const SCALE: f64 = 0.02;
+
+/// `(bug id, [flip schedules at exhaustive, at adaptive, static skips])`.
+const GOLDEN: &[(&str, [usize; 3])] = &[
+    ("CVE-2019-11486", [5, 4, 1]),
+    ("CVE-2019-6974", [12, 12, 0]),
+    ("CVE-2018-12232", [9, 4, 5]),
+    ("CVE-2017-15649", [9, 8, 1]),
+    ("CVE-2017-10661", [11, 9, 2]),
+    ("CVE-2017-7533", [16, 4, 12]),
+    ("CVE-2017-2671", [5, 4, 1]),
+    ("CVE-2017-2636", [8, 8, 0]),
+    ("CVE-2016-10200", [6, 5, 1]),
+    ("CVE-2016-8655", [7, 6, 1]),
+];
+
+#[test]
+fn flip_schedules_per_bug_and_level_match_golden() {
+    let bugs = corpus::cves();
+    assert_eq!(bugs.len(), GOLDEN.len(), "corpus and golden table differ");
+    let mut actual = Vec::new();
+    let mut diffs = Vec::new();
+    for (bug, (gid, golden)) in bugs.iter().zip(GOLDEN) {
+        assert_eq!(&bug.id, gid, "corpus order changed; regenerate the table");
+        let run = Lifs::new(bug.program_scaled(SCALE), bug.lifs_config())
+            .search()
+            .failing
+            .unwrap_or_else(|| panic!("{} did not reproduce at scale {SCALE}", bug.id));
+        let mut got = [0usize; 3];
+        let mut chains = Vec::new();
+        for (slot, level) in [CausalityLevel::Exhaustive, CausalityLevel::Adaptive]
+            .into_iter()
+            .enumerate()
+        {
+            let result = CausalityAnalysis::new(CausalityConfig {
+                level,
+                ..CausalityConfig::default()
+            })
+            .analyze(&run);
+            got[slot] = result.stats.schedules_executed;
+            if slot == 1 {
+                got[2] = result.stats.flips_skipped_static;
+            }
+            chains.push((
+                result.chain.to_string(),
+                result.tested.iter().map(|t| t.verdict).collect::<Vec<_>>(),
+            ));
+        }
+        assert_eq!(
+            chains[0], chains[1],
+            "{}: causality levels disagreed on the diagnosis",
+            bug.id
+        );
+        assert_eq!(
+            got[0],
+            got[1] + got[2],
+            "{}: every exhaustive flip must be either executed or statically proved",
+            bug.id
+        );
+        if &got != golden {
+            diffs.push(format!("{}: golden {golden:?}, actual {got:?}", bug.id));
+        }
+        actual.push(format!("    ({:?}, {got:?}),", bug.id));
+    }
+    assert!(
+        diffs.is_empty(),
+        "flip counts drifted:\n{}\n\nfull regenerated table:\n{}",
+        diffs.join("\n"),
+        actual.join("\n")
+    );
+}

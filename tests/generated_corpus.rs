@@ -9,7 +9,7 @@
 //! a regenerated `BENCH_corpus.json`.
 //!
 //! The matrix tests run a small pinned seed range through the full
-//! 72-cell executor configuration matrix in-process — the same harness
+//! 78-cell executor configuration matrix in-process — the same harness
 //! `report fuzz` runs at 200-seed scale — asserting bit-identical
 //! diagnosis digests and planted-race recall.
 
@@ -136,15 +136,20 @@ fn generated_programs_pass_both_serial_orders() {
 #[test]
 fn pinned_seeds_agree_across_the_full_matrix_with_recall() {
     // The same harness `report fuzz` runs, on a small pinned range: every
-    // cell of prune x memo x claim x snapshot x workers must produce a
-    // bit-identical digest and the reference chain must contain a planted
-    // pair. BENCH_corpus.json covers the 200-seed claim in release mode.
+    // cell of prune x memo x claim x snapshot x workers (plus the adaptive
+    // causality cells) must produce a bit-identical digest and the
+    // reference chain must contain a planted pair at both causality
+    // levels. BENCH_corpus.json covers the 200-seed claim in release mode.
     let b = bench_corpus(0, 4, None);
     assert_eq!(b.seeds, 4);
-    assert_eq!(b.cells, 72);
+    assert_eq!(b.cells, 78);
     assert_eq!(b.reproduced, 4, "every pinned seed reproduces");
     assert_eq!(b.digest_agreements, 4, "matrix digests diverged");
     assert_eq!(b.recall_hits, 4, "planted race missing from a chain");
+    assert_eq!(
+        b.adaptive_recall_hits, 4,
+        "planted race missing from an adaptive chain"
+    );
     assert!(b.divergences.is_empty(), "{:?}", b.divergences);
     assert!(b.meets_corpus_gate);
 }
@@ -157,11 +162,21 @@ fn reference_cell_digest_is_stable_across_repeat_runs() {
     let cells = corpus_matrix();
     let reference = cells[0];
     let first = {
-        let out = diagnose_generated(&bug, &reference.executor(), reference.prune);
+        let out = diagnose_generated(
+            &bug,
+            &reference.executor(),
+            reference.prune,
+            reference.causality,
+        );
         generated_digest(&bug.name, out.as_ref())
     };
     let second = {
-        let out = diagnose_generated(&bug, &reference.executor(), reference.prune);
+        let out = diagnose_generated(
+            &bug,
+            &reference.executor(),
+            reference.prune,
+            reference.causality,
+        );
         generated_digest(&bug.name, out.as_ref())
     };
     assert!(!first.ends_with("no-repro"), "seed 11 must reproduce");
@@ -189,7 +204,12 @@ fn shrinking_preserves_the_planted_structure() {
     // And the shrunk program still reproduces with its planted race in
     // the chain on the reference cell.
     let cells = corpus_matrix();
-    let out = diagnose_generated(&shrunk, &cells[0].executor(), cells[0].prune)
-        .expect("shrunk program still reproduces");
+    let out = diagnose_generated(
+        &shrunk,
+        &cells[0].executor(),
+        cells[0].prune,
+        cells[0].causality,
+    )
+    .expect("shrunk program still reproduces");
     assert!(shrunk.planted_in_chain(&out.1.chain));
 }

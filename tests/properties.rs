@@ -18,8 +18,9 @@ use aitia_repro::aitia::{
         self,
         EnforceConfig, //
     },
-    races_in_trace, CancelToken, CausalityAnalysis, CausalityConfig, ExecJob, Executor,
-    ExecutorConfig, FaultInjection, Lifs, LifsConfig, PruneLevel, Schedule, ThreadSel, Verdict,
+    races_in_trace, CancelToken, CausalityAnalysis, CausalityConfig, CausalityLevel, ExecJob,
+    Executor, ExecutorConfig, FaultInjection, Lifs, LifsConfig, PruneLevel, Schedule, ThreadSel,
+    Verdict,
 };
 use aitia_repro::ksim::{
     builder::{
@@ -505,6 +506,146 @@ proptest! {
                 prop_assert_eq!(
                     &baseline,
                     &pruned,
+                    "diverged at memo={} / {} workers",
+                    memo,
+                    vms
+                );
+            }
+        }
+    }
+}
+
+/// What the causality levels must keep invariant: the failing schedule and
+/// everything the diagnosis *says* — chain and per-race verdicts. The
+/// Causality Analysis schedule count is deliberately excluded: executing
+/// fewer flips is the point of the adaptive level.
+type CausalityDigest = (Option<Schedule>, Option<(String, Vec<Verdict>)>);
+
+/// [`diagnose_with`] at explicit prune and causality levels, reduced to
+/// the flip-count-free digest.
+fn diagnose_causal(
+    program: &Arc<Program>,
+    vms: usize,
+    fault: Option<FaultInjection>,
+    memo: bool,
+    prune: PruneLevel,
+    level: CausalityLevel,
+) -> CausalityDigest {
+    let exec = memo_pool(vms, fault, memo);
+    let out = Lifs::with_executor(
+        Arc::clone(program),
+        LifsConfig {
+            max_interleavings: 2,
+            max_schedules: 2_000,
+            prune,
+            ..LifsConfig::default()
+        },
+        Arc::clone(&exec),
+    )
+    .search();
+    let schedule = out.failing.as_ref().map(|r| r.schedule.clone());
+    let analysis = out.failing.map(|run| {
+        let result = CausalityAnalysis::with_executor(
+            CausalityConfig {
+                level,
+                ..CausalityConfig::default()
+            },
+            exec,
+        )
+        .analyze(&run);
+        let verdicts: Vec<Verdict> = result.tested.iter().map(|t| t.verdict).collect();
+        (result.chain.to_string(), verdicts)
+    });
+    (schedule, analysis)
+}
+
+proptest! {
+    // Each case diagnoses twelve times (exhaustive baseline plus adaptive
+    // at three worker counts, per prune level); keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The adaptive causality level is invisible to diagnosis: static
+    /// benign proofs and gain-ordered flip submission yield the same
+    /// chain and verdict list as the exhaustive level, at every prune
+    /// level and worker count.
+    #[test]
+    fn causality_levels_agree_on_diagnosis(threads in gen_program()) {
+        let program = build(&threads);
+        for prune in [PruneLevel::Off, PruneLevel::Conflict, PruneLevel::Dpor] {
+            let baseline =
+                diagnose_causal(&program, 1, None, true, prune, CausalityLevel::Exhaustive);
+            for vms in [1usize, 2, 8] {
+                let adaptive =
+                    diagnose_causal(&program, vms, None, true, prune, CausalityLevel::Adaptive);
+                prop_assert_eq!(
+                    &baseline,
+                    &adaptive,
+                    "diverged at {:?} / {} workers",
+                    prune,
+                    vms
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case diagnoses four times; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Causality-level agreement survives deterministic VM-fault
+    /// injection: a statically proved flip is never executed, so it can
+    /// never fault, and fault decisions for the flips that do run key on
+    /// job content — not on submission order, which the gain ranking
+    /// permutes.
+    #[test]
+    fn causality_levels_agree_under_fault_injection(threads in gen_program()) {
+        let fault = FaultInjection {
+            seed: 0xA17A,
+            rate_permille: 120,
+            max_retries: 2,
+            quarantine_after: 2,
+        };
+        let program = build(&threads);
+        let baseline = diagnose_causal(
+            &program, 1, Some(fault), true, PruneLevel::Conflict, CausalityLevel::Exhaustive,
+        );
+        for (vms, prune) in [
+            (1usize, PruneLevel::Conflict),
+            (2, PruneLevel::Dpor),
+            (8, PruneLevel::Dpor),
+        ] {
+            let adaptive = diagnose_causal(
+                &program, vms, Some(fault), true, prune, CausalityLevel::Adaptive,
+            );
+            prop_assert_eq!(
+                &baseline,
+                &adaptive,
+                "diverged at {:?} / {} workers",
+                prune,
+                vms
+            );
+        }
+    }
+
+    /// Causality-level agreement holds without the memo table and
+    /// snapshot forest too — and mixing memo-off exhaustive against
+    /// memo-on adaptive proves a skipped flip is equivalent whether the
+    /// executed baseline answered it from a VM or from the table.
+    #[test]
+    fn causality_levels_agree_without_memoization(threads in gen_program()) {
+        let program = build(&threads);
+        let baseline = diagnose_causal(
+            &program, 1, None, false, PruneLevel::Conflict, CausalityLevel::Exhaustive,
+        );
+        for memo in [false, true] {
+            for vms in [1usize, 2, 8] {
+                let adaptive = diagnose_causal(
+                    &program, vms, None, memo, PruneLevel::Conflict, CausalityLevel::Adaptive,
+                );
+                prop_assert_eq!(
+                    &baseline,
+                    &adaptive,
                     "diverged at memo={} / {} workers",
                     memo,
                     vms
