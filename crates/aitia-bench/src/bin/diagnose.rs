@@ -44,6 +44,9 @@ flags:
   --deadline-s <float>  wall-clock budget in seconds, finite and positive;
                         on expiry the diagnosis degrades to best-so-far
                         (partial) results and still exits 0
+  --report-only         print only the diagnosis report on stdout (no
+                        input preamble), so the output diffs byte-for-byte
+                        against a campaignd result file
   -h | --help           this message
 
 exit status: 0 = diagnosed (complete or partial), 1 = did not reproduce,
@@ -74,6 +77,7 @@ fn main() {
     let mut causality_level: Option<aitia::CausalityLevel> = None;
     let mut journal: Option<String> = None;
     let mut deadline_s: Option<f64> = None;
+    let mut report_only = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -85,6 +89,7 @@ fn main() {
             }
             "--journal" => journal = Some(flag_value(&args, &mut i, "--journal")),
             "--deadline-s" => deadline_s = Some(flag_value(&args, &mut i, "--deadline-s")),
+            "--report-only" => report_only = true,
             "--list" => {
                 for bug in corpus::all_bugs() {
                     println!("{:<18} {:<14} {}", bug.id, bug.subsystem, bug.bug_type);
@@ -124,12 +129,14 @@ fn main() {
     let Some(bug) = corpus::all_bugs().into_iter().find(|b| b.id == id) else {
         usage_exit(&format!("unknown bug {id:?}; try --list"));
     };
-    println!("{}\n", bug.doc);
-    // The modeled Syzkaller input.
-    let history = bug.history();
-    println!("{}", khist::ftrace::render(&history));
-    let n_slices = khist::slices(&history).len();
-    println!("slicing: {n_slices} candidate slices\n");
+    if !report_only {
+        println!("{}\n", bug.doc);
+        // The modeled Syzkaller input.
+        let history = bug.history();
+        println!("{}", khist::ftrace::render(&history));
+        let n_slices = khist::slices(&history).len();
+        println!("slicing: {n_slices} candidate slices\n");
+    }
 
     // Reproduce + diagnose through the crash-safe campaign driver.
     let prog = bug.program_scaled(scale);

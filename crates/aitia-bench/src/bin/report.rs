@@ -8,7 +8,7 @@
 //! Subcommands: `table1`, `table2`, `table3`, `conciseness`, `comparison`,
 //! `ablations`, `fig5`, `fig6`, `fig7`, `fig9`, `bench-memo`,
 //! `bench-resume`, `bench-prune`, `bench-causality`, `bench-throughput`,
-//! `all`.
+//! `bench-server`, `all`.
 //!
 //! `--scale` multiplies every bug's calibrated benign-race noise (1.0 =
 //! full calibration, matching the magnitudes of the paper's tables; smaller
@@ -60,6 +60,8 @@ subcommands (default: all):
   bench-prune           prune-level ablation over Table 2 (JSON on stdout)
   bench-causality       causality-level A/B over Table 2 (JSON on stdout)
   bench-throughput      substrate throughput A/B over Table 2 (JSON on stdout)
+  bench-server          campaignd serial vs concurrent campaigns over
+                        Table 2 (JSON on stdout)
   fuzz                  differential fuzz of generated bugs over the
                         full executor config matrix (JSON on stdout)
   all                   everything above
@@ -314,6 +316,36 @@ fn main() {
                 "bench-throughput: speedup at 8 workers: {:.2}x, \
                  diagnoses identical: {}, gate met: {}",
                 b.speedup_at_8, b.diagnoses_identical, b.meets_throughput_gate
+            );
+            return;
+        }
+        "bench-server" => {
+            // Self-contained like bench-memo: each side streams the corpus
+            // through a fresh server instance on its own private substrate
+            // and scratch directory. Throughput and queue latency are
+            // simulated-clock figures, so the JSON is bit-stable on any
+            // host. JSON goes to stdout for BENCH_server.json; the human
+            // summary goes to stderr.
+            let b = experiments::bench_server(scale);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&b).expect("bench result serializes")
+            );
+            for side in [&b.serial, &b.concurrent] {
+                eprintln!(
+                    "bench-server: {} ({} inflight) -> {:.0} campaigns/h \
+                     ({:.1}s sim makespan, queue p50 {:.1}s p95 {:.1}s)",
+                    side.label,
+                    side.max_inflight,
+                    side.campaigns_per_hour,
+                    side.sim_makespan_s,
+                    side.queue_latency_p50_s,
+                    side.queue_latency_p95_s
+                );
+            }
+            eprintln!(
+                "bench-server: speedup {:.2}x, diagnoses identical: {}, gate met: {}",
+                b.campaigns_per_hour_speedup, b.diagnoses_identical, b.meets_server_gate
             );
             return;
         }

@@ -2028,3 +2028,263 @@ pub fn bench_corpus(seed_start: u64, seeds: usize, repro_dir: Option<&str>) -> C
         meets_corpus_gate: meets_agreement_gate && meets_recall_gate && meets_adaptive_recall_gate,
     }
 }
+
+/// Resolves `campaignd` job payloads against the bug corpus.
+///
+/// Two payload grammars are accepted:
+///
+/// * `cve:<bug-id>:<scale>` — a hand-built corpus bug (CVE id or
+///   Syzkaller `#n`) at a benign-noise scale, e.g.
+///   `cve:CVE-2017-15649:0.05`;
+/// * `gen:<seed>[:<noise>[:<filler>]]` — a generated bug from
+///   [`corpus::generate`], optionally overriding the noise scale and
+///   filler bound, e.g. `gen:42` or `gen:42:0.5:1`.
+///
+/// Anything else is a resolver error, which the server counts as a
+/// supervisor fault (and eventually dead-letters).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CorpusJobResolver {
+    /// Deterministic VM fault injection applied to every resolved job
+    /// (`None` disables). Faults only cost simulated retry time — the
+    /// diagnosis itself is fault-invariant.
+    pub fault: Option<aitia::FaultInjection>,
+}
+
+impl aitia::server::JobResolver for CorpusJobResolver {
+    fn resolve(&self, payload: &str) -> Result<aitia::server::ResolvedJob, String> {
+        let mut parts = payload.split(':');
+        let kind = parts.next().unwrap_or_default();
+        match kind {
+            "cve" => {
+                let id = parts
+                    .next()
+                    .ok_or_else(|| format!("payload {payload:?}: missing bug id"))?;
+                let scale: f64 = parts
+                    .next()
+                    .ok_or_else(|| format!("payload {payload:?}: missing scale"))?
+                    .parse()
+                    .map_err(|e| format!("payload {payload:?}: bad scale ({e})"))?;
+                if !(scale.is_finite() && scale > 0.0) {
+                    return Err(format!(
+                        "payload {payload:?}: scale must be finite and positive"
+                    ));
+                }
+                let bug = corpus::all_bugs()
+                    .into_iter()
+                    .find(|b| b.id == id)
+                    .ok_or_else(|| format!("payload {payload:?}: unknown bug {id:?}"))?;
+                Ok(aitia::server::ResolvedJob {
+                    program: bug.program_scaled(scale),
+                    lifs: bug.lifs_config(),
+                    causality: CausalityConfig::default(),
+                    fault: self.fault,
+                })
+            }
+            "gen" => {
+                let seed: u64 = parts
+                    .next()
+                    .ok_or_else(|| format!("payload {payload:?}: missing seed"))?
+                    .parse()
+                    .map_err(|e| format!("payload {payload:?}: bad seed ({e})"))?;
+                let mut config = corpus::generate::GenConfig::new(seed);
+                if let Some(noise) = parts.next() {
+                    config.noise_scale = noise
+                        .parse()
+                        .map_err(|e| format!("payload {payload:?}: bad noise ({e})"))?;
+                }
+                if let Some(filler) = parts.next() {
+                    config.max_filler = filler
+                        .parse()
+                        .map_err(|e| format!("payload {payload:?}: bad filler ({e})"))?;
+                }
+                let bug = corpus::generate::generate_with(config);
+                Ok(aitia::server::ResolvedJob {
+                    program: Arc::clone(&bug.program),
+                    lifs: bug.lifs_config(),
+                    causality: CausalityConfig::default(),
+                    fault: self.fault,
+                })
+            }
+            _ => Err(format!(
+                "payload {payload:?}: expected cve:<bug-id>:<scale> or \
+                 gen:<seed>[:<noise>[:<filler>]]"
+            )),
+        }
+    }
+}
+
+/// One side of the server benchmark: the Table 2 corpus streamed through
+/// a `campaignd` instance at one concurrency setting.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ServerBenchSide {
+    /// Human label (`serial` or `concurrent-8`).
+    pub label: String,
+    /// Concurrent campaigns (worker threads) on this side.
+    pub max_inflight: usize,
+    /// Campaigns run.
+    pub campaigns: usize,
+    /// Per-job diagnosis digests, in submission order.
+    pub digests: Vec<String>,
+    /// Simulated makespan of the whole batch on the default
+    /// [`CostModel`] (campaigns list-scheduled onto `max_inflight`
+    /// lanes), in seconds.
+    pub sim_makespan_s: f64,
+    /// Campaigns per simulated hour.
+    pub campaigns_per_hour: f64,
+    /// Median simulated queue latency (submit → admission), seconds.
+    pub queue_latency_p50_s: f64,
+    /// 95th-percentile simulated queue latency, seconds.
+    pub queue_latency_p95_s: f64,
+    /// The server's counter snapshot after the drain.
+    pub stats: aitia::ServerStats,
+}
+
+/// The `campaignd` throughput benchmark: serial submission (one campaign
+/// at a time, each holding the whole 8-VM pool) against 8 concurrent
+/// fair-shared campaigns, over the Table 2 corpus.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ServerBench {
+    /// Benign-noise scale the corpus ran at.
+    pub scale: f64,
+    /// VM slots in each side's pool.
+    pub total_vms: usize,
+    /// The serial side (`max_inflight = 1`).
+    pub serial: ServerBenchSide,
+    /// The concurrent side (`max_inflight = 8`).
+    pub concurrent: ServerBenchSide,
+    /// Whether both sides produced bit-identical per-job digests.
+    pub diagnoses_identical: bool,
+    /// Serial makespan over concurrent makespan.
+    pub campaigns_per_hour_speedup: f64,
+    /// `diagnoses_identical` and speedup ≥ 1.5.
+    pub meets_server_gate: bool,
+}
+
+/// List-schedules per-campaign simulated durations (submission order)
+/// onto `lanes` identical lanes: returns the batch makespan and each
+/// campaign's queue latency (simulated time from submission-at-zero to
+/// admission).
+fn server_timeline(durations_s: &[f64], lanes: usize) -> (f64, Vec<f64>) {
+    let lanes = lanes.max(1);
+    let mut lane_end = vec![0.0f64; lanes];
+    let mut latencies = Vec::with_capacity(durations_s.len());
+    for &d in durations_s {
+        let lane = lane_end
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map_or(0, |(i, _)| i);
+        latencies.push(lane_end[lane]);
+        lane_end[lane] += d;
+    }
+    let makespan = lane_end.iter().copied().fold(0.0f64, f64::max);
+    (makespan, latencies)
+}
+
+/// The `p`-th percentile (0..=100) of `values` by nearest-rank.
+fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs the `campaignd` throughput benchmark: the Table 2 corpus as
+/// `cve:<id>:<scale>` payloads through two fresh server instances —
+/// serial (`max_inflight` 1: each campaign holds all 8 VM slots, so small
+/// schedule batches leave most of the pool idle) and concurrent
+/// (`max_inflight` 8: eight width-1 campaigns run side by side at full
+/// pool utilization). Throughput and queue latency are computed on the
+/// deterministic simulated clock ([`aitia::ExecStats::sim_makespan_ns`]
+/// per campaign, campaigns list-scheduled onto lanes), so the result is
+/// bit-stable on any host. The gate demands bit-identical per-job
+/// digests and a ≥ 1.5× campaigns-per-hour speedup.
+///
+/// # Panics
+///
+/// Panics when a scratch server directory cannot be created — the bench
+/// requires a writable temp dir.
+#[must_use]
+pub fn bench_server(scale: f64) -> ServerBench {
+    let total_vms = 8usize;
+    // Three scale steps per bug: a realistic stream re-diagnoses the same
+    // corpus at several noise levels, and 30 campaigns amortize the
+    // longest single campaign across the concurrent side's lanes (with
+    // only 10, one long width-1 campaign floors the 8-lane makespan).
+    let payloads: Vec<String> = corpus::cves()
+        .iter()
+        .flat_map(|b| {
+            [1.0, 0.5, 0.25]
+                .iter()
+                .map(|m| format!("cve:{}:{}", b.id, scale * m))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let side = |label: &str, max_inflight: usize| -> ServerBenchSide {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("aitia-bench-server-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = aitia::ServerConfig {
+            max_inflight,
+            total_vms,
+            drain: true,
+            poll_ms: 5,
+            ..aitia::ServerConfig::at(&dir)
+        };
+        let server = aitia::CampaignServer::open(config, Arc::new(CorpusJobResolver::default()))
+            .expect("scratch server dir is writable");
+        let ids: Vec<u64> = payloads
+            .iter()
+            .map(|p| server.submit(p).expect("bench submits fit the queue"))
+            .collect();
+        let stats = server.run();
+        let jobs = server.jobs().expect("queue folds after drain");
+        let digests: Vec<String> = ids
+            .iter()
+            .map(|id| jobs[id].digest.clone().unwrap_or_default())
+            .collect();
+        let durations: Vec<f64> = ids
+            .iter()
+            .map(|id| jobs[id].sim_makespan_ns.unwrap_or(0) as f64 / 1e9)
+            .collect();
+        let (makespan, latencies) = server_timeline(&durations, max_inflight);
+        let _ = std::fs::remove_dir_all(&dir);
+        ServerBenchSide {
+            label: label.to_string(),
+            max_inflight,
+            campaigns: ids.len(),
+            digests,
+            sim_makespan_s: makespan,
+            campaigns_per_hour: if makespan > 0.0 {
+                ids.len() as f64 * 3600.0 / makespan
+            } else {
+                0.0
+            },
+            queue_latency_p50_s: percentile(&latencies, 50.0),
+            queue_latency_p95_s: percentile(&latencies, 95.0),
+            stats,
+        }
+    };
+    let serial = side("serial", 1);
+    let concurrent = side("concurrent-8", total_vms);
+    let diagnoses_identical =
+        serial.digests == concurrent.digests && serial.digests.iter().all(|d| !d.is_empty());
+    let campaigns_per_hour_speedup = if serial.sim_makespan_s > 0.0 {
+        serial.sim_makespan_s / concurrent.sim_makespan_s.max(f64::MIN_POSITIVE)
+    } else {
+        0.0
+    };
+    let meets_server_gate = diagnoses_identical && campaigns_per_hour_speedup >= 1.5;
+    ServerBench {
+        scale,
+        total_vms,
+        serial,
+        concurrent,
+        diagnoses_identical,
+        campaigns_per_hour_speedup,
+        meets_server_gate,
+    }
+}

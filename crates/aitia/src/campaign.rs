@@ -157,7 +157,11 @@ impl Campaign {
     pub fn diagnose(&self, slices: &[Arc<Program>]) -> CampaignOutcome {
         if let Some(journal) = &self.journal {
             for program in slices {
-                journal.replay_into_memo(program);
+                // Replay into the substrate this campaign's executors will
+                // actually consult — a campaign isolated on a private
+                // substrate must not leak its journal into (or depend on)
+                // the process-global table.
+                journal.replay_into_substrate(program, self.manager.substrate());
             }
         }
         let diagnosis = self.manager.diagnose(slices);
@@ -395,6 +399,101 @@ mod tests {
         assert!(matches!(outcome, CampaignOutcome::Complete(_)));
         let stats = campaign.journal_stats().expect("journal configured");
         assert!(stats.fsync_failed, "durability loss must be surfaced");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Satellite: cross-campaign digest isolation. Two campaigns diagnosing
+    /// the *same* program object on private substrates share no memo state
+    /// — the second pays full VM execution — while two campaigns sharing
+    /// one substrate (the `campaignd` configuration) serve the second
+    /// largely from the first's entries. Either way the diagnosis digest is
+    /// bit-identical, which is exactly why cross-campaign sharing is safe.
+    #[test]
+    fn private_substrates_isolate_campaigns_shared_substrates_memoize() {
+        use crate::exec::Substrate;
+        let program = fig1_program();
+        let with_substrate = |substrate: Substrate| {
+            let campaign = Campaign::new(ManagerConfig {
+                vms: 1,
+                substrate,
+                ..ManagerConfig::default()
+            });
+            let outcome = campaign.diagnose_program(Arc::clone(&program));
+            let digest = outcome
+                .diagnosis()
+                .expect("fig1 reproduces")
+                .result
+                .chain
+                .to_string();
+            (digest, campaign.manager().exec_stats())
+        };
+        // Isolated: the second campaign's table starts empty.
+        let (d1, s1) = with_substrate(Substrate::private(8192, 256));
+        let (d2, s2) = with_substrate(Substrate::private(8192, 256));
+        assert_eq!(d1, d2);
+        // A lone diagnosis hits its *own* substrate (repeated schedules),
+        // so isolation shows up as the second campaign's counters matching
+        // the first's exactly — nothing carried over.
+        assert_eq!(
+            s2.memo_hits, s1.memo_hits,
+            "a private substrate must not observe another campaign's state"
+        );
+        assert_eq!(s1.runs, s2.runs, "both isolated campaigns pay full price");
+        // Shared: one handle, two campaigns — the second hits.
+        let shared = Substrate::private(8192, 256);
+        assert!(shared.shares_with(&shared.clone()));
+        assert!(!shared.shares_with(&Substrate::private(8192, 256)));
+        let (d3, _) = with_substrate(shared.clone());
+        let (d4, s4) = with_substrate(shared);
+        assert_eq!(d3, d4);
+        assert_eq!(d1, d3, "substrate choice never changes the diagnosis");
+        assert!(
+            s4.memo_hits > 0,
+            "a shared substrate serves the second campaign from the first's entries"
+        );
+        assert!(s4.runs < s2.runs, "sharing must save VM executions");
+    }
+
+    #[test]
+    fn journaled_campaign_on_private_substrate_replays_into_it() {
+        use crate::exec::Substrate;
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "aitia-campaign-substrate-test-{}.wal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let config = || ManagerConfig {
+            vms: 1,
+            substrate: Substrate::private(8192, 256),
+            ..ManagerConfig::default()
+        };
+        let first = Campaign::with_journal_path(config(), &path);
+        let d1 = first
+            .diagnose_program(fig1_program())
+            .diagnosis()
+            .expect("fig1 reproduces")
+            .result
+            .chain
+            .to_string();
+        // The resumed campaign's private substrate starts empty; only the
+        // journal replay (into *that* substrate) can spare re-execution.
+        let resumed = Campaign::with_journal_path(config(), &path);
+        let d2 = resumed
+            .diagnose_program(fig1_program())
+            .diagnosis()
+            .expect("fig1 reproduces")
+            .result
+            .chain
+            .to_string();
+        assert_eq!(d1, d2);
+        let stats = resumed.journal_stats().expect("journal configured");
+        assert!(stats.records_replayed > 0);
+        assert_eq!(
+            stats.records_appended, 0,
+            "the replay must land in the private substrate the executors consult"
+        );
+        assert_eq!(resumed.manager().exec_stats().runs, 0, "full resume");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -475,6 +475,20 @@ pub struct ExecStats {
     /// stopped claiming work and consumers folded best-so-far prefixes.
     /// Always `false` without a configured [`DeadlineBudget`].
     pub deadline_fired: bool,
+    /// Batches (canonical folds) this pool completed.
+    pub batches: u64,
+    /// Deterministic simulated wall-clock of this pool, in nanoseconds
+    /// under the default [`CostModel`] rates: per batch, each canonical
+    /// (folded) job's serial cost is assigned greedily to the least-loaded
+    /// of the pool's `vms` slots, and the batch contributes the maximum
+    /// slot load. Unlike `SimCost::seconds` (which divides total serial
+    /// cost by the pool width, i.e. assumes perfect utilization), this
+    /// accounts for slot idleness — a 3-job batch on an 8-wide pool pays
+    /// one job's duration while 5 slots sit idle. Memo/journal hits cost
+    /// nothing but their retries; fault placeholders cost their retry
+    /// backoff. Deterministic at any OS-thread count and claim mode (it is
+    /// computed from the canonical fold, not from which worker ran what).
+    pub sim_makespan_ns: u64,
     /// Engine steps executed across all workers (memo hits execute none).
     pub steps_executed: u64,
     /// Wall-clock nanoseconds workers spent inside VM execution, summed
@@ -495,6 +509,16 @@ impl ExecStats {
     #[must_use]
     pub fn instrs_per_sec(&self) -> f64 {
         per_second(self.steps_executed, self.busy_ns)
+    }
+
+    /// Simulated pool wall-clock in seconds (see
+    /// [`ExecStats::sim_makespan_ns`]).
+    #[must_use]
+    pub fn sim_makespan_s(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.sim_makespan_ns as f64 / 1e9
+        }
     }
 }
 
@@ -525,6 +549,8 @@ struct StatCells {
     memo_misses: AtomicU64,
     memo_excluded: AtomicU64,
     forest_hits: AtomicU64,
+    batches: AtomicU64,
+    sim_makespan_ns: AtomicU64,
     steps_executed: AtomicU64,
     busy_ns: AtomicU64,
 }
@@ -546,6 +572,8 @@ impl StatCells {
             memo_excluded: self.memo_excluded.load(Ordering::SeqCst),
             forest_hits: self.forest_hits.load(Ordering::SeqCst),
             deadline_fired: false,
+            batches: self.batches.load(Ordering::SeqCst),
+            sim_makespan_ns: self.sim_makespan_ns.load(Ordering::SeqCst),
             steps_executed: self.steps_executed.load(Ordering::SeqCst),
             busy_ns: self.busy_ns.load(Ordering::SeqCst),
         }
@@ -599,11 +627,15 @@ pub struct ExecutorConfig {
     pub os_threads: Option<usize>,
     /// Deterministic VM-fault injection; `None` disables it.
     pub fault: Option<FaultInjection>,
-    /// Whether jobs consult the process-wide result memo table and the
-    /// shared snapshot forest. Off, every job pays full VM execution (the
-    /// A/B baseline for `report --no-memo`); results are bit-identical
-    /// either way.
+    /// Whether jobs consult the substrate's result memo table and snapshot
+    /// forest. Off, every job pays full VM execution (the A/B baseline for
+    /// `report --no-memo`); results are bit-identical either way.
     pub memo: bool,
+    /// Which memo table / snapshot forest this executor consults — the
+    /// process-global one by default, or a [`Substrate::private`] handle
+    /// for isolated campaigns and A/B benchmark sides. Ignored when `memo`
+    /// is off.
+    pub substrate: Substrate,
     /// Durable run journal: every fresh conclusive output (and every memo
     /// hit, deduplicated by key) is appended so a killed campaign can
     /// resume at zero VM cost. `None` disables journaling.
@@ -629,6 +661,7 @@ impl Default for ExecutorConfig {
             os_threads: None,
             fault: None,
             memo: true,
+            substrate: Substrate::process_global(),
             journal: None,
             deadline: None,
             claim: ClaimMode::default(),
@@ -812,34 +845,95 @@ impl MemoTable {
     }
 }
 
-/// The process-wide memo table. Global because the manager's slice fan-out
-/// constructs an independent single-worker executor per slice: "any worker"
-/// must span executors, not just slots of one pool.
-/// The capacity must cover a whole diagnosis working set or LRU replay
-/// thrashes: a re-run replays schedules oldest-first, which is exactly the
-/// eviction order, so a table even slightly smaller than one pass yields
-/// zero cross-run hits. A full-calibration Table 2 pass is ~5.1k distinct
-/// schedules; 8192 holds it with headroom.
-fn global_memo() -> &'static MemoTable {
-    static MEMO: OnceLock<MemoTable> = OnceLock::new();
-    MEMO.get_or_init(|| MemoTable::new(8192))
+/// The shared execution substrate: the result memo table plus the snapshot
+/// forest, bundled as one explicitly injected handle.
+///
+/// Before `campaignd`, both structures were process-wide `OnceLock`
+/// globals — correct for a one-campaign process (content-keyed entries
+/// make cross-campaign sharing safe), but an *implicit* dependency: a test
+/// or a service wanting two campaigns that cannot observe each other's
+/// in-progress state had no way to ask for it. The substrate makes the
+/// sharing decision explicit:
+///
+/// * [`Substrate::process_global`] — every clone shares the one
+///   process-wide table and forest (the default, and what every
+///   pre-existing caller gets);
+/// * [`Substrate::private`] — a fresh, isolated table and forest, shared
+///   only by executors handed this exact clone (A/B benchmark sides, the
+///   cross-campaign isolation tests).
+///
+/// Clones share: the substrate is a pair of `Arc`s, so handing one
+/// `Substrate` to many executors is what "promoted from per-run to
+/// cross-campaign" means.
+#[derive(Clone)]
+pub struct Substrate {
+    memo: Arc<MemoTable>,
+    forest: Arc<SnapshotForest>,
 }
 
-/// Seeds the process-wide memo table with a replayed journal record, keyed
+impl std::fmt::Debug for Substrate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Substrate")
+            .field("process_global", &self.is_process_global())
+            .finish()
+    }
+}
+
+impl Default for Substrate {
+    fn default() -> Self {
+        Substrate::process_global()
+    }
+}
+
+impl Substrate {
+    /// The process-wide substrate. Shared across executors because the
+    /// manager's slice fan-out constructs an independent single-worker
+    /// executor per slice: "any worker" must span executors, not just
+    /// slots of one pool.
+    /// The memo capacity must cover a whole diagnosis working set or LRU
+    /// replay thrashes: a re-run replays schedules oldest-first, which is
+    /// exactly the eviction order, so a table even slightly smaller than
+    /// one pass yields zero cross-run hits. A full-calibration Table 2
+    /// pass is ~5.1k distinct schedules; 8192 holds it with headroom.
+    #[must_use]
+    pub fn process_global() -> Substrate {
+        static GLOBAL: OnceLock<Substrate> = OnceLock::new();
+        GLOBAL.get_or_init(|| Substrate::private(8192, 256)).clone()
+    }
+
+    /// A fresh substrate sharing nothing with any other: `memo_cap` result
+    /// entries (LRU, split over the table's shards) and `forest_roots`
+    /// snapshot-forest roots. Executors handed clones of this value share
+    /// state with each other and nobody else.
+    #[must_use]
+    pub fn private(memo_cap: usize, forest_roots: usize) -> Substrate {
+        Substrate {
+            memo: Arc::new(MemoTable::new(memo_cap)),
+            forest: Arc::new(SnapshotForest::new(forest_roots)),
+        }
+    }
+
+    /// Whether this handle is (a clone of) the process-global substrate.
+    #[must_use]
+    pub fn is_process_global(&self) -> bool {
+        Arc::ptr_eq(&self.memo, &Substrate::process_global().memo)
+    }
+
+    /// Whether two handles share the same underlying state.
+    #[must_use]
+    pub fn shares_with(&self, other: &Substrate) -> bool {
+        Arc::ptr_eq(&self.memo, &other.memo)
+    }
+}
+
+/// Seeds `substrate`'s memo table with a replayed journal record, keyed
 /// against the resuming campaign's `Arc<Program>`. Safe against fingerprint
 /// collisions and stale records alike: the memo lookup compares the full
 /// schedule, program identity, and step budget, so a mismatched preload
 /// degrades to a miss, never a wrong answer.
-pub(crate) fn memo_preload(job: &ExecJob, output: &ExecOutput) {
+pub(crate) fn memo_preload(substrate: &Substrate, job: &ExecJob, output: &ExecOutput) {
     let fp = schedule_fingerprint(&job.schedule, &job.enforce);
-    global_memo().put(fp, job, output);
-}
-
-/// The process-wide snapshot forest, shared across executors for the same
-/// reason as [`global_memo`].
-fn global_forest() -> &'static SnapshotForest {
-    static FOREST: OnceLock<SnapshotForest> = OnceLock::new();
-    FOREST.get_or_init(|| SnapshotForest::new(256))
+    substrate.memo.put(fp, job, output);
 }
 
 /// A worker's persistent state: the engine it keeps booted and the
@@ -1014,6 +1108,7 @@ impl Executor {
             out.resize_with(n, || None);
             drop(slot);
             self.apply_quarantine();
+            self.charge_batch_makespan(&out);
             return out;
         }
 
@@ -1058,7 +1153,43 @@ impl Executor {
             }
         }
         normalize_prefix(&mut out);
+        self.charge_batch_makespan(&out);
         out
+    }
+
+    /// Charges one batch's deterministic simulated makespan (see
+    /// [`ExecStats::sim_makespan_ns`]): each canonical job's serial cost is
+    /// placed on the least-loaded of the pool's slots (ties to the lowest
+    /// index), and the batch contributes the maximum slot load. Computed
+    /// from the canonical fold only — speculative executions beyond a stop
+    /// bound are never charged — so the value is identical at any OS-thread
+    /// count and claim mode for a given pool width.
+    fn charge_batch_makespan(&self, out: &[Option<ExecOutput>]) {
+        let model = CostModel::default();
+        let mut loads = vec![0f64; self.slots.len()];
+        let mut any = false;
+        for res in out.iter().flatten() {
+            any = true;
+            let mut s = f64::from(res.retries) * model.retry_backoff_s;
+            if !res.memo_hit && res.vm_faulted.is_none() {
+                s += model.serial_run_s(res.run.steps, res.run.failure.is_some());
+            }
+            let slot = loads
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.total_cmp(b))
+                .map_or(0, |(i, _)| i);
+            loads[slot] += s;
+        }
+        if !any {
+            return;
+        }
+        let makespan = loads.iter().copied().fold(0f64, f64::max);
+        self.stats.batches.fetch_add(1, Ordering::SeqCst);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        self.stats
+            .sim_makespan_ns
+            .fetch_add((makespan * 1e9) as u64, Ordering::SeqCst);
     }
 
     /// Executes one job with the fault-tolerance wrapper: injected faults
@@ -1082,7 +1213,10 @@ impl Executor {
         loop {
             let injected = self.config.fault.and_then(|f| f.decide(job, retries));
             let Some((kind, k)) = injected else {
-                let memo = self.config.memo.then(global_memo);
+                let memo = self
+                    .config
+                    .memo
+                    .then(|| self.config.substrate.memo.as_ref());
                 let fp = schedule_fingerprint(&job.schedule, &job.enforce);
                 if let Some(memo) = memo {
                     if let Some(mut out) = memo.get(job, fp) {
@@ -1101,7 +1235,10 @@ impl Executor {
                     }
                     self.stats.memo_misses.fetch_add(1, Ordering::SeqCst);
                 }
-                let forest = self.config.memo.then(global_forest);
+                let forest = self
+                    .config
+                    .memo
+                    .then(|| self.config.substrate.forest.as_ref());
                 let out = run_job(
                     slot,
                     job,

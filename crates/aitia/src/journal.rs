@@ -55,7 +55,8 @@ use crate::{
     exec::{
         memo_preload,
         ExecJob,
-        ExecOutput, //
+        ExecOutput,
+        Substrate, //
     },
     schedule::{
         Schedule,
@@ -373,14 +374,8 @@ impl Journal {
                 return;
             }
         };
-        let len = u32::try_from(bytes.len()).unwrap_or(u32::MAX);
-        let crc = crc32(&bytes);
-        let write = inner
-            .file
-            .write_all(&len.to_le_bytes())
-            .and_then(|()| inner.file.write_all(&crc.to_le_bytes()))
-            .and_then(|()| inner.file.write_all(&bytes));
-        if let Err(e) = write {
+        let framed = frame_record(&bytes);
+        if let Err(e) = inner.file.write_all(&framed) {
             eprintln!(
                 "aitia-journal: append to {} failed ({e}); continuing without \
                  durability for this record",
@@ -417,6 +412,13 @@ impl Journal {
     /// resumed campaign's lookups (which compare `Arc` identity) hit.
     /// Returns how many records were seeded.
     pub fn replay_into_memo(&self, program: &Arc<Program>) -> u64 {
+        self.replay_into_substrate(program, &Substrate::process_global())
+    }
+
+    /// [`Journal::replay_into_memo`], but seeding an explicit [`Substrate`]
+    /// — a campaign running on a private (or server-shared) substrate must
+    /// replay into the table its executors will actually consult.
+    pub fn replay_into_substrate(&self, program: &Arc<Program>, substrate: &Substrate) -> u64 {
         let digest = program_digest(program);
         let inner = self.inner.lock().unwrap();
         let mut seeded = 0u64;
@@ -437,7 +439,7 @@ impl Journal {
                 memo_hit: false,
                 forest_hits: 0,
             };
-            memo_preload(&job, &out);
+            memo_preload(substrate, &job, &out);
             seeded += 1;
         }
         self.replayed.fetch_add(seeded, Ordering::SeqCst);
@@ -457,35 +459,76 @@ impl Drop for Journal {
 /// byte offset after the last intact record, and whether a torn/corrupt
 /// tail was found.
 fn scan_records(bytes: &[u8]) -> (Vec<RecordPayload>, u64, bool) {
-    let mut records = Vec::new();
-    let mut off = HEADER_LEN as usize;
-    loop {
-        if off == bytes.len() {
-            return (records, off as u64, false);
-        }
-        let Some(frame) = bytes.get(off..off + 8) else {
-            return (records, off as u64, true);
-        };
-        let len = u32::from_le_bytes(frame[..4].try_into().unwrap());
-        let crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
-        if len > MAX_RECORD_LEN {
-            return (records, off as u64, true);
-        }
-        let Some(payload) = bytes.get(off + 8..off + 8 + len as usize) else {
-            return (records, off as u64, true);
-        };
-        if crc32(payload) != crc {
-            return (records, off as u64, true);
-        }
-        let Ok(record) = std::str::from_utf8(payload)
+    let (frames, mut good_end, mut torn) = scan_frames(bytes, HEADER_LEN);
+    let mut records = Vec::with_capacity(frames.len());
+    for frame in frames {
+        let Ok(record) = std::str::from_utf8(frame.payload)
             .map_err(|e| e.to_string())
             .and_then(|s| serde_json::from_str::<RecordPayload>(s).map_err(|e| e.to_string()))
         else {
-            return (records, off as u64, true);
+            // A CRC-clean frame that is not a record: treat everything from
+            // this frame on as corrupt, exactly like a torn frame.
+            good_end = frame.start;
+            torn = true;
+            break;
         };
         records.push(record);
+    }
+    (records, good_end, torn)
+}
+
+/// One CRC-verified frame in a framed log file.
+pub(crate) struct Frame<'a> {
+    /// Byte offset of the frame's length header in the file.
+    pub start: u64,
+    /// The frame's payload bytes (CRC already verified).
+    pub payload: &'a [u8],
+}
+
+/// Scans `len | crc | payload` frames starting at `header_len`, stopping at
+/// the first torn or corrupt frame. Returns the intact frames, the byte
+/// offset after the last intact frame, and whether a torn tail was found.
+/// Shared by the run journal and the `campaignd` job queue — the two
+/// durable logs frame records identically.
+pub(crate) fn scan_frames(bytes: &[u8], header_len: u64) -> (Vec<Frame<'_>>, u64, bool) {
+    let mut frames = Vec::new();
+    let mut off = header_len as usize;
+    loop {
+        if off >= bytes.len() {
+            return (frames, off.min(bytes.len()) as u64, off > bytes.len());
+        }
+        let Some(header) = bytes.get(off..off + 8) else {
+            return (frames, off as u64, true);
+        };
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if len > MAX_RECORD_LEN {
+            return (frames, off as u64, true);
+        }
+        let Some(payload) = bytes.get(off + 8..off + 8 + len as usize) else {
+            return (frames, off as u64, true);
+        };
+        if crc32(payload) != crc {
+            return (frames, off as u64, true);
+        }
+        frames.push(Frame {
+            start: off as u64,
+            payload,
+        });
         off += 8 + len as usize;
     }
+}
+
+/// Builds one framed record — `u32 len (LE) | u32 crc32 (LE) | payload` —
+/// as a single buffer so the append is one `write_all` (one syscall on the
+/// usual path), minimizing the torn-tail window.
+pub(crate) fn frame_record(payload: &[u8]) -> Vec<u8> {
+    let len = u32::try_from(payload.len()).unwrap_or(u32::MAX);
+    let mut framed = Vec::with_capacity(8 + payload.len());
+    framed.extend_from_slice(&len.to_le_bytes());
+    framed.extend_from_slice(&crc32(payload).to_le_bytes());
+    framed.extend_from_slice(payload);
+    framed
 }
 
 /// Truncates the journal at `path` so at most `keep` records remain — the
@@ -562,8 +605,9 @@ pub fn program_digest(program: &Arc<Program>) -> u64 {
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven. The
 /// workspace deliberately has no compression/CRC dependency, and 12 lines
-/// beat a vendored crate for one framing checksum.
-fn crc32(data: &[u8]) -> u32 {
+/// beat a vendored crate for one framing checksum. `pub(crate)`: the
+/// `campaignd` job queue frames its records with the same checksum.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
     static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
     let table = TABLE.get_or_init(|| {
         let mut t = [0u32; 256];

@@ -21,6 +21,9 @@
 //! * [`manager`] — parallel reproducer/diagnoser orchestration (§4.1, §4.5);
 //! * [`journal`] — the durable write-ahead run journal backing kill-and-resume;
 //! * [`campaign`] — crash-safe, deadline-budgeted campaign driver;
+//! * [`server`] — `campaignd`: a supervised multi-campaign diagnosis service
+//!   with a persistent job queue, admission control, fair-share VM
+//!   scheduling, and dead-letter quarantine;
 //! * [`report`] — human-readable chain and diagnosis reports.
 //!
 //! # Example
@@ -80,6 +83,7 @@ pub mod manager;
 pub mod race;
 pub mod report;
 pub mod schedule;
+pub mod server;
 pub mod simtime;
 
 pub use campaign::{
@@ -116,7 +120,8 @@ pub use exec::{
     Executor,
     ExecutorConfig,
     FaultInjection,
-    FaultKind, //
+    FaultKind,
+    Substrate, //
 };
 pub use journal::{
     Journal,
@@ -142,5 +147,17 @@ pub use schedule::{
     SchedPoint,
     Schedule,
     ThreadSel, //
+};
+pub use server::{
+    CampaignServer,
+    JobQueue,
+    JobResolver,
+    JobSnapshot,
+    JobState,
+    ResolvedJob,
+    RetryBackoff,
+    ServerConfig,
+    ServerStats,
+    SubmitError, //
 };
 pub use simtime::CostModel;

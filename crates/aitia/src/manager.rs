@@ -29,7 +29,8 @@ use crate::{
         ExecStats,
         Executor,
         ExecutorConfig,
-        FaultInjection, //
+        FaultInjection,
+        Substrate, //
     },
     journal::Journal,
     lifs::{
@@ -62,6 +63,12 @@ pub struct ManagerConfig {
     /// the per-slice single-worker executors. Diagnoses are bit-identical
     /// either way; disabling is the A/B baseline for the benchmark.
     pub memo: bool,
+    /// Which memo table / snapshot forest the campaign's executors consult
+    /// ([`crate::exec::ExecutorConfig::substrate`]): the process-global
+    /// substrate by default, or an explicit handle so concurrent campaigns
+    /// either share deliberately (`campaignd`'s cross-campaign substrate)
+    /// or not at all ([`Substrate::private`]).
+    pub substrate: Substrate,
     /// Wall-clock budget for the whole campaign, in seconds. When it
     /// expires, in-flight batches stop and the diagnosis degrades to
     /// best-so-far results (un-flipped races become
@@ -86,6 +93,7 @@ impl Default for ManagerConfig {
             causality: CausalityConfig::default(),
             fault: None,
             memo: true,
+            substrate: Substrate::process_global(),
             wall_deadline_s: None,
             sim_deadline_s: None,
             journal: None,
@@ -149,6 +157,7 @@ impl Manager {
             vms: config.vms,
             fault: config.fault,
             memo: config.memo,
+            substrate: config.substrate.clone(),
             journal: config.journal.clone(),
             deadline: deadline.clone(),
             ..ExecutorConfig::default()
@@ -170,6 +179,12 @@ impl Manager {
     #[must_use]
     pub fn journal_stats(&self) -> Option<crate::journal::JournalStats> {
         self.config.journal.as_ref().map(|j| j.stats())
+    }
+
+    /// The substrate this manager's executors consult.
+    #[must_use]
+    pub fn substrate(&self) -> &Substrate {
+        &self.config.substrate
     }
 
     /// Robustness counters of the manager's shared pool. Multi-slice
@@ -242,6 +257,7 @@ impl Manager {
                     vms: 1,
                     fault: self.config.fault,
                     memo: self.config.memo,
+                    substrate: self.config.substrate.clone(),
                     journal: self.config.journal.clone(),
                     deadline: self.deadline.clone(),
                     ..ExecutorConfig::default()

@@ -57,6 +57,18 @@
 # BENCH_CORPUS_SEEDS overrides the seed count, BENCH_CORPUS_SEED_START
 # the first seed (default 0), and BENCH_CORPUS_OUT the output path
 # (default BENCH_corpus.json).
+#
+# Also regenerates BENCH_server.json, the campaignd throughput artifact:
+# `report bench-server` streams the Table 2 corpus (three noise scales per
+# bug, 30 campaigns) through two fresh server instances — serial
+# submission (one campaign at a time holding the whole 8-VM pool) vs 8
+# concurrent fair-shared campaigns — and reports campaigns/hour plus
+# p50/p95 queue latency on the deterministic simulated clock, gated on
+# bit-identical per-job digests and a >= 1.5x campaigns-per-hour speedup.
+# BENCH_SERVER_SCALE overrides its noise scale (default 0.05; large
+# scales make single campaigns saturate the pool, shrinking the
+# concurrency win by design), and BENCH_SERVER_OUT the output path
+# (default BENCH_server.json).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -75,6 +87,8 @@ THROUGHPUT_GATE="${BENCH_THROUGHPUT_GATE:-full}"
 CORPUS_SEEDS="${BENCH_CORPUS_SEEDS:-200}"
 CORPUS_SEED_START="${BENCH_CORPUS_SEED_START:-0}"
 CORPUS_OUT="${BENCH_CORPUS_OUT:-BENCH_corpus.json}"
+SERVER_SCALE="${BENCH_SERVER_SCALE:-0.05}"
+SERVER_OUT="${BENCH_SERVER_OUT:-BENCH_server.json}"
 
 cargo build --release -p aitia-bench
 ./target/release/report bench-memo --scale "$SCALE" > "$OUT"
@@ -119,3 +133,9 @@ echo "wrote $CORPUS_OUT ($CORPUS_SEEDS seeds from $CORPUS_SEED_START)"
 
 grep -q '"meets_corpus_gate": true' "$CORPUS_OUT" \
     || { echo "FAIL: corpus fuzz missed the gate (digest mismatch across the executor matrix or < 95% planted-race recall)" >&2; exit 1; }
+
+./target/release/report bench-server --scale "$SERVER_SCALE" > "$SERVER_OUT"
+echo "wrote $SERVER_OUT (scale $SERVER_SCALE)"
+
+grep -q '"meets_server_gate": true' "$SERVER_OUT" \
+    || { echo "FAIL: server bench missed the gate (divergent diagnoses between serial and concurrent campaigns, or < 1.5x campaigns/hour at 8 concurrent)" >&2; exit 1; }

@@ -32,6 +32,7 @@ BENCH_SCALE=0.05 BENCH_OUT=target/BENCH_memo_smoke.json \
     BENCH_THROUGHPUT_OUT=target/BENCH_throughput_smoke.json \
     BENCH_THROUGHPUT_GATE=identity \
     BENCH_CORPUS_SEEDS=8 BENCH_CORPUS_OUT=target/BENCH_corpus_smoke.json \
+    BENCH_SERVER_SCALE=0.05 BENCH_SERVER_OUT=target/BENCH_server_smoke.json \
     scripts/bench.sh
 
 echo "==> prune ablation smoke"
@@ -86,5 +87,37 @@ diff target/ci-resume-resumed.txt target/ci-resume-reference.txt \
     || { echo "FAIL: resumed diagnosis diverged from the uninterrupted run" >&2; exit 1; }
 grep -q '^journal: ' target/ci-resume-resumed.err \
     || { echo "FAIL: resumed run did not report journal stats" >&2; exit 1; }
+
+echo "==> campaignd smoke"
+# Submit a batch of corpus bugs to the daemon's durable queue, start the
+# daemon, SIGKILL it partway through, restart it in drain mode, and require
+# every result file to diff clean against direct `diagnose --report-only`
+# runs. The kill is racy by design: whether it lands mid-campaign, between
+# campaigns, or after the drain, the restart must recover the queue and
+# land every job on the same bytes.
+CDIR=target/ci-campaignd
+rm -rf "$CDIR"
+SMOKE_BUGS="CVE-2017-15649 CVE-2017-10661 CVE-2018-12232 CVE-2019-6974 \
+    CVE-2016-8655 CVE-2017-2636 CVE-2017-7533 CVE-2019-11486"
+for bug in $SMOKE_BUGS; do
+    ./target/release/campaignd submit --dir "$CDIR" "cve:$bug:0.05" > /dev/null
+done
+./target/release/campaignd run --dir "$CDIR" --drain --poll-ms 5 \
+    2> target/ci-campaignd-first.err &
+CD_PID=$!
+sleep 0.2
+kill -9 "$CD_PID" 2> /dev/null || true
+wait "$CD_PID" 2> /dev/null || true
+./target/release/campaignd run --dir "$CDIR" --drain --poll-ms 5 \
+    2> target/ci-campaignd-restart.err
+./target/release/campaignd status --dir "$CDIR" > target/ci-campaignd-status.json
+id=0
+for bug in $SMOKE_BUGS; do
+    id=$((id + 1))
+    ./target/release/diagnose "$bug" --scale 0.05 --report-only \
+        > target/ci-campaignd-ref.txt 2> /dev/null
+    diff "$CDIR/results/job-$id.report.txt" target/ci-campaignd-ref.txt \
+        || { echo "FAIL: campaignd job $id ($bug) diverged from direct diagnose" >&2; exit 1; }
+done
 
 echo "CI OK"

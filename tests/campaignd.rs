@@ -1,0 +1,202 @@
+//! Soak test for the `campaignd` server: a stream of generated-corpus
+//! seeds (plus deliberately poisoned payloads) through
+//! [`aitia::server::CampaignServer`] at 1, 2, and 8 workers with VM fault
+//! injection on.
+//!
+//! The contract: every job reaches a terminal state, diagnoses are
+//! bit-identical to direct single-campaign runs (and across worker
+//! counts), and dead-lettered jobs never block the jobs submitted after
+//! them.
+
+use aitia_bench::experiments::CorpusJobResolver;
+use aitia_repro::aitia::server::{
+    report_digest,
+    CampaignServer,
+    JobResolver,
+    JobState,
+    RetryBackoff,
+    ServerConfig,
+    NO_REPRO_DIGEST, //
+};
+use aitia_repro::aitia::{
+    manager::ManagerConfig,
+    report,
+    Campaign,
+    CampaignOutcome,
+    FaultInjection,
+    Substrate, //
+};
+use std::collections::BTreeMap;
+use std::path::{
+    Path,
+    PathBuf, //
+};
+use std::sync::Arc;
+
+/// How many generated seeds the soak streams through each server.
+const SEEDS: u64 = 50;
+
+/// Recovering VM faults: failures on early attempts, success on a retry,
+/// so campaigns complete while the retry machinery stays exercised.
+fn fault() -> FaultInjection {
+    FaultInjection {
+        seed: 11,
+        rate_permille: 120,
+        ..FaultInjection::default()
+    }
+}
+
+fn resolver() -> CorpusJobResolver {
+    CorpusJobResolver {
+        fault: Some(fault()),
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("aitia-soak-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn soak_config(dir: &Path, workers: usize) -> ServerConfig {
+    ServerConfig {
+        max_inflight: workers,
+        drain: true,
+        poll_ms: 5,
+        backoff: RetryBackoff {
+            base_ms: 1,
+            max_ms: 4,
+            seed: 9,
+        },
+        ..ServerConfig::at(dir)
+    }
+}
+
+/// The digest a direct, single-campaign run of `payload` produces — the
+/// reference every server run must match bit-for-bit.
+fn direct_digest(payload: &str) -> String {
+    let resolved = resolver().resolve(payload).expect("payload resolves");
+    let campaign = Campaign::new(ManagerConfig {
+        vms: 8,
+        lifs: resolved.lifs,
+        causality: resolved.causality,
+        fault: resolved.fault,
+        substrate: Substrate::private(4096, 64),
+        ..ManagerConfig::default()
+    });
+    match campaign.diagnose_program(Arc::clone(&resolved.program)) {
+        CampaignOutcome::Complete(d) => {
+            report_digest(&report::render(&resolved.program, &d.failing, &d.result))
+        }
+        CampaignOutcome::Partial(p) => report_digest(&report::render(
+            &resolved.program,
+            &p.diagnosis.failing,
+            &p.diagnosis.result,
+        )),
+        CampaignOutcome::NoReproduction { .. } => NO_REPRO_DIGEST.to_string(),
+    }
+}
+
+#[test]
+fn soak_fifty_seeds_at_one_two_and_eight_workers() {
+    // Poison payloads interleave with the stream: two unknown payloads
+    // (resolver error) submitted *before* most of the work, so a wedged
+    // queue would starve everything behind them.
+    let mut payloads: Vec<String> = vec!["poison:alpha".into()];
+    payloads.extend((0..SEEDS).map(|s| format!("gen:{s}")));
+    payloads.insert(SEEDS as usize / 2, "poison:beta".into());
+
+    // Reference digests from direct single-campaign runs, computed once.
+    let reference: BTreeMap<&str, String> = payloads
+        .iter()
+        .filter(|p| p.starts_with("gen:"))
+        .map(|p| (p.as_str(), direct_digest(p)))
+        .collect();
+
+    let mut per_worker_digests: Vec<BTreeMap<String, String>> = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let dir = temp_dir(&format!("w{workers}"));
+        let server = CampaignServer::open(soak_config(&dir, workers), Arc::new(resolver()))
+            .expect("server opens");
+        for p in &payloads {
+            server.submit(p).expect("soak submits fit the queue");
+        }
+        let stats = server.run();
+        let jobs = server.jobs().expect("queue folds");
+
+        // Every job reached a terminal state; nothing is stuck.
+        assert_eq!(
+            stats.terminal() as usize,
+            payloads.len(),
+            "{workers} workers: every job must be terminal"
+        );
+        assert!(
+            jobs.values().all(|j| j.state.is_terminal()),
+            "{workers} workers: non-terminal job in final fold"
+        );
+
+        // Poison jobs dead-letter with quarantine post-mortems and never
+        // block the generated jobs behind them.
+        let dead: Vec<_> = jobs
+            .values()
+            .filter(|j| j.state == JobState::DeadLettered)
+            .collect();
+        assert_eq!(dead.len(), 2, "{workers} workers: both poisons quarantined");
+        for j in &dead {
+            assert!(j.payload.starts_with("poison:"));
+            assert!(
+                dir.join(format!("quarantine/job-{}.json", j.id)).exists(),
+                "{workers} workers: quarantine file for job {}",
+                j.id
+            );
+        }
+        assert_eq!(stats.dead_lettered, 2);
+
+        // Diagnoses are bit-identical to direct single-campaign runs.
+        let mut digests = BTreeMap::new();
+        for j in jobs.values() {
+            if !j.payload.starts_with("gen:") {
+                continue;
+            }
+            let digest = j.digest.clone().expect("terminal generated job has digest");
+            assert_eq!(
+                &digest,
+                &reference[j.payload.as_str()],
+                "{workers} workers: {} diverged from the direct run",
+                j.payload
+            );
+            digests.insert(j.payload.clone(), digest);
+        }
+        assert_eq!(digests.len(), SEEDS as usize);
+        per_worker_digests.push(digests);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // And identical across worker counts (1 vs 2 vs 8).
+    assert_eq!(per_worker_digests[0], per_worker_digests[1]);
+    assert_eq!(per_worker_digests[0], per_worker_digests[2]);
+}
+
+#[test]
+fn backpressure_rejects_past_the_bound_and_recovers_as_jobs_finish() {
+    let dir = temp_dir("backpressure");
+    let config = ServerConfig {
+        max_queued: 4,
+        ..soak_config(&dir, 2)
+    };
+    let server = CampaignServer::open(config, Arc::new(resolver())).expect("server opens");
+    for s in 0..4u64 {
+        server.submit(&format!("gen:{s}")).expect("under the bound");
+    }
+    assert!(
+        server.submit("gen:99").is_err(),
+        "fifth non-terminal job must be rejected"
+    );
+    assert_eq!(server.stats().rejected_full, 1);
+    let stats = server.run();
+    assert_eq!(stats.terminal(), 4);
+    // Terminal jobs free admission slots: the rejected payload fits now.
+    server.submit("gen:99").expect("bound freed after drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}
