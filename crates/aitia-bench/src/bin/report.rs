@@ -85,6 +85,9 @@ flags:
                         snapshot forest (the A/B baseline)
   --fault-rate <int>    injected VM-fault rate in permille (default 0 = off)
   --fault-seed <int>    fault-injection seed (default 0)
+  --backend <name>      execution backend for the shared pool: ksim
+                        (default) or kvm; kvm needs a build with
+                        --features kvm and /dev/kvm
   --journal <path>      append conclusive runs to a durable journal and
                         replay nothing (tables build fresh programs); the
                         journal counter block prints at the end
@@ -124,6 +127,7 @@ fn main() {
     let mut memo = true;
     let mut fault_rate = 0u32;
     let mut fault_seed = 0u64;
+    let mut backend = aitia::BackendKind::default();
     let mut journal_path: Option<String> = None;
     let mut deadline_s: Option<f64> = None;
     let mut seeds = 200usize;
@@ -142,6 +146,7 @@ fn main() {
             "--no-memo" => memo = false,
             "--fault-rate" => fault_rate = flag_value(&args, &mut i, "--fault-rate"),
             "--fault-seed" => fault_seed = flag_value(&args, &mut i, "--fault-seed"),
+            "--backend" => backend = flag_value(&args, &mut i, "--backend"),
             "--journal" => journal_path = Some(flag_value(&args, &mut i, "--journal")),
             "--deadline-s" => deadline_s = Some(flag_value(&args, &mut i, "--deadline-s")),
             "--seeds" => seeds = flag_value(&args, &mut i, "--seeds"),
@@ -168,6 +173,9 @@ fn main() {
         if !(d.is_finite() && d > 0.0) {
             usage_exit("--deadline-s must be a finite number greater than 0");
         }
+    }
+    if let Err(why) = backend.available() {
+        usage_exit(&format!("--backend {backend}: {why}"));
     }
     let fault = (fault_rate > 0).then(|| FaultInjection {
         seed: fault_seed,
@@ -198,6 +206,7 @@ fn main() {
         memo,
         journal: journal.clone(),
         deadline,
+        backend,
         ..ExecutorConfig::default()
     }));
     let model = experiments::cost_model_for(&exec);

@@ -1575,19 +1575,22 @@ pub struct MatrixCell {
     pub deep_snapshots: bool,
     /// Worker count.
     pub vms: usize,
+    /// Execution backend the cell's pool boots.
+    pub backend: aitia::BackendKind,
 }
 
 impl MatrixCell {
-    /// Short label, e.g. `dpor/memo/steal/cow/8vm/adaptive`.
+    /// Short label, e.g. `dpor/memo/steal/cow/8vm/ksim/adaptive`.
     #[must_use]
     pub fn label(&self) -> String {
         format!(
-            "{:?}/{}/{:?}/{}/{}vm/{}",
+            "{:?}/{}/{:?}/{}/{}vm/{}/{}",
             self.prune,
             if self.memo { "memo" } else { "nomemo" },
             self.claim,
             if self.deep_snapshots { "deep" } else { "cow" },
             self.vms,
+            self.backend,
             self.causality
         )
         .to_lowercase()
@@ -1601,6 +1604,7 @@ impl MatrixCell {
             memo: self.memo,
             claim: self.claim,
             deep_snapshots: self.deep_snapshots,
+            backend: self.backend,
             ..ExecutorConfig::default()
         }))
     }
@@ -1611,9 +1615,16 @@ impl MatrixCell {
 /// {1, 2, 8} at the exhaustive causality level — 72 cells — plus an
 /// adaptive-causality axis: prune {off, conflict, dpor} × workers {1, 8}
 /// with the default memo/claim/snapshot knobs — 6 more cells. Cell 0
-/// (off/memo/counter/cow/1vm/exhaustive) is the reference the recall gate
-/// is measured on; the first adaptive cell is the reference for the
+/// (off/memo/counter/cow/1vm/ksim/exhaustive) is the reference the recall
+/// gate is measured on; the first adaptive cell is the reference for the
 /// adaptive recall gate.
+///
+/// When this build carries the `kvm` backend and `/dev/kvm` is usable, a
+/// backend axis joins the matrix: prune {off, conflict, dpor} × workers
+/// {1, 2} on the KVM microVM substrate, which must reproduce the very
+/// same diagnosis digests as every ksim cell at the same causality level.
+/// Unavailable backends contribute no cells, so the matrix (and `report
+/// fuzz`) degrades to the pure-ksim matrix on machines without KVM.
 #[must_use]
 pub fn corpus_matrix() -> Vec<MatrixCell> {
     use aitia::lifs::PruneLevel;
@@ -1630,9 +1641,25 @@ pub fn corpus_matrix() -> Vec<MatrixCell> {
                             claim,
                             deep_snapshots,
                             vms,
+                            backend: aitia::BackendKind::Ksim,
                         });
                     }
                 }
+            }
+        }
+    }
+    if aitia::BackendKind::Kvm.available().is_ok() {
+        for prune in [PruneLevel::Off, PruneLevel::Conflict, PruneLevel::Dpor] {
+            for vms in [1usize, 2] {
+                cells.push(MatrixCell {
+                    prune,
+                    causality: aitia::CausalityLevel::Exhaustive,
+                    memo: true,
+                    claim: ClaimMode::Counter,
+                    deep_snapshots: false,
+                    vms,
+                    backend: aitia::BackendKind::Kvm,
+                });
             }
         }
     }
@@ -1645,6 +1672,7 @@ pub fn corpus_matrix() -> Vec<MatrixCell> {
                 claim: ClaimMode::Counter,
                 deep_snapshots: false,
                 vms,
+                backend: aitia::BackendKind::Ksim,
             });
         }
     }
@@ -1883,7 +1911,8 @@ fn fuzz_mismatch(cells: &[MatrixCell], out: &FuzzOutcomes) -> Option<usize> {
 
 /// Differential fuzz over `seeds` consecutive generated programs starting
 /// at `seed_start`: every program runs through the full executor matrix
-/// (72 exhaustive cells plus the adaptive-causality axis); cross-level
+/// (72 exhaustive cells, the adaptive-causality axis, and — when KVM is
+/// usable — the backend axis); cross-level
 /// digests must agree bit-for-bit, same-level digests must also agree on
 /// CA schedule counts, and both reference cells' chains must contain a
 /// planted racing pair. Divergences are shrunk (same seed, simpler

@@ -1,0 +1,691 @@
+//! A minimal KVM microVM, driven through raw `/dev/kvm` ioctls.
+//!
+//! This crate is the hardware half of aitia's `kvm` execution backend: a
+//! single-vcpu x86_64 long-mode guest whose only job is to execute 8-byte
+//! loads and stores against real, virtualized memory on behalf of the
+//! diagnosis engine. The guest runs a tiny hand-assembled command loop —
+//! the host writes an `(op, addr, val)` triple into a fixed command block,
+//! re-enters the vcpu, and the guest executes the access and parks itself
+//! on `HLT` (the vmexit that hands control back). There is no firmware, no
+//! kernel, no device model: setup is exactly the minimal vcpu-exit loop
+//! idiom (identity-mapped page tables, flat 64-bit segments, one memory
+//! region), so a full VM boots in well under a millisecond.
+//!
+//! No external crates are used: the four syscalls needed (`open` via std,
+//! `ioctl`, `mmap`, `munmap`) go through hand-declared FFI. Struct layouts
+//! (`kvm_regs` 0x90 bytes, `kvm_sregs` 0x138 bytes, `kvm_userspace_memory_region`
+//! 0x20 bytes) are transcribed from the kernel ABI, which is frozen.
+//!
+//! Everything real is gated on `target_arch = "x86_64"`; on other hosts
+//! [`probe`] reports the backend unavailable and [`MicroVm::new`] fails,
+//! so the crate still compiles (and the conformance kit skips) anywhere.
+//!
+//! # Errors are poison
+//!
+//! Any unexpected vmexit (shutdown, failed entry, internal error, a runaway
+//! guest that never reaches `HLT`) returns `Err` from the access method and
+//! marks the VM dead ([`MicroVm::poisoned`]). The embedding backend treats
+//! that as a genuine VM crash: the run becomes inconclusive and the
+//! fault-injection/quarantine machinery upstack takes over. This crate never
+//! panics on guest misbehavior.
+
+#![warn(missing_docs)]
+
+/// Guest physical memory size: 128 KiB covers the page tables, the command
+/// block, the code blob, and the data region.
+pub const MEM_SIZE: usize = 0x20000;
+
+/// Guest physical address of the command block (`[op][addr][val][result]`,
+/// four u64 cells).
+pub const CMD_BASE: u64 = 0x1000;
+
+/// Guest physical address the code blob is loaded at (and the vcpu's
+/// initial RIP).
+pub const CODE_BASE: u64 = 0x2000;
+
+/// First guest physical address of the data region — the memory the
+/// embedding backend allocates its 8-byte cells from.
+pub const DATA_BASE: u64 = 0x10000;
+
+/// Size of the data region in bytes (8192 cells of 8 bytes).
+pub const DATA_SIZE: usize = 0x10000;
+
+/// Upper bound on vmexits while executing one command; a guest that has not
+/// reached `HLT` by then is runaway and the VM is poisoned.
+const MAX_EXITS_PER_CMD: u32 = 64;
+
+#[cfg(target_arch = "x86_64")]
+mod real {
+    use super::{CMD_BASE, CODE_BASE, DATA_BASE, DATA_SIZE, MAX_EXITS_PER_CMD, MEM_SIZE};
+    use std::fs::{File, OpenOptions};
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd};
+
+    // ---- FFI --------------------------------------------------------------
+
+    extern "C" {
+        fn ioctl(fd: i32, request: u64, ...) -> i32;
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const PROT_WRITE: i32 = 2;
+    const MAP_SHARED: i32 = 0x01;
+    const MAP_PRIVATE: i32 = 0x02;
+    const MAP_ANONYMOUS: i32 = 0x20;
+
+    const KVM_GET_API_VERSION: u64 = 0xAE00;
+    const KVM_CREATE_VM: u64 = 0xAE01;
+    const KVM_GET_VCPU_MMAP_SIZE: u64 = 0xAE04;
+    const KVM_CREATE_VCPU: u64 = 0xAE41;
+    const KVM_SET_USER_MEMORY_REGION: u64 = 0x4020_AE46;
+    const KVM_RUN: u64 = 0xAE80;
+    const KVM_SET_REGS: u64 = 0x4090_AE82;
+    const KVM_GET_SREGS: u64 = 0x8138_AE83;
+    const KVM_SET_SREGS: u64 = 0x4138_AE84;
+
+    const KVM_API_VERSION: i32 = 12;
+
+    const KVM_EXIT_HLT: u32 = 5;
+
+    // ---- kernel ABI structs ----------------------------------------------
+
+    #[repr(C)]
+    #[derive(Clone, Copy, Default)]
+    struct KvmSegment {
+        base: u64,
+        limit: u32,
+        selector: u16,
+        type_: u8,
+        present: u8,
+        dpl: u8,
+        db: u8,
+        s: u8,
+        l: u8,
+        g: u8,
+        avl: u8,
+        unusable: u8,
+        padding: u8,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy, Default)]
+    struct KvmDtable {
+        base: u64,
+        limit: u16,
+        padding: [u16; 3],
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy, Default)]
+    struct KvmSregs {
+        cs: KvmSegment,
+        ds: KvmSegment,
+        es: KvmSegment,
+        fs: KvmSegment,
+        gs: KvmSegment,
+        ss: KvmSegment,
+        tr: KvmSegment,
+        ldt: KvmSegment,
+        gdt: KvmDtable,
+        idt: KvmDtable,
+        cr0: u64,
+        cr2: u64,
+        cr3: u64,
+        cr4: u64,
+        cr8: u64,
+        efer: u64,
+        apic_base: u64,
+        interrupt_bitmap: [u64; 4],
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy, Default)]
+    struct KvmRegs {
+        rax: u64,
+        rbx: u64,
+        rcx: u64,
+        rdx: u64,
+        rsi: u64,
+        rdi: u64,
+        rsp: u64,
+        rbp: u64,
+        r8: u64,
+        r9: u64,
+        r10: u64,
+        r11: u64,
+        r12: u64,
+        r13: u64,
+        r14: u64,
+        r15: u64,
+        rip: u64,
+        rflags: u64,
+    }
+
+    #[repr(C)]
+    struct KvmUserspaceMemoryRegion {
+        slot: u32,
+        flags: u32,
+        guest_phys_addr: u64,
+        memory_size: u64,
+        userspace_addr: u64,
+    }
+
+    const _: () = assert!(core::mem::size_of::<KvmSegment>() == 24);
+    const _: () = assert!(core::mem::size_of::<KvmSregs>() == 0x138);
+    const _: () = assert!(core::mem::size_of::<KvmRegs>() == 0x90);
+    const _: () = assert!(core::mem::size_of::<KvmUserspaceMemoryRegion>() == 0x20);
+
+    // ---- guest code -------------------------------------------------------
+
+    /// Guest page-table roots (identity map of the first 2 MiB via one
+    /// large page — everything the guest touches lives below 128 KiB).
+    const PML4_BASE: u64 = 0x9000;
+    const PDPT_BASE: u64 = 0xA000;
+    const PD_BASE: u64 = 0xB000;
+
+    /// Command opcodes understood by the guest loop.
+    const OP_WRITE: u64 = 1;
+
+    /// The hand-assembled 64-bit command loop (see module docs). Offsets:
+    ///
+    /// ```text
+    /// 00  mov rbx, [0x1000]      ; op
+    /// 08  mov rcx, [0x1008]      ; addr
+    /// 16  mov rdx, [0x1010]      ; val
+    /// 24  cmp rbx, 1
+    /// 28  jne +5  -> 35          ; not a write => read
+    /// 30  mov [rcx], rdx
+    /// 33  jmp +11 -> 46
+    /// 35  mov rax, [rcx]
+    /// 38  mov [0x1018], rax      ; result
+    /// 46  hlt                    ; vmexit: command done
+    /// 47  jmp -49 -> 0           ; next command
+    /// ```
+    const GUEST_CODE: [u8; 49] = [
+        0x48, 0x8B, 0x1C, 0x25, 0x00, 0x10, 0x00, 0x00, // mov rbx,[0x1000]
+        0x48, 0x8B, 0x0C, 0x25, 0x08, 0x10, 0x00, 0x00, // mov rcx,[0x1008]
+        0x48, 0x8B, 0x14, 0x25, 0x10, 0x10, 0x00, 0x00, // mov rdx,[0x1010]
+        0x48, 0x83, 0xFB, 0x01, // cmp rbx,1
+        0x75, 0x05, // jne read
+        0x48, 0x89, 0x11, // mov [rcx],rdx
+        0xEB, 0x0B, // jmp done
+        0x48, 0x8B, 0x01, // read: mov rax,[rcx]
+        0x48, 0x89, 0x04, 0x25, 0x18, 0x10, 0x00, 0x00, // mov [0x1018],rax
+        0xF4, // done: hlt
+        0xEB, 0xCF, // jmp start
+    ];
+
+    // ---- probe ------------------------------------------------------------
+
+    fn open_kvm() -> Result<File, String> {
+        OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open("/dev/kvm")
+            .map_err(|e| format!("cannot open /dev/kvm: {e}"))
+    }
+
+    /// Whether a usable KVM is present on this host.
+    pub fn probe() -> Result<(), String> {
+        let kvm = open_kvm()?;
+        let version = unsafe { ioctl(kvm.as_raw_fd(), KVM_GET_API_VERSION, 0) };
+        if version != KVM_API_VERSION {
+            return Err(format!(
+                "KVM api version {version} (need {KVM_API_VERSION})"
+            ));
+        }
+        Ok(())
+    }
+
+    // ---- the VM -----------------------------------------------------------
+
+    /// Guest memory: an anonymous shared mapping handed to KVM, unmapped on
+    /// drop.
+    struct GuestMem {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    // The mapping is plain process memory; the raw pointer is only ever
+    // dereferenced through &self/&mut self methods.
+    unsafe impl Send for GuestMem {}
+
+    impl GuestMem {
+        fn new(len: usize) -> Result<GuestMem, String> {
+            let ptr = unsafe {
+                mmap(
+                    core::ptr::null_mut(),
+                    len,
+                    PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS,
+                    -1,
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err("mmap of guest memory failed".into());
+            }
+            Ok(GuestMem {
+                ptr: ptr.cast(),
+                len,
+            })
+        }
+
+        fn slice(&self) -> &[u8] {
+            unsafe { core::slice::from_raw_parts(self.ptr, self.len) }
+        }
+
+        fn slice_mut(&mut self) -> &mut [u8] {
+            unsafe { core::slice::from_raw_parts_mut(self.ptr, self.len) }
+        }
+
+        fn write_u64(&mut self, gpa: u64, val: u64) {
+            let off = usize::try_from(gpa).expect("gpa fits usize");
+            self.slice_mut()[off..off + 8].copy_from_slice(&val.to_le_bytes());
+        }
+
+        fn read_u64(&self, gpa: u64) -> u64 {
+            let off = usize::try_from(gpa).expect("gpa fits usize");
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&self.slice()[off..off + 8]);
+            u64::from_le_bytes(b)
+        }
+    }
+
+    impl Drop for GuestMem {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr.cast(), self.len);
+            }
+        }
+    }
+
+    /// The vcpu's shared `kvm_run` mapping (only `exit_reason`, at byte
+    /// offset 8, is consulted).
+    struct RunMap {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    unsafe impl Send for RunMap {}
+
+    impl RunMap {
+        fn exit_reason(&self) -> u32 {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(unsafe { core::slice::from_raw_parts(self.ptr.add(8), 4) });
+            u32::from_le_bytes(b)
+        }
+    }
+
+    impl Drop for RunMap {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr.cast(), self.len);
+            }
+        }
+    }
+
+    /// A booted single-vcpu microVM executing the command loop.
+    pub struct MicroVm {
+        /// Keeps `/dev/kvm` open for the VM's lifetime.
+        _kvm: File,
+        /// VM fd (closed on drop).
+        _vm: OwnedFd,
+        /// vcpu fd.
+        vcpu: OwnedFd,
+        run: RunMap,
+        mem: GuestMem,
+        poisoned: Option<String>,
+    }
+
+    impl MicroVm {
+        /// Boots a fresh microVM: long-mode vcpu, identity-mapped page
+        /// tables, command loop loaded, RIP parked at the loop head.
+        pub fn new() -> Result<MicroVm, String> {
+            let kvm = open_kvm()?;
+            let version = unsafe { ioctl(kvm.as_raw_fd(), KVM_GET_API_VERSION, 0) };
+            if version != KVM_API_VERSION {
+                return Err(format!(
+                    "KVM api version {version} (need {KVM_API_VERSION})"
+                ));
+            }
+            let vm_fd = unsafe { ioctl(kvm.as_raw_fd(), KVM_CREATE_VM, 0) };
+            if vm_fd < 0 {
+                return Err("KVM_CREATE_VM failed".into());
+            }
+            let vm = unsafe { OwnedFd::from_raw_fd(vm_fd) };
+
+            let mut mem = GuestMem::new(MEM_SIZE)?;
+            let region = KvmUserspaceMemoryRegion {
+                slot: 0,
+                flags: 0,
+                guest_phys_addr: 0,
+                memory_size: MEM_SIZE as u64,
+                userspace_addr: mem.ptr as u64,
+            };
+            if unsafe { ioctl(vm.as_raw_fd(), KVM_SET_USER_MEMORY_REGION, &region) } < 0 {
+                return Err("KVM_SET_USER_MEMORY_REGION failed".into());
+            }
+
+            let vcpu_fd = unsafe { ioctl(vm.as_raw_fd(), KVM_CREATE_VCPU, 0) };
+            if vcpu_fd < 0 {
+                return Err("KVM_CREATE_VCPU failed".into());
+            }
+            let vcpu = unsafe { OwnedFd::from_raw_fd(vcpu_fd) };
+
+            let run_len = unsafe { ioctl(kvm.as_raw_fd(), KVM_GET_VCPU_MMAP_SIZE, 0) };
+            if run_len <= 0 {
+                return Err("KVM_GET_VCPU_MMAP_SIZE failed".into());
+            }
+            let run_len = run_len as usize;
+            let run_ptr = unsafe {
+                mmap(
+                    core::ptr::null_mut(),
+                    run_len,
+                    PROT_READ | PROT_WRITE,
+                    MAP_SHARED,
+                    vcpu.as_raw_fd(),
+                    0,
+                )
+            };
+            if run_ptr as isize == -1 {
+                return Err("mmap of kvm_run failed".into());
+            }
+            let run = RunMap {
+                ptr: run_ptr.cast(),
+                len: run_len,
+            };
+
+            // Page tables: identity-map the first 2 MiB with one large page.
+            mem.write_u64(PML4_BASE, PDPT_BASE | 0b11); // present | write
+            mem.write_u64(PDPT_BASE, PD_BASE | 0b11);
+            mem.write_u64(PD_BASE, 0x83); // present | write | 2MiB page
+
+            // Code.
+            let code_off = usize::try_from(CODE_BASE).expect("fits");
+            mem.slice_mut()[code_off..code_off + GUEST_CODE.len()].copy_from_slice(&GUEST_CODE);
+
+            // Long-mode segmentation and control registers.
+            let mut sregs = KvmSregs::default();
+            if unsafe { ioctl(vcpu.as_raw_fd(), KVM_GET_SREGS, &mut sregs) } < 0 {
+                return Err("KVM_GET_SREGS failed".into());
+            }
+            let code_seg = KvmSegment {
+                base: 0,
+                limit: 0xFFFF_FFFF,
+                selector: 0x08,
+                type_: 0x0B, // execute/read, accessed
+                present: 1,
+                dpl: 0,
+                db: 0,
+                s: 1,
+                l: 1, // 64-bit
+                g: 1,
+                avl: 0,
+                unusable: 0,
+                padding: 0,
+            };
+            let data_seg = KvmSegment {
+                base: 0,
+                limit: 0xFFFF_FFFF,
+                selector: 0x10,
+                type_: 0x03, // read/write, accessed
+                present: 1,
+                dpl: 0,
+                db: 1,
+                s: 1,
+                l: 0,
+                g: 1,
+                avl: 0,
+                unusable: 0,
+                padding: 0,
+            };
+            sregs.cs = code_seg;
+            sregs.ds = data_seg;
+            sregs.es = data_seg;
+            sregs.fs = data_seg;
+            sregs.gs = data_seg;
+            sregs.ss = data_seg;
+            sregs.cr3 = PML4_BASE;
+            sregs.cr4 = 1 << 5; // PAE
+            sregs.cr0 = 0x8005_0033; // PE | MP | ET | NE | WP | AM | PG
+            sregs.efer = (1 << 8) | (1 << 10); // LME | LMA
+            if unsafe { ioctl(vcpu.as_raw_fd(), KVM_SET_SREGS, &sregs) } < 0 {
+                return Err("KVM_SET_SREGS failed".into());
+            }
+
+            let regs = KvmRegs {
+                rip: CODE_BASE,
+                rflags: 0x2,    // reserved bit
+                rsp: DATA_BASE, // unused by the loop, but keep it mapped
+                ..KvmRegs::default()
+            };
+            if unsafe { ioctl(vcpu.as_raw_fd(), KVM_SET_REGS, &regs) } < 0 {
+                return Err("KVM_SET_REGS failed".into());
+            }
+
+            Ok(MicroVm {
+                _kvm: kvm,
+                _vm: vm,
+                vcpu,
+                run,
+                mem,
+                poisoned: None,
+            })
+        }
+
+        /// Why this VM is dead, if it is.
+        pub fn poisoned(&self) -> Option<&str> {
+            self.poisoned.as_deref()
+        }
+
+        fn poison(&mut self, why: String) -> String {
+            self.poisoned = Some(why.clone());
+            why
+        }
+
+        /// Runs the vcpu until the guest parks on `HLT` (one command).
+        fn run_to_hlt(&mut self) -> Result<(), String> {
+            for _ in 0..MAX_EXITS_PER_CMD {
+                if unsafe { ioctl(self.vcpu.as_raw_fd(), KVM_RUN, 0) } < 0 {
+                    return Err(self.poison("KVM_RUN failed".into()));
+                }
+                match self.run.exit_reason() {
+                    KVM_EXIT_HLT => return Ok(()),
+                    // IO/MMIO/shutdown/failed-entry/internal-error: the
+                    // guest left the command loop — it is not coming back.
+                    r @ (2 | 6 | 8 | 9 | 17) => {
+                        return Err(self.poison(format!("unexpected vmexit {r}")))
+                    }
+                    // Anything else (interrupted run, irq window) re-enters.
+                    _ => {}
+                }
+            }
+            Err(self.poison(format!(
+                "guest did not reach HLT within {MAX_EXITS_PER_CMD} exits"
+            )))
+        }
+
+        /// Executes one command (already staged in the command block).
+        fn exec_cmd(&mut self, op: u64, gpa: u64, val: u64) -> Result<(), String> {
+            if let Some(why) = &self.poisoned {
+                return Err(why.clone());
+            }
+            if gpa < DATA_BASE || gpa + 8 > DATA_BASE + DATA_SIZE as u64 {
+                return Err(self.poison(format!("guest address {gpa:#x} outside data region")));
+            }
+            self.mem.write_u64(CMD_BASE, op);
+            self.mem.write_u64(CMD_BASE + 8, gpa);
+            self.mem.write_u64(CMD_BASE + 16, val);
+            self.run_to_hlt()
+        }
+
+        /// Stores `val` at guest physical address `gpa` *in the guest* (the
+        /// vcpu executes the store).
+        pub fn write_u64(&mut self, gpa: u64, val: u64) -> Result<(), String> {
+            self.exec_cmd(OP_WRITE, gpa, val)
+        }
+
+        /// Loads the u64 at guest physical address `gpa` in the guest.
+        pub fn read_u64(&mut self, gpa: u64) -> Result<u64, String> {
+            self.exec_cmd(0, gpa, 0)?;
+            Ok(self.mem.read_u64(CMD_BASE + 24))
+        }
+
+        /// A copy of the data region — the microVM half of a backend
+        /// snapshot.
+        pub fn snapshot_data(&self) -> Vec<u8> {
+            let base = usize::try_from(DATA_BASE).expect("fits");
+            self.mem.slice()[base..base + DATA_SIZE].to_vec()
+        }
+
+        /// Overwrites the data region from a [`MicroVm::snapshot_data`]
+        /// copy.
+        ///
+        /// # Errors
+        ///
+        /// When `bytes` is not exactly [`DATA_SIZE`] long.
+        pub fn restore_data(&mut self, bytes: &[u8]) -> Result<(), String> {
+            if bytes.len() != DATA_SIZE {
+                return Err(format!(
+                    "data snapshot is {} bytes (expected {DATA_SIZE})",
+                    bytes.len()
+                ));
+            }
+            let base = usize::try_from(DATA_BASE).expect("fits");
+            self.mem.slice_mut()[base..base + DATA_SIZE].copy_from_slice(bytes);
+            Ok(())
+        }
+
+        /// Zeroes the data region (reboot-equivalent for guest state). Does
+        /// not clear poisoning — a dead vcpu stays dead; boot a fresh VM.
+        pub fn reset_data(&mut self) {
+            let base = usize::try_from(DATA_BASE).expect("fits");
+            self.mem.slice_mut()[base..base + DATA_SIZE].fill(0);
+        }
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod real {
+    /// KVM probing on a non-x86_64 host: always unavailable.
+    pub fn probe() -> Result<(), String> {
+        Err("the kvm backend requires an x86_64 host".into())
+    }
+
+    /// Stub microVM for non-x86_64 hosts; construction always fails.
+    pub struct MicroVm {
+        never: core::convert::Infallible,
+    }
+
+    impl MicroVm {
+        /// Always fails on this architecture.
+        pub fn new() -> Result<MicroVm, String> {
+            Err("the kvm backend requires an x86_64 host".into())
+        }
+
+        /// Unreachable (the VM cannot be constructed).
+        pub fn poisoned(&self) -> Option<&str> {
+            match self.never {}
+        }
+
+        /// Unreachable.
+        pub fn write_u64(&mut self, _gpa: u64, _val: u64) -> Result<(), String> {
+            match self.never {}
+        }
+
+        /// Unreachable.
+        pub fn read_u64(&mut self, _gpa: u64) -> Result<u64, String> {
+            match self.never {}
+        }
+
+        /// Unreachable.
+        pub fn snapshot_data(&self) -> Vec<u8> {
+            match self.never {}
+        }
+
+        /// Unreachable.
+        pub fn restore_data(&mut self, _bytes: &[u8]) -> Result<(), String> {
+            match self.never {}
+        }
+
+        /// Unreachable.
+        pub fn reset_data(&mut self) {
+            match self.never {}
+        }
+    }
+}
+
+pub use real::{probe, MicroVm};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full guest round-trip, exercised only where a real KVM exists
+    /// (skips cleanly on CI runners without `/dev/kvm`).
+    #[test]
+    fn guest_executes_reads_and_writes() {
+        if let Err(why) = probe() {
+            eprintln!("skipping: {why}");
+            return;
+        }
+        let mut vm = MicroVm::new().expect("boot");
+        let a = DATA_BASE;
+        let b = DATA_BASE + 8;
+        vm.write_u64(a, 0xDEAD_BEEF).expect("write a");
+        vm.write_u64(b, 7).expect("write b");
+        assert_eq!(vm.read_u64(a).expect("read a"), 0xDEAD_BEEF);
+        assert_eq!(vm.read_u64(b).expect("read b"), 7);
+        // Fresh cells read zero.
+        assert_eq!(vm.read_u64(DATA_BASE + 64).expect("read fresh"), 0);
+    }
+
+    #[test]
+    fn snapshot_and_restore_round_trip_guest_memory() {
+        if let Err(why) = probe() {
+            eprintln!("skipping: {why}");
+            return;
+        }
+        let mut vm = MicroVm::new().expect("boot");
+        vm.write_u64(DATA_BASE, 41).expect("write");
+        let snap = vm.snapshot_data();
+        vm.write_u64(DATA_BASE, 42).expect("overwrite");
+        assert_eq!(vm.read_u64(DATA_BASE).expect("read"), 42);
+        vm.restore_data(&snap).expect("restore");
+        assert_eq!(vm.read_u64(DATA_BASE).expect("read"), 41);
+        vm.reset_data();
+        assert_eq!(vm.read_u64(DATA_BASE).expect("read"), 0);
+    }
+
+    #[test]
+    fn out_of_region_access_poisons_the_vm() {
+        if let Err(why) = probe() {
+            eprintln!("skipping: {why}");
+            return;
+        }
+        let mut vm = MicroVm::new().expect("boot");
+        assert!(vm.write_u64(0x100, 1).is_err());
+        assert!(vm.poisoned().is_some());
+        // Dead VMs refuse further work.
+        assert!(vm.read_u64(DATA_BASE).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_length() {
+        if let Err(why) = probe() {
+            eprintln!("skipping: {why}");
+            return;
+        }
+        let mut vm = MicroVm::new().expect("boot");
+        assert!(vm.restore_data(&[0u8; 3]).is_err());
+    }
+}

@@ -1,0 +1,470 @@
+//! Pluggable execution backends: the substrate contract under enforcement.
+//!
+//! AITIA's algorithms — LIFS reproduction, causality flips, the campaign
+//! service — never care *what* executes the kernel scenario; they need
+//! exactly the hypervisor contract of §4.3–§4.4: step one instruction of
+//! one chosen thread, capture/restore checkpoints, query scheduling state,
+//! and extract the failure and the observed memory accesses afterwards.
+//! [`ExecBackend`] is that contract, extracted from the concrete
+//! [`ksim::Engine`] usage in `enforce.rs` and `exec.rs` so a real microVM
+//! (the feature-gated [`KvmBackend`]) can slot in underneath without any
+//! layer above the executor noticing.
+//!
+//! Invariants a conforming backend must uphold (what
+//! `tests/backend_conformance.rs` checks; see DESIGN.md §5 "backend
+//! contract"):
+//!
+//! 1. **Determinism**: the same step sequence from the same state produces
+//!    the same trace, failure, and thread states, every time.
+//! 2. **Snapshot round-trip**: `restore(snapshot())` is an observational
+//!    no-op; stepping after a restore behaves exactly like stepping from
+//!    the original state.
+//! 3. **Reboot resets everything**: after [`ExecBackend::reboot`] the
+//!    backend is indistinguishable from a freshly booted one.
+//! 4. **Observed-access stability**: the access set extracted from the
+//!    trace is a pure function of the executed steps — snapshot/restore
+//!    boundaries may not add, drop, or reorder accesses.
+//! 5. **Snapshot affinity**: a [`BackendSnapshot`] may only be restored
+//!    into the backend kind that captured it (the executor keys its shared
+//!    caches by [`BackendKind`] so foreign handles never arrive).
+
+use ksim::{
+    AccessKind,
+    Addr,
+    Engine,
+    EngineError,
+    Failure,
+    InstrAddr,
+    LockId,
+    Program,
+    SnapshotMode,
+    StepOutcome,
+    Thread,
+    ThreadId,
+    ThreadProgId,
+    Trace, //
+};
+use std::{
+    any::Any,
+    collections::BTreeSet,
+    str::FromStr,
+    sync::Arc, //
+};
+
+/// The default backend: the deterministic `ksim` engine itself. The trait
+/// is implemented directly on [`ksim::Engine`], so `KsimBackend` is an
+/// alias — existing `&mut Engine` call sites coerce to
+/// `&mut dyn ExecBackend` unchanged.
+pub type KsimBackend = Engine;
+
+/// An opaque, backend-defined checkpoint handle.
+///
+/// The payload lives behind an [`Arc`], so cloning is a reference-count
+/// bump — the snapshot-prefix caches shuffle many of these through LRU
+/// order and must never pay a deep copy for bookkeeping. The pointer
+/// identity of the inner `Arc` is stable across clones, which is what
+/// preserves [`ksim::Engine::restore`]'s `Weak` last-restored fast path
+/// through the trait boundary.
+#[derive(Clone)]
+pub struct BackendSnapshot(Arc<dyn Any + Send + Sync>);
+
+impl BackendSnapshot {
+    /// Wraps a backend's concrete snapshot payload.
+    #[must_use]
+    pub fn new<T: Any + Send + Sync>(inner: T) -> BackendSnapshot {
+        BackendSnapshot(Arc::new(inner))
+    }
+
+    /// Borrows the concrete payload, when this handle was captured by a
+    /// backend storing `T`.
+    #[must_use]
+    pub fn downcast_ref<T: Any + Send + Sync>(&self) -> Option<&T> {
+        self.0.downcast_ref::<T>()
+    }
+}
+
+impl std::fmt::Debug for BackendSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("BackendSnapshot")
+            .field(&Arc::as_ptr(&self.0))
+            .finish()
+    }
+}
+
+/// The execution-substrate contract (see module docs for the invariants).
+///
+/// The method set mirrors exactly what enforcement and the executor need
+/// from a hypervisor: external scheduling (`step`), checkpointing
+/// (`snapshot`/`restore`/`reboot`), scheduling-state queries, and
+/// post-run extraction (`failure`, `trace`, `observed_accesses`).
+/// `ksim` *types* (threads, traces, failures) remain the lingua franca of
+/// results — they are the simulator-agnostic observation vocabulary — but
+/// no concrete engine, snapshot, or snapshot-mode type crosses this
+/// boundary.
+pub trait ExecBackend: Send {
+    /// Which registered backend this is (keys the shared memo table and
+    /// snapshot forest, upholding invariant 5).
+    fn kind(&self) -> BackendKind;
+
+    /// The program this backend was booted with.
+    fn program(&self) -> &Arc<Program>;
+
+    /// Discards all execution state and boots the program afresh.
+    fn reboot(&mut self);
+
+    /// Executes exactly one instruction of `tid`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the [`ksim::Engine::step`] contract: `Halted` when the
+    /// machine has halted, `UnknownThread`/`NotRunnable` for invalid
+    /// scheduling requests.
+    fn step(&mut self, tid: ThreadId) -> Result<StepOutcome, EngineError>;
+
+    /// Captures a restorable checkpoint as an opaque handle.
+    fn snapshot(&self) -> BackendSnapshot;
+
+    /// Restores a checkpoint previously captured by this backend kind from
+    /// the same program.
+    ///
+    /// # Panics
+    ///
+    /// May panic when handed a foreign backend's handle — the executor
+    /// keys shared caches by [`ExecBackend::kind`] so this cannot happen
+    /// through the supported paths.
+    fn restore(&mut self, snapshot: &BackendSnapshot);
+
+    /// The failure that halted the machine, if one manifested.
+    fn failure(&self) -> Option<&Failure>;
+
+    /// Every step executed since boot (or the restored checkpoint).
+    fn trace(&self) -> &Trace;
+
+    /// All runtime threads, in spawn order.
+    fn threads(&self) -> &[Thread];
+
+    /// One thread by id.
+    fn thread(&self, tid: ThreadId) -> Option<&Thread>;
+
+    /// Ids of threads that can execute right now.
+    fn runnable(&self) -> Vec<ThreadId>;
+
+    /// Resolves the `occurrence`-th spawn of static thread `prog`.
+    fn thread_by_prog(&self, prog: ThreadProgId, occurrence: u32) -> Option<ThreadId>;
+
+    /// Whether every thread has exited normally.
+    fn all_done(&self) -> bool;
+
+    /// Whether unfinished threads exist but none is runnable.
+    fn deadlocked(&self) -> bool;
+
+    /// Whether the machine has halted (failure manifested or all threads
+    /// finished).
+    fn halted(&self) -> bool;
+
+    /// The next instruction `tid` would execute (its parked pc), `None`
+    /// for exited threads.
+    fn next_instr(&self, tid: ThreadId) -> Option<InstrAddr>;
+
+    /// The thread currently holding `lock`, if any.
+    fn lock_holder(&self, lock: LockId) -> Option<ThreadId>;
+
+    /// Injects a registered hardware-IRQ handler as a new runtime thread.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the [`ksim::Engine::inject_irq`] contract.
+    fn inject_irq(&mut self, prog: ThreadProgId) -> Result<ThreadId, EngineError>;
+
+    /// Switches between cheap (copy-on-write) and deep-materialized
+    /// checkpoints — the A/B axis of `report bench-throughput`. Observable
+    /// state is identical either way; only cost moves.
+    fn set_deep_snapshots(&mut self, deep: bool);
+
+    /// Whether checkpoints are currently deep-materialized.
+    fn deep_snapshots(&self) -> bool;
+
+    /// The set of `(thread, address, kind)` memory observations in the
+    /// current trace — the watchpoint log a diagnosis consumes. Provided:
+    /// a pure extraction over [`ExecBackend::trace`], so it is stable
+    /// across snapshot boundaries by construction (invariant 4).
+    fn observed_accesses(&self) -> BTreeSet<(ThreadId, Addr, AccessKind)> {
+        self.trace()
+            .iter()
+            .flat_map(|rec| {
+                rec.accesses
+                    .iter()
+                    .map(move |a| (rec.tid, a.addr, a.kind))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+}
+
+impl ExecBackend for Engine {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Ksim
+    }
+
+    fn program(&self) -> &Arc<Program> {
+        Engine::program(self)
+    }
+
+    fn reboot(&mut self) {
+        Engine::reboot(self);
+    }
+
+    fn step(&mut self, tid: ThreadId) -> Result<StepOutcome, EngineError> {
+        Engine::step(self, tid)
+    }
+
+    fn snapshot(&self) -> BackendSnapshot {
+        BackendSnapshot::new(Engine::snapshot(self))
+    }
+
+    fn restore(&mut self, snapshot: &BackendSnapshot) {
+        let snap = snapshot
+            .downcast_ref::<ksim::Snapshot>()
+            .expect("ksim backend handed a foreign snapshot handle");
+        Engine::restore(self, snap);
+    }
+
+    fn failure(&self) -> Option<&Failure> {
+        Engine::failure(self)
+    }
+
+    fn trace(&self) -> &Trace {
+        Engine::trace(self)
+    }
+
+    fn threads(&self) -> &[Thread] {
+        Engine::threads(self)
+    }
+
+    fn thread(&self, tid: ThreadId) -> Option<&Thread> {
+        Engine::thread(self, tid)
+    }
+
+    fn runnable(&self) -> Vec<ThreadId> {
+        Engine::runnable(self)
+    }
+
+    fn thread_by_prog(&self, prog: ThreadProgId, occurrence: u32) -> Option<ThreadId> {
+        Engine::thread_by_prog(self, prog, occurrence)
+    }
+
+    fn all_done(&self) -> bool {
+        Engine::all_done(self)
+    }
+
+    fn deadlocked(&self) -> bool {
+        Engine::deadlocked(self)
+    }
+
+    fn halted(&self) -> bool {
+        Engine::halted(self)
+    }
+
+    fn next_instr(&self, tid: ThreadId) -> Option<InstrAddr> {
+        Engine::next_instr(self, tid)
+    }
+
+    fn lock_holder(&self, lock: LockId) -> Option<ThreadId> {
+        Engine::lock_holder(self, lock)
+    }
+
+    fn inject_irq(&mut self, prog: ThreadProgId) -> Result<ThreadId, EngineError> {
+        Engine::inject_irq(self, prog)
+    }
+
+    fn set_deep_snapshots(&mut self, deep: bool) {
+        self.set_snapshot_mode(if deep {
+            SnapshotMode::Deep
+        } else {
+            SnapshotMode::Cow
+        });
+    }
+
+    fn deep_snapshots(&self) -> bool {
+        self.snapshot_mode() == SnapshotMode::Deep
+    }
+}
+
+/// The registry of execution backends, always compiled so every layer —
+/// CLI parsing, executor config, memo/forest keying — speaks one type
+/// regardless of which backends this build carries. Booting
+/// [`BackendKind::Kvm`] without the `kvm` cargo feature (or without
+/// `/dev/kvm`) is rejected by [`BackendKind::available`], which every
+/// entry point checks at startup.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The deterministic `ksim` engine (the default).
+    #[default]
+    Ksim,
+    /// The KVM microVM backend: the `ksim` model as control plane, with
+    /// data-plane word accesses executed in lockstep inside a real
+    /// hardware-virtualized guest. Requires the `kvm` cargo feature and a
+    /// usable `/dev/kvm` at runtime.
+    Kvm,
+}
+
+impl BackendKind {
+    /// Every backend kind this build knows about (compiled in or not).
+    pub const ALL: [BackendKind; 2] = [BackendKind::Ksim, BackendKind::Kvm];
+
+    /// Whether this backend can actually boot in this build on this host.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason: the `kvm` feature is not compiled in, or
+    /// `/dev/kvm` is absent/unusable. Entry points map this to an exit-2
+    /// usage error at startup; CI smoke maps the runtime-only case to a
+    /// clean skip.
+    pub fn available(self) -> Result<(), String> {
+        match self {
+            BackendKind::Ksim => Ok(()),
+            #[cfg(feature = "kvm")]
+            BackendKind::Kvm => crate::backend::kvm::probe(),
+            #[cfg(not(feature = "kvm"))]
+            BackendKind::Kvm => {
+                Err("backend 'kvm' is not compiled in (rebuild with --features kvm)".to_string())
+            }
+        }
+    }
+
+    /// Boots a fresh backend of this kind for `program`.
+    ///
+    /// # Panics
+    ///
+    /// When the backend is not [`BackendKind::available`] — callers
+    /// validate at startup, so reaching the panic is a plumbing bug.
+    #[must_use]
+    pub fn boot(self, program: Arc<Program>) -> Box<dyn ExecBackend> {
+        match self {
+            BackendKind::Ksim => Box::new(Engine::new(program)),
+            #[cfg(feature = "kvm")]
+            BackendKind::Kvm => match crate::backend::kvm::KvmBackend::new(program) {
+                Ok(vm) => Box::new(vm),
+                Err(e) => panic!("kvm backend failed to boot: {e}"),
+            },
+            #[cfg(not(feature = "kvm"))]
+            BackendKind::Kvm => {
+                panic!("kvm backend is not compiled in (rebuild with --features kvm)")
+            }
+        }
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<BackendKind, String> {
+        match s {
+            "ksim" => Ok(BackendKind::Ksim),
+            "kvm" => Ok(BackendKind::Kvm),
+            other => Err(format!("unknown backend '{other}' (expected ksim|kvm)")),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BackendKind::Ksim => "ksim",
+            BackendKind::Kvm => "kvm",
+        })
+    }
+}
+
+#[cfg(feature = "kvm")]
+pub mod kvm;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::builder::ProgramBuilder;
+
+    fn tiny_program() -> Arc<Program> {
+        let mut p = ProgramBuilder::new("tiny");
+        let g = p.global("g", 0);
+        {
+            let mut a = p.syscall_thread("A", "writer");
+            a.store_global(g, 1u64);
+            a.load_global("r0", g);
+            a.ret();
+        }
+        Arc::new(p.build().unwrap())
+    }
+
+    #[test]
+    fn backend_kind_round_trips_through_strings() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.to_string().parse::<BackendKind>(), Ok(kind));
+        }
+        let err = "qemu".parse::<BackendKind>().unwrap_err();
+        assert!(err.contains("unknown backend 'qemu'"), "{err}");
+        assert!(err.contains("ksim|kvm"), "{err}");
+    }
+
+    #[test]
+    fn ksim_backend_is_always_available() {
+        assert_eq!(BackendKind::Ksim.available(), Ok(()));
+    }
+
+    #[cfg(not(feature = "kvm"))]
+    #[test]
+    fn kvm_backend_is_rejected_when_not_compiled_in() {
+        let err = BackendKind::Kvm.available().unwrap_err();
+        assert!(err.contains("--features kvm"), "{err}");
+    }
+
+    #[test]
+    fn trait_snapshot_preserves_engine_fast_path_identity() {
+        // The opaque handle must carry the inner `Arc` identity through
+        // clones: `Engine::restore`'s `Weak` last-restored comparison is
+        // pointer-based, and the SavedPrefix caches clone handles freely.
+        let mut backend = BackendKind::Ksim.boot(tiny_program());
+        let snap = backend.snapshot();
+        let clone = snap.clone();
+        let a = snap.downcast_ref::<ksim::Snapshot>().unwrap();
+        let b = clone.downcast_ref::<ksim::Snapshot>().unwrap();
+        assert!(std::ptr::eq(a, b));
+        // Restoring the clone right after the original is the no-op path:
+        // neither bumps the deep-restore counter past the first.
+        backend.restore(&snap);
+        backend.restore(&clone);
+    }
+
+    #[test]
+    fn trait_object_reports_engine_state_faithfully() {
+        let program = tiny_program();
+        let mut engine = Engine::new(Arc::clone(&program));
+        let mut backend = BackendKind::Ksim.boot(Arc::clone(&program));
+        let tid = ExecBackend::runnable(&engine)[0];
+        loop {
+            let direct = engine.step(tid);
+            let via = backend.step(tid);
+            assert_eq!(direct, via);
+            if !matches!(direct, Ok(StepOutcome::Executed(_))) {
+                break;
+            }
+        }
+        assert_eq!(ExecBackend::trace(&engine).len(), backend.trace().len());
+        assert_eq!(
+            ExecBackend::observed_accesses(&engine),
+            backend.observed_accesses()
+        );
+        assert_eq!(backend.kind(), BackendKind::Ksim);
+        assert!(backend.all_done());
+    }
+
+    #[test]
+    fn deep_snapshot_toggle_round_trips() {
+        let mut backend = BackendKind::Ksim.boot(tiny_program());
+        assert!(!backend.deep_snapshots());
+        backend.set_deep_snapshots(true);
+        assert!(backend.deep_snapshots());
+        backend.set_deep_snapshots(false);
+        assert!(!backend.deep_snapshots());
+    }
+}

@@ -1,0 +1,282 @@
+//! The KVM microVM backend: lockstep hardware-virtualized execution.
+//!
+//! [`KvmBackend`] keeps the deterministic `ksim` engine as its *control
+//! plane* — scheduling, locks, failure detection, and the trace are the
+//! model's — while every word-sized memory access the model performs is
+//! mirrored, in lockstep, into a real KVM guest ([`aitia_kvm::MicroVm`]):
+//! writes store the model's post-step value through the guest vcpu, reads
+//! execute in the guest and are compared against the model. A divergence,
+//! an unexpected vmexit, or a runaway guest *poisons* the backend: it
+//! reports itself halted with no runnable threads and no failure, so the
+//! run above it concludes inconclusively and the executor's
+//! fault-injection, retry, and quarantine machinery — built for VMs that
+//! genuinely crash and hang — takes over. A poisoned backend is revived by
+//! [`ExecBackend::reboot`] (a fresh microVM is booted), matching how the
+//! paper's manager reboots failed VMs (§4.1).
+//!
+//! Guest cells are allocated on first touch: the backend maintains a
+//! model-address → guest-address map, seeding each fresh guest cell with
+//! the model's current value so initial-valued globals compare equal.
+//!
+//! Snapshots pair the model's checkpoint with a copy of the guest data
+//! region, upholding the snapshot round-trip invariant for both halves.
+
+use crate::backend::{BackendKind, BackendSnapshot, ExecBackend};
+use aitia_kvm::{MicroVm, DATA_BASE, DATA_SIZE};
+use ksim::{
+    Addr,
+    Engine,
+    EngineError,
+    Failure,
+    InstrAddr,
+    LockId,
+    MemAccess,
+    Program,
+    SnapshotMode,
+    StepOutcome,
+    Thread,
+    ThreadId,
+    ThreadProgId,
+    Trace, //
+};
+use std::{
+    collections::HashMap,
+    sync::Arc, //
+};
+
+/// Re-export of the microVM's availability probe (used by
+/// [`BackendKind::available`]).
+pub use aitia_kvm::probe;
+
+/// The snapshot payload: both halves of the lockstep state.
+struct KvmSnapshot {
+    model: ksim::Snapshot,
+    data: Vec<u8>,
+    slots: HashMap<Addr, u64>,
+    next_slot: u64,
+}
+
+/// The KVM execution backend (see module docs).
+pub struct KvmBackend {
+    model: Engine,
+    vm: MicroVm,
+    /// Model address → guest physical address of its 8-byte cell.
+    slots: HashMap<Addr, u64>,
+    /// Next free cell index in the guest data region.
+    next_slot: u64,
+    /// Why the lockstep died, when it did.
+    poisoned: Option<String>,
+}
+
+impl KvmBackend {
+    /// Boots the model engine and a fresh microVM for `program`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when the microVM cannot boot (no usable
+    /// `/dev/kvm`). Callers reach this only after a successful
+    /// [`probe`], so failure here is unexpected churn (e.g. permissions
+    /// changed), reported rather than panicked on.
+    pub fn new(program: Arc<Program>) -> Result<KvmBackend, String> {
+        Ok(KvmBackend {
+            model: Engine::new(program),
+            vm: MicroVm::new()?,
+            slots: HashMap::new(),
+            next_slot: 0,
+            poisoned: None,
+        })
+    }
+
+    /// The poisoning reason, when the lockstep has died.
+    #[must_use]
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    /// The guest cell for `addr`, allocating (and seeding with the model's
+    /// current value) on first touch.
+    fn slot(&mut self, addr: Addr) -> Result<u64, String> {
+        if let Some(&gpa) = self.slots.get(&addr) {
+            return Ok(gpa);
+        }
+        let idx = self.next_slot;
+        if idx * 8 >= DATA_SIZE as u64 {
+            return Err(format!(
+                "guest data region exhausted ({} cells)",
+                DATA_SIZE / 8
+            ));
+        }
+        let gpa = DATA_BASE + idx * 8;
+        // Seed so initial-valued model cells (globals with nonzero init)
+        // compare equal on their first guest read.
+        self.vm.write_u64(gpa, self.model.peek(addr))?;
+        self.slots.insert(addr, gpa);
+        self.next_slot = idx + 1;
+        Ok(gpa)
+    }
+
+    /// Mirrors the accesses of the model's most recent step into the guest:
+    /// writes push the model's post-step value through the vcpu, reads
+    /// execute in the guest and must match the model.
+    fn mirror_last_step(&mut self) -> Result<(), String> {
+        let accesses: Vec<MemAccess> = self
+            .model
+            .trace()
+            .last()
+            .map(|rec| rec.accesses.clone())
+            .unwrap_or_default();
+        for a in accesses {
+            let gpa = self.slot(a.addr)?;
+            let want = self.model.peek(a.addr);
+            if a.kind.is_write() {
+                self.vm.write_u64(gpa, want)?;
+            } else {
+                let got = self.vm.read_u64(gpa)?;
+                if got != want {
+                    return Err(format!(
+                        "lockstep divergence at {}: guest read {got:#x}, model has {want:#x}",
+                        a.addr
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ExecBackend for KvmBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Kvm
+    }
+
+    fn program(&self) -> &Arc<Program> {
+        self.model.program()
+    }
+
+    fn reboot(&mut self) {
+        self.model.reboot();
+        self.slots.clear();
+        self.next_slot = 0;
+        if self.poisoned.is_some() {
+            // Revive: the old vcpu is dead, boot a replacement. Staying
+            // poisoned when KVM itself is broken keeps the failure honest.
+            match MicroVm::new() {
+                Ok(vm) => {
+                    self.vm = vm;
+                    self.poisoned = None;
+                }
+                Err(why) => self.poisoned = Some(why),
+            }
+        } else {
+            self.vm.reset_data();
+        }
+    }
+
+    fn step(&mut self, tid: ThreadId) -> Result<StepOutcome, EngineError> {
+        if self.poisoned.is_some() {
+            return Err(EngineError::Halted);
+        }
+        let out = self.model.step(tid)?;
+        // A manifested failure halts the machine before the faulting access
+        // completes; there is nothing coherent left to mirror.
+        if self.model.failure().is_none() {
+            if let Err(why) = self.mirror_last_step() {
+                self.poisoned = Some(why);
+                return Err(EngineError::Halted);
+            }
+        }
+        Ok(out)
+    }
+
+    fn snapshot(&self) -> BackendSnapshot {
+        BackendSnapshot::new(KvmSnapshot {
+            model: self.model.snapshot(),
+            data: self.vm.snapshot_data(),
+            slots: self.slots.clone(),
+            next_slot: self.next_slot,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &BackendSnapshot) {
+        let snap = snapshot
+            .downcast_ref::<KvmSnapshot>()
+            .expect("kvm backend handed a foreign snapshot handle");
+        self.model.restore(&snap.model);
+        self.slots.clone_from(&snap.slots);
+        self.next_slot = snap.next_slot;
+        if let Err(why) = self.vm.restore_data(&snap.data) {
+            self.poisoned = Some(why);
+        }
+    }
+
+    fn failure(&self) -> Option<&Failure> {
+        if self.poisoned.is_some() {
+            // A crashed VM observed nothing; claiming the model's failure
+            // would launder an inconclusive run into a conclusive one.
+            return None;
+        }
+        self.model.failure()
+    }
+
+    fn trace(&self) -> &Trace {
+        self.model.trace()
+    }
+
+    fn threads(&self) -> &[Thread] {
+        self.model.threads()
+    }
+
+    fn thread(&self, tid: ThreadId) -> Option<&Thread> {
+        self.model.thread(tid)
+    }
+
+    fn runnable(&self) -> Vec<ThreadId> {
+        if self.poisoned.is_some() {
+            return Vec::new();
+        }
+        self.model.runnable()
+    }
+
+    fn thread_by_prog(&self, prog: ThreadProgId, occurrence: u32) -> Option<ThreadId> {
+        self.model.thread_by_prog(prog, occurrence)
+    }
+
+    fn all_done(&self) -> bool {
+        self.poisoned.is_none() && self.model.all_done()
+    }
+
+    fn deadlocked(&self) -> bool {
+        self.poisoned.is_none() && self.model.deadlocked()
+    }
+
+    fn halted(&self) -> bool {
+        self.poisoned.is_some() || self.model.halted()
+    }
+
+    fn next_instr(&self, tid: ThreadId) -> Option<InstrAddr> {
+        self.model.next_instr(tid)
+    }
+
+    fn lock_holder(&self, lock: LockId) -> Option<ThreadId> {
+        self.model.lock_holder(lock)
+    }
+
+    fn inject_irq(&mut self, prog: ThreadProgId) -> Result<ThreadId, EngineError> {
+        if self.poisoned.is_some() {
+            return Err(EngineError::Halted);
+        }
+        self.model.inject_irq(prog)
+    }
+
+    fn set_deep_snapshots(&mut self, deep: bool) {
+        self.model.set_snapshot_mode(if deep {
+            SnapshotMode::Deep
+        } else {
+            SnapshotMode::Cow
+        });
+    }
+
+    fn deep_snapshots(&self) -> bool {
+        self.model.snapshot_mode() == SnapshotMode::Deep
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! Every consumer of schedule execution — LIFS rounds, Causality Analysis
 //! flips, the manager's slice fan-out — goes through one executor that owns
-//! the worker "VMs" (per-worker [`ksim::Engine`]s plus snapshot-prefix
+//! the worker "VMs" (per-worker [`crate::backend::ExecBackend`] instances,
+//! [`ksim::Engine`] by default, plus snapshot-prefix
 //! caches). Callers submit *batches* of `(program, schedule)` jobs and fold
 //! the results in canonical submission order, which keeps every consumer
 //! bit-for-bit deterministic at any worker count:
@@ -22,6 +23,10 @@
 //! a contiguous prefix that callers can fold deterministically.
 
 use crate::{
+    backend::{
+        BackendKind,
+        ExecBackend, //
+    },
     enforce::{
         run_cached_shared,
         schedule_fingerprint,
@@ -39,7 +44,6 @@ use crate::{
     simtime::CostModel,
 };
 use ksim::{
-    Engine,
     Program,
     ThreadId, //
 };
@@ -646,11 +650,16 @@ pub struct ExecutorConfig {
     /// How workers claim batch indices (results are identical either way;
     /// see [`ClaimMode`]).
     pub claim: ClaimMode,
-    /// Force every worker engine into [`ksim::SnapshotMode::Deep`] — the
-    /// pre-refactor deep-clone snapshot cost, kept as the A/B baseline for
+    /// Force every worker engine into deep-clone snapshots (see
+    /// [`crate::backend::ExecBackend::set_deep_snapshots`]) — the
+    /// pre-refactor snapshot cost, kept as the A/B baseline for
     /// `report bench-throughput`. Off, engines use structurally-shared
     /// copy-on-write snapshots. Observable state is identical either way.
     pub deep_snapshots: bool,
+    /// Which execution backend boots the worker VMs. Callers must validate
+    /// [`BackendKind::available`] up front: booting an unavailable backend
+    /// panics.
+    pub backend: BackendKind,
 }
 
 impl Default for ExecutorConfig {
@@ -666,6 +675,7 @@ impl Default for ExecutorConfig {
             deadline: None,
             claim: ClaimMode::default(),
             deep_snapshots: false,
+            backend: BackendKind::default(),
         }
     }
 }
@@ -679,14 +689,21 @@ struct MemoEntry {
     program: Arc<Program>,
     schedule: Schedule,
     step_budget: usize,
+    /// The backend that produced the output. Part of the key: the table is
+    /// shared process-wide, and an executor on one backend must never serve
+    /// results recorded by another (identical by the conformance contract,
+    /// but only a matching key keeps a *broken* backend observable).
+    backend: BackendKind,
     output: ExecOutput,
 }
 
 impl MemoEntry {
-    /// Whether this entry's full key matches `job` (fingerprint equality is
-    /// only the bucket index; this is the collision-proof comparison).
-    fn matches(&self, job: &ExecJob) -> bool {
-        Arc::ptr_eq(&self.program, &job.program)
+    /// Whether this entry's full key matches `job` run on `backend`
+    /// (fingerprint equality is only the bucket index; this is the
+    /// collision-proof comparison).
+    fn matches(&self, job: &ExecJob, backend: BackendKind) -> bool {
+        self.backend == backend
+            && Arc::ptr_eq(&self.program, &job.program)
             && self.step_budget == job.enforce.step_budget
             && self.schedule == job.schedule
     }
@@ -795,7 +812,7 @@ impl MemoTable {
         &self.shards[(fp % MEMO_SHARDS as u64) as usize]
     }
 
-    fn get(&self, job: &ExecJob, fp: u64) -> Option<ExecOutput> {
+    fn get(&self, job: &ExecJob, fp: u64, backend: BackendKind) -> Option<ExecOutput> {
         // A 0-capacity table holds nothing (`put` refuses writes); skip the
         // shard lock and recency churn entirely to match.
         if self.shard_cap == 0 {
@@ -803,7 +820,7 @@ impl MemoTable {
         }
         let mut shard = self.shard(fp).lock().unwrap();
         let bucket = shard.entries.get(&fp)?;
-        let pos = bucket.iter().position(|(_, e)| e.matches(job))?;
+        let pos = bucket.iter().position(|(_, e)| e.matches(job, backend))?;
         let old_tick = bucket[pos].0;
         let tick = shard.touch(fp, old_tick);
         let bucket = shard.entries.get_mut(&fp).expect("bucket exists");
@@ -811,7 +828,7 @@ impl MemoTable {
         Some(bucket[pos].1.output.clone())
     }
 
-    fn put(&self, fp: u64, job: &ExecJob, output: &ExecOutput) {
+    fn put(&self, fp: u64, job: &ExecJob, output: &ExecOutput, backend: BackendKind) {
         if self.shard_cap == 0 {
             return;
         }
@@ -821,9 +838,10 @@ impl MemoTable {
             program: Arc::clone(&job.program),
             schedule: job.schedule.clone(),
             step_budget: job.enforce.step_budget,
+            backend,
             output: output.clone(),
         };
-        if let Some(pos) = bucket.iter().position(|(_, e)| e.matches(job)) {
+        if let Some(pos) = bucket.iter().position(|(_, e)| e.matches(job, backend)) {
             let old_tick = bucket[pos].0;
             bucket[pos].1 = entry;
             let tick = shard.touch(fp, old_tick);
@@ -931,9 +949,14 @@ impl Substrate {
 /// collisions and stale records alike: the memo lookup compares the full
 /// schedule, program identity, and step budget, so a mismatched preload
 /// degrades to a miss, never a wrong answer.
-pub(crate) fn memo_preload(substrate: &Substrate, job: &ExecJob, output: &ExecOutput) {
+pub(crate) fn memo_preload(
+    substrate: &Substrate,
+    job: &ExecJob,
+    output: &ExecOutput,
+    backend: BackendKind,
+) {
     let fp = schedule_fingerprint(&job.schedule, &job.enforce);
-    substrate.memo.put(fp, job, output);
+    substrate.memo.put(fp, job, output, backend);
 }
 
 /// A worker's persistent state: the engine it keeps booted and the
@@ -941,7 +964,7 @@ pub(crate) fn memo_preload(substrate: &Substrate, job: &ExecJob, output: &ExecOu
 /// discarded when a batch hands the worker a different program.
 struct WorkerVm {
     prog: usize,
-    engine: Engine,
+    engine: Box<dyn ExecBackend>,
     cache: SnapshotCache,
 }
 
@@ -1219,7 +1242,7 @@ impl Executor {
                     .then(|| self.config.substrate.memo.as_ref());
                 let fp = schedule_fingerprint(&job.schedule, &job.enforce);
                 if let Some(memo) = memo {
-                    if let Some(mut out) = memo.get(job, fp) {
+                    if let Some(mut out) = memo.get(job, fp, self.config.backend) {
                         self.stats.memo_hits.fetch_add(1, Ordering::SeqCst);
                         out.retries = retries;
                         out.memo_hit = true;
@@ -1247,6 +1270,7 @@ impl Executor {
                     &self.stats,
                     retries,
                     self.config.deep_snapshots,
+                    self.config.backend,
                 );
                 if let Some(deadline) = &self.config.deadline {
                     deadline.charge_run(out.run.steps, out.run.failure.is_some());
@@ -1255,7 +1279,7 @@ impl Executor {
                     if out.outcome.is_inconclusive() {
                         self.stats.memo_excluded.fetch_add(1, Ordering::SeqCst);
                     } else {
-                        memo.put(fp, job, &out);
+                        memo.put(fp, job, &out, self.config.backend);
                     }
                 }
                 // Conclusive outputs are made durable; inconclusive ones are
@@ -1520,15 +1544,14 @@ fn run_job(
     stats: &StatCells,
     retries: u32,
     deep_snapshots: bool,
+    backend: BackendKind,
 ) -> ExecOutput {
     let key = Arc::as_ptr(&job.program) as usize;
     let vm = match slot {
-        Some(vm) if vm.prog == key => vm,
+        Some(vm) if vm.prog == key && vm.engine.kind() == backend => vm,
         _ => {
-            let mut engine = Engine::new(Arc::clone(&job.program));
-            if deep_snapshots {
-                engine.set_snapshot_mode(ksim::SnapshotMode::Deep);
-            }
+            let mut engine = backend.boot(Arc::clone(&job.program));
+            engine.set_deep_snapshots(deep_snapshots);
             slot.insert(WorkerVm {
                 prog: key,
                 engine,
@@ -1539,7 +1562,7 @@ fn run_job(
     let (hits0, misses0, forest0) = (vm.cache.hits(), vm.cache.misses(), vm.cache.forest_hits());
     let started = Instant::now();
     let run = run_cached_shared(
-        &mut vm.engine,
+        vm.engine.as_mut(),
         &job.schedule,
         &job.enforce,
         &mut vm.cache,
@@ -2302,7 +2325,7 @@ mod tests {
                 },
             };
             let fp = schedule_fingerprint(&job.schedule, &job.enforce);
-            table.put(fp, &job, &sample);
+            table.put(fp, &job, &sample, BackendKind::Ksim);
         }
         for shard in &table.shards {
             let (buckets, entries, recency) = shard.lock().unwrap().diag();
@@ -2330,8 +2353,8 @@ mod tests {
 
         let table = MemoTable::new(0);
         let fp = schedule_fingerprint(&jobs[0].schedule, &jobs[0].enforce);
-        table.put(fp, &jobs[0], &sample);
-        assert!(table.get(&jobs[0], fp).is_none());
+        table.put(fp, &jobs[0], &sample, BackendKind::Ksim);
+        assert!(table.get(&jobs[0], fp, BackendKind::Ksim).is_none());
         for shard in &table.shards {
             assert_eq!(shard.lock().unwrap().diag(), (0, 0, 0));
         }

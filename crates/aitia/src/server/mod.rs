@@ -51,6 +51,7 @@ pub use supervisor::{
     RetryBackoff, //
 };
 
+use crate::backend::BackendKind;
 use crate::campaign::{
     Campaign,
     CampaignOutcome, //
@@ -158,6 +159,11 @@ pub struct ServerConfig {
     /// The cross-campaign execution substrate (memo table + snapshot
     /// forest) every campaign shares.
     pub substrate: Substrate,
+    /// Which execution backend every campaign's worker VMs boot
+    /// ([`crate::exec::ExecutorConfig::backend`]). Checked by
+    /// [`ServerConfig::validate`], so an unavailable backend is a startup
+    /// usage error, never a mid-campaign panic.
+    pub backend: BackendKind,
 }
 
 impl Default for ServerConfig {
@@ -174,6 +180,7 @@ impl Default for ServerConfig {
             drain: false,
             poll_ms: 50,
             substrate: Substrate::process_global(),
+            backend: BackendKind::default(),
         }
     }
 }
@@ -218,6 +225,7 @@ impl ServerConfig {
         if self.backoff.max_ms < self.backoff.base_ms {
             return Err("--backoff-max-ms must be at least --backoff-base-ms".into());
         }
+        self.backend.available()?;
         for (name, v) in [
             ("--wall-deadline-s", self.wall_deadline_s),
             ("--sim-deadline-s", self.sim_deadline_s),
@@ -639,6 +647,7 @@ impl CampaignServer {
                 wall_deadline_s: self.config.wall_deadline_s,
                 sim_deadline_s: self.config.sim_deadline_s,
                 journal: None,
+                backend: self.config.backend,
             };
             let campaign = Campaign::with_journal_path(config, &journal_path);
             let out = campaign.diagnose_program(Arc::clone(&resolved.program));

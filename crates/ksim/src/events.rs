@@ -18,7 +18,7 @@ use serde::{
 use std::sync::Arc;
 
 /// How an instruction accessed a memory location.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum AccessKind {
     /// Pure load.
     Read,

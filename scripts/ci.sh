@@ -12,7 +12,20 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> kvm backend (compile + lint, always; runtime smoke skips without /dev/kvm)"
+# The kvm feature is CI-checked on every machine even though most runners
+# have no /dev/kvm: the backend must always compile and lint clean, and
+# the conformance suite plus the microVM unit tests detect the device at
+# runtime, printing a skip note instead of failing where it is absent.
+cargo check -p aitia-repro -p aitia-bench --features kvm
+cargo clippy -p aitia-kvm --all-targets -- -D warnings
+cargo clippy -p aitia --features kvm --all-targets -- -D warnings
+cargo test -q -p aitia-kvm
+cargo test -q -p aitia-repro --features kvm --test backend_conformance
+
 echo "==> cargo test"
+# The default test run includes the backend conformance kit
+# (tests/backend_conformance.rs) against every available backend.
 cargo test --workspace -q
 
 echo "==> bench smoke (reduced scale)"
@@ -34,6 +47,23 @@ BENCH_SCALE=0.05 BENCH_OUT=target/BENCH_memo_smoke.json \
     BENCH_CORPUS_SEEDS=8 BENCH_CORPUS_OUT=target/BENCH_corpus_smoke.json \
     BENCH_SERVER_SCALE=0.05 BENCH_SERVER_OUT=target/BENCH_server_smoke.json \
     scripts/bench.sh
+
+echo "==> backend flag validation smoke"
+# A build without the kvm feature must reject `--backend kvm` with a
+# usage error (exit 2) at startup, and `--backend ksim` must change
+# nothing about a diagnosis.
+set +e
+./target/release/diagnose CVE-2017-15649 --backend kvm > /dev/null 2> /dev/null
+BACKEND_RC=$?
+set -e
+[ "$BACKEND_RC" -eq 2 ] \
+    || { echo "FAIL: --backend kvm without the feature exited $BACKEND_RC, want 2" >&2; exit 1; }
+./target/release/diagnose CVE-2017-15649 --scale 0.05 --backend ksim \
+    > target/ci-backend-ksim.txt 2> /dev/null
+./target/release/diagnose CVE-2017-15649 --scale 0.05 \
+    > target/ci-backend-default.txt 2> /dev/null
+diff target/ci-backend-ksim.txt target/ci-backend-default.txt \
+    || { echo "FAIL: --backend ksim changed the diagnosis" >&2; exit 1; }
 
 echo "==> prune ablation smoke"
 # The same bug diagnosed with pruning fully off and with full DPOR pruning

@@ -18,9 +18,9 @@ use aitia_repro::aitia::{
         self,
         EnforceConfig, //
     },
-    races_in_trace, CancelToken, CausalityAnalysis, CausalityConfig, CausalityLevel, ExecJob,
-    Executor, ExecutorConfig, FaultInjection, Lifs, LifsConfig, PruneLevel, Schedule, ThreadSel,
-    Verdict,
+    races_in_trace, BackendKind, CancelToken, CausalityAnalysis, CausalityConfig, CausalityLevel,
+    ExecJob, Executor, ExecutorConfig, FaultInjection, Lifs, LifsConfig, PruneLevel, Schedule,
+    ThreadSel, Verdict,
 };
 use aitia_repro::ksim::{
     builder::{
@@ -850,4 +850,114 @@ fn lifs_batches_stop_at_first_failing_schedule() {
         *schedules < all_perms,
         "expected an early stop, executed {schedules}"
     );
+}
+
+proptest! {
+    // Each case runs two single runs plus twelve small batches; keep the
+    // case count small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The `ExecBackend` seam is invisible for ksim at the run level:
+    /// enforcing a schedule on a stack-allocated `Engine` (coerced to
+    /// `&mut dyn` at the call site) and on a `BackendKind::Ksim.boot()`
+    /// trait object yield bit-identical runs, and a pooled executor —
+    /// whose workers hold boxed trait objects booted through the registry
+    /// — returns that same run for the same job at 1, 2, and 8 workers,
+    /// with and without memoization and deterministic fault injection.
+    #[test]
+    fn ksim_direct_and_trait_object_runs_are_identical(threads in gen_program()) {
+        let program = build(&threads);
+        let schedule = serial_schedule(&program);
+        let config = EnforceConfig::default();
+
+        let mut direct = Engine::new(Arc::clone(&program));
+        let want = enforce::run(&mut direct, &schedule, &config);
+        let mut boxed = BackendKind::Ksim.boot(Arc::clone(&program));
+        let via = enforce::run(boxed.as_mut(), &schedule, &config);
+        prop_assert_eq!(&want.trace, &via.trace);
+        prop_assert_eq!(&want.failure, &via.failure);
+        prop_assert_eq!(want.steps, via.steps);
+
+        let fault = FaultInjection {
+            seed: 0xA17A,
+            rate_permille: 120,
+            max_retries: 2,
+            quarantine_after: 2,
+        };
+        let jobs = repeated_jobs(&program, 3);
+        for fault in [None, Some(fault)] {
+            // Fault decisions key on job content and attempt number, so
+            // the honest reference for a faulted cell is a fault-matched
+            // serial pool, not the fault-free run above.
+            let base = memo_pool(1, fault, false).run_batch(&jobs, &CancelToken::new());
+            for memo in [false, true] {
+                for vms in [1usize, 2, 8] {
+                    let out = memo_pool(vms, fault, memo).run_batch(&jobs, &CancelToken::new());
+                    prop_assert_eq!(out.len(), base.len());
+                    for (got, want) in out.iter().zip(&base) {
+                        match (got, want) {
+                            (None, None) => {}
+                            (Some(got), Some(want)) => {
+                                prop_assert_eq!(&got.run.trace, &want.run.trace);
+                                prop_assert_eq!(&got.run.failure, &want.run.failure);
+                                prop_assert_eq!(got.run.steps, want.run.steps);
+                                prop_assert_eq!(got.retries, want.retries);
+                            }
+                            _ => prop_assert!(
+                                false,
+                                "completion mismatch at memo={} / {} workers / fault={}",
+                                memo, vms, fault.is_some()
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case diagnoses twelve times (two fault-matched baselines plus
+    // five matrix cells each); keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The backend seam is invisible at the diagnosis level too: full
+    /// diagnoses through trait-object pools match the 1-worker memo-off
+    /// reference digest across prune levels × memoization × worker counts,
+    /// with and without fault injection.
+    #[test]
+    fn diagnosis_digest_is_backend_seam_invariant(threads in gen_program()) {
+        let fault = FaultInjection {
+            seed: 0xA17A,
+            rate_permille: 120,
+            max_retries: 2,
+            quarantine_after: 2,
+        };
+        let program = build(&threads);
+        for fault in [None, Some(fault)] {
+            let baseline = diagnose_causal(
+                &program, 1, fault, false, PruneLevel::Off, CausalityLevel::Exhaustive,
+            );
+            for (prune, memo, vms) in [
+                (PruneLevel::Off, true, 2usize),
+                (PruneLevel::Conflict, false, 1),
+                (PruneLevel::Conflict, true, 8),
+                (PruneLevel::Dpor, true, 2),
+                (PruneLevel::Dpor, false, 8),
+            ] {
+                let cell = diagnose_causal(
+                    &program, vms, fault, memo, prune, CausalityLevel::Exhaustive,
+                );
+                prop_assert_eq!(
+                    &baseline,
+                    &cell,
+                    "diverged at {:?} / memo={} / {} workers / fault={}",
+                    prune,
+                    memo,
+                    vms,
+                    fault.is_some()
+                );
+            }
+        }
+    }
 }
